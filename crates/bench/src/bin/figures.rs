@@ -1,0 +1,478 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! figures [all|fig3|fig5|fig6|fig7|fig8|fig9|table1|sec33] [options]
+//!
+//!   --real        measure the real stack (meaningful on multicore hosts)
+//!   --calibrated  feed host-calibrated primitive costs to the simulator
+//!   --dual        fig8: use the dual-socket topology
+//!   --csv         CSV output instead of Markdown
+//!   --quick       fewer sizes and iterations
+//! ```
+//!
+//! Default mode is the deterministic simulator with the paper's cost
+//! constants, so output is reproducible anywhere; `--real` drives the
+//! actual library instead.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use nm_bench::calibrate::{self, Calibration};
+use nm_bench::concurrent::concurrent_series;
+use nm_bench::overlap::{overlap_series, OverlapOpts};
+use nm_bench::pingpong::{pingpong_series, PingpongOpts};
+use nm_bench::table::{constants_table, series_csv, series_table, ConstantRow};
+use nm_bench::Series;
+use nm_core::LockingMode;
+use nm_progress::{IdlePolicy, OffloadMode, ProgressEngine, ProgressionThread};
+use nm_sim::experiments as sim;
+use nm_sim::SimCosts;
+use nm_sync::WaitStrategy;
+use nm_topo::Topology;
+
+#[derive(Clone)]
+struct Options {
+    real: bool,
+    calibrated: bool,
+    dual: bool,
+    csv: bool,
+    quick: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut what = Vec::new();
+    let mut opts = Options {
+        real: false,
+        calibrated: false,
+        dual: false,
+        csv: false,
+        quick: false,
+    };
+    for a in &args {
+        match a.as_str() {
+            "--real" => opts.real = true,
+            "--calibrated" => opts.calibrated = true,
+            "--dual" => opts.dual = true,
+            "--csv" => opts.csv = true,
+            "--quick" => opts.quick = true,
+            "all" | "fig3" | "fig5" | "fig6" | "fig7" | "fig7sweep" | "fig8" | "fig9"
+            | "bw" | "rdvoverlap" | "table1" | "sec33" => what.push(a.clone()),
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+    }
+    if what.is_empty() || what.iter().any(|w| w == "all") {
+        what = [
+            "fig3", "fig5", "fig6", "fig7", "fig7sweep", "fig8", "fig9", "bw", "rdvoverlap",
+            "table1", "sec33",
+        ]
+        .map(String::from)
+        .to_vec();
+    }
+
+    let costs = if opts.calibrated {
+        let cal = calibrate::calibrate();
+        eprintln!("# calibrated costs: {cal:?}");
+        cal.to_sim_costs()
+    } else {
+        SimCosts::paper()
+    };
+
+    for w in &what {
+        match w.as_str() {
+            "fig3" => fig3(&opts, costs),
+            "fig5" => fig5(&opts, costs),
+            "fig6" => fig6(&opts, costs),
+            "fig7" => fig7(&opts, costs),
+            "fig7sweep" => fig7sweep(&opts, costs),
+            "bw" => bandwidth(&opts, costs),
+            "rdvoverlap" => rdv_overlap(&opts, costs),
+            "fig8" => fig8(&opts, costs),
+            "fig9" => fig9(&opts, costs),
+            "table1" => table1(),
+            "sec33" => sec33(),
+            _ => unreachable!(),
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: figures [all|fig3|fig5|fig6|fig7|fig8|fig9|table1|sec33] \
+         [--real] [--calibrated] [--dual] [--csv] [--quick]"
+    );
+}
+
+fn sizes(opts: &Options) -> Vec<usize> {
+    if opts.quick {
+        vec![4, 64, 1024]
+    } else {
+        sim::small_sizes()
+    }
+}
+
+fn emit(opts: &Options, title: &str, series: &[Series]) {
+    if opts.csv {
+        println!("# {title}");
+        print!("{}", series_csv(series));
+    } else {
+        println!("{}", series_table(title, series));
+    }
+}
+
+fn mode_note(opts: &Options) -> &'static str {
+    if opts.real {
+        "real stack"
+    } else {
+        "deterministic simulator"
+    }
+}
+
+fn real_pingpong_opts(locking: LockingMode, via_engine: bool, quick: bool) -> PingpongOpts {
+    PingpongOpts {
+        locking,
+        via_engine,
+        iters: if quick { 30 } else { 200 },
+        warmup: if quick { 5 } else { 20 },
+        ..PingpongOpts::default()
+    }
+}
+
+fn fig3(opts: &Options, costs: SimCosts) {
+    let sz = sizes(opts);
+    let series = if opts.real {
+        [LockingMode::Coarse, LockingMode::Fine, LockingMode::SingleThread]
+            .iter()
+            .map(|&m| {
+                pingpong_series(
+                    &real_pingpong_opts(m, false, opts.quick),
+                    &format!("{} locking", m.label()),
+                    &sz,
+                )
+            })
+            .collect::<Vec<_>>()
+    } else {
+        sim::fig3_locking_latency(costs, &sz)
+    };
+    emit(
+        opts,
+        &format!("Figure 3 — impact of locking on latency ({})", mode_note(opts)),
+        &series,
+    );
+}
+
+fn fig5(opts: &Options, costs: SimCosts) {
+    let sz = sizes(opts);
+    let series = if opts.real {
+        let mut out = vec![pingpong_series(
+            &real_pingpong_opts(LockingMode::Fine, false, opts.quick),
+            "1 thread",
+            &sz,
+        )];
+        for m in [LockingMode::Fine, LockingMode::Coarse] {
+            out.extend(concurrent_series(
+                &real_pingpong_opts(m, false, opts.quick),
+                &format!("{} locking", m.label()),
+                &sz,
+            ));
+        }
+        out
+    } else {
+        sim::fig5_concurrent_pingpong(costs, &sz)
+    };
+    emit(
+        opts,
+        &format!(
+            "Figure 5 — two threads perform concurrently pingpong programs ({})",
+            mode_note(opts)
+        ),
+        &series,
+    );
+}
+
+fn fig6(opts: &Options, costs: SimCosts) {
+    let sz = sizes(opts);
+    let series = if opts.real {
+        let mut out = Vec::new();
+        for (via, tag) in [(true, "PIOMan "), (false, "")] {
+            for m in [LockingMode::Coarse, LockingMode::Fine] {
+                out.push(pingpong_series(
+                    &real_pingpong_opts(m, via, opts.quick),
+                    &format!("{tag}{} locking", m.label()),
+                    &sz,
+                ));
+            }
+        }
+        out
+    } else {
+        sim::fig6_pioman_overhead(costs, &sz)
+    };
+    emit(
+        opts,
+        &format!("Figure 6 — impact of PIOMan on latency ({})", mode_note(opts)),
+        &series,
+    );
+}
+
+fn fig7(opts: &Options, costs: SimCosts) {
+    let sz = sizes(opts);
+    let series = if opts.real {
+        fig7_real(opts, &sz)
+    } else {
+        sim::fig7_waiting_strategies(costs, &sz)
+    };
+    emit(
+        opts,
+        &format!("Figure 7 — impact of semaphores on latency ({})", mode_note(opts)),
+        &series,
+    );
+}
+
+/// Real-mode Fig 7: a progression thread per side keeps polling so that
+/// passive waiters are woken.
+fn fig7_real(opts: &Options, sz: &[usize]) -> Vec<Series> {
+    let mut out = Vec::new();
+    for (wait, wname) in [
+        (WaitStrategy::Passive, "passive waiting"),
+        (WaitStrategy::Busy, "active waiting"),
+    ] {
+        for m in [LockingMode::Coarse, LockingMode::Fine] {
+            let label = format!("{wname} ({} locking)", m.label());
+            let points = sz
+                .iter()
+                .map(|&s| {
+                    let mut po = real_pingpong_opts(m, false, opts.quick);
+                    po.wait = wait;
+                    // Progression threads drive both cores for passive
+                    // waiters.
+                    let (a, b) = nm_bench::pingpong::build_pair(&po);
+                    let engine = Arc::new(ProgressEngine::new());
+                    engine.register(Arc::clone(&a) as _);
+                    engine.register(Arc::clone(&b) as _);
+                    let pt = ProgressionThread::spawn(
+                        Arc::clone(&engine),
+                        None,
+                        IdlePolicy::Yield,
+                    );
+                    let stats = pingpong_with_cores(&a, &b, &po, s);
+                    pt.stop();
+                    (s, stats)
+                })
+                .collect();
+            out.push(Series { label, points });
+        }
+    }
+    out
+}
+
+/// Pingpong over pre-built cores (so callers can attach machinery).
+fn pingpong_with_cores(
+    a: &Arc<nm_core::CommCore>,
+    b: &Arc<nm_core::CommCore>,
+    opts: &PingpongOpts,
+    size: usize,
+) -> f64 {
+    use bytes::Bytes;
+    use nm_core::GateId;
+    let total = opts.warmup + opts.iters;
+    let wait = opts.wait;
+    let b2 = Arc::clone(b);
+    let echo = std::thread::spawn(move || {
+        for _ in 0..total {
+            let r = b2.irecv(GateId(0), 0).expect("irecv");
+            b2.wait(&r, wait);
+            let data = r.take_data().expect("payload");
+            let s = b2.isend(GateId(0), 0, data).expect("isend");
+            b2.wait(&s, wait);
+        }
+    });
+    let payload = Bytes::from(vec![1u8; size]);
+    let mut samples = Vec::new();
+    for i in 0..total {
+        let t0 = std::time::Instant::now();
+        let s = a.isend(GateId(0), 0, payload.clone()).expect("isend");
+        a.wait(&s, wait);
+        let r = a.irecv(GateId(0), 0).expect("irecv");
+        a.wait(&r, wait);
+        if i >= opts.warmup {
+            samples.push(t0.elapsed().as_nanos() as u64 / 2);
+        }
+    }
+    echo.join().expect("echo");
+    nm_bench::stats::LatencyStats::from_ns(samples).median_us()
+}
+
+/// Ablation: sweep the fixed-spin window around the paper's 5 µs
+/// suggestion (x-axis is the window in ns, not a message size).
+fn fig7sweep(opts: &Options, costs: SimCosts) {
+    let windows: Vec<u64> = [0u64, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000].to_vec();
+    let series = vec![sim::fig7_fixed_spin_sweep(costs, 64, &windows)];
+    emit(
+        opts,
+        "Figure 7 extension — fixed-spin window sweep (x = window ns, deterministic simulator)",
+        &series,
+    );
+}
+
+/// The §3.1 bandwidth claim: locking overheads vanish at large sizes.
+fn bandwidth(opts: &Options, costs: SimCosts) {
+    let sizes: Vec<usize> = if opts.quick {
+        vec![64, 4096, 32 * 1024]
+    } else {
+        (6..=15).map(|p| 1usize << p).collect()
+    };
+    let series = sim::bandwidth_by_mode(costs, &sizes);
+    emit(
+        opts,
+        "Bandwidth vs locking mode (MB/s; §3.1's \"no impact on bandwidth\", deterministic simulator)",
+        &series,
+    );
+}
+
+/// §4.1: rendezvous handshakes managed by idle cores overlap the
+/// transfer of large messages with computation.
+fn rdv_overlap(opts: &Options, costs: SimCosts) {
+    let sizes: Vec<usize> = if opts.quick {
+        vec![64 * 1024, 256 * 1024]
+    } else {
+        (14..=19).map(|p| 1usize << p).collect()
+    };
+    let series = sim::rdv_overlap(costs, &sizes);
+    emit(
+        opts,
+        "§4.1 — rendezvous overlap: RTS + 30 µs compute + wait, total µs (deterministic simulator)",
+        &series,
+    );
+}
+
+fn fig8(opts: &Options, costs: SimCosts) {
+    let topo = if opts.dual {
+        Topology::dual_xeon_x5460()
+    } else {
+        Topology::xeon_x5460()
+    };
+    let sz = sizes(opts);
+    if opts.real {
+        let host = Topology::discover();
+        if host.num_cores() < 4 || !nm_topo::affinity::is_supported() {
+            eprintln!(
+                "# fig8 --real needs >= 4 bindable cores (host has {}); using the simulator",
+                host.num_cores()
+            );
+        } else {
+            eprintln!("# fig8 --real not yet distinct from sim placements; see benches/fig8");
+        }
+    }
+    let series = sim::fig8_cache_affinity(costs, &topo, &sz);
+    emit(
+        opts,
+        &format!(
+            "Figure 8 — impact of cache affinity ({}, {})",
+            topo.name(),
+            mode_note(opts)
+        ),
+        &series,
+    );
+}
+
+fn fig9(opts: &Options, costs: SimCosts) {
+    let sz = if opts.quick {
+        vec![2048, 8192, 32768]
+    } else {
+        sim::fig9_sizes()
+    };
+    let series = if opts.real {
+        OffloadMode::ALL
+            .iter()
+            .map(|&mode| {
+                overlap_series(
+                    &OverlapOpts {
+                        offload: mode,
+                        iters: if opts.quick { 20 } else { 100 },
+                        warmup: 5,
+                        ..OverlapOpts::default()
+                    },
+                    &sz,
+                )
+            })
+            .collect::<Vec<_>>()
+    } else {
+        sim::fig9_offload_tasklets(costs, &sz)
+    };
+    emit(
+        opts,
+        &format!(
+            "Figure 9 — impact of tasklets on deferred message submission ({})",
+            mode_note(opts)
+        ),
+        &series,
+    );
+}
+
+fn table1() {
+    let cal = calibrate::calibrate();
+    let rows = vec![
+        ConstantRow {
+            name: "spinlock acquire/release cycle".into(),
+            paper_ns: 70,
+            ours_ns: cal.lock_cycle_ns,
+        },
+        ConstantRow {
+            name: "ticket lock cycle (ablation)".into(),
+            paper_ns: 70,
+            ours_ns: cal.ticket_cycle_ns,
+        },
+        ConstantRow {
+            name: "parking_lot mutex cycle (ablation)".into(),
+            paper_ns: 70,
+            ours_ns: cal.mutex_cycle_ns,
+        },
+        ConstantRow {
+            name: "PIOMan pass (lists + locking)".into(),
+            paper_ns: 200,
+            ours_ns: cal.pioman_pass_ns,
+        },
+        ConstantRow {
+            name: "blocking context switch".into(),
+            paper_ns: 750,
+            ours_ns: cal.ctx_switch_ns,
+        },
+        ConstantRow {
+            name: "completion flag signal+wait".into(),
+            paper_ns: 0,
+            ours_ns: cal.flag_cycle_ns,
+        },
+    ];
+    println!(
+        "{}",
+        constants_table("Table 1 — in-text constants, paper vs this host", &rows)
+    );
+    let _ = Calibration::paper_reference();
+}
+
+fn sec33() {
+    let cores = Topology::discover().num_cores();
+    println!("## §3.3 — cost of dedicating one core to communication\n");
+    println!(
+        "analytic model: 1/{cores} of compute throughput = {:.1} % \
+         (paper: up to 25 % on a quad-core)\n",
+        100.0 * nm_bench::compute_loss::ComputeLoss::analytic(cores)
+    );
+    let r = nm_bench::compute_loss::measure(cores, Duration::from_millis(500));
+    println!(
+        "measured on this host ({} cores): baseline {:.0} iters/s, \
+         with dedicated poller {:.0} iters/s -> {:.1} % loss\n",
+        r.cores,
+        r.baseline_rate,
+        r.with_poller_rate,
+        100.0 * r.loss()
+    );
+}

@@ -1,0 +1,847 @@
+//! The communication core: collect, optimization and transfer layers.
+//!
+//! Data path (paper Fig 1):
+//!
+//! ```text
+//!  application ── isend/irecv ──▶ collect layer (per-gate submit lists)
+//!                                     │   when a NIC is idle
+//!                                     ▼
+//!                             optimization layer (Strategy:
+//!                             aggregation, control-first reordering)
+//!                                     │   arranged packet
+//!                                     ▼
+//!                             transfer layer (per-driver lists)
+//!                                     │
+//!                                     ▼
+//!                                NIC drivers (polling)
+//! ```
+//!
+//! Small messages travel eagerly inside one packet; large ones use a
+//! rendezvous (RTS → CTS → chunked DATA, chunks distributed round-robin
+//! across rails — the multirail optimization).
+
+use std::sync::{Arc, Weak};
+
+use bytes::{Bytes, BytesMut};
+
+use nm_progress::{OffloadMode, Offloader, PollOutcome, PollSource};
+use nm_sync::WaitStrategy;
+
+use crate::config::CoreConfig;
+use crate::error::CommError;
+use crate::gate::{
+    Gate, GateId, PendingRts, PostedRecv, RdvRecv, RdvSend, RdvSendDone, TagPattern,
+    UnexpectedMsg, XferItem,
+};
+use crate::locking::{LockPolicy, SectionKind};
+use crate::request::{Request, RequestKind};
+use crate::stats::CoreStats;
+use crate::strategy::{SendItem, SendItemKind, Strategy};
+use crate::wire::{decode_packet, encode_packet, Entry, ENTRY_HEADER, PACKET_HEADER};
+
+/// Builder for a [`CommCore`]: configure, add gates, build.
+pub struct CoreBuilder {
+    config: CoreConfig,
+    gates: Vec<Vec<Arc<dyn nm_fabric::Driver>>>,
+}
+
+impl CoreBuilder {
+    /// Starts a builder with the given configuration.
+    pub fn new(config: CoreConfig) -> Self {
+        CoreBuilder {
+            config,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Adds a gate (peer connection) with one driver per rail. Gate ids
+    /// are assigned in call order, starting at 0.
+    pub fn add_gate(mut self, drivers: Vec<Arc<dyn nm_fabric::Driver>>) -> Self {
+        assert!(!drivers.is_empty(), "a gate needs at least one rail");
+        self.gates.push(drivers);
+        self
+    }
+
+    /// Builds the core.
+    ///
+    /// # Panics
+    /// Panics on inconsistent configuration: no gates, an eager threshold
+    /// that cannot fit any rail's MTU, a deferred offload mode combined
+    /// with single-thread locking, or tasklet offload without an engine.
+    pub fn build(self) -> Arc<CommCore> {
+        assert!(!self.gates.is_empty(), "at least one gate required");
+        if self.config.offload != OffloadMode::Inline {
+            assert!(
+                self.config.locking.thread_safe(),
+                "deferred offload runs on another thread; single-thread locking cannot be used"
+            );
+        }
+        let offloader = Arc::new(Offloader::for_mode(
+            self.config.offload,
+            self.config.tasklet_engine.clone(),
+        ));
+
+        let mut gates = Vec::with_capacity(self.gates.len());
+        let mut driver_base = 0;
+        for (id, drivers) in self.gates.into_iter().enumerate() {
+            let gate = Gate::new(GateId(id), drivers, driver_base);
+            let needed = self.config.eager_threshold + ENTRY_HEADER + PACKET_HEADER;
+            assert!(
+                gate.min_mtu() >= needed,
+                "eager threshold {} does not fit rail MTU {} of gate {}",
+                self.config.eager_threshold,
+                gate.min_mtu(),
+                id
+            );
+            driver_base += gate.num_rails();
+            gates.push(gate);
+        }
+        let policy = LockPolicy::new(self.config.locking, driver_base);
+        let strategy = self.config.strategy.build();
+
+        Arc::new_cyclic(|weak| CommCore {
+            config: self.config,
+            policy,
+            gates,
+            strategy,
+            offloader,
+            stats: CoreStats::default(),
+            self_weak: weak.clone(),
+        })
+    }
+}
+
+/// The NewMadeleine-style communication core.
+///
+/// All methods take `&self` and are safe for concurrent callers under the
+/// `Coarse` and `Fine` locking modes; `SingleThread` mode enforces its
+/// single-caller restriction at runtime.
+pub struct CommCore {
+    config: CoreConfig,
+    policy: LockPolicy,
+    gates: Vec<Gate>,
+    strategy: Box<dyn Strategy>,
+    offloader: Arc<Offloader>,
+    stats: CoreStats,
+    self_weak: Weak<CommCore>,
+}
+
+impl CommCore {
+    /// The active configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// The lock policy (lock statistics for calibration benches).
+    pub fn lock_policy(&self) -> &LockPolicy {
+        &self.policy
+    }
+
+    /// The submission offloader. In `IdleCore` mode, register this (or the
+    /// core itself plus periodic [`CommCore::drain_offload`] calls) with a
+    /// progression engine so deferred submissions execute.
+    pub fn offloader(&self) -> &Arc<Offloader> {
+        &self.offloader
+    }
+
+    /// Number of gates.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Posts a non-blocking send of `data` to `gate` with `tag`.
+    ///
+    /// Messages up to the eager threshold complete locally once injected;
+    /// larger messages complete when the last rendezvous chunk is
+    /// injected.
+    pub fn isend(&self, gate: GateId, tag: u64, data: Bytes) -> Result<Request, CommError> {
+        let g = self.gate(gate)?;
+        if data.len() > u32::MAX as usize {
+            return Err(CommError::MessageTooLarge { len: data.len() });
+        }
+        let req = Request::new(RequestKind::Send);
+        self.stats.sends_posted.incr();
+        {
+            let api = self.policy.enter_api();
+            let item = if data.len() <= self.config.eager_threshold {
+                self.stats.eager_sent.incr();
+                SendItem {
+                    tag,
+                    seq: g.alloc_eager_seq(),
+                    kind: SendItemKind::Eager(data),
+                    req: Some(req.clone()),
+                }
+            } else {
+                self.stats.rdv_started.incr();
+                let seq = g.alloc_seq();
+                let total = data.len() as u32;
+                let rdv = RdvSend {
+                    tag,
+                    seq,
+                    data,
+                    req: req.clone(),
+                };
+                let s = self.policy.enter(SectionKind::Collect);
+                g.tx.with(&s, |tx| tx.rdv_out.push(rdv));
+                drop(s);
+                SendItem {
+                    tag,
+                    seq,
+                    kind: SendItemKind::Rts { total },
+                    req: None,
+                }
+            };
+            let s = self.policy.enter(SectionKind::Collect);
+            g.tx.with(&s, |tx| tx.queue.push_back(item));
+            drop(s);
+            // Release between submission and transmission, exactly like
+            // the paper's coarse mode ("the spinlock is held and released
+            // twice: once for submitting ..., once to transmit").
+            drop(api);
+        }
+        // Submission: inline, or deferred to an idle core / tasklet
+        // (§4.2) — the expensive part (strategy, encode, doorbell).
+        if self.config.offload == OffloadMode::Inline {
+            let api = self.policy.enter_api();
+            self.pump_gate(g);
+            drop(api);
+        }
+        if self.config.offload != OffloadMode::Inline {
+            let weak = self.self_weak.clone();
+            self.offloader.submit(move || {
+                if let Some(core) = weak.upgrade() {
+                    core.pump(gate);
+                }
+            });
+        }
+        Ok(req)
+    }
+
+    /// Posts a non-blocking receive for `tag` on `gate`.
+    ///
+    /// On completion the request carries the payload
+    /// ([`Request::take_data`]) and the matched tag
+    /// ([`Request::matched_tag`]). Matching is FIFO per tag.
+    pub fn irecv(&self, gate: GateId, tag: u64) -> Result<Request, CommError> {
+        self.irecv_matching(gate, TagPattern::Exact(tag))
+    }
+
+    /// Posts a wildcard receive (`MPI_ANY_TAG`): matches the earliest
+    /// message of any tag; the matched tag is reported by
+    /// [`Request::matched_tag`].
+    ///
+    /// Note: wildcards match *any* tag, including the reserved internal
+    /// tag space used by `nm-mpi`'s collectives — do not mix wildcard
+    /// receives with concurrent collectives on the same gate.
+    pub fn irecv_any(&self, gate: GateId) -> Result<Request, CommError> {
+        self.irecv_matching(gate, TagPattern::Any)
+    }
+
+    fn irecv_matching(&self, gate: GateId, pattern: TagPattern) -> Result<Request, CommError> {
+        let g = self.gate(gate)?;
+        let req = Request::new(RequestKind::Recv);
+        self.stats.recvs_posted.incr();
+        enum Then {
+            Nothing,
+            Complete(u64, Bytes),
+            PumpCts,
+        }
+        let mut then = Then::Nothing;
+        {
+            let api = self.policy.enter_api();
+            let s = self.policy.enter(SectionKind::Collect);
+            g.rx.with(&s, |rx| {
+                if let Some(msg) = rx.take_unexpected_matching(pattern) {
+                    then = Then::Complete(msg.tag, msg.data);
+                } else if let Some(rts) = rx.take_pending_rts(pattern) {
+                    rx.rdv_in.push(RdvRecv {
+                        tag: rts.tag,
+                        seq: rts.seq,
+                        total: rts.total,
+                        received: 0,
+                        buf: BytesMut::zeroed(rts.total as usize),
+                        req: req.clone(),
+                    });
+                    self.stats.rdv_accepted.incr();
+                    g.tx.with(&s, |tx| {
+                        tx.queue.push_back(SendItem {
+                            tag: rts.tag,
+                            seq: rts.seq,
+                            kind: SendItemKind::Cts,
+                            req: None,
+                        });
+                    });
+                    then = Then::PumpCts;
+                } else {
+                    rx.posted.push_back(PostedRecv {
+                        pattern,
+                        req: req.clone(),
+                    });
+                }
+            });
+            drop(s);
+            if matches!(then, Then::PumpCts) {
+                self.pump_gate(g);
+            }
+            drop(api);
+        }
+        if let Then::Complete(tag, data) = then {
+            req.complete_with_tagged_data(tag, data);
+        }
+        Ok(req)
+    }
+
+    /// One progression pass: polls every rail of every gate, dispatches
+    /// inbound packets, and pumps outbound queues. Returns the number of
+    /// wire events handled.
+    pub fn progress(&self) -> usize {
+        let api = self.policy.enter_api();
+        let events = self.progress_body();
+        drop(api);
+        events
+    }
+
+    /// The progression pass itself; the caller holds the API guard.
+    fn progress_body(&self) -> usize {
+        self.stats.progress_passes.incr();
+        let mut events = 0;
+        for g in &self.gates {
+            events += self.poll_gate(g);
+            events += self.pump_gate(g);
+        }
+        events
+    }
+
+    /// Runs deferred (offloaded) submissions on the calling thread.
+    ///
+    /// Intended for the progression engine / idle cores; calling it from
+    /// the application thread is correct but defeats the offload.
+    pub fn drain_offload(&self) -> usize {
+        self.offloader.drain()
+    }
+
+    /// Waits for a request, polling this core during spin phases.
+    ///
+    /// The spin phase runs *inside* the library: in coarse mode the
+    /// library-wide lock is held across the whole wait (Fig 2) — which is
+    /// why two busy-waiting threads serialize in the paper's Fig 5 — and
+    /// released before any blocking, per the paper's deadlock-avoidance
+    /// rule. With [`WaitStrategy::Passive`] the caller never polls: a
+    /// progression thread (or scheduler hooks) must be driving
+    /// [`CommCore::progress`].
+    pub fn wait(&self, req: &Request, strategy: WaitStrategy) {
+        match strategy.spin_budget() {
+            // Busy: poll under the API guard until complete.
+            None => {
+                let api = self.policy.enter_api();
+                while !req.is_complete() {
+                    self.progress_body();
+                }
+                drop(api);
+            }
+            // Fixed spin: poll under the guard for the window, then
+            // release it and block.
+            Some(budget) if !budget.is_zero() => {
+                let deadline = std::time::Instant::now() + budget;
+                {
+                    let api = self.policy.enter_api();
+                    while !req.is_complete() && std::time::Instant::now() < deadline {
+                        self.progress_body();
+                    }
+                    drop(api);
+                }
+                if !req.is_complete() {
+                    req.flag().wait(WaitStrategy::Passive);
+                }
+            }
+            // Passive: block immediately.
+            _ => req.flag().wait(WaitStrategy::Passive),
+        }
+    }
+
+    /// Snapshot of the queue depths across all layers (diagnostics).
+    pub fn pending(&self) -> PendingCounts {
+        let api = self.policy.enter_api();
+        let mut counts = PendingCounts::default();
+        for g in &self.gates {
+            let s = self.policy.enter(SectionKind::Collect);
+            g.tx.with(&s, |tx| {
+                counts.collect_items += tx.queue.len();
+                counts.rdv_awaiting_cts += tx.rdv_out.len();
+            });
+            g.rx.with(&s, |rx| {
+                counts.posted_recvs += rx.posted.len();
+                counts.unexpected += rx.unexpected.len();
+                counts.pending_rts += rx.pending_rts.len();
+                counts.rdv_reassembling += rx.rdv_in.len();
+                counts.eager_out_of_order += rx.eager_ooo.len();
+            });
+            drop(s);
+            for rail in 0..g.num_rails() {
+                let s = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
+                g.xfer[rail].with(&s, |q| counts.xfer_items += q.len());
+                drop(s);
+            }
+        }
+        drop(api);
+        counts
+    }
+
+    /// Drives progression until a full pass makes no progress and every
+    /// internal send queue is empty. Returns the number of passes run.
+    ///
+    /// Inbound completion still depends on the peer; this flushes the
+    /// *local* side (collect + transfer lists drained into the NICs).
+    pub fn flush_local(&self) -> usize {
+        let mut passes = 0;
+        loop {
+            let events = self.progress();
+            passes += 1;
+            let p = self.pending();
+            if events == 0 && p.collect_items == 0 && p.xfer_items == 0 {
+                return passes;
+            }
+        }
+    }
+
+    /// Waits for every request in `reqs`.
+    pub fn wait_all(&self, reqs: &[Request], strategy: WaitStrategy) {
+        for r in reqs {
+            self.wait(r, strategy);
+        }
+    }
+
+    /// Non-blocking completion test (`MPI_Test`): one progression pass,
+    /// then reports whether the request has completed.
+    pub fn test(&self, req: &Request) -> bool {
+        if req.is_complete() {
+            return true;
+        }
+        self.progress();
+        req.is_complete()
+    }
+
+    /// Blocking send: `isend` + wait.
+    pub fn send(
+        &self,
+        gate: GateId,
+        tag: u64,
+        data: Bytes,
+        strategy: WaitStrategy,
+    ) -> Result<(), CommError> {
+        let req = self.isend(gate, tag, data)?;
+        self.wait(&req, strategy);
+        match req.take_error() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Blocking receive: `irecv` + wait; returns the payload.
+    pub fn recv(
+        &self,
+        gate: GateId,
+        tag: u64,
+        strategy: WaitStrategy,
+    ) -> Result<Bytes, CommError> {
+        let req = self.irecv(gate, tag)?;
+        self.wait(&req, strategy);
+        if let Some(e) = req.take_error() {
+            return Err(e);
+        }
+        Ok(req.take_data().expect("completed recv carries data"))
+    }
+
+    // ----- internal machinery -------------------------------------------
+
+    fn gate(&self, gate: GateId) -> Result<&Gate, CommError> {
+        self.gates.get(gate.0).ok_or(CommError::InvalidGate(gate.0))
+    }
+
+    /// Public pump entry for offloaded submissions.
+    fn pump(&self, gate: GateId) {
+        if let Ok(g) = self.gate(gate) {
+            let api = self.policy.enter_api();
+            self.pump_gate(g);
+            drop(api);
+        }
+    }
+
+    /// Polls one gate's rails and dispatches everything deliverable.
+    fn poll_gate(&self, g: &Gate) -> usize {
+        let mut events = 0;
+        for rail in 0..g.num_rails() {
+            for _ in 0..self.config.max_polls_per_pass {
+                let pkt = {
+                    let s = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
+                    let p = g.drivers[rail].poll();
+                    drop(s);
+                    p
+                };
+                match pkt {
+                    Some(raw) => {
+                        self.stats.packets_rx.incr();
+                        events += 1;
+                        self.dispatch(g, raw);
+                    }
+                    None => break,
+                }
+            }
+        }
+        events
+    }
+
+    /// Decodes one inbound packet and applies its entries.
+    fn dispatch(&self, g: &Gate, raw: Bytes) {
+        let entries = match decode_packet(raw) {
+            Ok(e) => e,
+            Err(_) => {
+                self.stats.wire_errors.incr();
+                return;
+            }
+        };
+        let mut after = Vec::new();
+        let mut queued_cts = false;
+        {
+            let s = self.policy.enter(SectionKind::Collect);
+            for entry in entries {
+                match entry {
+                    Entry::Eager { tag, seq, data } => g.rx.with(&s, |rx| {
+                        if self.config.ordered_eager {
+                            // Resequencer: release eager messages strictly
+                            // in send order; park later ones.
+                            if seq != rx.expected_eager {
+                                rx.eager_ooo.push(UnexpectedMsg { tag, seq, data });
+                                return;
+                            }
+                            self.deliver_eager(rx, tag, seq, data, &mut after);
+                            rx.expected_eager = rx.expected_eager.wrapping_add(1);
+                            // Drain any now-in-order parked messages.
+                            while let Some(i) = rx
+                                .eager_ooo
+                                .iter()
+                                .position(|m| m.seq == rx.expected_eager)
+                            {
+                                let m = rx.eager_ooo.swap_remove(i);
+                                self.deliver_eager(rx, m.tag, m.seq, m.data, &mut after);
+                                rx.expected_eager = rx.expected_eager.wrapping_add(1);
+                            }
+                        } else {
+                            self.deliver_eager(rx, tag, seq, data, &mut after);
+                        }
+                    }),
+                    Entry::Rts { tag, seq, total } => g.rx.with(&s, |rx| {
+                        if let Some(p) = rx.take_posted(tag) {
+                            rx.rdv_in.push(RdvRecv {
+                                tag,
+                                seq,
+                                total,
+                                received: 0,
+                                buf: BytesMut::zeroed(total as usize),
+                                req: p.req,
+                            });
+                            self.stats.rdv_accepted.incr();
+                            g.tx.with(&s, |tx| {
+                                tx.queue.push_back(SendItem {
+                                    tag,
+                                    seq,
+                                    kind: SendItemKind::Cts,
+                                    req: None,
+                                });
+                            });
+                            queued_cts = true;
+                        } else {
+                            rx.pending_rts.push_back(PendingRts { tag, seq, total });
+                        }
+                    }),
+                    Entry::Cts { tag: _, seq } => {
+                        let rdv = g.tx.with(&s, |tx| {
+                            tx.rdv_out
+                                .iter()
+                                .position(|r| r.seq == seq)
+                                .map(|i| tx.rdv_out.swap_remove(i))
+                        });
+                        if let Some(rdv) = rdv {
+                            after.push(After::StartData(rdv));
+                        } else {
+                            self.stats.wire_errors.incr();
+                        }
+                    }
+                    Entry::Data {
+                        tag,
+                        seq,
+                        offset,
+                        data,
+                    } => g.rx.with(&s, |rx| {
+                        let Some(i) = rx.rdv_in_index(seq) else {
+                            self.stats.wire_errors.incr();
+                            return;
+                        };
+                        let r = &mut rx.rdv_in[i];
+                        if r.tag != tag {
+                            self.stats.wire_errors.incr();
+                            return;
+                        }
+                        let (start, end) = (offset as usize, offset as usize + data.len());
+                        if end > r.buf.len() {
+                            self.stats.wire_errors.incr();
+                            return;
+                        }
+                        r.buf[start..end].copy_from_slice(&data);
+                        r.received += data.len() as u32;
+                        if r.received == r.total {
+                            let done = rx.rdv_in.swap_remove(i);
+                            after.push(After::CompleteRecv(
+                                done.req,
+                                done.tag,
+                                done.buf.freeze(),
+                            ));
+                        }
+                    }),
+                }
+            }
+        }
+        for act in after {
+            match act {
+                After::CompleteRecv(req, tag, data) => req.complete_with_tagged_data(tag, data),
+                After::StartData(rdv) => self.start_rdv_data(g, rdv),
+            }
+        }
+        if queued_cts {
+            self.pump_gate(g);
+        }
+    }
+
+    /// Chunks an acknowledged rendezvous send and distributes the chunks
+    /// round-robin across rails (multirail distribution).
+    fn start_rdv_data(&self, g: &Gate, rdv: RdvSend) {
+        let chunk = self.rdv_chunk_size(g);
+        let total = rdv.data.len();
+        let num_chunks = total.div_ceil(chunk);
+        let done = Arc::new(RdvSendDone {
+            remaining: std::sync::atomic::AtomicUsize::new(num_chunks),
+            req: rdv.req,
+        });
+        let start_rail = g.rr_rail.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        for i in 0..num_chunks {
+            let offset = i * chunk;
+            let end = (offset + chunk).min(total);
+            let entry = Entry::Data {
+                tag: rdv.tag,
+                seq: rdv.seq,
+                offset: offset as u32,
+                data: rdv.data.slice(offset..end),
+            };
+            let packet = encode_packet(&[entry]);
+            let rail = (start_rail + i) % g.num_rails();
+            let s = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
+            g.xfer[rail].with(&s, |q| {
+                q.push_back(XferItem {
+                    packet,
+                    complete_on_post: Vec::new(),
+                    rdv_done: Some(Arc::clone(&done)),
+                });
+            });
+            drop(s);
+        }
+        self.pump_gate(g);
+    }
+
+    /// Pushes queued work toward the NICs: flushes transfer lists, then
+    /// invokes the optimization layer for every idle rail.
+    fn pump_gate(&self, g: &Gate) -> usize {
+        let mut events = 0;
+        for rail in 0..g.num_rails() {
+            events += self.flush_xfer(g, rail);
+        }
+        // Optimization layer: fill idle rails from the collect queue.
+        let mut rail_cursor = g.rr_rail.load(std::sync::atomic::Ordering::Relaxed);
+        loop {
+            let Some(rail) = self.pick_idle_rail(g, rail_cursor) else {
+                break;
+            };
+            rail_cursor = rail + 1;
+            let budget = self.packet_budget(g);
+            let items = {
+                let s = self.policy.enter(SectionKind::Collect);
+                let items = g.tx.with(&s, |tx| self.strategy.next_packet(&mut tx.queue, budget));
+                drop(s);
+                items
+            };
+            let Some(items) = items else {
+                break;
+            };
+            if items.len() > 1 {
+                self.stats.aggregated_packets.incr();
+            }
+            let entries: Vec<Entry> = items.iter().map(SendItem::to_entry).collect();
+            let packet = encode_packet(&entries);
+            let posted = {
+                let s = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
+                let r = g.drivers[rail].post(packet);
+                drop(s);
+                r
+            };
+            match posted {
+                Ok(()) => {
+                    self.stats.packets_tx.incr();
+                    events += 1;
+                    for item in items {
+                        if let Some(req) = item.req {
+                            req.complete();
+                        }
+                    }
+                }
+                Err(nm_fabric::PostError::WouldBlock) => {
+                    // NIC filled up between the idle check and the post:
+                    // restore the items at the head of the queue.
+                    let s = self.policy.enter(SectionKind::Collect);
+                    g.tx.with(&s, |tx| {
+                        for item in items.into_iter().rev() {
+                            tx.queue.push_front(item);
+                        }
+                    });
+                    drop(s);
+                    break;
+                }
+            }
+        }
+        events
+    }
+
+    /// Drains one rail's transfer list while the NIC accepts packets.
+    fn flush_xfer(&self, g: &Gate, rail: usize) -> usize {
+        let mut events = 0;
+        loop {
+            let s = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
+            if !g.drivers[rail].can_post() {
+                drop(s);
+                break;
+            }
+            let Some(item) = g.xfer[rail].with(&s, |q| q.pop_front()) else {
+                drop(s);
+                break;
+            };
+            let res = g.drivers[rail].post(item.packet.clone());
+            if res.is_err() {
+                g.xfer[rail].with(&s, |q| q.push_front(item));
+                drop(s);
+                break;
+            }
+            drop(s);
+            self.stats.packets_tx.incr();
+            events += 1;
+            for req in item.complete_on_post {
+                req.complete();
+            }
+            if let Some(done) = item.rdv_done {
+                done.chunk_posted();
+            }
+        }
+        events
+    }
+
+    /// Round-robin scan for a rail whose NIC reports itself idle.
+    ///
+    /// `can_post` is read without the driver lock as a racy hint; the
+    /// subsequent `post` under the lock handles the losing race.
+    fn pick_idle_rail(&self, g: &Gate, start: usize) -> Option<usize> {
+        let n = g.num_rails();
+        (0..n)
+            .map(|i| (start + i) % n)
+            .find(|&rail| g.drivers[rail].can_post())
+    }
+
+    /// Payload budget for the next arranged packet.
+    fn packet_budget(&self, g: &Gate) -> usize {
+        let mtu_budget = g.min_mtu() - PACKET_HEADER;
+        // Never smaller than one maximal eager entry, or it could never
+        // leave the queue.
+        let agg = self
+            .config
+            .max_aggregation
+            .max(self.config.eager_threshold + ENTRY_HEADER);
+        mtu_budget.min(agg)
+    }
+
+    fn rdv_chunk_size(&self, g: &Gate) -> usize {
+        let wire_max = g.min_mtu() - PACKET_HEADER - ENTRY_HEADER;
+        self.config.rdv_chunk.clamp(1, wire_max)
+    }
+}
+
+/// Queue depths across the library's layers (see [`CommCore::pending`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PendingCounts {
+    /// Send items waiting in collect-layer queues.
+    pub collect_items: usize,
+    /// Pre-encoded packets waiting in transfer-layer lists.
+    pub xfer_items: usize,
+    /// Outbound rendezvous waiting for their CTS.
+    pub rdv_awaiting_cts: usize,
+    /// Posted receives not yet matched.
+    pub posted_recvs: usize,
+    /// Unexpected (early) eager messages buffered.
+    pub unexpected: usize,
+    /// RTS received with no matching receive yet.
+    pub pending_rts: usize,
+    /// Inbound rendezvous reassemblies in progress.
+    pub rdv_reassembling: usize,
+    /// Eager messages parked by the resequencer.
+    pub eager_out_of_order: usize,
+}
+
+/// Effects that must run outside the collect section (completions signal
+/// condvars; CTS starts chunk distribution over rails).
+enum After {
+    CompleteRecv(Request, u64, Bytes),
+    StartData(RdvSend),
+}
+
+impl CommCore {
+    /// Matches one in-order eager message against the posted receives, or
+    /// parks it in the unexpected queue. Runs under the collect section.
+    fn deliver_eager(
+        &self,
+        rx: &mut crate::gate::RxState,
+        tag: u64,
+        seq: u32,
+        data: Bytes,
+        after: &mut Vec<After>,
+    ) {
+        if let Some(p) = rx.take_posted(tag) {
+            after.push(After::CompleteRecv(p.req, tag, data));
+        } else {
+            self.stats.unexpected_msgs.incr();
+            rx.unexpected.push_back(UnexpectedMsg { tag, seq, data });
+        }
+    }
+}
+
+impl PollSource for CommCore {
+    fn poll(&self) -> PollOutcome {
+        if self.progress() > 0 {
+            PollOutcome::Progressed
+        } else {
+            PollOutcome::Idle
+        }
+    }
+    fn name(&self) -> &str {
+        "nm-core"
+    }
+}
+
+impl std::fmt::Debug for CommCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommCore")
+            .field("gates", &self.gates.len())
+            .field("locking", &self.config.locking)
+            .field("strategy", &self.strategy.name())
+            .finish()
+    }
+}

@@ -1,0 +1,136 @@
+//! Core configuration.
+
+use std::sync::Arc;
+
+use nm_progress::{OffloadMode, TaskletEngine};
+
+use crate::locking::LockingMode;
+use crate::strategy::StrategyKind;
+
+/// Configuration of a communication core.
+#[derive(Clone)]
+pub struct CoreConfig {
+    /// Thread-safety scheme (§3.1–3.2).
+    pub locking: LockingMode,
+    /// Messages up to this size go eagerly in one packet; larger ones use
+    /// the rendezvous protocol (RTS/CTS + chunked data).
+    pub eager_threshold: usize,
+    /// Scheduling strategy of the optimization layer.
+    pub strategy: StrategyKind,
+    /// Payload budget for one aggregated packet (entry headers included).
+    pub max_aggregation: usize,
+    /// Where submission work runs (§4.2 / Fig 9).
+    pub offload: OffloadMode,
+    /// Tasklet engine for [`OffloadMode::Tasklet`].
+    pub tasklet_engine: Option<Arc<TaskletEngine>>,
+    /// Preferred rendezvous chunk size (clamped to the rail MTU).
+    pub rdv_chunk: usize,
+    /// Packets polled per rail per progression pass.
+    pub max_polls_per_pass: usize,
+    /// Restore per-gate FIFO order of eager messages at the receiver.
+    ///
+    /// Multirail distribution and reordering transports can deliver eager
+    /// packets out of order; with this on (the default) the receiver
+    /// holds out-of-order eager messages in a resequencing buffer so
+    /// same-tag messages always match receives in send order.
+    pub ordered_eager: bool,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            locking: LockingMode::Fine,
+            eager_threshold: 16 * 1024,
+            strategy: StrategyKind::Aggregate,
+            max_aggregation: 16 * 1024,
+            offload: OffloadMode::Inline,
+            tasklet_engine: None,
+            rdv_chunk: 16 * 1024,
+            max_polls_per_pass: 16,
+            ordered_eager: true,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// Sets the locking mode.
+    pub fn locking(mut self, mode: LockingMode) -> Self {
+        self.locking = mode;
+        self
+    }
+
+    /// Sets the eager/rendezvous threshold.
+    pub fn eager_threshold(mut self, bytes: usize) -> Self {
+        self.eager_threshold = bytes;
+        self
+    }
+
+    /// Sets the scheduling strategy.
+    pub fn strategy(mut self, strategy: StrategyKind) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the offload mode (tasklet mode also needs
+    /// [`CoreConfig::tasklet_engine`]).
+    pub fn offload(mut self, mode: OffloadMode) -> Self {
+        self.offload = mode;
+        self
+    }
+
+    /// Provides the tasklet engine for [`OffloadMode::Tasklet`].
+    pub fn tasklet_engine(mut self, engine: Arc<TaskletEngine>) -> Self {
+        self.tasklet_engine = Some(engine);
+        self
+    }
+
+    /// Sets the rendezvous chunk size.
+    pub fn rdv_chunk(mut self, bytes: usize) -> Self {
+        self.rdv_chunk = bytes;
+        self
+    }
+
+    /// Enables or disables receiver-side eager resequencing.
+    pub fn ordered_eager(mut self, on: bool) -> Self {
+        self.ordered_eager = on;
+        self
+    }
+}
+
+impl std::fmt::Debug for CoreConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoreConfig")
+            .field("locking", &self.locking)
+            .field("eager_threshold", &self.eager_threshold)
+            .field("strategy", &self.strategy)
+            .field("offload", &self.offload)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_style_setters() {
+        let c = CoreConfig::default()
+            .locking(LockingMode::Coarse)
+            .eager_threshold(1024)
+            .strategy(StrategyKind::Fifo)
+            .offload(OffloadMode::IdleCore)
+            .rdv_chunk(4096);
+        assert_eq!(c.locking, LockingMode::Coarse);
+        assert_eq!(c.eager_threshold, 1024);
+        assert_eq!(c.strategy, StrategyKind::Fifo);
+        assert_eq!(c.offload, OffloadMode::IdleCore);
+        assert_eq!(c.rdv_chunk, 4096);
+    }
+
+    #[test]
+    fn defaults_are_paper_like() {
+        let c = CoreConfig::default();
+        assert_eq!(c.locking, LockingMode::Fine);
+        assert!(c.eager_threshold <= 32 * 1024, "must fit the MX MTU");
+    }
+}

@@ -1,0 +1,53 @@
+//! Error types of the communication core.
+
+use crate::wire::WireError;
+
+/// Errors surfaced by the communication library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A message exceeded the 4 GiB wire-format limit.
+    MessageTooLarge {
+        /// Requested length.
+        len: usize,
+    },
+    /// Gate id outside the configured world.
+    InvalidGate(usize),
+    /// A packet failed to decode (corrupt or incompatible peer).
+    Wire(WireError),
+    /// The core is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::MessageTooLarge { len } => {
+                write!(f, "message of {len} bytes exceeds the wire-format limit")
+            }
+            CommError::InvalidGate(g) => write!(f, "invalid gate id {g}"),
+            CommError::Wire(e) => write!(f, "wire error: {e}"),
+            CommError::ShuttingDown => write!(f, "communication core is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+impl From<WireError> for CommError {
+    fn from(e: WireError) -> Self {
+        CommError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CommError::MessageTooLarge { len: 5 }.to_string().contains('5'));
+        assert!(CommError::InvalidGate(3).to_string().contains('3'));
+        let w: CommError = WireError::Truncated.into();
+        assert!(w.to_string().contains("truncated"));
+    }
+}

@@ -1,0 +1,310 @@
+//! Gates: per-peer connection state across the three layers.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use bytes::{Bytes, BytesMut};
+
+use nm_fabric::Driver;
+
+use crate::locking::{Protected, SectionKind};
+use crate::request::Request;
+use crate::strategy::SendItem;
+
+/// Identifies a peer connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GateId(pub usize);
+
+/// What a posted receive is willing to match (`MPI_ANY_TAG` analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagPattern {
+    /// Match exactly this tag.
+    Exact(u64),
+    /// Match any tag.
+    Any,
+}
+
+impl TagPattern {
+    /// `true` if `tag` satisfies this pattern.
+    pub fn matches(&self, tag: u64) -> bool {
+        match self {
+            TagPattern::Exact(t) => *t == tag,
+            TagPattern::Any => true,
+        }
+    }
+}
+
+/// A receive posted by the application, waiting for a matching message.
+#[derive(Debug)]
+pub(crate) struct PostedRecv {
+    pub pattern: TagPattern,
+    pub req: Request,
+}
+
+/// An eager message that arrived before its receive was posted.
+#[derive(Debug)]
+pub(crate) struct UnexpectedMsg {
+    pub tag: u64,
+    pub seq: u32,
+    pub data: Bytes,
+}
+
+/// An RTS that arrived before its receive was posted.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingRts {
+    pub tag: u64,
+    pub seq: u32,
+    pub total: u32,
+}
+
+/// An in-progress inbound rendezvous reassembly.
+pub(crate) struct RdvRecv {
+    pub tag: u64,
+    pub seq: u32,
+    pub total: u32,
+    pub received: u32,
+    pub buf: BytesMut,
+    pub req: Request,
+}
+
+/// An outbound rendezvous waiting for its CTS.
+pub(crate) struct RdvSend {
+    pub tag: u64,
+    pub seq: u32,
+    pub data: Bytes,
+    pub req: Request,
+}
+
+/// Completion tracker shared by the chunks of one rendezvous send: the
+/// send request completes when the last chunk hits the wire.
+pub(crate) struct RdvSendDone {
+    pub remaining: AtomicUsize,
+    pub req: Request,
+}
+
+impl RdvSendDone {
+    /// Decrements; completes the request on the last chunk.
+    pub fn chunk_posted(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.req.complete();
+        }
+    }
+}
+
+/// A pre-encoded packet queued in a transfer-layer list.
+pub(crate) struct XferItem {
+    pub packet: Bytes,
+    /// Eager requests completed when this packet is injected.
+    pub complete_on_post: Vec<Request>,
+    /// Rendezvous chunk bookkeeping.
+    pub rdv_done: Option<Arc<RdvSendDone>>,
+}
+
+/// Receive-side matching state (collect-layer domain).
+#[derive(Default)]
+pub(crate) struct RxState {
+    pub posted: VecDeque<PostedRecv>,
+    pub unexpected: VecDeque<UnexpectedMsg>,
+    pub pending_rts: VecDeque<PendingRts>,
+    pub rdv_in: Vec<RdvRecv>,
+    /// Next eager sequence number the resequencer will release.
+    pub expected_eager: u32,
+    /// Out-of-order eager messages awaiting their turn.
+    pub eager_ooo: Vec<UnexpectedMsg>,
+}
+
+impl RxState {
+    /// Takes the first posted receive whose pattern matches `tag`.
+    pub fn take_posted(&mut self, tag: u64) -> Option<PostedRecv> {
+        let idx = self.posted.iter().position(|p| p.pattern.matches(tag))?;
+        self.posted.remove(idx)
+    }
+
+    /// Takes the earliest buffered message (unexpected) matching `pattern`.
+    pub fn take_unexpected_matching(&mut self, pattern: TagPattern) -> Option<UnexpectedMsg> {
+        let idx = self
+            .unexpected
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| pattern.matches(m.tag))
+            .min_by_key(|(_, m)| m.seq)
+            .map(|(i, _)| i)?;
+        self.unexpected.remove(idx)
+    }
+
+    /// Takes the earliest-sequence unexpected message with `tag`.
+    #[cfg(test)]
+    pub fn take_unexpected(&mut self, tag: u64) -> Option<UnexpectedMsg> {
+        let idx = self
+            .unexpected
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.tag == tag)
+            .min_by_key(|(_, m)| m.seq)
+            .map(|(i, _)| i)?;
+        self.unexpected.remove(idx)
+    }
+
+    /// Takes the earliest pending RTS matching `pattern`.
+    pub fn take_pending_rts(&mut self, pattern: TagPattern) -> Option<PendingRts> {
+        let idx = self
+            .pending_rts
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| pattern.matches(r.tag))
+            .min_by_key(|(_, r)| r.seq)
+            .map(|(i, _)| i)?;
+        self.pending_rts.remove(idx)
+    }
+
+    /// Finds the index of the active reassembly for rendezvous id `seq`.
+    pub fn rdv_in_index(&self, seq: u32) -> Option<usize> {
+        self.rdv_in.iter().position(|r| r.seq == seq)
+    }
+}
+
+/// Send-side collect/rendezvous state (collect-layer domain).
+#[derive(Default)]
+pub(crate) struct TxState {
+    /// The per-gate submit list the optimization layer schedules from.
+    pub queue: VecDeque<SendItem>,
+    /// Outbound rendezvous waiting for CTS.
+    pub rdv_out: Vec<RdvSend>,
+}
+
+/// One peer connection: its rails and all shared per-layer lists.
+pub(crate) struct Gate {
+    #[allow(dead_code)] // diagnostic identity; used by Debug formatting
+    pub id: GateId,
+    /// The rails (one driver per rail) to this peer.
+    pub drivers: Vec<Arc<dyn Driver>>,
+    /// Index of this gate's first driver in the lock policy's array.
+    pub driver_base: usize,
+    /// Next rendezvous id.
+    pub next_seq: AtomicU32,
+    /// Next eager sequence number (separate space: the receiver's
+    /// resequencer must see a gap-free stream).
+    pub next_eager_seq: AtomicU32,
+    /// Collect-layer send state.
+    pub tx: Protected<TxState>,
+    /// Collect-layer receive state.
+    pub rx: Protected<RxState>,
+    /// Transfer-layer outgoing lists, one per rail.
+    pub xfer: Vec<Protected<VecDeque<XferItem>>>,
+    /// Round-robin cursor for rail selection.
+    pub rr_rail: AtomicUsize,
+}
+
+impl Gate {
+    pub fn new(id: GateId, drivers: Vec<Arc<dyn Driver>>, driver_base: usize) -> Self {
+        assert!(!drivers.is_empty(), "a gate needs at least one rail");
+        let xfer = (0..drivers.len())
+            .map(|rail| Protected::new(SectionKind::Driver(driver_base + rail), VecDeque::new()))
+            .collect();
+        Gate {
+            id,
+            drivers,
+            driver_base,
+            next_seq: AtomicU32::new(0),
+            next_eager_seq: AtomicU32::new(0),
+            tx: Protected::new(SectionKind::Collect, TxState::default()),
+            rx: Protected::new(SectionKind::Collect, RxState::default()),
+            xfer,
+            rr_rail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Allocates the next rendezvous id.
+    pub fn alloc_seq(&self) -> u32 {
+        self.next_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocates the next eager sequence number.
+    pub fn alloc_eager_seq(&self) -> u32 {
+        self.next_eager_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Number of rails.
+    pub fn num_rails(&self) -> usize {
+        self.drivers.len()
+    }
+
+    /// Smallest MTU across rails (bounds eager and aggregation sizes).
+    pub fn min_mtu(&self) -> usize {
+        self.drivers
+            .iter()
+            .map(|d| d.caps().mtu)
+            .min()
+            .expect("gate has at least one rail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestKind;
+
+    #[test]
+    fn take_unexpected_picks_lowest_seq() {
+        let mut rx = RxState::default();
+        for (seq, tag) in [(5u32, 1u64), (2, 1), (9, 2), (3, 1)] {
+            rx.unexpected.push_back(UnexpectedMsg {
+                tag,
+                seq,
+                data: Bytes::new(),
+            });
+        }
+        assert_eq!(rx.take_unexpected(1).unwrap().seq, 2);
+        assert_eq!(rx.take_unexpected(1).unwrap().seq, 3);
+        assert_eq!(rx.take_unexpected(1).unwrap().seq, 5);
+        assert!(rx.take_unexpected(1).is_none());
+        assert_eq!(rx.take_unexpected(2).unwrap().seq, 9);
+    }
+
+    #[test]
+    fn take_posted_is_fifo_per_tag() {
+        let mut rx = RxState::default();
+        let (r1, r2) = (
+            Request::new(RequestKind::Recv),
+            Request::new(RequestKind::Recv),
+        );
+        rx.posted.push_back(PostedRecv {
+            pattern: TagPattern::Exact(1),
+            req: r1.clone(),
+        });
+        rx.posted.push_back(PostedRecv {
+            pattern: TagPattern::Exact(1),
+            req: r2.clone(),
+        });
+        let first = rx.take_posted(1).unwrap();
+        first.req.complete();
+        assert!(r1.is_complete());
+        assert!(!r2.is_complete());
+        assert!(rx.take_posted(7).is_none());
+    }
+
+    #[test]
+    fn rdv_send_done_completes_on_last_chunk() {
+        let req = Request::new(RequestKind::Send);
+        let done = RdvSendDone {
+            remaining: AtomicUsize::new(3),
+            req: req.clone(),
+        };
+        done.chunk_posted();
+        done.chunk_posted();
+        assert!(!req.is_complete());
+        done.chunk_posted();
+        assert!(req.is_complete());
+    }
+
+    #[test]
+    fn gate_seq_allocation_is_monotonic() {
+        let (a, _b) = nm_fabric::LoopbackDriver::pair(4);
+        let gate = Gate::new(GateId(0), vec![Arc::new(a)], 0);
+        assert_eq!(gate.alloc_seq(), 0);
+        assert_eq!(gate.alloc_seq(), 1);
+        assert_eq!(gate.alloc_seq(), 2);
+        assert_eq!(gate.num_rails(), 1);
+    }
+}

@@ -1,0 +1,459 @@
+//! Thread-safety policy: the paper's three locking schemes.
+//!
+//! All `unsafe` interior-mutability access in `nm-core` is centralized
+//! here. Shared library state lives in [`Protected<T>`] cells; every access
+//! goes through a [`Section`] guard obtained from the [`LockPolicy`].
+//!
+//! Two guard levels exist, mirroring the paper's two designs:
+//!
+//! * [`LockPolicy::enter_api`] — taken once at every library entry point
+//!   (`isend`, `irecv`, `progress`). In **coarse** mode (Fig 2) this is
+//!   *the* library-wide spinlock: held for the whole call, released before
+//!   any blocking. In the other modes it is free.
+//! * [`LockPolicy::enter`] — taken around one logical critical section
+//!   (the collect-layer lists, or driver *i*'s transfer list). In **fine**
+//!   mode (Fig 4) this takes the section's own spinlock; in **coarse**
+//!   mode it is free (the API guard already serializes); in
+//!   **single-thread** mode it only checks the calling thread.
+//!
+//! | logical section | `SingleThread` | `Coarse` (Fig 2) | `Fine` (Fig 4) |
+//! |-----------------|----------------|------------------|----------------|
+//! | API entry       | thread check   | global spinlock  | nothing        |
+//! | collect lists   | nothing        | nothing (covered)| collect spinlock |
+//! | driver *i* list | nothing        | nothing (covered)| driver spinlock *i* |
+//!
+//! `SingleThread` reproduces the "no locking" curve of Fig 3: it takes no
+//! lock at all and enforces at runtime that a single thread ever enters
+//! the library (first caller wins; any other thread panics).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nm_sync::RawSpin;
+
+/// The paper's locking schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LockingMode {
+    /// No locks; library restricted to one thread (Fig 3 "no locking").
+    SingleThread,
+    /// One library-wide spinlock (§3.1, Fig 2), held per library call:
+    /// ~2 lock cycles on a pingpong critical path ⇒ the paper's 140 ns.
+    Coarse,
+    /// Separate locks per shared list (§3.2, Fig 4): one for the collect
+    /// layer (the packet scheduler iterates all per-gate lists), one per
+    /// driver. More lock operations on the path ⇒ 230 ns, but unrelated
+    /// communication flows proceed in parallel.
+    #[default]
+    Fine,
+}
+
+impl LockingMode {
+    /// All modes in Fig 3 order.
+    pub const ALL: [LockingMode; 3] = [
+        LockingMode::SingleThread,
+        LockingMode::Coarse,
+        LockingMode::Fine,
+    ];
+
+    /// Label used in bench output (matches the paper's legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            LockingMode::SingleThread => "no-locking",
+            LockingMode::Coarse => "coarse-grain",
+            LockingMode::Fine => "fine-grain",
+        }
+    }
+
+    /// `true` if this mode is safe for multi-threaded callers.
+    pub fn thread_safe(&self) -> bool {
+        !matches!(self, LockingMode::SingleThread)
+    }
+}
+
+/// Process-unique id of the calling thread (stable for the thread's life).
+pub(crate) fn thread_id() -> u64 {
+    use std::cell::Cell;
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static ID: Cell<u64> = const { Cell::new(0) };
+    }
+    ID.with(|id| {
+        let mut v = id.get();
+        if v == 0 {
+            v = NEXT.fetch_add(1, Ordering::Relaxed);
+            id.set(v);
+        }
+        v
+    })
+}
+
+/// Which logical critical section a guard covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionKind {
+    /// The whole library (API-entry guard).
+    Global,
+    /// The collect-layer lists (per-gate submit queues, matching state).
+    Collect,
+    /// The transfer-layer list and NIC access of driver `i`.
+    Driver(usize),
+}
+
+/// Lock-placement policy for one communication core.
+pub struct LockPolicy {
+    mode: LockingMode,
+    /// Coarse mode: the library-wide lock.
+    global: RawSpin,
+    /// Fine mode: the collect-layer lock.
+    collect: RawSpin,
+    /// Fine mode: one lock per driver (index = global driver index).
+    drivers: Box<[RawSpin]>,
+    /// SingleThread mode: the one thread allowed in (0 = not yet claimed).
+    owner: AtomicU64,
+}
+
+impl LockPolicy {
+    /// Builds a policy for `num_drivers` transfer-layer lists.
+    pub fn new(mode: LockingMode, num_drivers: usize) -> Self {
+        LockPolicy {
+            mode,
+            global: RawSpin::new(),
+            collect: RawSpin::new(),
+            drivers: (0..num_drivers).map(|_| RawSpin::new()).collect(),
+            owner: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> LockingMode {
+        self.mode
+    }
+
+    /// Enters the library: the once-per-call guard.
+    ///
+    /// Must be released (dropped) before blocking, exactly as the paper's
+    /// coarse mode releases the mutex "before entering a blocking section
+    /// in order to avoid deadlocks".
+    #[inline]
+    pub fn enter_api(&self) -> Section<'_> {
+        match self.mode {
+            LockingMode::SingleThread => {
+                self.check_single_thread();
+                Section {
+                    lock: None,
+                    kind: SectionKind::Global,
+                }
+            }
+            LockingMode::Coarse => {
+                self.global.lock();
+                Section {
+                    lock: Some(&self.global),
+                    kind: SectionKind::Global,
+                }
+            }
+            LockingMode::Fine => Section {
+                lock: None,
+                kind: SectionKind::Global,
+            },
+        }
+    }
+
+    /// Enters a logical critical section.
+    ///
+    /// In coarse mode the caller must already hold the API guard (checked
+    /// in debug builds). Inner sections must not be nested with each other.
+    #[inline]
+    pub fn enter(&self, kind: SectionKind) -> Section<'_> {
+        debug_assert_ne!(kind, SectionKind::Global, "use enter_api for the global section");
+        match self.mode {
+            LockingMode::SingleThread => Section { lock: None, kind },
+            LockingMode::Coarse => {
+                debug_assert!(
+                    self.global.is_locked(),
+                    "coarse mode: inner section entered without the API guard"
+                );
+                Section { lock: None, kind }
+            }
+            LockingMode::Fine => {
+                let lock = match kind {
+                    SectionKind::Collect => &self.collect,
+                    SectionKind::Driver(i) => &self.drivers[i],
+                    SectionKind::Global => unreachable!(),
+                };
+                lock.lock();
+                Section {
+                    lock: Some(lock),
+                    kind,
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn check_single_thread(&self) {
+        let me = thread_id();
+        let owner = self.owner.load(Ordering::Relaxed);
+        if owner == me {
+            return;
+        }
+        if owner == 0
+            && self
+                .owner
+                .compare_exchange(0, me, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            return;
+        }
+        panic!(
+            "LockingMode::SingleThread: the library was entered from a second thread; \
+             use Coarse or Fine locking for multi-threaded access"
+        );
+    }
+
+    /// Lock statistics of the coarse/global lock.
+    pub fn global_stats(&self) -> &nm_sync::stats::LockStats {
+        self.global.stats()
+    }
+
+    /// Lock statistics of the fine-grain collect lock.
+    pub fn collect_stats(&self) -> &nm_sync::stats::LockStats {
+        self.collect.stats()
+    }
+
+    /// Total lock acquisitions across all locks of this policy.
+    pub fn total_acquisitions(&self) -> u64 {
+        self.global.stats().acquisitions()
+            + self.collect.stats().acquisitions()
+            + self
+                .drivers
+                .iter()
+                .map(|d| d.stats().acquisitions())
+                .sum::<u64>()
+    }
+}
+
+impl std::fmt::Debug for LockPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockPolicy")
+            .field("mode", &self.mode)
+            .field("drivers", &self.drivers.len())
+            .finish()
+    }
+}
+
+/// RAII guard for a logical critical section.
+pub struct Section<'a> {
+    lock: Option<&'a RawSpin>,
+    kind: SectionKind,
+}
+
+impl Section<'_> {
+    /// The logical section this guard covers.
+    pub fn kind(&self) -> SectionKind {
+        self.kind
+    }
+}
+
+impl Drop for Section<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(lock) = self.lock {
+            lock.unlock();
+        }
+    }
+}
+
+/// A shared-state cell whose access is governed by a [`LockPolicy`].
+///
+/// Holding the *matching* [`Section`] guard is the access contract: in
+/// debug builds [`Protected::with`] asserts the guard covers this cell
+/// (exact kind match, or the global/API guard which covers everything).
+pub struct Protected<T> {
+    kind: SectionKind,
+    cell: UnsafeCell<T>,
+}
+
+// SAFETY: access is serialized by the section guards handed out by the
+// LockPolicy (or by the single-thread runtime check in SingleThread mode).
+unsafe impl<T: Send> Send for Protected<T> {}
+unsafe impl<T: Send> Sync for Protected<T> {}
+
+impl<T> Protected<T> {
+    /// Creates a cell belonging to the given logical section.
+    pub fn new(kind: SectionKind, value: T) -> Self {
+        Protected {
+            kind,
+            cell: UnsafeCell::new(value),
+        }
+    }
+
+    /// Accesses the cell under a section guard.
+    #[inline]
+    pub fn with<R>(&self, section: &Section<'_>, f: impl FnOnce(&mut T) -> R) -> R {
+        debug_assert!(
+            section.kind() == self.kind || section.kind() == SectionKind::Global,
+            "Protected cell {:?} accessed under the wrong section guard {:?}",
+            self.kind,
+            section.kind()
+        );
+        // SAFETY: the guard proves the policy's serialization discipline
+        // for this section (lock held, coarse API lock held, or
+        // single-thread checked).
+        f(unsafe { &mut *self.cell.get() })
+    }
+}
+
+impl<T> std::fmt::Debug for Protected<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Protected").field("kind", &self.kind).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(LockingMode::SingleThread.label(), "no-locking");
+        assert_eq!(LockingMode::Coarse.label(), "coarse-grain");
+        assert_eq!(LockingMode::Fine.label(), "fine-grain");
+    }
+
+    #[test]
+    fn coarse_locks_once_per_api_call() {
+        let p = LockPolicy::new(LockingMode::Coarse, 2);
+        {
+            let api = p.enter_api();
+            let _c = p.enter(SectionKind::Collect);
+            let _d = p.enter(SectionKind::Driver(1));
+            drop(api); // sections carry no locks of their own
+        }
+        assert_eq!(p.global_stats().acquisitions(), 1);
+        assert_eq!(p.collect_stats().acquisitions(), 0);
+        assert_eq!(p.total_acquisitions(), 1);
+    }
+
+    #[test]
+    fn fine_uses_separate_locks_and_free_api() {
+        let p = LockPolicy::new(LockingMode::Fine, 2);
+        let _api = p.enter_api();
+        // Distinct sections may be held simultaneously in fine mode.
+        let g1 = p.enter(SectionKind::Collect);
+        let g2 = p.enter(SectionKind::Driver(0));
+        let g3 = p.enter(SectionKind::Driver(1));
+        drop((g1, g2, g3));
+        assert_eq!(p.global_stats().acquisitions(), 0);
+        assert_eq!(p.collect_stats().acquisitions(), 1);
+        assert_eq!(p.total_acquisitions(), 3);
+    }
+
+    #[test]
+    fn single_thread_takes_no_lock() {
+        let p = LockPolicy::new(LockingMode::SingleThread, 1);
+        let _api = p.enter_api();
+        let _g = p.enter(SectionKind::Collect);
+        let _g2 = p.enter(SectionKind::Driver(0));
+        assert_eq!(p.total_acquisitions(), 0);
+    }
+
+    #[test]
+    fn single_thread_rejects_second_thread() {
+        let p = Arc::new(LockPolicy::new(LockingMode::SingleThread, 1));
+        let _g = p.enter_api();
+        let p2 = Arc::clone(&p);
+        let res = thread::spawn(move || {
+            let _ = p2.enter_api();
+        })
+        .join();
+        assert!(res.is_err(), "second thread must panic");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "without the API guard")]
+    fn coarse_inner_section_requires_api_guard() {
+        let p = LockPolicy::new(LockingMode::Coarse, 1);
+        let _ = p.enter(SectionKind::Collect);
+    }
+
+    #[test]
+    fn protected_cell_round_trip() {
+        let p = LockPolicy::new(LockingMode::Fine, 1);
+        let cell = Protected::new(SectionKind::Collect, vec![1, 2]);
+        let g = p.enter(SectionKind::Collect);
+        cell.with(&g, |v| v.push(3));
+        assert_eq!(cell.with(&g, |v| v.clone()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn global_guard_covers_any_cell() {
+        let p = LockPolicy::new(LockingMode::Coarse, 1);
+        let cell = Protected::new(SectionKind::Driver(0), 7u32);
+        let api = p.enter_api();
+        assert_eq!(cell.with(&api, |v| *v), 7);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "wrong section guard")]
+    fn wrong_guard_caught_in_debug() {
+        let p = LockPolicy::new(LockingMode::Fine, 1);
+        let cell = Protected::new(SectionKind::Collect, 0u32);
+        let g = p.enter(SectionKind::Driver(0));
+        cell.with(&g, |v| *v += 1);
+    }
+
+    #[test]
+    fn concurrent_fine_grain_counters_stay_exact() {
+        let p = Arc::new(LockPolicy::new(LockingMode::Fine, 1));
+        let cell = Arc::new(Protected::new(SectionKind::Collect, 0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (p, c) = (Arc::clone(&p), Arc::clone(&cell));
+                thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        let g = p.enter(SectionKind::Collect);
+                        c.with(&g, |v| *v += 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let g = p.enter(SectionKind::Collect);
+        assert_eq!(cell.with(&g, |v| *v), 40_000);
+    }
+
+    #[test]
+    fn concurrent_coarse_grain_counters_stay_exact() {
+        let p = Arc::new(LockPolicy::new(LockingMode::Coarse, 1));
+        let cell = Arc::new(Protected::new(SectionKind::Collect, 0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (p, c) = (Arc::clone(&p), Arc::clone(&cell));
+                thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        let api = p.enter_api();
+                        c.with(&api, |v| *v += 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let api = p.enter_api();
+        assert_eq!(cell.with(&api, |v| *v), 40_000);
+    }
+
+    #[test]
+    fn thread_ids_are_distinct_and_stable() {
+        let a = thread_id();
+        assert_eq!(a, thread_id());
+        let b = thread::spawn(thread_id).join().unwrap();
+        assert_ne!(a, b);
+    }
+}

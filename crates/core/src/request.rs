@@ -1,0 +1,187 @@
+//! Communication requests: the handles `isend`/`irecv` return.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use nm_sync::{CompletionFlag, SpinLock, WaitStrategy};
+
+use crate::error::CommError;
+
+/// Send or receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Posted by `isend`.
+    Send,
+    /// Posted by `irecv`.
+    Recv,
+}
+
+#[derive(Debug)]
+struct Inner {
+    kind: RequestKind,
+    flag: CompletionFlag,
+    /// Received payload (recv requests) — set before the flag is signalled.
+    data: SpinLock<Option<Bytes>>,
+    /// Tag of the matched message (for wildcard receives).
+    matched_tag: SpinLock<Option<u64>>,
+    /// Failure, if any — set before the flag is signalled.
+    error: SpinLock<Option<CommError>>,
+}
+
+/// A non-blocking communication request (`nm_isend`/`nm_irecv` handle).
+///
+/// Cheap to clone (it is an `Arc`); the library keeps a clone until the
+/// operation completes.
+#[derive(Debug, Clone)]
+pub struct Request {
+    inner: Arc<Inner>,
+}
+
+impl Request {
+    pub(crate) fn new(kind: RequestKind) -> Self {
+        Request {
+            inner: Arc::new(Inner {
+                kind,
+                flag: CompletionFlag::new(),
+                data: SpinLock::new(None),
+                matched_tag: SpinLock::new(None),
+                error: SpinLock::new(None),
+            }),
+        }
+    }
+
+    /// Send or receive.
+    pub fn kind(&self) -> RequestKind {
+        self.inner.kind
+    }
+
+    /// `true` once the operation has completed (successfully or not).
+    pub fn is_complete(&self) -> bool {
+        self.inner.flag.is_set()
+    }
+
+    /// The completion flag (for engine-level waiting).
+    pub fn flag(&self) -> &CompletionFlag {
+        &self.inner.flag
+    }
+
+    /// Marks the request complete (send side / data-less completion).
+    pub(crate) fn complete(&self) {
+        self.inner.flag.signal();
+    }
+
+    /// Completes a receive with its payload.
+    #[cfg(test)]
+    pub(crate) fn complete_with_data(&self, data: Bytes) {
+        debug_assert_eq!(self.inner.kind, RequestKind::Recv);
+        *self.inner.data.lock() = Some(data);
+        self.inner.flag.signal();
+    }
+
+    /// Completes a receive with its payload and the tag it matched
+    /// (wildcard receives).
+    pub(crate) fn complete_with_tagged_data(&self, tag: u64, data: Bytes) {
+        debug_assert_eq!(self.inner.kind, RequestKind::Recv);
+        *self.inner.matched_tag.lock() = Some(tag);
+        *self.inner.data.lock() = Some(data);
+        self.inner.flag.signal();
+    }
+
+    /// The tag a completed receive matched (`MPI_Status.tag`).
+    ///
+    /// `None` until completion (and for send requests).
+    pub fn matched_tag(&self) -> Option<u64> {
+        if !self.is_complete() {
+            return None;
+        }
+        *self.inner.matched_tag.lock()
+    }
+
+    /// Completes the request with an error.
+    #[allow(dead_code)] // kept for substrate-failure injection in tests
+    pub(crate) fn fail(&self, error: CommError) {
+        *self.inner.error.lock() = Some(error);
+        self.inner.flag.signal();
+    }
+
+    /// Busy-waits on the raw flag without polling anything.
+    ///
+    /// Only correct when some other agent (progression thread, scheduler
+    /// hooks, another thread's polling) is driving the library; prefer
+    /// waiting through the core / progression engine.
+    pub fn wait_flag_only(&self, strategy: WaitStrategy) {
+        self.inner.flag.wait(strategy);
+    }
+
+    /// Takes the completion error, if the operation failed.
+    pub fn take_error(&self) -> Option<CommError> {
+        self.inner.error.lock().take()
+    }
+
+    /// Takes the received payload.
+    ///
+    /// Returns `None` for send requests, incomplete requests, or when the
+    /// payload was already taken.
+    pub fn take_data(&self) -> Option<Bytes> {
+        if !self.is_complete() {
+            return None;
+        }
+        self.inner.data.lock().take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_completion() {
+        let r = Request::new(RequestKind::Send);
+        assert!(!r.is_complete());
+        r.complete();
+        assert!(r.is_complete());
+        assert_eq!(r.take_data(), None);
+        assert_eq!(r.take_error(), None);
+    }
+
+    #[test]
+    fn recv_completion_carries_data() {
+        let r = Request::new(RequestKind::Recv);
+        assert_eq!(r.take_data(), None, "no data before completion");
+        r.complete_with_data(Bytes::from_static(b"payload"));
+        assert!(r.is_complete());
+        assert_eq!(r.take_data(), Some(Bytes::from_static(b"payload")));
+        assert_eq!(r.take_data(), None, "data taken once");
+    }
+
+    #[test]
+    fn failure_carries_error() {
+        let r = Request::new(RequestKind::Send);
+        r.fail(CommError::MessageTooLarge { len: 1 });
+        assert!(r.is_complete());
+        assert_eq!(r.take_error(), Some(CommError::MessageTooLarge { len: 1 }));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let r = Request::new(RequestKind::Recv);
+        let r2 = r.clone();
+        r.complete_with_data(Bytes::from_static(b"x"));
+        assert!(r2.is_complete());
+        assert_eq!(r2.take_data(), Some(Bytes::from_static(b"x")));
+    }
+
+    #[test]
+    fn cross_thread_wait() {
+        let r = Request::new(RequestKind::Send);
+        let r2 = r.clone();
+        let h = std::thread::spawn(move || {
+            r2.wait_flag_only(WaitStrategy::Passive);
+            true
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        r.complete();
+        assert!(h.join().unwrap());
+    }
+}

@@ -1,0 +1,48 @@
+//! Core-level instrumentation.
+
+use nm_sync::stats::Counter;
+
+/// Event counters of one communication core.
+///
+/// Used by tests (to assert protocol behaviour: did aggregation happen,
+/// did the rendezvous path run) and by the bench harness (to attribute
+/// overheads to lock counts and packet counts).
+#[derive(Debug, Default)]
+pub struct CoreStats {
+    /// `isend` calls.
+    pub sends_posted: Counter,
+    /// `irecv` calls.
+    pub recvs_posted: Counter,
+    /// Messages sent through the eager path.
+    pub eager_sent: Counter,
+    /// Messages sent through the rendezvous path.
+    pub rdv_started: Counter,
+    /// Wire packets injected.
+    pub packets_tx: Counter,
+    /// Wire packets received.
+    pub packets_rx: Counter,
+    /// Packets that carried more than one entry (aggregation hits).
+    pub aggregated_packets: Counter,
+    /// Eager messages that arrived before their receive was posted.
+    pub unexpected_msgs: Counter,
+    /// Rendezvous CTS sent (receiver side handshakes).
+    pub rdv_accepted: Counter,
+    /// Progression passes executed.
+    pub progress_passes: Counter,
+    /// Undecodable or unmatchable wire packets (protocol errors).
+    pub wire_errors: Counter,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero() {
+        let s = CoreStats::default();
+        assert_eq!(s.sends_posted.get(), 0);
+        assert_eq!(s.packets_tx.get(), 0);
+        s.sends_posted.incr();
+        assert_eq!(s.sends_posted.get(), 1);
+    }
+}

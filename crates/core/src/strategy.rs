@@ -1,0 +1,290 @@
+//! The optimization layer: scheduling strategies.
+//!
+//! "When a NIC becomes idle, the optimization layer is invoked so as to
+//! compute the best message arrangement (by aggregating messages,
+//! splitting messages, etc.) and to submit the next packet to send to the
+//! transfer layer."
+//!
+//! A [`Strategy`] consumes the collect-layer submit queue of one gate and
+//! produces the entry list of the next wire packet. Three strategies are
+//! provided:
+//!
+//! * [`StrategyKind::Fifo`] — one message per packet, strict order.
+//! * [`StrategyKind::Aggregate`] — coalesce consecutive small entries into
+//!   one packet up to a byte budget (NewMadeleine's trademark
+//!   optimization).
+//! * [`StrategyKind::ControlFirst`] — aggregate, but hoist control entries
+//!   (RTS/CTS) to the front of the queue first: a bounded form of the
+//!   paper's "packet reordering" that keeps rendezvous handshakes off the
+//!   queueing critical path.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+
+use crate::request::Request;
+use crate::wire::{Entry, ENTRY_HEADER};
+
+/// What a queued send item will become on the wire.
+#[derive(Debug, Clone)]
+pub enum SendItemKind {
+    /// A complete small message.
+    Eager(Bytes),
+    /// A rendezvous request-to-send for `total` bytes.
+    Rts {
+        /// Total message length.
+        total: u32,
+    },
+    /// A clear-to-send control reply (receiver side).
+    Cts,
+}
+
+/// One element of a gate's collect-layer submit queue.
+#[derive(Debug, Clone)]
+pub struct SendItem {
+    /// Message tag.
+    pub tag: u64,
+    /// Per-gate sequence number.
+    pub seq: u32,
+    /// Payload or control kind.
+    pub kind: SendItemKind,
+    /// Request completed when the item reaches the wire (eager sends
+    /// complete locally on injection; control items have no request).
+    pub req: Option<Request>,
+}
+
+impl SendItem {
+    /// Encoded size of this item as a wire entry.
+    pub fn wire_size(&self) -> usize {
+        ENTRY_HEADER
+            + match &self.kind {
+                SendItemKind::Eager(data) => data.len(),
+                _ => 0,
+            }
+    }
+
+    /// `true` for RTS/CTS control items.
+    pub fn is_control(&self) -> bool {
+        !matches!(self.kind, SendItemKind::Eager(_))
+    }
+
+    /// Converts to the wire entry.
+    pub fn to_entry(&self) -> Entry {
+        match &self.kind {
+            SendItemKind::Eager(data) => Entry::Eager {
+                tag: self.tag,
+                seq: self.seq,
+                data: data.clone(),
+            },
+            SendItemKind::Rts { total } => Entry::Rts {
+                tag: self.tag,
+                seq: self.seq,
+                total: *total,
+            },
+            SendItemKind::Cts => Entry::Cts {
+                tag: self.tag,
+                seq: self.seq,
+            },
+        }
+    }
+}
+
+/// Selects and arranges the next packet from a submit queue.
+pub trait Strategy: Send + Sync {
+    /// Strategy name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Removes the items forming the next packet from `queue`.
+    ///
+    /// `budget` is the maximum total wire size of the produced entries
+    /// (the rail's MTU or the aggregation budget, whichever is smaller).
+    /// Returns `None` when the queue is empty or nothing fits.
+    fn next_packet(&self, queue: &mut VecDeque<SendItem>, budget: usize) -> Option<Vec<SendItem>>;
+}
+
+/// Available strategies, by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// One message per packet.
+    Fifo,
+    /// Coalesce consecutive entries up to the budget.
+    Aggregate,
+    /// Aggregate with control entries hoisted first.
+    ControlFirst,
+}
+
+impl StrategyKind {
+    /// Instantiates the strategy.
+    pub fn build(self) -> Box<dyn Strategy> {
+        match self {
+            StrategyKind::Fifo => Box::new(FifoStrategy),
+            StrategyKind::Aggregate => Box::new(AggregateStrategy),
+            StrategyKind::ControlFirst => Box::new(ControlFirstStrategy),
+        }
+    }
+}
+
+/// One message per packet, strict FIFO.
+pub struct FifoStrategy;
+
+impl Strategy for FifoStrategy {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn next_packet(&self, queue: &mut VecDeque<SendItem>, budget: usize) -> Option<Vec<SendItem>> {
+        let fits = queue.front().map_or(false, |i| i.wire_size() <= budget);
+        if fits {
+            Some(vec![queue.pop_front().expect("front checked")])
+        } else {
+            None
+        }
+    }
+}
+
+/// Coalesces consecutive entries into one packet up to the budget.
+pub struct AggregateStrategy;
+
+impl Strategy for AggregateStrategy {
+    fn name(&self) -> &'static str {
+        "aggregate"
+    }
+
+    fn next_packet(&self, queue: &mut VecDeque<SendItem>, budget: usize) -> Option<Vec<SendItem>> {
+        let mut out = Vec::new();
+        let mut used = 0;
+        while let Some(front) = queue.front() {
+            let size = front.wire_size();
+            if used + size > budget {
+                break;
+            }
+            used += size;
+            out.push(queue.pop_front().expect("front checked"));
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+}
+
+/// [`AggregateStrategy`] preceded by hoisting control entries to the
+/// front (stable within each class).
+pub struct ControlFirstStrategy;
+
+impl Strategy for ControlFirstStrategy {
+    fn name(&self) -> &'static str {
+        "control-first"
+    }
+
+    fn next_packet(&self, queue: &mut VecDeque<SendItem>, budget: usize) -> Option<Vec<SendItem>> {
+        // Stable partition: controls keep their order, payloads keep theirs.
+        if queue.iter().any(SendItem::is_control) {
+            let mut controls = VecDeque::new();
+            let mut payloads = VecDeque::new();
+            while let Some(item) = queue.pop_front() {
+                if item.is_control() {
+                    controls.push_back(item);
+                } else {
+                    payloads.push_back(item);
+                }
+            }
+            queue.extend(controls);
+            queue.extend(payloads);
+        }
+        AggregateStrategy.next_packet(queue, budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestKind;
+
+    fn eager(tag: u64, seq: u32, len: usize) -> SendItem {
+        SendItem {
+            tag,
+            seq,
+            kind: SendItemKind::Eager(Bytes::from(vec![0u8; len])),
+            req: Some(Request::new(RequestKind::Send)),
+        }
+    }
+
+    fn rts(tag: u64, seq: u32) -> SendItem {
+        SendItem {
+            tag,
+            seq,
+            kind: SendItemKind::Rts { total: 1 << 20 },
+            req: Some(Request::new(RequestKind::Send)),
+        }
+    }
+
+    #[test]
+    fn fifo_takes_exactly_one() {
+        let mut q: VecDeque<_> = [eager(1, 0, 10), eager(2, 1, 10)].into();
+        let s = FifoStrategy;
+        let p = s.next_packet(&mut q, 1 << 20).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].tag, 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn fifo_respects_budget() {
+        let mut q: VecDeque<_> = [eager(1, 0, 100)].into();
+        assert!(FifoStrategy.next_packet(&mut q, 50).is_none());
+        assert_eq!(q.len(), 1, "item must stay queued");
+    }
+
+    #[test]
+    fn aggregate_coalesces_up_to_budget() {
+        let mut q: VecDeque<_> = (0..5).map(|i| eager(i, i as u32, 100)).collect();
+        let budget = 3 * (ENTRY_HEADER + 100) + 10; // room for exactly 3
+        let p = AggregateStrategy.next_packet(&mut q, budget).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(q.len(), 2);
+        assert_eq!(p[0].tag, 0);
+        assert_eq!(p[2].tag, 2);
+    }
+
+    #[test]
+    fn aggregate_preserves_fifo_order() {
+        let mut q: VecDeque<_> = (0..3).map(|i| eager(i, i as u32, 8)).collect();
+        let p = AggregateStrategy.next_packet(&mut q, 1 << 20).unwrap();
+        let tags: Vec<u64> = p.iter().map(|i| i.tag).collect();
+        assert_eq!(tags, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn aggregate_empty_queue_returns_none() {
+        let mut q = VecDeque::new();
+        assert!(AggregateStrategy.next_packet(&mut q, 100).is_none());
+    }
+
+    #[test]
+    fn control_first_hoists_rts() {
+        let mut q: VecDeque<_> = [eager(1, 0, 4000), rts(2, 1), eager(3, 2, 4000)].into();
+        // Budget admits only one payload entry alongside the control.
+        let budget = ENTRY_HEADER + (ENTRY_HEADER + 4000) + 8;
+        let p = ControlFirstStrategy.next_packet(&mut q, budget).unwrap();
+        assert!(p[0].is_control(), "control entry must come first");
+        assert_eq!(p[0].tag, 2);
+        assert_eq!(p[1].tag, 1, "payload order preserved");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].tag, 3);
+    }
+
+    #[test]
+    fn kinds_build_their_strategies() {
+        assert_eq!(StrategyKind::Fifo.build().name(), "fifo");
+        assert_eq!(StrategyKind::Aggregate.build().name(), "aggregate");
+        assert_eq!(StrategyKind::ControlFirst.build().name(), "control-first");
+    }
+
+    #[test]
+    fn wire_size_accounts_for_payload() {
+        assert_eq!(eager(0, 0, 10).wire_size(), ENTRY_HEADER + 10);
+        assert_eq!(rts(0, 0).wire_size(), ENTRY_HEADER);
+    }
+}

@@ -1,0 +1,364 @@
+//! Wire format: what the transfer layer actually puts on a NIC.
+//!
+//! Every wire packet is a container of one or more *entries*; aggregation
+//! (the optimization layer coalescing several small messages into one
+//! packet) is therefore free at the format level — an aggregated packet is
+//! just a container with `count > 1`.
+//!
+//! ```text
+//! packet  := count:u16 entry*
+//! entry   := kind:u8 tag:u64 seq:u32 aux:u32 len:u32 payload[len]
+//! ```
+//!
+//! Entry kinds:
+//!
+//! * `EAGER` — a complete small message; `len` bytes of payload.
+//! * `RTS`   — rendezvous request-to-send; `aux` = total message length.
+//! * `CTS`   — clear-to-send, echoing the RTS `tag`/`seq`.
+//! * `DATA`  — one rendezvous chunk; `aux` = offset into the message.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Per-entry header size in bytes.
+pub const ENTRY_HEADER: usize = 1 + 8 + 4 + 4 + 4;
+/// Container header size in bytes.
+pub const PACKET_HEADER: usize = 2;
+
+/// One logical unit inside a wire packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Entry {
+    /// A complete eager message.
+    Eager {
+        /// Message tag.
+        tag: u64,
+        /// Per-gate message sequence number.
+        seq: u32,
+        /// Payload.
+        data: Bytes,
+    },
+    /// Rendezvous handshake: request to send `total` bytes.
+    Rts {
+        /// Message tag.
+        tag: u64,
+        /// Rendezvous id (the sender's sequence number).
+        seq: u32,
+        /// Total message length.
+        total: u32,
+    },
+    /// Rendezvous handshake: receiver is ready.
+    Cts {
+        /// Echoed tag.
+        tag: u64,
+        /// Echoed rendezvous id.
+        seq: u32,
+    },
+    /// One chunk of a rendezvous transfer.
+    Data {
+        /// Message tag.
+        tag: u64,
+        /// Rendezvous id.
+        seq: u32,
+        /// Offset of this chunk in the full message.
+        offset: u32,
+        /// Chunk payload.
+        data: Bytes,
+    },
+}
+
+const KIND_EAGER: u8 = 1;
+const KIND_RTS: u8 = 2;
+const KIND_CTS: u8 = 3;
+const KIND_DATA: u8 = 4;
+
+impl Entry {
+    /// Encoded size of this entry on the wire.
+    pub fn wire_size(&self) -> usize {
+        ENTRY_HEADER
+            + match self {
+                Entry::Eager { data, .. } | Entry::Data { data, .. } => data.len(),
+                _ => 0,
+            }
+    }
+
+    /// Payload length carried (0 for control entries).
+    pub fn payload_len(&self) -> usize {
+        match self {
+            Entry::Eager { data, .. } | Entry::Data { data, .. } => data.len(),
+            _ => 0,
+        }
+    }
+
+    fn encode_into(&self, buf: &mut BytesMut) {
+        match self {
+            Entry::Eager { tag, seq, data } => {
+                buf.put_u8(KIND_EAGER);
+                buf.put_u64(*tag);
+                buf.put_u32(*seq);
+                buf.put_u32(0);
+                buf.put_u32(data.len() as u32);
+                buf.put_slice(data);
+            }
+            Entry::Rts { tag, seq, total } => {
+                buf.put_u8(KIND_RTS);
+                buf.put_u64(*tag);
+                buf.put_u32(*seq);
+                buf.put_u32(*total);
+                buf.put_u32(0);
+            }
+            Entry::Cts { tag, seq } => {
+                buf.put_u8(KIND_CTS);
+                buf.put_u64(*tag);
+                buf.put_u32(*seq);
+                buf.put_u32(0);
+                buf.put_u32(0);
+            }
+            Entry::Data {
+                tag,
+                seq,
+                offset,
+                data,
+            } => {
+                buf.put_u8(KIND_DATA);
+                buf.put_u64(*tag);
+                buf.put_u32(*seq);
+                buf.put_u32(*offset);
+                buf.put_u32(data.len() as u32);
+                buf.put_slice(data);
+            }
+        }
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Entry, WireError> {
+        if buf.remaining() < ENTRY_HEADER {
+            return Err(WireError::Truncated);
+        }
+        let kind = buf.get_u8();
+        let tag = buf.get_u64();
+        let seq = buf.get_u32();
+        let aux = buf.get_u32();
+        let len = buf.get_u32() as usize;
+        match kind {
+            KIND_EAGER | KIND_DATA => {
+                if buf.remaining() < len {
+                    return Err(WireError::Truncated);
+                }
+                let data = buf.split_to(len);
+                Ok(if kind == KIND_EAGER {
+                    Entry::Eager { tag, seq, data }
+                } else {
+                    Entry::Data {
+                        tag,
+                        seq,
+                        offset: aux,
+                        data,
+                    }
+                })
+            }
+            KIND_RTS => {
+                if len != 0 {
+                    return Err(WireError::Malformed("RTS with payload"));
+                }
+                Ok(Entry::Rts {
+                    tag,
+                    seq,
+                    total: aux,
+                })
+            }
+            KIND_CTS => {
+                if len != 0 {
+                    return Err(WireError::Malformed("CTS with payload"));
+                }
+                Ok(Entry::Cts { tag, seq })
+            }
+            k => Err(WireError::UnknownKind(k)),
+        }
+    }
+}
+
+/// Decoding failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Packet shorter than its headers claim.
+    Truncated,
+    /// Unknown entry kind byte.
+    UnknownKind(u8),
+    /// Structurally invalid entry.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated packet"),
+            WireError::UnknownKind(k) => write!(f, "unknown entry kind {k}"),
+            WireError::Malformed(why) => write!(f, "malformed packet: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a container of entries into one wire packet.
+///
+/// # Panics
+/// Panics if `entries` is empty or longer than `u16::MAX`.
+pub fn encode_packet(entries: &[Entry]) -> Bytes {
+    assert!(!entries.is_empty(), "cannot encode an empty packet");
+    assert!(entries.len() <= u16::MAX as usize, "too many entries");
+    let size = PACKET_HEADER + entries.iter().map(Entry::wire_size).sum::<usize>();
+    let mut buf = BytesMut::with_capacity(size);
+    buf.put_u16(entries.len() as u16);
+    for e in entries {
+        e.encode_into(&mut buf);
+    }
+    debug_assert_eq!(buf.len(), size);
+    buf.freeze()
+}
+
+/// Decodes one wire packet into its entries.
+pub fn decode_packet(mut packet: Bytes) -> Result<Vec<Entry>, WireError> {
+    if packet.remaining() < PACKET_HEADER {
+        return Err(WireError::Truncated);
+    }
+    let count = packet.get_u16() as usize;
+    if count == 0 {
+        return Err(WireError::Malformed("empty container"));
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        entries.push(Entry::decode_from(&mut packet)?);
+    }
+    if packet.has_remaining() {
+        return Err(WireError::Malformed("trailing bytes"));
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(entries: Vec<Entry>) {
+        let encoded = encode_packet(&entries);
+        let decoded = decode_packet(encoded).expect("decode");
+        assert_eq!(decoded, entries);
+    }
+
+    #[test]
+    fn eager_roundtrip() {
+        roundtrip(vec![Entry::Eager {
+            tag: 7,
+            seq: 3,
+            data: Bytes::from_static(b"hello"),
+        }]);
+    }
+
+    #[test]
+    fn control_roundtrips() {
+        roundtrip(vec![Entry::Rts {
+            tag: 1,
+            seq: 2,
+            total: 1 << 20,
+        }]);
+        roundtrip(vec![Entry::Cts { tag: 1, seq: 2 }]);
+    }
+
+    #[test]
+    fn data_chunk_roundtrip() {
+        roundtrip(vec![Entry::Data {
+            tag: 9,
+            seq: 4,
+            offset: 4096,
+            data: Bytes::from(vec![0xAB; 1000]),
+        }]);
+    }
+
+    #[test]
+    fn aggregated_container_roundtrip() {
+        roundtrip(vec![
+            Entry::Eager {
+                tag: 1,
+                seq: 0,
+                data: Bytes::from_static(b"a"),
+            },
+            Entry::Rts {
+                tag: 2,
+                seq: 1,
+                total: 99999,
+            },
+            Entry::Eager {
+                tag: 3,
+                seq: 2,
+                data: Bytes::from_static(b"bc"),
+            },
+        ]);
+    }
+
+    #[test]
+    fn empty_payload_eager_roundtrip() {
+        roundtrip(vec![Entry::Eager {
+            tag: 0,
+            seq: 0,
+            data: Bytes::new(),
+        }]);
+    }
+
+    #[test]
+    fn wire_size_matches_encoding() {
+        let entries = vec![
+            Entry::Eager {
+                tag: 1,
+                seq: 0,
+                data: Bytes::from_static(b"xyz"),
+            },
+            Entry::Cts { tag: 1, seq: 0 },
+        ];
+        let expected = PACKET_HEADER + entries.iter().map(Entry::wire_size).sum::<usize>();
+        assert_eq!(encode_packet(&entries).len(), expected);
+    }
+
+    #[test]
+    fn truncated_packets_rejected() {
+        let good = encode_packet(&[Entry::Eager {
+            tag: 1,
+            seq: 0,
+            data: Bytes::from_static(b"abcdef"),
+        }]);
+        for cut in [0, 1, PACKET_HEADER, good.len() - 1] {
+            let bad = good.slice(0..cut);
+            assert!(
+                decode_packet(bad).is_err(),
+                "cut at {cut} should fail to decode"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = BytesMut::from(&encode_packet(&[Entry::Cts { tag: 0, seq: 0 }])[..]);
+        bytes.put_u8(0xFF);
+        assert_eq!(
+            decode_packet(bytes.freeze()),
+            Err(WireError::Malformed("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(1);
+        buf.put_u8(0xEE);
+        buf.put_u64(0);
+        buf.put_u32(0);
+        buf.put_u32(0);
+        buf.put_u32(0);
+        assert_eq!(decode_packet(buf.freeze()), Err(WireError::UnknownKind(0xEE)));
+    }
+
+    #[test]
+    fn zero_count_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(0);
+        assert!(decode_packet(buf.freeze()).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! Host calibration of the paper's in-text constants ("Table 1").
+//!
+//! The paper prices each mechanism: 70 ns per spinlock acquire/release
+//! cycle, ~200 ns per PIOMan pass, ~750 ns per blocking context switch.
+//! These microbenchmarks measure the same quantities on the host, both to
+//! report them next to the paper's and to feed the simulator
+//! ([`Calibration::to_sim_costs`]).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nm_progress::{PollOutcome, ProgressEngine};
+use nm_sync::{Semaphore, SpinLock, TicketLock};
+
+/// Host-measured primitive costs, in nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Calibration {
+    /// Uncontended spinlock acquire/release cycle (paper: 70 ns).
+    pub lock_cycle_ns: u64,
+    /// Uncontended ticket-lock cycle (ablation).
+    pub ticket_cycle_ns: u64,
+    /// Uncontended `parking_lot::Mutex` cycle (ablation).
+    pub mutex_cycle_ns: u64,
+    /// One pass through the progression engine with one idle source,
+    /// minus the bare source call (paper: ~200 ns).
+    pub pioman_pass_ns: u64,
+    /// Semaphore block + wake round trip / 2 (paper: ~750 ns).
+    pub ctx_switch_ns: u64,
+    /// One completion-flag signal + already-set wait.
+    pub flag_cycle_ns: u64,
+}
+
+fn bench_ns(iters: u64, mut f: impl FnMut()) -> u64 {
+    // One warmup pass.
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    (t0.elapsed().as_nanos() as u64) / iters
+}
+
+/// Uncontended spinlock cycle cost.
+pub fn lock_cycle_ns() -> u64 {
+    let lock = SpinLock::new(0u64);
+    bench_ns(200_000, || {
+        *lock.lock() += 1;
+    })
+}
+
+/// Uncontended ticket-lock cycle cost.
+pub fn ticket_cycle_ns() -> u64 {
+    let lock = TicketLock::new(0u64);
+    bench_ns(200_000, || {
+        *lock.lock() += 1;
+    })
+}
+
+/// Uncontended `parking_lot::Mutex` cycle cost.
+pub fn mutex_cycle_ns() -> u64 {
+    let lock = parking_lot::Mutex::new(0u64);
+    bench_ns(200_000, || {
+        *lock.lock() += 1;
+    })
+}
+
+/// Engine-pass overhead: polling one registered idle source through the
+/// registry, minus calling the source directly.
+pub fn pioman_pass_ns() -> u64 {
+    let engine = ProgressEngine::new();
+    let source = Arc::new(|| PollOutcome::Idle);
+    engine.register(source.clone() as _);
+    let via_engine = bench_ns(100_000, || {
+        engine.poll_all();
+    });
+    let direct = bench_ns(100_000, || {
+        use nm_progress::PollSource;
+        let _ = std::hint::black_box(&source).poll();
+    });
+    via_engine.saturating_sub(direct)
+}
+
+/// Blocking context-switch cost: two threads ping a pair of semaphores;
+/// each hop is one block + one wake.
+pub fn ctx_switch_ns() -> u64 {
+    const HOPS: u64 = 2_000;
+    let ping = Arc::new(Semaphore::new(0));
+    let pong = Arc::new(Semaphore::new(0));
+    let (p2, q2) = (Arc::clone(&ping), Arc::clone(&pong));
+    let peer = std::thread::spawn(move || {
+        for _ in 0..HOPS {
+            p2.acquire();
+            q2.release();
+        }
+    });
+    let t0 = Instant::now();
+    for _ in 0..HOPS {
+        ping.release();
+        pong.acquire();
+    }
+    let elapsed = t0.elapsed();
+    peer.join().expect("peer");
+    // Each iteration contains two switches (there and back).
+    (elapsed.as_nanos() as u64) / (HOPS * 2)
+}
+
+/// Signal + already-set wait cost of a completion flag.
+pub fn flag_cycle_ns() -> u64 {
+    let flag = nm_sync::CompletionFlag::new();
+    bench_ns(100_000, || {
+        flag.signal();
+        flag.wait(nm_sync::WaitStrategy::Busy);
+        flag.reset();
+    })
+}
+
+/// Runs the whole calibration suite (takes a fraction of a second).
+pub fn calibrate() -> Calibration {
+    Calibration {
+        lock_cycle_ns: lock_cycle_ns(),
+        ticket_cycle_ns: ticket_cycle_ns(),
+        mutex_cycle_ns: mutex_cycle_ns(),
+        pioman_pass_ns: pioman_pass_ns(),
+        ctx_switch_ns: ctx_switch_ns(),
+        flag_cycle_ns: flag_cycle_ns(),
+    }
+}
+
+impl Calibration {
+    /// Builds simulator costs from the host measurements (unmeasured
+    /// fields keep the paper's defaults).
+    pub fn to_sim_costs(&self) -> nm_sim::SimCosts {
+        nm_sim::SimCosts::paper()
+            .with_lock_cycle(self.lock_cycle_ns.max(1))
+            .with_ctx_switch(self.ctx_switch_ns.max(1))
+            .with_pioman_pass(self.pioman_pass_ns.max(1))
+    }
+
+    /// The paper's corresponding constants, for side-by-side printing.
+    pub fn paper_reference() -> [(&'static str, u64); 3] {
+        [
+            ("spinlock acquire/release cycle", 70),
+            ("PIOMan pass (lists + locking)", 200),
+            ("blocking context switch", 750),
+        ]
+    }
+}
+
+/// Measures how long `f` takes, returned as a [`Duration`].
+pub fn time_it(f: impl FnOnce()) -> Duration {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_cycle_is_fast_and_nonzero() {
+        let ns = lock_cycle_ns();
+        assert!(ns > 0, "cycle cannot be free");
+        assert!(ns < 10_000, "uncontended spinlock at {ns} ns is absurd");
+    }
+
+    #[test]
+    fn engine_pass_costs_something() {
+        // The registry walk cannot be cheaper than the bare call.
+        let ns = pioman_pass_ns();
+        assert!(ns < 100_000, "engine pass at {ns} ns is absurd");
+    }
+
+    #[test]
+    fn ctx_switch_exceeds_lock_cycle() {
+        let switch = ctx_switch_ns();
+        let cycle = lock_cycle_ns();
+        assert!(
+            switch > cycle,
+            "a context switch ({switch} ns) must cost more than a lock cycle ({cycle} ns)"
+        );
+    }
+
+    #[test]
+    fn calibration_feeds_the_simulator() {
+        let cal = calibrate();
+        let costs = cal.to_sim_costs();
+        assert_eq!(costs.lock_cycle_ns, cal.lock_cycle_ns.max(1));
+        assert_eq!(costs.ctx_switch_ns, cal.ctx_switch_ns.max(1));
+        // Unmeasured fields keep paper defaults.
+        assert_eq!(costs.idle_poll_gap_ns, nm_sim::SimCosts::paper().idle_poll_gap_ns);
+    }
+
+    #[test]
+    fn time_it_measures() {
+        let d = time_it(|| std::thread::sleep(Duration::from_millis(3)));
+        assert!(d >= Duration::from_millis(3));
+    }
+}

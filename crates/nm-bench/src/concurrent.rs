@@ -1,0 +1,126 @@
+//! Real-mode concurrent pingpong (Fig 5).
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use nm_core::GateId;
+use nm_sim::experiments::Series;
+
+use crate::pingpong::{build_pair, PingpongOpts};
+use crate::stats::LatencyStats;
+
+/// Runs `threads` concurrent pingpongs (distinct tags) over one shared
+/// pair of cores; returns per-thread one-way latency stats.
+pub fn concurrent_pingpong(
+    opts: &PingpongOpts,
+    size: usize,
+    threads: usize,
+) -> Vec<LatencyStats> {
+    assert!(
+        opts.locking.thread_safe(),
+        "concurrent pingpong requires a thread-safe locking mode"
+    );
+    let (a, b) = build_pair(opts);
+    let total = opts.warmup + opts.iters;
+    let wait = opts.wait;
+
+    let mut echoes = Vec::new();
+    for t in 0..threads as u64 {
+        let b = Arc::clone(&b);
+        echoes.push(std::thread::spawn(move || {
+            for _ in 0..total {
+                let r = b.irecv(GateId(0), t).expect("irecv");
+                b.wait(&r, wait);
+                let data = r.take_data().expect("payload");
+                let s = b.isend(GateId(0), t, data).expect("isend");
+                b.wait(&s, wait);
+            }
+        }));
+    }
+
+    let mut pingers = Vec::new();
+    for t in 0..threads as u64 {
+        let a = Arc::clone(&a);
+        let warmup = opts.warmup;
+        pingers.push(std::thread::spawn(move || {
+            let payload = Bytes::from(vec![t as u8; size]);
+            let mut samples = Vec::new();
+            for i in 0..total {
+                let t0 = std::time::Instant::now();
+                let s = a.isend(GateId(0), t, payload.clone()).expect("isend");
+                a.wait(&s, wait);
+                let r = a.irecv(GateId(0), t).expect("irecv");
+                a.wait(&r, wait);
+                if i >= warmup {
+                    samples.push(t0.elapsed().as_nanos() as u64 / 2);
+                }
+            }
+            LatencyStats::from_ns(samples)
+        }));
+    }
+
+    let stats: Vec<LatencyStats> = pingers
+        .into_iter()
+        .map(|h| h.join().expect("pinger"))
+        .collect();
+    for h in echoes {
+        h.join().expect("echo");
+    }
+    stats
+}
+
+/// Produces Fig 5's series: per-thread latencies for 2 concurrent
+/// pingpongs.
+pub fn concurrent_series(opts: &PingpongOpts, label_prefix: &str, sizes: &[usize]) -> Vec<Series> {
+    let per_size: Vec<Vec<LatencyStats>> = sizes
+        .iter()
+        .map(|&s| concurrent_pingpong(opts, s, 2))
+        .collect();
+    (0..2)
+        .map(|t| Series {
+            label: format!("{label_prefix} (thread {})", t + 1),
+            points: sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (s, per_size[i][t].median_us()))
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nm_core::LockingMode;
+    use nm_fabric::WireModel;
+
+    fn quick(locking: LockingMode) -> PingpongOpts {
+        PingpongOpts {
+            locking,
+            wire: WireModel::ideal(),
+            iters: 5,
+            warmup: 1,
+            ..PingpongOpts::default()
+        }
+    }
+
+    #[test]
+    fn two_threads_complete_fine() {
+        let stats = concurrent_pingpong(&quick(LockingMode::Fine), 32, 2);
+        assert_eq!(stats.len(), 2);
+        assert!(stats.iter().all(|s| s.count() == 5));
+    }
+
+    #[test]
+    fn two_threads_complete_coarse() {
+        let stats = concurrent_pingpong(&quick(LockingMode::Coarse), 32, 2);
+        assert_eq!(stats.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread-safe locking")]
+    fn single_thread_mode_rejected() {
+        let _ = concurrent_pingpong(&quick(LockingMode::SingleThread), 32, 2);
+    }
+}

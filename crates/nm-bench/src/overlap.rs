@@ -1,0 +1,190 @@
+//! Real-mode overlap benchmark (Fig 9): non-blocking pingpong with a
+//! compute phase between submission and waiting, under the three
+//! submission-offload modes.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use nm_core::{CommCore, CoreBuilder, CoreConfig, GateId, LockingMode};
+use nm_fabric::{Fabric, WireModel};
+use nm_progress::{IdlePolicy, OffloadMode, ProgressEngine, ProgressionThread, TaskletEngine};
+use nm_sim::experiments::Series;
+use nm_sync::WaitStrategy;
+
+use crate::stats::LatencyStats;
+
+/// Overlap benchmark configuration.
+#[derive(Clone)]
+pub struct OverlapOpts {
+    /// Submission path under test.
+    pub offload: OffloadMode,
+    /// Wire model.
+    pub wire: WireModel,
+    /// Simulated computation between `isend` and `wait`.
+    pub compute: Duration,
+    /// Measured iterations.
+    pub iters: usize,
+    /// Warmup iterations.
+    pub warmup: usize,
+}
+
+impl Default for OverlapOpts {
+    fn default() -> Self {
+        OverlapOpts {
+            offload: OffloadMode::Inline,
+            wire: WireModel::myri_10g(),
+            compute: Duration::from_micros(10),
+            iters: 50,
+            warmup: 5,
+        }
+    }
+}
+
+/// Spin-computes for `d` (models the paper's 10 µs computing phase).
+pub fn busy_compute(d: Duration) {
+    let deadline = Instant::now() + d;
+    while Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
+}
+
+struct OffloadRig {
+    core: Arc<CommCore>,
+    _progression: Option<ProgressionThread>,
+    tasklets: Option<Arc<TaskletEngine>>,
+}
+
+/// Builds a core whose submissions follow `offload`, with the background
+/// machinery (progression thread draining the offload queue, tasklet
+/// runners) it needs.
+fn build_offload_core(
+    offload: OffloadMode,
+    drivers: Vec<Arc<dyn nm_fabric::Driver>>,
+) -> OffloadRig {
+    let mut config = CoreConfig::default()
+        .locking(LockingMode::Fine)
+        .offload(offload);
+    let tasklets = match offload {
+        OffloadMode::Tasklet => {
+            let engine = Arc::new(TaskletEngine::new(1, None));
+            config = config.tasklet_engine(Arc::clone(&engine));
+            Some(engine)
+        }
+        _ => None,
+    };
+    let core = CoreBuilder::new(config).add_gate(drivers).build();
+    let progression = match offload {
+        OffloadMode::IdleCore => {
+            // The idle core: a progression thread draining the deferred
+            // submission queue.
+            let engine = Arc::new(ProgressEngine::new());
+            engine.register(Arc::clone(core.offloader()) as _);
+            Some(ProgressionThread::spawn(engine, None, IdlePolicy::Yield))
+        }
+        _ => None,
+    };
+    OffloadRig {
+        core,
+        _progression: progression,
+        tasklets,
+    }
+}
+
+/// Measures the overlap pingpong for one message size.
+pub fn overlap_latency(opts: &OverlapOpts, size: usize) -> LatencyStats {
+    let fabric = Fabric::real_time();
+    let (pa, pb) = fabric.pair(&[opts.wire], true);
+    let rig_a = build_offload_core(opts.offload, pa.drivers());
+    let rig_b = build_offload_core(opts.offload, pb.drivers());
+    let (a, b) = (Arc::clone(&rig_a.core), Arc::clone(&rig_b.core));
+
+    let total = opts.warmup + opts.iters;
+    let b2 = Arc::clone(&b);
+    let echo = std::thread::spawn(move || {
+        for _ in 0..total {
+            let r = b2.irecv(GateId(0), 0).expect("irecv");
+            b2.wait(&r, WaitStrategy::Busy);
+            let data = r.take_data().expect("payload");
+            let s = b2.isend(GateId(0), 0, data).expect("isend");
+            b2.wait(&s, WaitStrategy::Busy);
+        }
+    });
+
+    let payload = Bytes::from(vec![0x5Au8; size]);
+    let mut samples = Vec::with_capacity(opts.iters);
+    for i in 0..total {
+        let t0 = Instant::now();
+        let s = a.isend(GateId(0), 0, payload.clone()).expect("isend");
+        busy_compute(opts.compute); // overlapped computation
+        a.wait(&s, WaitStrategy::Busy);
+        let r = a.irecv(GateId(0), 0).expect("irecv");
+        a.wait(&r, WaitStrategy::Busy);
+        if i >= opts.warmup {
+            samples.push(t0.elapsed().as_nanos() as u64 / 2);
+        }
+    }
+    echo.join().expect("echo");
+    // Tear down tasklet engines (progression threads stop on drop).
+    for t in [rig_a.tasklets, rig_b.tasklets].into_iter().flatten() {
+        if let Ok(engine) = Arc::try_unwrap(t) {
+            engine.shutdown();
+        }
+    }
+    LatencyStats::from_ns(samples)
+}
+
+/// Produces Fig 9's series for the given sizes.
+pub fn overlap_series(opts: &OverlapOpts, sizes: &[usize]) -> Series {
+    Series {
+        label: opts.offload.label().to_string(),
+        points: sizes
+            .iter()
+            .map(|&s| (s, overlap_latency(opts, s).median_us()))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(offload: OffloadMode) -> OverlapOpts {
+        OverlapOpts {
+            offload,
+            wire: WireModel::ideal(),
+            compute: Duration::from_micros(5),
+            iters: 5,
+            warmup: 1,
+        }
+    }
+
+    #[test]
+    fn inline_mode_runs() {
+        let s = overlap_latency(&quick(OffloadMode::Inline), 2048);
+        assert_eq!(s.count(), 5);
+        // The compute phase bounds the latency from below: ≥ 2.5 µs
+        // one-way for a 5 µs compute.
+        assert!(s.min_ns() >= 2_500);
+    }
+
+    #[test]
+    fn idle_core_mode_runs() {
+        let s = overlap_latency(&quick(OffloadMode::IdleCore), 2048);
+        assert_eq!(s.count(), 5);
+    }
+
+    #[test]
+    fn tasklet_mode_runs() {
+        let s = overlap_latency(&quick(OffloadMode::Tasklet), 2048);
+        assert_eq!(s.count(), 5);
+    }
+
+    #[test]
+    fn busy_compute_spins_for_the_duration() {
+        let t0 = Instant::now();
+        busy_compute(Duration::from_millis(2));
+        assert!(t0.elapsed() >= Duration::from_millis(2));
+    }
+}

@@ -1,0 +1,136 @@
+//! Latency sample statistics.
+
+use std::time::Duration;
+
+/// Summary statistics over latency samples (stored in nanoseconds).
+#[derive(Debug, Clone)]
+pub struct LatencyStats {
+    samples: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// Builds statistics from raw nanosecond samples.
+    ///
+    /// # Panics
+    /// Panics when `samples` is empty.
+    pub fn from_ns(mut samples: Vec<u64>) -> Self {
+        assert!(!samples.is_empty(), "no samples");
+        samples.sort_unstable();
+        LatencyStats { samples }
+    }
+
+    /// Builds statistics from [`Duration`] samples.
+    pub fn from_durations(samples: &[Duration]) -> Self {
+        Self::from_ns(samples.iter().map(|d| d.as_nanos() as u64).collect())
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    /// Median (p50), nanoseconds.
+    pub fn median_ns(&self) -> u64 {
+        self.percentile_ns(50.0)
+    }
+
+    /// Minimum, nanoseconds.
+    pub fn min_ns(&self) -> u64 {
+        self.samples[0]
+    }
+
+    /// Maximum, nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        *self.samples.last().expect("non-empty")
+    }
+
+    /// Percentile in `[0, 100]` (nearest-rank), nanoseconds.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.samples.len() == 1 {
+            return self.samples[0];
+        }
+        let rank = (p / 100.0 * (self.samples.len() - 1) as f64).round() as usize;
+        self.samples[rank]
+    }
+
+    /// Median in microseconds.
+    pub fn median_us(&self) -> f64 {
+        self.median_ns() as f64 / 1_000.0
+    }
+
+    /// Mean in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        self.mean_ns() / 1_000.0
+    }
+}
+
+impl std::fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} min={:.2}µs p50={:.2}µs mean={:.2}µs max={:.2}µs",
+            self.count(),
+            self.min_ns() as f64 / 1e3,
+            self.median_ns() as f64 / 1e3,
+            self.mean_us(),
+            self.max_ns() as f64 / 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let s = LatencyStats::from_ns(vec![300, 100, 200, 400, 500]);
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.min_ns(), 100);
+        assert_eq!(s.max_ns(), 500);
+        assert_eq!(s.median_ns(), 300);
+        assert!((s.mean_ns() - 300.0).abs() < 1e-9);
+        assert_eq!(s.percentile_ns(0.0), 100);
+        assert_eq!(s.percentile_ns(100.0), 500);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = LatencyStats::from_ns(vec![42]);
+        assert_eq!(s.median_ns(), 42);
+        assert_eq!(s.percentile_ns(99.0), 42);
+    }
+
+    #[test]
+    fn microsecond_views() {
+        let s = LatencyStats::from_ns(vec![1_500, 2_500]);
+        assert!((s.mean_us() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_rejected() {
+        let _ = LatencyStats::from_ns(vec![]);
+    }
+
+    #[test]
+    fn from_durations_converts() {
+        let s = LatencyStats::from_durations(&[Duration::from_micros(3), Duration::from_micros(5)]);
+        assert_eq!(s.min_ns(), 3_000);
+        assert_eq!(s.max_ns(), 5_000);
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let s = LatencyStats::from_ns(vec![1000, 2000]);
+        let out = s.to_string();
+        assert!(out.contains("n=2"));
+        assert!(out.contains("µs"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Paper-style table and series printing.
+
+use nm_sim::experiments::Series;
+
+/// Formats sizes like the paper's x-axis: `1, 2, …, 1K, 2K, 32K`.
+pub fn fmt_size(bytes: usize) -> String {
+    if bytes >= 1024 && bytes % 1024 == 0 {
+        format!("{}K", bytes / 1024)
+    } else {
+        bytes.to_string()
+    }
+}
+
+/// Renders a set of series as a Markdown table: one row per message size,
+/// one column per series (the shape of each figure's data).
+pub fn series_table(title: &str, series: &[Series]) -> String {
+    assert!(!series.is_empty(), "no series to print");
+    let sizes: Vec<usize> = series[0].points.iter().map(|&(s, _)| s).collect();
+    for s in series {
+        assert_eq!(
+            s.points.iter().map(|&(x, _)| x).collect::<Vec<_>>(),
+            sizes,
+            "series '{}' has mismatched sizes",
+            s.label
+        );
+    }
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n\n"));
+    out.push_str("| size (B) |");
+    for s in series {
+        out.push_str(&format!(" {} (µs) |", s.label));
+    }
+    out.push('\n');
+    out.push_str("|---:|");
+    for _ in series {
+        out.push_str("---:|");
+    }
+    out.push('\n');
+    for (i, &size) in sizes.iter().enumerate() {
+        out.push_str(&format!("| {} |", fmt_size(size)));
+        for s in series {
+            out.push_str(&format!(" {:.2} |", s.points[i].1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders series as CSV (`size,label1,label2,…`).
+pub fn series_csv(series: &[Series]) -> String {
+    assert!(!series.is_empty(), "no series to print");
+    let sizes: Vec<usize> = series[0].points.iter().map(|&(s, _)| s).collect();
+    let mut out = String::from("size");
+    for s in series {
+        out.push(',');
+        // Commas inside labels would corrupt the CSV.
+        out.push_str(&s.label.replace(',', ";"));
+    }
+    out.push('\n');
+    for (i, &size) in sizes.iter().enumerate() {
+        out.push_str(&size.to_string());
+        for s in series {
+            out.push_str(&format!(",{:.4}", s.points[i].1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One row of the constants table: paper value vs our measurements.
+#[derive(Debug, Clone)]
+pub struct ConstantRow {
+    /// Mechanism name.
+    pub name: String,
+    /// The paper's reported value (ns).
+    pub paper_ns: u64,
+    /// Our value (ns) — measured or simulated.
+    pub ours_ns: u64,
+}
+
+/// Renders the "Table 1" constants comparison.
+pub fn constants_table(title: &str, rows: &[ConstantRow]) -> String {
+    let mut out = format!("## {title}\n\n");
+    out.push_str("| mechanism | paper (ns) | ours (ns) | ratio |\n");
+    out.push_str("|---|---:|---:|---:|\n");
+    for r in rows {
+        let ratio = if r.paper_ns == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.2}", r.ours_ns as f64 / r.paper_ns as f64)
+        };
+        out.push_str(&format!(
+            "| {} | {} | {} | {} |\n",
+            r.name, r.paper_ns, r.ours_ns, ratio
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serie(label: &str, v: f64) -> Series {
+        Series {
+            label: label.into(),
+            points: vec![(1, v), (2048, v * 2.0)],
+        }
+    }
+
+    #[test]
+    fn size_formatting() {
+        assert_eq!(fmt_size(1), "1");
+        assert_eq!(fmt_size(512), "512");
+        assert_eq!(fmt_size(1024), "1K");
+        assert_eq!(fmt_size(32 * 1024), "32K");
+        assert_eq!(fmt_size(1025), "1025");
+    }
+
+    #[test]
+    fn table_has_all_rows_and_columns() {
+        let t = series_table("Fig X", &[serie("a", 1.0), serie("b", 3.0)]);
+        assert!(t.contains("## Fig X"));
+        assert!(t.contains("a (µs)"));
+        assert!(t.contains("b (µs)"));
+        assert!(t.contains("| 1 |"));
+        assert!(t.contains("| 2K |"));
+        assert!(t.contains("6.00"));
+    }
+
+    #[test]
+    fn csv_round_trips_sizes() {
+        let c = series_csv(&[serie("x", 1.5)]);
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines[0], "size,x");
+        assert!(lines[1].starts_with("1,1.5"));
+        assert!(lines[2].starts_with("2048,3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched sizes")]
+    fn mismatched_series_rejected() {
+        let a = serie("a", 1.0);
+        let b = Series {
+            label: "b".into(),
+            points: vec![(7, 1.0)],
+        };
+        let _ = series_table("bad", &[a, b]);
+    }
+
+    #[test]
+    fn constants_table_shows_ratio() {
+        let t = constants_table(
+            "Table 1",
+            &[ConstantRow {
+                name: "lock cycle".into(),
+                paper_ns: 70,
+                ours_ns: 140,
+            }],
+        );
+        assert!(t.contains("| lock cycle | 70 | 140 | 2.00 |"));
+    }
+}

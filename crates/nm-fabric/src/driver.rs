@@ -1,0 +1,208 @@
+//! The driver interface the transfer layer programs against.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::{MpmcRing, NicCounters, SimNic};
+
+/// Static capabilities of a driver.
+#[derive(Debug, Clone)]
+pub struct DriverCaps {
+    /// Driver name (for diagnostics and bench labels).
+    pub name: String,
+    /// Largest payload one packet may carry.
+    pub mtu: usize,
+    /// `false` for drivers that, like Myrinet MX in the paper, must never
+    /// be entered by two threads at once; the library then serializes all
+    /// access to this driver under a per-driver lock even in its most
+    /// parallel locking mode.
+    pub thread_safe: bool,
+}
+
+/// Why a post was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostError {
+    /// The injection queue is full; retry when the NIC is idle again.
+    WouldBlock,
+}
+
+impl std::fmt::Display for PostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PostError::WouldBlock => write!(f, "NIC injection queue full"),
+        }
+    }
+}
+
+impl std::error::Error for PostError {}
+
+/// A network driver: polling completion, bounded injection, opaque packets.
+///
+/// This mirrors the role of the "Network Driver" box of the paper's Fig 1:
+/// the transfer layer submits arranged packets here and polls for inbound
+/// ones when the NIC is idle.
+pub trait Driver: Send + Sync {
+    /// Driver capabilities.
+    fn caps(&self) -> &DriverCaps;
+    /// `true` when another packet can be injected (the NIC is idle).
+    fn can_post(&self) -> bool;
+    /// Injects one packet (must fit the MTU).
+    fn post(&self, data: Bytes) -> Result<(), PostError>;
+    /// Polls for one inbound packet.
+    fn poll(&self) -> Option<Bytes>;
+    /// Earliest pending inbound delivery timestamp (virtual-clock runs).
+    fn next_event_ns(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// [`Driver`] backed by a [`SimNic`] endpoint.
+pub struct SimNicDriver {
+    nic: SimNic,
+    caps: DriverCaps,
+}
+
+impl SimNicDriver {
+    /// Wraps a NIC endpoint. `thread_safe = false` reproduces MX-style
+    /// drivers that require external serialization.
+    pub fn new(nic: SimNic, thread_safe: bool) -> Self {
+        let caps = DriverCaps {
+            name: nic.name().to_string(),
+            mtu: nic.model().mtu,
+            thread_safe,
+        };
+        SimNicDriver { nic, caps }
+    }
+
+    /// The underlying NIC (for counters and clock access).
+    pub fn nic(&self) -> &SimNic {
+        &self.nic
+    }
+
+    /// Traffic counters of the underlying NIC.
+    pub fn counters(&self) -> &NicCounters {
+        self.nic.counters()
+    }
+}
+
+impl Driver for SimNicDriver {
+    fn caps(&self) -> &DriverCaps {
+        &self.caps
+    }
+
+    fn can_post(&self) -> bool {
+        self.nic.can_post()
+    }
+
+    fn post(&self, data: Bytes) -> Result<(), PostError> {
+        self.nic.post_send(data).map_err(|_| PostError::WouldBlock)
+    }
+
+    fn poll(&self) -> Option<Bytes> {
+        self.nic.poll_recv()
+    }
+
+    fn next_event_ns(&self) -> Option<u64> {
+        self.nic.next_delivery_ns()
+    }
+}
+
+/// A zero-latency in-process driver pair for protocol unit tests: packets
+/// are visible to the peer immediately.
+pub struct LoopbackDriver {
+    caps: DriverCaps,
+    tx: Arc<MpmcRing<Bytes>>,
+    rx: Arc<MpmcRing<Bytes>>,
+}
+
+impl LoopbackDriver {
+    /// Creates a connected pair with the given queue depth.
+    pub fn pair(depth: usize) -> (LoopbackDriver, LoopbackDriver) {
+        let ab = Arc::new(MpmcRing::new(depth));
+        let ba = Arc::new(MpmcRing::new(depth));
+        let caps = |side: &str| DriverCaps {
+            name: format!("loopback.{side}"),
+            mtu: usize::MAX,
+            thread_safe: true,
+        };
+        (
+            LoopbackDriver {
+                caps: caps("0"),
+                tx: Arc::clone(&ab),
+                rx: Arc::clone(&ba),
+            },
+            LoopbackDriver {
+                caps: caps("1"),
+                tx: ba,
+                rx: ab,
+            },
+        )
+    }
+}
+
+impl Driver for LoopbackDriver {
+    fn caps(&self) -> &DriverCaps {
+        &self.caps
+    }
+
+    fn can_post(&self) -> bool {
+        !self.tx.is_full()
+    }
+
+    fn post(&self, data: Bytes) -> Result<(), PostError> {
+        self.tx.push(data).map_err(|_| PostError::WouldBlock)
+    }
+
+    fn poll(&self) -> Option<Bytes> {
+        self.rx.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClockSource, WireModel};
+
+    #[test]
+    fn loopback_round_trip() {
+        let (a, b) = LoopbackDriver::pair(8);
+        a.post(Bytes::from_static(b"ping")).unwrap();
+        assert_eq!(b.poll(), Some(Bytes::from_static(b"ping")));
+        b.post(Bytes::from_static(b"pong")).unwrap();
+        assert_eq!(a.poll(), Some(Bytes::from_static(b"pong")));
+        assert_eq!(a.poll(), None);
+    }
+
+    #[test]
+    fn loopback_backpressure() {
+        let (a, b) = LoopbackDriver::pair(2);
+        a.post(Bytes::from_static(b"1")).unwrap();
+        a.post(Bytes::from_static(b"2")).unwrap();
+        assert!(!a.can_post());
+        assert_eq!(a.post(Bytes::from_static(b"3")), Err(PostError::WouldBlock));
+        b.poll().unwrap();
+        assert!(a.can_post());
+    }
+
+    #[test]
+    fn simnic_driver_exposes_caps() {
+        let clock = ClockSource::manual();
+        let (na, _nb) = SimNic::pair("mx", WireModel::myri_10g(), clock);
+        let d = SimNicDriver::new(na, false);
+        assert_eq!(d.caps().mtu, 32 * 1024);
+        assert!(!d.caps().thread_safe);
+        assert!(d.caps().name.starts_with("mx"));
+    }
+
+    #[test]
+    fn simnic_driver_post_and_poll() {
+        let clock = ClockSource::manual();
+        let (na, nb) = SimNic::pair("mx", WireModel::myri_10g(), clock.clone());
+        let (da, db) = (SimNicDriver::new(na, true), SimNicDriver::new(nb, true));
+        da.post(Bytes::from_static(b"data")).unwrap();
+        assert_eq!(db.poll(), None);
+        clock.advance_to(db.next_event_ns().unwrap());
+        assert_eq!(db.poll(), Some(Bytes::from_static(b"data")));
+    }
+}

@@ -1,0 +1,154 @@
+//! Fabric builder: multi-node, multi-rail worlds.
+
+use std::sync::Arc;
+
+use crate::{ClockSource, Driver, SimNic, SimNicDriver, WireModel};
+
+/// The drivers one node uses to reach one peer — one per rail.
+///
+/// NewMadeleine's multirail support distributes packets of one logical
+/// message across several NICs; a `NodePorts` bundles the per-rail drivers
+/// of a single peer connection (the paper's Fig 1 shows two drivers under
+/// one transfer layer).
+#[derive(Clone)]
+pub struct NodePorts {
+    rails: Vec<Arc<SimNicDriver>>,
+}
+
+impl NodePorts {
+    /// Per-rail drivers, as the trait objects `nm-core` consumes.
+    pub fn drivers(&self) -> Vec<Arc<dyn Driver>> {
+        self.rails
+            .iter()
+            .map(|d| Arc::clone(d) as Arc<dyn Driver>)
+            .collect()
+    }
+
+    /// Per-rail concrete drivers (for counter access in benches).
+    pub fn sim_drivers(&self) -> &[Arc<SimNicDriver>] {
+        &self.rails
+    }
+
+    /// Number of rails.
+    pub fn num_rails(&self) -> usize {
+        self.rails.len()
+    }
+}
+
+/// Builder for simulated worlds.
+pub struct Fabric {
+    clock: ClockSource,
+}
+
+impl Fabric {
+    /// A fabric stamping packets with the given clock.
+    pub fn new(clock: ClockSource) -> Self {
+        Fabric { clock }
+    }
+
+    /// A fabric on real (monotonic) time.
+    pub fn real_time() -> Self {
+        Self::new(ClockSource::real())
+    }
+
+    /// A fabric on a virtual clock (returned alongside for advancing).
+    pub fn virtual_time() -> (Self, ClockSource) {
+        let clock = ClockSource::manual();
+        (Self::new(clock.clone()), clock)
+    }
+
+    /// The fabric clock.
+    pub fn clock(&self) -> &ClockSource {
+        &self.clock
+    }
+
+    /// Connects two nodes with one rail per wire model.
+    ///
+    /// `thread_safe_drivers = false` reproduces the paper's MX situation:
+    /// the library must serialize all access to each driver.
+    pub fn pair(&self, models: &[WireModel], thread_safe_drivers: bool) -> (NodePorts, NodePorts) {
+        assert!(!models.is_empty(), "at least one rail required");
+        let mut a_rails = Vec::with_capacity(models.len());
+        let mut b_rails = Vec::with_capacity(models.len());
+        for (i, model) in models.iter().enumerate() {
+            let (na, nb) = SimNic::pair(&format!("rail{i}"), *model, self.clock.clone());
+            a_rails.push(Arc::new(SimNicDriver::new(na, thread_safe_drivers)));
+            b_rails.push(Arc::new(SimNicDriver::new(nb, thread_safe_drivers)));
+        }
+        (NodePorts { rails: a_rails }, NodePorts { rails: b_rails })
+    }
+
+    /// Builds a fully connected world of `n` nodes, one rail per model
+    /// between every unordered pair.
+    ///
+    /// Returns `ports[i][j]`: the ports node `i` uses to reach node `j`
+    /// (`None` on the diagonal).
+    pub fn clique(
+        &self,
+        n: usize,
+        models: &[WireModel],
+        thread_safe_drivers: bool,
+    ) -> Vec<Vec<Option<NodePorts>>> {
+        let mut ports: Vec<Vec<Option<NodePorts>>> = (0..n)
+            .map(|_| (0..n).map(|_| None).collect())
+            .collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (pi, pj) = self.pair(models, thread_safe_drivers);
+                ports[i][j] = Some(pi);
+                ports[j][i] = Some(pj);
+            }
+        }
+        ports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn pair_connects_both_ways() {
+        let (fabric, clock) = Fabric::virtual_time();
+        let (a, b) = fabric.pair(&[WireModel::ideal()], true);
+        assert_eq!(a.num_rails(), 1);
+        a.drivers()[0].post(Bytes::from_static(b"hi")).unwrap();
+        clock.advance(1);
+        assert_eq!(b.drivers()[0].poll(), Some(Bytes::from_static(b"hi")));
+        b.drivers()[0].post(Bytes::from_static(b"yo")).unwrap();
+        assert_eq!(a.drivers()[0].poll(), Some(Bytes::from_static(b"yo")));
+    }
+
+    #[test]
+    fn multirail_pair_has_independent_rails() {
+        let (fabric, _clock) = Fabric::virtual_time();
+        let models = [WireModel::ideal(), WireModel::ideal()];
+        let (a, b) = fabric.pair(&models, true);
+        assert_eq!(a.num_rails(), 2);
+        a.drivers()[0].post(Bytes::from_static(b"r0")).unwrap();
+        a.drivers()[1].post(Bytes::from_static(b"r1")).unwrap();
+        assert_eq!(b.drivers()[0].poll(), Some(Bytes::from_static(b"r0")));
+        assert_eq!(b.drivers()[1].poll(), Some(Bytes::from_static(b"r1")));
+    }
+
+    #[test]
+    fn clique_full_connectivity() {
+        let (fabric, clock) = Fabric::virtual_time();
+        let ports = fabric.clique(3, &[WireModel::ideal()], true);
+        for i in 0..3 {
+            assert!(ports[i][i].is_none());
+            for j in 0..3 {
+                if i == j {
+                    continue;
+                }
+                let msg = Bytes::from(format!("{i}->{j}"));
+                ports[i][j].as_ref().unwrap().drivers()[0]
+                    .post(msg.clone())
+                    .unwrap();
+                clock.advance(1);
+                assert_eq!(ports[j][i].as_ref().unwrap().drivers()[0].poll(), Some(msg));
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Wire models: latency, bandwidth and per-packet overhead presets.
+
+use std::time::Duration;
+
+/// Timing model of one unidirectional wire.
+///
+/// The delivery time of a packet of `n` payload bytes injected at time `t`
+/// is `inject + latency + per_packet + n * ns_per_byte`, where `inject` is
+/// `max(t, wire_free)` — packets serialize on the wire, so bandwidth is
+/// shared between back-to-back messages (that is what flattens the curves
+/// of Figs 3–7 at large sizes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireModel {
+    /// Propagation + NIC traversal latency, in nanoseconds.
+    pub latency_ns: u64,
+    /// Serialization cost per payload byte, in nanoseconds (1/bandwidth).
+    pub ns_per_byte: f64,
+    /// Fixed per-packet processing overhead, in nanoseconds.
+    pub per_packet_ns: u64,
+    /// Largest payload one wire packet can carry, in bytes.
+    pub mtu: usize,
+    /// Injection queue depth: how many packets may be in flight before the
+    /// NIC stops reporting itself idle.
+    pub tx_depth: usize,
+}
+
+impl WireModel {
+    /// Myricom Myri-10G with the MX driver (the paper's primary network):
+    /// ~2.0 µs one-way latency, 10 Gbit/s, 32 KiB MTU.
+    pub fn myri_10g() -> Self {
+        WireModel {
+            latency_ns: 2_000,
+            ns_per_byte: 0.8, // 10 Gbit/s = 1.25 GB/s
+            per_packet_ns: 100,
+            mtu: 32 * 1024,
+            tx_depth: 16,
+        }
+    }
+
+    /// Mellanox ConnectX DDR InfiniBand (MT25418, OFED): ~1.6 µs one-way,
+    /// 16 Gbit/s, 2 KiB MTU.
+    pub fn connectx_ddr() -> Self {
+        WireModel {
+            latency_ns: 1_600,
+            ns_per_byte: 0.5, // 16 Gbit/s = 2 GB/s
+            per_packet_ns: 80,
+            mtu: 2 * 1024,
+            tx_depth: 64,
+        }
+    }
+
+    /// Gigabit Ethernet through a TCP stack: ~30 µs one-way, 1 Gbit/s.
+    pub fn gige_tcp() -> Self {
+        WireModel {
+            latency_ns: 30_000,
+            ns_per_byte: 8.0, // 1 Gbit/s = 125 MB/s
+            per_packet_ns: 1_000,
+            mtu: 64 * 1024,
+            tx_depth: 128,
+        }
+    }
+
+    /// A zero-cost wire for overhead-only microbenchmarks: everything the
+    /// benchmark measures is then software overhead.
+    pub fn ideal() -> Self {
+        WireModel {
+            latency_ns: 0,
+            ns_per_byte: 0.0,
+            per_packet_ns: 0,
+            mtu: usize::MAX,
+            tx_depth: 1024,
+        }
+    }
+
+    /// Transmission (serialization) time of `bytes` on this wire.
+    pub fn tx_time_ns(&self, bytes: usize) -> u64 {
+        self.per_packet_ns + (bytes as f64 * self.ns_per_byte) as u64
+    }
+
+    /// Full one-way delivery time for a packet of `bytes`, ignoring queuing.
+    pub fn one_way_ns(&self, bytes: usize) -> u64 {
+        self.latency_ns + self.tx_time_ns(bytes)
+    }
+
+    /// Convenience: one-way time as a [`Duration`].
+    pub fn one_way(&self, bytes: usize) -> Duration {
+        Duration::from_nanos(self.one_way_ns(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn myri_latency_matches_calibration() {
+        let m = WireModel::myri_10g();
+        // Small messages are latency-bound: ~2.1 µs one-way.
+        assert_eq!(m.one_way_ns(1), 2_100);
+        // Large messages are bandwidth-bound: 32 KiB at 1.25 GB/s ≈ 26 µs.
+        let t = m.one_way_ns(32 * 1024);
+        assert!((26_000..30_000).contains(&t), "got {t} ns");
+    }
+
+    #[test]
+    fn ideal_wire_is_free() {
+        let m = WireModel::ideal();
+        assert_eq!(m.one_way_ns(1_000_000), 0);
+    }
+
+    #[test]
+    fn bandwidth_ordering_of_presets() {
+        // InfiniBand DDR is faster per byte than Myri-10G, which beats GigE.
+        let size = 1 << 20;
+        assert!(WireModel::connectx_ddr().tx_time_ns(size) < WireModel::myri_10g().tx_time_ns(size));
+        assert!(WireModel::myri_10g().tx_time_ns(size) < WireModel::gige_tcp().tx_time_ns(size));
+    }
+
+    #[test]
+    fn latency_ordering_of_presets() {
+        assert!(WireModel::connectx_ddr().latency_ns < WireModel::myri_10g().latency_ns);
+        assert!(WireModel::myri_10g().latency_ns < WireModel::gige_tcp().latency_ns);
+    }
+}

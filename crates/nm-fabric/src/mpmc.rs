@@ -1,0 +1,324 @@
+//! Bounded lock-free MPMC ring buffer (Vyukov queue).
+//!
+//! Wires must tolerate concurrent producers and consumers regardless of the
+//! communication library's locking mode: even when each node is
+//! single-threaded, the two endpoints of a wire live on different threads,
+//! and in `MPI_THREAD_MULTIPLE` runs several threads of one node may pump
+//! the same driver. The classic Vyukov bounded queue gives us that safety
+//! without any lock on the wire itself.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use nm_sync::CachePadded;
+
+struct Slot<T> {
+    /// Sequence number driving the slot state machine:
+    /// `seq == pos`        → empty, writable by the enqueuer at `pos`;
+    /// `seq == pos + 1`    → full, readable by the dequeuer at `pos`;
+    /// otherwise           → another lap is in progress.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+pub struct MpmcRing<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    head: CachePadded<AtomicUsize>, // dequeue position
+    tail: CachePadded<AtomicUsize>, // enqueue position
+}
+
+// SAFETY: values move through the queue with release/acquire handoff on the
+// slot sequence numbers; T only needs to be Send.
+unsafe impl<T: Send> Send for MpmcRing<T> {}
+unsafe impl<T: Send> Sync for MpmcRing<T> {}
+
+impl<T> MpmcRing<T> {
+    /// Creates a ring with capacity `cap`, rounded up to a power of two
+    /// and at least 2.
+    ///
+    /// The minimum of 2 is load-bearing: the Vyukov full-queue detection
+    /// compares a slot's lap sequence against the enqueue position, and
+    /// with a single slot the "full" and "empty" states are
+    /// indistinguishable (`seq - pos == 1 - cap == 0`), so a capacity-1
+    /// ring would overwrite unconsumed data and livelock its consumer —
+    /// found by the `mpmc_ring_matches_model` property test.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "capacity must be positive");
+        let cap = cap.next_power_of_two().max(2);
+        let slots: Box<[Slot<T>]> = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        MpmcRing {
+            slots,
+            mask: cap - 1,
+            head: CachePadded::new(AtomicUsize::new(0)),
+            tail: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Maximum number of elements the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Attempts to enqueue; returns `Err(value)` when the ring is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos {
+                // Slot is empty for this lap: claim it.
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS makes us the unique writer of this
+                        // slot for this lap.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if (seq as isize).wrapping_sub(pos as isize) < 0 {
+                // The slot still holds last lap's value: the ring is full.
+                return Err(value);
+            } else {
+                // Another producer advanced past us; reload.
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Attempts to dequeue; `None` when the ring is empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let expected = pos.wrapping_add(1);
+            if seq == expected {
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS makes us the unique reader of this
+                        // slot for this lap; the slot was written before its
+                        // seq was released.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if (seq as isize).wrapping_sub(expected as isize) < 0 {
+                return None; // Empty.
+            } else {
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Approximate number of queued elements (racy under concurrency).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Relaxed);
+        tail.wrapping_sub(head)
+    }
+
+    /// Approximately empty (racy under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximately full (racy under concurrency).
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.capacity()
+    }
+}
+
+impl<T> Drop for MpmcRing<T> {
+    fn drop(&mut self) {
+        // Drain remaining values so their destructors run.
+        while self.pop().is_some() {}
+    }
+}
+
+impl<T> std::fmt::Debug for MpmcRing<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpmcRing")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = MpmcRing::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert!(q.is_full());
+        assert_eq!(q.push(99), Err(99));
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let q = MpmcRing::<u8>::new(5);
+        assert_eq!(q.capacity(), 8);
+    }
+
+    #[test]
+    fn capacity_one_is_promoted_to_two() {
+        // Regression: a literal 1-slot Vyukov ring cannot distinguish
+        // full from empty and corrupts data.
+        let q = MpmcRing::new(1);
+        assert_eq!(q.capacity(), 2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(3), "full ring must reject");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn wraparound_many_laps() {
+        let q = MpmcRing::new(2);
+        for lap in 0..1000 {
+            q.push(lap).unwrap();
+            q.push(lap + 1_000_000).unwrap();
+            assert_eq!(q.pop(), Some(lap));
+            assert_eq!(q.pop(), Some(lap + 1_000_000));
+        }
+    }
+
+    #[test]
+    fn values_dropped_on_queue_drop() {
+        static DROPS: StdAtomicUsize = StdAtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let q = MpmcRing::new(8);
+            for _ in 0..5 {
+                assert!(q.push(D).is_ok());
+            }
+            drop(q.pop()); // 1 drop here
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn mpmc_no_loss_no_duplication() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: usize = 2_000;
+        let q: Arc<MpmcRing<usize>> = Arc::new(MpmcRing::new(64));
+        let seen = Arc::new(
+            (0..PRODUCERS * PER_PRODUCER)
+                .map(|_| StdAtomicUsize::new(0))
+                .collect::<Vec<_>>(),
+        );
+        let done = Arc::new(StdAtomicUsize::new(0));
+
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let seen = Arc::clone(&seen);
+                let done = Arc::clone(&done);
+                thread::spawn(move || loop {
+                    match q.pop() {
+                        Some(v) => {
+                            seen[v].fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            if done.load(Ordering::Acquire) == PRODUCERS && q.pop().is_none() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                let done = Arc::clone(&done);
+                thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        let v = p * PER_PRODUCER + i;
+                        while q.push(v).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                    done.fetch_add(1, Ordering::Release);
+                })
+            })
+            .collect();
+
+        for h in producers.into_iter().chain(consumers) {
+            h.join().unwrap();
+        }
+        for (i, s) in seen.iter().enumerate() {
+            assert_eq!(s.load(Ordering::Relaxed), 1, "value {i} seen wrong count");
+        }
+    }
+
+    #[test]
+    fn per_producer_order_is_preserved() {
+        // With one producer and one consumer the queue must be strictly FIFO.
+        let q = Arc::new(MpmcRing::new(8));
+        let q2 = Arc::clone(&q);
+        let producer = thread::spawn(move || {
+            for i in 0..20_000u64 {
+                while q2.push(i).is_err() {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < 20_000 {
+            if let Some(v) = q.pop() {
+                assert_eq!(v, expected);
+                expected += 1;
+            }
+        }
+        producer.join().unwrap();
+    }
+}

@@ -1,0 +1,368 @@
+//! Simulated NIC endpoints.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use nm_sync::stats::Counter;
+use nm_sync::SpinLock;
+
+use crate::{ClockSource, MpmcRing, WireModel};
+
+/// A timestamped packet travelling on a wire.
+#[derive(Debug)]
+struct WirePacket {
+    deliver_at_ns: u64,
+    payload: Bytes,
+}
+
+/// One direction of a link: a bounded ring plus the time at which the wire
+/// becomes free again (packets serialize on the wire).
+struct Wire {
+    ring: MpmcRing<WirePacket>,
+    next_free_ns: AtomicU64,
+}
+
+impl Wire {
+    fn new(depth: usize) -> Self {
+        Wire {
+            ring: MpmcRing::new(depth.max(1)),
+            next_free_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Reserves wire time for a packet of `tx_ns` serialization cost
+    /// starting no earlier than `now`; returns the injection timestamp.
+    fn reserve(&self, now: u64, tx_ns: u64) -> u64 {
+        let mut cur = self.next_free_ns.load(Ordering::Relaxed);
+        loop {
+            let inject = cur.max(now);
+            match self.next_free_ns.compare_exchange_weak(
+                cur,
+                inject + tx_ns,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return inject,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Packet/byte counters of one NIC endpoint.
+#[derive(Debug, Default)]
+pub struct NicCounters {
+    /// Packets injected into the wire.
+    pub tx_packets: Counter,
+    /// Payload bytes injected into the wire.
+    pub tx_bytes: Counter,
+    /// Packets delivered to this endpoint.
+    pub rx_packets: Counter,
+    /// Payload bytes delivered to this endpoint.
+    pub rx_bytes: Counter,
+}
+
+/// One endpoint of a simulated point-to-point link.
+///
+/// Completion is **polling-based**, like MX or Verbs: nothing happens
+/// unless someone calls [`SimNic::poll_recv`]. A packet becomes visible to
+/// the receiver only once the clock passes its computed delivery time.
+pub struct SimNic {
+    name: String,
+    model: WireModel,
+    clock: ClockSource,
+    tx: Arc<Wire>,
+    rx: Arc<Wire>,
+    counters: NicCounters,
+    /// Head-of-line packet popped from `rx` but not yet deliverable.
+    /// Keeping it here preserves wire FIFO order across pollers.
+    stash: SpinLock<Option<WirePacket>>,
+}
+
+/// Error returned when the injection queue is full (NIC busy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxQueueFull;
+
+impl SimNic {
+    /// Creates a connected pair of endpoints over two wires of the given
+    /// model, sharing `clock`.
+    pub fn pair(name: &str, model: WireModel, clock: ClockSource) -> (SimNic, SimNic) {
+        let a_to_b = Arc::new(Wire::new(model.tx_depth));
+        let b_to_a = Arc::new(Wire::new(model.tx_depth));
+        let a = SimNic {
+            name: format!("{name}.0"),
+            model,
+            clock: clock.clone(),
+            tx: Arc::clone(&a_to_b),
+            rx: Arc::clone(&b_to_a),
+            counters: NicCounters::default(),
+            stash: SpinLock::new(None),
+        };
+        let b = SimNic {
+            name: format!("{name}.1"),
+            model,
+            clock,
+            tx: b_to_a,
+            rx: a_to_b,
+            counters: NicCounters::default(),
+            stash: SpinLock::new(None),
+        };
+        (a, b)
+    }
+
+    /// Endpoint name (link name + side).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The wire model of this link.
+    pub fn model(&self) -> &WireModel {
+        &self.model
+    }
+
+    /// The clock used for timestamps.
+    pub fn clock(&self) -> &ClockSource {
+        &self.clock
+    }
+
+    /// Traffic counters.
+    pub fn counters(&self) -> &NicCounters {
+        &self.counters
+    }
+
+    /// `true` when the injection queue can accept another packet — the
+    /// paper's "the NIC becomes idle" condition that triggers the
+    /// optimization layer.
+    pub fn can_post(&self) -> bool {
+        self.tx.ring.len() < self.model.tx_depth
+    }
+
+    /// Injects a packet.
+    ///
+    /// The payload must fit in the wire MTU (enforced; the transfer layer
+    /// is responsible for splitting). Returns [`TxQueueFull`] when the
+    /// injection queue is saturated.
+    pub fn post_send(&self, payload: Bytes) -> Result<(), TxQueueFull> {
+        assert!(
+            payload.len() <= self.model.mtu,
+            "payload {} exceeds wire MTU {}",
+            payload.len(),
+            self.model.mtu
+        );
+        if self.tx.ring.len() >= self.model.tx_depth {
+            return Err(TxQueueFull);
+        }
+        let now = self.clock.now_ns();
+        let tx_ns = self.model.tx_time_ns(payload.len());
+        let inject = self.tx.reserve(now, tx_ns);
+        let deliver_at_ns = inject + tx_ns + self.model.latency_ns;
+        let len = payload.len();
+        let pkt = WirePacket {
+            deliver_at_ns,
+            payload,
+        };
+        // A racing producer may have filled the ring between the depth
+        // check and this push; the reserved wire time then stays booked,
+        // which only makes the model slightly conservative.
+        self.tx.ring.push(pkt).map_err(|_| TxQueueFull)?;
+        self.counters.tx_packets.incr();
+        self.counters.tx_bytes.add(len as u64);
+        Ok(())
+    }
+
+    /// Polls for a delivered packet; `None` if nothing is deliverable yet.
+    pub fn poll_recv(&self) -> Option<Bytes> {
+        let now = self.clock.now_ns();
+        let mut stash = self.stash.lock();
+        let pkt = match stash.take() {
+            Some(p) => p,
+            None => self.rx.ring.pop()?,
+        };
+        if pkt.deliver_at_ns <= now {
+            self.counters.rx_packets.incr();
+            self.counters.rx_bytes.add(pkt.payload.len() as u64);
+            Some(pkt.payload)
+        } else {
+            *stash = Some(pkt);
+            None
+        }
+    }
+
+    /// Earliest pending delivery time, if any packet is in flight toward
+    /// this endpoint. The discrete-event simulator uses this to know how
+    /// far it may advance the virtual clock.
+    pub fn next_delivery_ns(&self) -> Option<u64> {
+        let mut stash = self.stash.lock();
+        if stash.is_none() {
+            *stash = self.rx.ring.pop();
+        }
+        stash.as_ref().map(|p| p.deliver_at_ns)
+    }
+
+    /// `true` if any packet (deliverable or in flight) is queued toward
+    /// this endpoint.
+    pub fn has_inbound(&self) -> bool {
+        self.stash.lock().is_some() || !self.rx.ring.is_empty()
+    }
+}
+
+impl std::fmt::Debug for SimNic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNic")
+            .field("name", &self.name)
+            .field("can_post", &self.can_post())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manual_pair(model: WireModel) -> (SimNic, SimNic, ClockSource) {
+        let clock = ClockSource::manual();
+        let (a, b) = SimNic::pair("test", model, clock.clone());
+        (a, b, clock)
+    }
+
+    #[test]
+    fn packet_not_visible_before_delivery_time() {
+        let (a, b, clock) = manual_pair(WireModel::myri_10g());
+        a.post_send(Bytes::from_static(b"x")).unwrap();
+        assert_eq!(b.poll_recv(), None, "visible too early");
+        clock.advance(2_000); // still short of latency + tx time
+        assert_eq!(b.poll_recv(), None);
+        clock.advance(200); // past 2_000 + 100 + 0.8 ns
+        assert_eq!(b.poll_recv(), Some(Bytes::from_static(b"x")));
+    }
+
+    #[test]
+    fn ideal_wire_delivers_immediately() {
+        let (a, b, _clock) = manual_pair(WireModel::ideal());
+        a.post_send(Bytes::from_static(b"now")).unwrap();
+        assert_eq!(b.poll_recv(), Some(Bytes::from_static(b"now")));
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let (a, b, clock) = manual_pair(WireModel::myri_10g());
+        for i in 0..5u8 {
+            a.post_send(Bytes::copy_from_slice(&[i])).unwrap();
+        }
+        clock.advance(1_000_000);
+        for i in 0..5u8 {
+            assert_eq!(b.poll_recv().unwrap()[0], i);
+        }
+        assert_eq!(b.poll_recv(), None);
+    }
+
+    #[test]
+    fn back_to_back_packets_serialize_on_the_wire() {
+        let model = WireModel {
+            latency_ns: 1_000,
+            ns_per_byte: 1.0,
+            per_packet_ns: 0,
+            mtu: 4096,
+            tx_depth: 8,
+        };
+        let (a, b, clock) = manual_pair(model);
+        // Two 1000-byte packets injected at t=0: the second waits for the
+        // first to leave the wire, so it lands at 1000(tx)+1000(tx)+1000(lat).
+        a.post_send(Bytes::from(vec![0u8; 1000])).unwrap();
+        a.post_send(Bytes::from(vec![1u8; 1000])).unwrap();
+        clock.advance(2_000);
+        assert!(b.poll_recv().is_some(), "first packet at 2 µs");
+        assert!(b.poll_recv().is_none(), "second not yet");
+        clock.advance(999);
+        assert!(b.poll_recv().is_none());
+        clock.advance(1);
+        assert!(b.poll_recv().is_some(), "second packet at 3 µs");
+    }
+
+    #[test]
+    fn tx_queue_fills_up() {
+        let model = WireModel {
+            tx_depth: 2,
+            ..WireModel::myri_10g()
+        };
+        let (a, _b, _clock) = manual_pair(model);
+        assert!(a.can_post());
+        a.post_send(Bytes::from_static(b"1")).unwrap();
+        a.post_send(Bytes::from_static(b"2")).unwrap();
+        assert!(!a.can_post());
+        assert_eq!(a.post_send(Bytes::from_static(b"3")), Err(TxQueueFull));
+    }
+
+    #[test]
+    fn draining_receiver_frees_tx_queue() {
+        let model = WireModel {
+            tx_depth: 1,
+            ..WireModel::ideal()
+        };
+        let (a, b, _clock) = manual_pair(model);
+        a.post_send(Bytes::from_static(b"1")).unwrap();
+        assert!(!a.can_post());
+        assert!(b.poll_recv().is_some());
+        assert!(a.can_post());
+        a.post_send(Bytes::from_static(b"2")).unwrap();
+        assert!(b.poll_recv().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds wire MTU")]
+    fn oversized_payload_panics() {
+        let model = WireModel {
+            mtu: 8,
+            ..WireModel::ideal()
+        };
+        let (a, _b, _c) = manual_pair(model);
+        let _ = a.post_send(Bytes::from(vec![0u8; 9]));
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let (a, b, clock) = manual_pair(WireModel::myri_10g());
+        a.post_send(Bytes::from(vec![0u8; 100])).unwrap();
+        clock.advance(10_000_000);
+        b.poll_recv().unwrap();
+        assert_eq!(a.counters().tx_packets.get(), 1);
+        assert_eq!(a.counters().tx_bytes.get(), 100);
+        assert_eq!(b.counters().rx_packets.get(), 1);
+        assert_eq!(b.counters().rx_bytes.get(), 100);
+    }
+
+    #[test]
+    fn next_delivery_reports_earliest_packet() {
+        let (a, b, clock) = manual_pair(WireModel::myri_10g());
+        assert_eq!(b.next_delivery_ns(), None);
+        a.post_send(Bytes::from_static(b"x")).unwrap();
+        let t = b.next_delivery_ns().expect("in-flight packet visible");
+        assert!(t >= 2_000);
+        clock.advance_to(t);
+        assert!(b.poll_recv().is_some());
+    }
+
+    #[test]
+    fn real_clock_end_to_end() {
+        let clock = ClockSource::real();
+        let model = WireModel {
+            latency_ns: 200_000, // 200 µs so the test is robust
+            ..WireModel::ideal()
+        };
+        let (a, b) = SimNic::pair("real", model, clock);
+        a.post_send(Bytes::from_static(b"ping")).unwrap();
+        assert_eq!(b.poll_recv(), None, "should not arrive instantly");
+        let t0 = std::time::Instant::now();
+        loop {
+            if let Some(p) = b.poll_recv() {
+                assert_eq!(&p[..], b"ping");
+                break;
+            }
+            assert!(t0.elapsed().as_secs() < 5, "packet never arrived");
+            std::hint::spin_loop();
+        }
+        assert!(t0.elapsed() >= std::time::Duration::from_micros(150));
+    }
+}

@@ -1,0 +1,180 @@
+//! A transport wrapper that delivers packets out of order.
+//!
+//! The paper's NEWMADELEINE applies "dynamic scheduling optimizations on
+//! multiple communication flows such as packet reordering" — and multirail
+//! distribution inherently reorders packets across NICs. This wrapper
+//! injects *within-rail* reordering deterministically, so tests can prove
+//! the library's ordered-delivery layer restores per-tag FIFO semantics
+//! over an unordered transport.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+
+use nm_sync::SpinLock;
+
+use crate::{Driver, DriverCaps, PostError};
+
+/// Wraps a driver and releases received packets out of order.
+///
+/// Reordering is deterministic: packets are buffered up to `depth`, and
+/// a linear-congruential sequence picks which buffered packet each poll
+/// releases. With `depth = 1` behaviour is identical to the inner driver.
+pub struct ReorderDriver<D> {
+    inner: D,
+    depth: usize,
+    state: SpinLock<ReorderState>,
+}
+
+struct ReorderState {
+    held: VecDeque<Bytes>,
+    lcg: u64,
+}
+
+impl<D: Driver> ReorderDriver<D> {
+    /// Wraps `inner`, buffering up to `depth` packets for shuffling.
+    ///
+    /// # Panics
+    /// Panics if `depth == 0`.
+    pub fn new(inner: D, depth: usize, seed: u64) -> Self {
+        assert!(depth > 0, "depth must be at least 1");
+        ReorderDriver {
+            inner,
+            depth,
+            state: SpinLock::new(ReorderState {
+                held: VecDeque::new(),
+                lcg: seed | 1,
+            }),
+        }
+    }
+
+    /// The wrapped driver.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl ReorderState {
+    fn next_index(&mut self, len: usize) -> usize {
+        // Numerical Recipes LCG: deterministic, seedable, dependency-free.
+        self.lcg = self
+            .lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.lcg >> 33) as usize) % len
+    }
+}
+
+impl<D: Driver> Driver for ReorderDriver<D> {
+    fn caps(&self) -> &DriverCaps {
+        self.inner.caps()
+    }
+
+    fn can_post(&self) -> bool {
+        self.inner.can_post()
+    }
+
+    fn post(&self, data: Bytes) -> Result<(), PostError> {
+        self.inner.post(data)
+    }
+
+    fn poll(&self) -> Option<Bytes> {
+        let mut st = self.state.lock();
+        // Fill the shuffle buffer from the inner driver.
+        while st.held.len() < self.depth {
+            match self.inner.poll() {
+                Some(p) => st.held.push_back(p),
+                None => break,
+            }
+        }
+        if st.held.is_empty() {
+            return None;
+        }
+        // Only release out of order while more packets are (or may be)
+        // behind; a lone packet is released as-is.
+        let idx = if st.held.len() > 1 {
+            let len = st.held.len();
+            st.next_index(len)
+        } else {
+            0
+        };
+        st.held.remove(idx)
+    }
+
+    fn next_event_ns(&self) -> Option<u64> {
+        if self.state.lock().held.is_empty() {
+            self.inner.next_event_ns()
+        } else {
+            Some(0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LoopbackDriver;
+
+    fn drain<D: Driver>(d: &D) -> Vec<u8> {
+        let mut out = Vec::new();
+        while let Some(p) = d.poll() {
+            out.push(p[0]);
+        }
+        out
+    }
+
+    #[test]
+    fn depth_one_preserves_order() {
+        let (tx, rx) = LoopbackDriver::pair(32);
+        let rx = ReorderDriver::new(rx, 1, 42);
+        for i in 0..8u8 {
+            tx.post(Bytes::copy_from_slice(&[i])).unwrap();
+        }
+        assert_eq!(drain(&rx), (0..8).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn deeper_buffer_reorders_but_loses_nothing() {
+        let (tx, rx) = LoopbackDriver::pair(64);
+        let rx = ReorderDriver::new(rx, 4, 7);
+        for i in 0..32u8 {
+            tx.post(Bytes::copy_from_slice(&[i])).unwrap();
+        }
+        let mut got = drain(&rx);
+        assert_ne!(got, (0..32).collect::<Vec<u8>>(), "nothing was reordered");
+        got.sort_unstable();
+        assert_eq!(got, (0..32).collect::<Vec<u8>>(), "packets lost or duplicated");
+    }
+
+    #[test]
+    fn reordering_is_deterministic() {
+        let run = || {
+            let (tx, rx) = LoopbackDriver::pair(64);
+            let rx = ReorderDriver::new(rx, 4, 99);
+            for i in 0..16u8 {
+                tx.post(Bytes::copy_from_slice(&[i])).unwrap();
+            }
+            drain(&rx)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn passthrough_caps_and_post() {
+        let (tx, rx) = LoopbackDriver::pair(2);
+        let tx = ReorderDriver::new(tx, 2, 1);
+        assert!(tx.caps().thread_safe);
+        assert!(tx.can_post());
+        tx.post(Bytes::from_static(b"a")).unwrap();
+        tx.post(Bytes::from_static(b"b")).unwrap();
+        assert_eq!(tx.post(Bytes::from_static(b"c")), Err(PostError::WouldBlock));
+        assert!(rx.poll().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be at least 1")]
+    fn zero_depth_rejected() {
+        let (_tx, rx) = LoopbackDriver::pair(2);
+        let _ = ReorderDriver::new(rx, 0, 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Collective operations over a communicator.
+//!
+//! Classic algorithms on top of the point-to-point layer: binomial-tree
+//! broadcast and reduce, linear gather, and a tree allreduce. Like MPI,
+//! collectives are *ordered*: every rank must invoke the same collectives
+//! in the same order on a given world, and at most one thread per rank
+//! may be inside a collective at a time. Tags from the reserved internal
+//! space (`u64::MAX - 255 ..= u64::MAX`) are used; back-to-back
+//! collectives stay separated by the library's per-tag FIFO ordering.
+
+use crate::comm::{Comm, MpiError};
+
+/// Base of the reserved collective tag space.
+const COLL_BASE: u64 = u64::MAX - 0xFF;
+
+const TAG_BCAST: u64 = COLL_BASE;
+const TAG_REDUCE: u64 = COLL_BASE + 1;
+const TAG_GATHER: u64 = COLL_BASE + 2;
+const TAG_SCATTER: u64 = COLL_BASE + 3;
+
+/// Virtual rank relative to `root` (so any root uses the same tree).
+fn vrank(rank: usize, root: usize, n: usize) -> usize {
+    (rank + n - root) % n
+}
+
+fn unvrank(v: usize, root: usize, n: usize) -> usize {
+    (v + root) % n
+}
+
+impl Comm {
+    /// Broadcasts `data` from `root` to every rank (binomial tree);
+    /// returns the broadcast payload on every rank.
+    pub fn bcast(&self, root: usize, data: &[u8]) -> Result<Vec<u8>, MpiError> {
+        let n = self.size();
+        if root >= n {
+            return Err(MpiError::InvalidRank(root));
+        }
+        let me = vrank(self.rank(), root, n);
+        let mut payload = if me == 0 { data.to_vec() } else { Vec::new() };
+
+        // Binomial tree: the parent is `me` with its lowest set bit
+        // cleared.
+        if me != 0 {
+            let parent = unvrank(me & (me - 1), root, n);
+            payload = self.recv_from(parent, TAG_BCAST)?;
+        }
+        // Forward to children: me + 2^k for k above me's lowest set bit.
+        let lowest = if me == 0 { n.next_power_of_two() } else { me & me.wrapping_neg() };
+        let mut step = 1;
+        while step < lowest && me + step < n {
+            let child = unvrank(me + step, root, n);
+            self.send_to(child, TAG_BCAST, &payload)?;
+            step <<= 1;
+        }
+        Ok(payload)
+    }
+
+    /// Reduces element-wise sums of `f64` vectors to `root` (binomial
+    /// tree). Returns `Some(total)` on the root, `None` elsewhere.
+    ///
+    /// # Panics
+    /// Panics if ranks contribute vectors of different lengths.
+    pub fn reduce_sum_f64(
+        &self,
+        root: usize,
+        contribution: &[f64],
+    ) -> Result<Option<Vec<f64>>, MpiError> {
+        let n = self.size();
+        if root >= n {
+            return Err(MpiError::InvalidRank(root));
+        }
+        let me = vrank(self.rank(), root, n);
+        let mut acc = contribution.to_vec();
+
+        // Gather partial sums from children, then send to parent.
+        let mut step = 1;
+        while step < n {
+            if me & step != 0 {
+                // Send the accumulator to the parent and stop.
+                let parent = unvrank(me & !step, root, n);
+                let bytes: Vec<u8> = acc.iter().flat_map(|v| v.to_le_bytes()).collect();
+                self.send_to(parent, TAG_REDUCE, &bytes)?;
+                return Ok(None);
+            }
+            if me + step < n {
+                let child = unvrank(me + step, root, n);
+                let bytes = self.recv_from(child, TAG_REDUCE)?;
+                assert_eq!(
+                    bytes.len(),
+                    acc.len() * 8,
+                    "reduce contributions must have equal lengths"
+                );
+                for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+                    acc[i] += f64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+                }
+            }
+            step <<= 1;
+        }
+        Ok(Some(acc))
+    }
+
+    /// Element-wise sum reduced to every rank: reduce to rank 0, then
+    /// broadcast.
+    pub fn allreduce_sum_f64(&self, contribution: &[f64]) -> Result<Vec<f64>, MpiError> {
+        let reduced = self.reduce_sum_f64(0, contribution)?;
+        let bytes = match reduced {
+            Some(total) => {
+                let b: Vec<u8> = total.iter().flat_map(|v| v.to_le_bytes()).collect();
+                self.bcast(0, &b)?
+            }
+            None => self.bcast(0, &[])?,
+        };
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect())
+    }
+
+    /// Gathers every rank's payload at `root` (linear). Returns
+    /// `Some(payloads)` indexed by rank on the root, `None` elsewhere.
+    pub fn gather(&self, root: usize, data: &[u8]) -> Result<Option<Vec<Vec<u8>>>, MpiError> {
+        let n = self.size();
+        if root >= n {
+            return Err(MpiError::InvalidRank(root));
+        }
+        if self.rank() == root {
+            let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+            out[root] = data.to_vec();
+            for peer in (0..n).filter(|&p| p != root) {
+                out[peer] = self.recv_from(peer, TAG_GATHER)?;
+            }
+            Ok(Some(out))
+        } else {
+            self.send_to(root, TAG_GATHER, data)?;
+            Ok(None)
+        }
+    }
+
+    /// Scatters `chunks[i]` from `root` to rank `i` (linear); returns
+    /// this rank's chunk.
+    ///
+    /// # Panics
+    /// Panics on the root if `chunks.len() != self.size()`.
+    pub fn scatter(&self, root: usize, chunks: Option<&[Vec<u8>]>) -> Result<Vec<u8>, MpiError> {
+        let n = self.size();
+        if root >= n {
+            return Err(MpiError::InvalidRank(root));
+        }
+        if self.rank() == root {
+            let chunks = chunks.expect("root must supply the chunks");
+            assert_eq!(chunks.len(), n, "one chunk per rank required");
+            for peer in (0..n).filter(|&p| p != root) {
+                self.send_to(peer, TAG_SCATTER, &chunks[peer])?;
+            }
+            Ok(chunks[root].clone())
+        } else {
+            self.recv_from(root, TAG_SCATTER)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vrank_round_trips() {
+        for n in 1..6 {
+            for root in 0..n {
+                for r in 0..n {
+                    assert_eq!(unvrank(vrank(r, root, n), root, n), r);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Communicators: the per-rank API handle.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use nm_core::{CommCore, CommError, GateId, Request};
+use nm_sync::WaitStrategy;
+
+/// Errors surfaced by the MPI façade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// Underlying communication error.
+    Comm(CommError),
+    /// Rank outside the world, or self-addressed message.
+    InvalidRank(usize),
+}
+
+impl std::fmt::Display for MpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpiError::Comm(e) => write!(f, "{e}"),
+            MpiError::InvalidRank(r) => write!(f, "invalid rank {r}"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+impl From<CommError> for MpiError {
+    fn from(e: CommError) -> Self {
+        MpiError::Comm(e)
+    }
+}
+
+/// A rank's handle into the world.
+///
+/// Cloneable; clones share the rank's communication core. Thread safety
+/// follows the world's [`ThreadLevel`](crate::ThreadLevel).
+#[derive(Clone)]
+pub struct Comm {
+    rank: usize,
+    core: Arc<CommCore>,
+    /// `peers[gate] = rank` mapping (dense, self skipped).
+    peers: Vec<usize>,
+    wait: WaitStrategy,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        core: Arc<CommCore>,
+        peers: Vec<usize>,
+        wait: WaitStrategy,
+    ) -> Self {
+        Comm {
+            rank,
+            core,
+            peers,
+            wait,
+        }
+    }
+
+    /// This communicator's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.peers.len() + 1
+    }
+
+    /// The underlying communication core.
+    pub fn core(&self) -> &Arc<CommCore> {
+        &self.core
+    }
+
+    /// The default waiting strategy.
+    pub fn wait_strategy(&self) -> WaitStrategy {
+        self.wait
+    }
+
+    /// Returns a clone using a different default waiting strategy.
+    pub fn with_wait_strategy(&self, wait: WaitStrategy) -> Comm {
+        let mut c = self.clone();
+        c.wait = wait;
+        c
+    }
+
+    fn gate(&self, peer: usize) -> Result<GateId, MpiError> {
+        if peer == self.rank {
+            return Err(MpiError::InvalidRank(peer));
+        }
+        self.peers
+            .iter()
+            .position(|&p| p == peer)
+            .map(GateId)
+            .ok_or(MpiError::InvalidRank(peer))
+    }
+
+    /// The single peer of a two-rank world.
+    fn only_peer(&self) -> Result<usize, MpiError> {
+        if self.peers.len() == 1 {
+            Ok(self.peers[0])
+        } else {
+            Err(MpiError::InvalidRank(usize::MAX))
+        }
+    }
+
+    // ---- two-rank convenience (peer implied) ---------------------------
+
+    /// Blocking send to the only peer (two-rank worlds).
+    pub fn send(&self, tag: u64, data: &[u8]) -> Result<(), MpiError> {
+        self.send_to(self.only_peer()?, tag, data)
+    }
+
+    /// Blocking receive from the only peer (two-rank worlds).
+    pub fn recv(&self, tag: u64) -> Result<Vec<u8>, MpiError> {
+        self.recv_from(self.only_peer()?, tag)
+    }
+
+    /// Non-blocking send to the only peer.
+    pub fn isend(&self, tag: u64, data: &[u8]) -> Result<Request, MpiError> {
+        self.isend_to(self.only_peer()?, tag, data)
+    }
+
+    /// Non-blocking receive from the only peer.
+    pub fn irecv(&self, tag: u64) -> Result<Request, MpiError> {
+        self.irecv_from(self.only_peer()?, tag)
+    }
+
+    // ---- addressed operations ------------------------------------------
+
+    /// Blocking send to `peer`.
+    pub fn send_to(&self, peer: usize, tag: u64, data: &[u8]) -> Result<(), MpiError> {
+        let gate = self.gate(peer)?;
+        self.core
+            .send(gate, tag, Bytes::copy_from_slice(data), self.wait)?;
+        Ok(())
+    }
+
+    /// Blocking receive from `peer`.
+    pub fn recv_from(&self, peer: usize, tag: u64) -> Result<Vec<u8>, MpiError> {
+        let gate = self.gate(peer)?;
+        Ok(self.core.recv(gate, tag, self.wait)?.to_vec())
+    }
+
+    /// Non-blocking send to `peer`.
+    pub fn isend_to(&self, peer: usize, tag: u64, data: &[u8]) -> Result<Request, MpiError> {
+        let gate = self.gate(peer)?;
+        Ok(self.core.isend(gate, tag, Bytes::copy_from_slice(data))?)
+    }
+
+    /// Non-blocking zero-copy send to `peer`.
+    pub fn isend_bytes_to(&self, peer: usize, tag: u64, data: Bytes) -> Result<Request, MpiError> {
+        let gate = self.gate(peer)?;
+        Ok(self.core.isend(gate, tag, data)?)
+    }
+
+    /// Non-blocking receive from `peer`.
+    pub fn irecv_from(&self, peer: usize, tag: u64) -> Result<Request, MpiError> {
+        let gate = self.gate(peer)?;
+        Ok(self.core.irecv(gate, tag)?)
+    }
+
+    /// Non-blocking wildcard receive from `peer` (`MPI_ANY_TAG`): matches
+    /// the earliest message of any tag; see [`Request::matched_tag`].
+    pub fn irecv_any_from(&self, peer: usize) -> Result<Request, MpiError> {
+        let gate = self.gate(peer)?;
+        Ok(self.core.irecv_any(gate)?)
+    }
+
+    /// Blocking wildcard receive from `peer`: returns `(tag, payload)`.
+    pub fn recv_any_from(&self, peer: usize) -> Result<(u64, Vec<u8>), MpiError> {
+        let req = self.irecv_any_from(peer)?;
+        self.wait(&req);
+        let tag = req.matched_tag().expect("completed recv has a tag");
+        Ok((tag, req.take_data().expect("completed recv has data").to_vec()))
+    }
+
+    /// Waits for a request with this communicator's strategy.
+    pub fn wait(&self, req: &Request) {
+        self.core.wait(req, self.wait);
+    }
+
+    /// Waits for all requests.
+    pub fn wait_all(&self, reqs: &[Request]) {
+        for r in reqs {
+            self.wait(r);
+        }
+    }
+
+    /// Combined send+receive with the same peer (classic pingpong body).
+    pub fn sendrecv(&self, peer: usize, tag: u64, data: &[u8]) -> Result<Vec<u8>, MpiError> {
+        let recv = self.irecv_from(peer, tag)?;
+        let send = self.isend_to(peer, tag, data)?;
+        self.wait(&send);
+        self.wait(&recv);
+        Ok(recv.take_data().expect("completed recv carries data").to_vec())
+    }
+
+    /// A simple linear barrier rooted at rank 0 (uses the reserved
+    /// internal tag space).
+    pub fn barrier(&self) -> Result<(), MpiError> {
+        const BARRIER_TAG: u64 = u64::MAX; // reserved
+        let n = self.size();
+        if n == 1 {
+            return Ok(());
+        }
+        if self.rank == 0 {
+            for peer in 1..n {
+                self.recv_from(peer, BARRIER_TAG)?;
+            }
+            for peer in 1..n {
+                self.send_to(peer, BARRIER_TAG, b"")?;
+            }
+        } else {
+            self.send_to(0, BARRIER_TAG, b"")?;
+            self.recv_from(0, BARRIER_TAG)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm")
+            .field("rank", &self.rank)
+            .field("size", &self.size())
+            .finish()
+    }
+}

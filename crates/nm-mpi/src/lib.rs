@@ -1,0 +1,37 @@
+//! Mad-MPI: a thin MPI-flavoured façade over `nm-core`.
+//!
+//! NewMadeleine "implements both a specific API and a MPI interface called
+//! Mad-MPI". This crate is that second interface: ranks, communicators,
+//! tags, and the MPI thread levels, mapped onto the core's locking modes:
+//!
+//! | MPI thread level | [`LockingMode`] |
+//! |------------------|-----------------|
+//! | `Single`         | `SingleThread` (no locks, one thread enforced) |
+//! | `Funneled` / `Serialized` | `Coarse` (one caller at a time anyway) |
+//! | `Multiple`       | `Fine` (concurrent flows in parallel) |
+//!
+//! Worlds are in-process: every rank is a communication core connected to
+//! its peers through the simulated fabric.
+//!
+//! ```
+//! use nm_mpi::{World, ThreadLevel};
+//!
+//! let world = World::pair(ThreadLevel::Multiple);
+//! let (a, b) = world.comm_pair();
+//! let echo = std::thread::spawn(move || {
+//!     let m = b.recv(1).unwrap();
+//!     b.send(1, &m).unwrap();
+//! });
+//! a.send(1, b"ping").unwrap();
+//! assert_eq!(a.recv(1).unwrap(), b"ping");
+//! echo.join().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+mod coll;
+mod comm;
+mod world;
+
+pub use comm::{Comm, MpiError};
+pub use world::{ThreadLevel, World, WorldConfig};

@@ -1,0 +1,210 @@
+//! World construction: ranks wired through the simulated fabric.
+
+use std::sync::Arc;
+
+use nm_core::{CommCore, CoreBuilder, CoreConfig, GateId, LockingMode};
+use nm_fabric::{ClockSource, Fabric, NodePorts, WireModel};
+use nm_sync::WaitStrategy;
+
+use crate::comm::Comm;
+
+/// MPI thread-support levels (`MPI_THREAD_*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreadLevel {
+    /// Only one thread exists.
+    Single,
+    /// Multiple threads, but only the main one communicates.
+    Funneled,
+    /// Multiple threads communicate, never concurrently.
+    Serialized,
+    /// Any thread communicates at any time (the paper's focus).
+    Multiple,
+}
+
+impl ThreadLevel {
+    /// The locking mode implementing this level.
+    pub fn locking(&self) -> LockingMode {
+        match self {
+            ThreadLevel::Single => LockingMode::SingleThread,
+            // One caller at a time: the cheap library-wide lock suffices.
+            ThreadLevel::Funneled | ThreadLevel::Serialized => LockingMode::Coarse,
+            ThreadLevel::Multiple => LockingMode::Fine,
+        }
+    }
+}
+
+/// World construction parameters.
+#[derive(Clone)]
+pub struct WorldConfig {
+    /// Thread level (determines the locking mode).
+    pub level: ThreadLevel,
+    /// One wire model per rail between each pair of ranks.
+    pub rails: Vec<WireModel>,
+    /// Base core configuration (locking is overridden by `level`).
+    pub core: CoreConfig,
+    /// Whether drivers are thread-safe (MX-style drivers are not).
+    pub thread_safe_drivers: bool,
+    /// Default waiting strategy of the communicators.
+    pub wait: WaitStrategy,
+    /// Clock the fabric stamps packets with.
+    pub clock: ClockSource,
+}
+
+impl WorldConfig {
+    /// A world at `level` over one Myri-10G rail on real time, busy waits.
+    pub fn new(level: ThreadLevel) -> Self {
+        WorldConfig {
+            level,
+            rails: vec![WireModel::myri_10g()],
+            core: CoreConfig::default(),
+            thread_safe_drivers: true,
+            wait: WaitStrategy::Busy,
+            clock: ClockSource::real(),
+        }
+    }
+
+    /// Replaces the rail models.
+    pub fn rails(mut self, rails: Vec<WireModel>) -> Self {
+        self.rails = rails;
+        self
+    }
+
+    /// Replaces the base core configuration.
+    pub fn core(mut self, core: CoreConfig) -> Self {
+        self.core = core;
+        self
+    }
+
+    /// Sets the communicators' default waiting strategy.
+    pub fn wait(mut self, wait: WaitStrategy) -> Self {
+        self.wait = wait;
+        self
+    }
+}
+
+/// An in-process world of communicating ranks.
+pub struct World {
+    comms: Vec<Comm>,
+    /// `ports[i][j]`: the fabric ports rank `i` uses toward rank `j`.
+    ports: Vec<Vec<Option<NodePorts>>>,
+    clock: ClockSource,
+}
+
+impl World {
+    /// A two-rank world with defaults (one Myri-10G rail, busy waits).
+    pub fn pair(level: ThreadLevel) -> Self {
+        Self::with_config(2, WorldConfig::new(level))
+    }
+
+    /// A fully connected world of `n` ranks with defaults.
+    pub fn clique(n: usize, level: ThreadLevel) -> Self {
+        Self::with_config(n, WorldConfig::new(level))
+    }
+
+    /// A world of `n` ranks with explicit configuration.
+    pub fn with_config(n: usize, config: WorldConfig) -> Self {
+        assert!(n >= 2, "a world needs at least two ranks");
+        let fabric = Fabric::new(config.clock.clone());
+        let ports = fabric.clique(n, &config.rails, config.thread_safe_drivers);
+
+        let mut comms = Vec::with_capacity(n);
+        for rank in 0..n {
+            let mut builder =
+                CoreBuilder::new(config.core.clone().locking(config.level.locking()));
+            // Gate g of rank r reaches peer (g < r ? g : g + 1): dense gate
+            // ids with the self-entry skipped.
+            let mut peers = Vec::new();
+            for peer in 0..n {
+                if peer == rank {
+                    continue;
+                }
+                let port = ports[rank][peer]
+                    .as_ref()
+                    .expect("clique is fully connected");
+                builder = builder.add_gate(port.drivers());
+                peers.push(peer);
+            }
+            let core = builder.build();
+            comms.push(Comm::new(rank, core, peers, config.wait));
+        }
+        World {
+            comms,
+            ports,
+            clock: config.clock,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.comms.len()
+    }
+
+    /// The communicator of `rank` (cloneable, thread-safe per its level).
+    pub fn comm(&self, rank: usize) -> Comm {
+        self.comms[rank].clone()
+    }
+
+    /// Convenience for two-rank worlds: both communicators.
+    pub fn comm_pair(&self) -> (Comm, Comm) {
+        assert_eq!(self.size(), 2, "comm_pair needs a two-rank world");
+        (self.comm(0), self.comm(1))
+    }
+
+    /// The underlying core of `rank` (for progression-engine wiring).
+    pub fn core(&self, rank: usize) -> Arc<CommCore> {
+        self.comms[rank].core().clone()
+    }
+
+    /// Fabric ports from `rank` toward `peer` (driver counters for
+    /// benches); `None` on the diagonal.
+    pub fn ports(&self, rank: usize, peer: usize) -> Option<&NodePorts> {
+        self.ports[rank][peer].as_ref()
+    }
+
+    /// The fabric clock.
+    pub fn clock(&self) -> &ClockSource {
+        &self.clock
+    }
+
+    /// Gate id rank `from` uses to reach `to`.
+    pub fn gate_for(&self, from: usize, to: usize) -> GateId {
+        assert_ne!(from, to, "no self gate");
+        GateId(if to < from { to } else { to - 1 })
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World").field("size", &self.size()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_levels_map_to_locking() {
+        assert_eq!(ThreadLevel::Single.locking(), LockingMode::SingleThread);
+        assert_eq!(ThreadLevel::Funneled.locking(), LockingMode::Coarse);
+        assert_eq!(ThreadLevel::Serialized.locking(), LockingMode::Coarse);
+        assert_eq!(ThreadLevel::Multiple.locking(), LockingMode::Fine);
+    }
+
+    #[test]
+    fn gate_numbering_skips_self() {
+        let w = World::clique(3, ThreadLevel::Multiple);
+        assert_eq!(w.gate_for(0, 1), GateId(0));
+        assert_eq!(w.gate_for(0, 2), GateId(1));
+        assert_eq!(w.gate_for(1, 0), GateId(0));
+        assert_eq!(w.gate_for(1, 2), GateId(1));
+        assert_eq!(w.gate_for(2, 0), GateId(0));
+        assert_eq!(w.gate_for(2, 1), GateId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two ranks")]
+    fn singleton_world_rejected() {
+        let _ = World::clique(1, ThreadLevel::Multiple);
+    }
+}

@@ -1,0 +1,342 @@
+//! Integration tests of the Mad-MPI façade.
+
+use std::sync::Arc;
+
+use nm_mpi::{MpiError, ThreadLevel, World, WorldConfig};
+use nm_sync::WaitStrategy;
+
+#[test]
+fn pair_send_recv() {
+    let world = World::pair(ThreadLevel::Multiple);
+    let (a, b) = world.comm_pair();
+    let echo = std::thread::spawn(move || {
+        let m = b.recv(1).unwrap();
+        b.send(1, &m).unwrap();
+    });
+    a.send(1, b"ping").unwrap();
+    assert_eq!(a.recv(1).unwrap(), b"ping");
+    echo.join().unwrap();
+}
+
+#[test]
+fn sendrecv_pingpong() {
+    let world = World::pair(ThreadLevel::Multiple);
+    let (a, b) = world.comm_pair();
+    let echo = std::thread::spawn(move || {
+        for _ in 0..20 {
+            let m = b.recv_from(0, 0).unwrap();
+            b.send_to(0, 0, &m).unwrap();
+        }
+    });
+    for i in 0..20 {
+        let msg = vec![i as u8; 64];
+        let back = a.sendrecv(1, 0, &msg).unwrap();
+        assert_eq!(back, msg);
+    }
+    echo.join().unwrap();
+}
+
+#[test]
+fn nonblocking_requests() {
+    let world = World::pair(ThreadLevel::Multiple);
+    let (a, b) = world.comm_pair();
+    let r = b.irecv(3).unwrap();
+    let s = a.isend(3, b"deferred").unwrap();
+    a.wait(&s);
+    b.wait(&r);
+    assert_eq!(r.take_data().unwrap(), bytes::Bytes::from_static(b"deferred"));
+}
+
+#[test]
+fn three_rank_ring() {
+    let world = Arc::new(World::clique(3, ThreadLevel::Multiple));
+    let mut handles = Vec::new();
+    for rank in 0..3 {
+        let world = Arc::clone(&world);
+        handles.push(std::thread::spawn(move || {
+            let comm = world.comm(rank);
+            let next = (rank + 1) % 3;
+            let prev = (rank + 2) % 3;
+            // Send own rank around the ring twice.
+            let mut token = vec![rank as u8];
+            for _ in 0..2 {
+                comm.send_to(next, 0, &token).unwrap();
+                token = comm.recv_from(prev, 0).unwrap();
+            }
+            // After two hops the token came from prev's prev = next.
+            assert_eq!(token, vec![((rank + 1) % 3) as u8]);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn barrier_synchronizes_clique() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let world = Arc::new(World::clique(3, ThreadLevel::Multiple));
+    let phase = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for rank in 0..3 {
+        let world = Arc::clone(&world);
+        let phase = Arc::clone(&phase);
+        handles.push(std::thread::spawn(move || {
+            let comm = world.comm(rank);
+            phase.fetch_add(1, Ordering::SeqCst);
+            comm.barrier().unwrap();
+            // Everyone must have entered before anyone leaves.
+            assert_eq!(phase.load(Ordering::SeqCst), 3);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn large_message_uses_rendezvous() {
+    let world = World::pair(ThreadLevel::Multiple);
+    let (a, b) = world.comm_pair();
+    let big = vec![0x5Au8; 512 * 1024];
+    let expected = big.clone();
+    let echo = std::thread::spawn(move || {
+        let m = b.recv(9).unwrap();
+        assert_eq!(m.len(), 512 * 1024);
+        m
+    });
+    a.send(9, &big).unwrap();
+    let got = echo.join().unwrap();
+    assert_eq!(got, expected);
+    assert!(a.core().stats().rdv_started.get() >= 1);
+}
+
+#[test]
+fn invalid_and_self_rank_rejected() {
+    let world = World::pair(ThreadLevel::Multiple);
+    let (a, _b) = world.comm_pair();
+    assert!(matches!(
+        a.send_to(0, 0, b"self"),
+        Err(MpiError::InvalidRank(0))
+    ));
+    assert!(matches!(
+        a.send_to(7, 0, b"nobody"),
+        Err(MpiError::InvalidRank(7))
+    ));
+}
+
+#[test]
+fn funneled_level_uses_coarse_locking() {
+    let world = World::pair(ThreadLevel::Funneled);
+    let (a, b) = world.comm_pair();
+    let echo = std::thread::spawn(move || {
+        let m = b.recv(0).unwrap();
+        b.send(0, &m).unwrap();
+    });
+    a.send(0, b"coarse").unwrap();
+    assert_eq!(a.recv(0).unwrap(), b"coarse");
+    echo.join().unwrap();
+    // The global lock is actually exercised.
+    assert!(a.core().lock_policy().global_stats().acquisitions() > 0);
+}
+
+#[test]
+fn wait_strategy_override() {
+    use nm_progress::{IdlePolicy, ProgressEngine, ProgressionThread};
+
+    let world = World::with_config(
+        2,
+        WorldConfig::new(ThreadLevel::Multiple).wait(WaitStrategy::Busy),
+    );
+    let (a, b) = world.comm_pair();
+    let a2 = a.with_wait_strategy(WaitStrategy::fixed_spin_default());
+    assert_eq!(a2.wait_strategy(), WaitStrategy::fixed_spin_default());
+    assert_eq!(a.wait_strategy(), WaitStrategy::Busy, "original unchanged");
+    // Fixed spin falls back to blocking once the 5 µs window expires, so —
+    // exactly as §3.3 prescribes — background progression must exist for
+    // the blocked waiter's own requests to complete.
+    let engine = Arc::new(ProgressEngine::new());
+    engine.register(Arc::clone(a.core()) as _);
+    engine.register(Arc::clone(b.core()) as _);
+    let pt = ProgressionThread::spawn(Arc::clone(&engine), None, IdlePolicy::Yield);
+
+    let echo = std::thread::spawn(move || {
+        let m = b.recv(0).unwrap();
+        b.send(0, &m).unwrap();
+    });
+    a2.send(0, b"spin").unwrap();
+    assert_eq!(a2.recv(0).unwrap(), b"spin");
+    echo.join().unwrap();
+    pt.stop();
+}
+
+#[test]
+fn thread_multiple_concurrent_comms() {
+    let world = World::pair(ThreadLevel::Multiple);
+    let (a, b) = world.comm_pair();
+    let mut handles = Vec::new();
+    for t in 0..3u64 {
+        let a = a.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..30 {
+                a.send(t, format!("t{t}m{i}").as_bytes()).unwrap();
+            }
+        }));
+        let b = b.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..30 {
+                let m = b.recv(t).unwrap();
+                assert_eq!(m, format!("t{t}m{i}").as_bytes());
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn spawn_world<F, R>(n: usize, f: F) -> Vec<R>
+where
+    F: Fn(nm_mpi::Comm) -> R + Send + Sync + 'static,
+    R: Send + 'static,
+{
+    let world = Arc::new(World::clique(n, ThreadLevel::Multiple));
+    let f = Arc::new(f);
+    let handles: Vec<_> = (0..n)
+        .map(|rank| {
+            let world = Arc::clone(&world);
+            let f = Arc::clone(&f);
+            std::thread::spawn(move || f(world.comm(rank)))
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+#[test]
+fn bcast_from_every_root() {
+    for root in 0..3 {
+        let results = spawn_world(3, move |comm| {
+            let data = if comm.rank() == root {
+                format!("from {root}").into_bytes()
+            } else {
+                Vec::new()
+            };
+            comm.bcast(root, &data).unwrap()
+        });
+        for r in results {
+            assert_eq!(r, format!("from {root}").into_bytes());
+        }
+    }
+}
+
+#[test]
+fn bcast_four_ranks_binomial() {
+    let results = spawn_world(4, |comm| comm.bcast(0, b"tree").unwrap());
+    assert!(results.iter().all(|r| r == b"tree"));
+}
+
+#[test]
+fn reduce_sums_to_root() {
+    let results = spawn_world(3, |comm| {
+        let mine = vec![comm.rank() as f64, 10.0];
+        comm.reduce_sum_f64(0, &mine).unwrap()
+    });
+    // Only rank 0 gets the total: 0+1+2 = 3, 10*3 = 30.
+    assert_eq!(results[0], Some(vec![3.0, 30.0]));
+    assert_eq!(results[1], None);
+    assert_eq!(results[2], None);
+}
+
+#[test]
+fn allreduce_gives_everyone_the_sum() {
+    let results = spawn_world(4, |comm| {
+        comm.allreduce_sum_f64(&[1.0, comm.rank() as f64]).unwrap()
+    });
+    for r in results {
+        assert_eq!(r, vec![4.0, 6.0]); // 4 ranks; 0+1+2+3
+    }
+}
+
+#[test]
+fn gather_collects_in_rank_order() {
+    let results = spawn_world(3, |comm| {
+        comm.gather(2, &[comm.rank() as u8; 2]).unwrap()
+    });
+    assert!(results[0].is_none());
+    assert!(results[1].is_none());
+    let gathered = results[2].as_ref().unwrap();
+    assert_eq!(gathered[0], vec![0, 0]);
+    assert_eq!(gathered[1], vec![1, 1]);
+    assert_eq!(gathered[2], vec![2, 2]);
+}
+
+#[test]
+fn scatter_distributes_chunks() {
+    let results = spawn_world(3, |comm| {
+        let chunks: Option<Vec<Vec<u8>>> = (comm.rank() == 0)
+            .then(|| (0..3).map(|i| vec![i as u8 * 11]).collect());
+        comm.scatter(0, chunks.as_deref()).unwrap()
+    });
+    assert_eq!(results[0], vec![0]);
+    assert_eq!(results[1], vec![11]);
+    assert_eq!(results[2], vec![22]);
+}
+
+#[test]
+fn back_to_back_collectives_do_not_mix() {
+    let results = spawn_world(3, |comm| {
+        let a = comm.bcast(0, if comm.rank() == 0 { b"first" } else { b"" }).unwrap();
+        let b = comm.bcast(0, if comm.rank() == 0 { b"second" } else { b"" }).unwrap();
+        let s = comm.allreduce_sum_f64(&[1.0]).unwrap();
+        (a, b, s)
+    });
+    for (a, b, s) in results {
+        assert_eq!(a, b"first");
+        assert_eq!(b, b"second");
+        assert_eq!(s, vec![3.0]);
+    }
+}
+
+#[test]
+fn wildcard_receive_via_facade() {
+    let world = World::pair(ThreadLevel::Multiple);
+    let (a, b) = world.comm_pair();
+    let sender = std::thread::spawn(move || {
+        a.send(31, b"tagged-31").unwrap();
+        a.send(7, b"tagged-7").unwrap();
+    });
+    let (t1, m1) = b.recv_any_from(0).unwrap();
+    let (t2, m2) = b.recv_any_from(0).unwrap();
+    assert_eq!((t1, m1.as_slice()), (31, b"tagged-31".as_slice()));
+    assert_eq!((t2, m2.as_slice()), (7, b"tagged-7".as_slice()));
+    sender.join().unwrap();
+}
+
+#[test]
+fn four_rank_all_to_all_stress() {
+    // Every rank sends a distinct message to every other rank, twice,
+    // with all sixteen threads' traffic interleaving through the cores.
+    const ROUNDS: usize = 2;
+    let results = spawn_world(4, |comm| {
+        let me = comm.rank();
+        let n = comm.size();
+        for round in 0..ROUNDS {
+            let mut recvs = Vec::new();
+            for peer in (0..n).filter(|&p| p != me) {
+                recvs.push((peer, comm.irecv_from(peer, round as u64).unwrap()));
+            }
+            for peer in (0..n).filter(|&p| p != me) {
+                let msg = format!("r{round} {me}->{peer}");
+                comm.send_to(peer, round as u64, msg.as_bytes()).unwrap();
+            }
+            for (peer, r) in recvs {
+                comm.wait(&r);
+                let data = r.take_data().unwrap();
+                assert_eq!(&data[..], format!("r{round} {peer}->{me}").as_bytes());
+            }
+            comm.barrier().unwrap();
+        }
+        me
+    });
+    assert_eq!(results, vec![0, 1, 2, 3]);
+}

@@ -1,0 +1,81 @@
+//! Join handles for scheduled tasks.
+
+use std::sync::Arc;
+
+use nm_sync::{CompletionFlag, SpinLock, WaitStrategy};
+
+/// Handle to a task's eventual result.
+///
+/// Waiting goes through a [`CompletionFlag`], so all three waiting
+/// strategies of the paper apply to task joins as well.
+pub struct TaskHandle<T> {
+    inner: Arc<TaskSlot<T>>,
+}
+
+pub(crate) struct TaskSlot<T> {
+    pub(crate) flag: CompletionFlag,
+    pub(crate) value: SpinLock<Option<T>>,
+}
+
+impl<T> TaskHandle<T> {
+    pub(crate) fn new() -> (Self, Arc<TaskSlot<T>>) {
+        let slot = Arc::new(TaskSlot {
+            flag: CompletionFlag::new(),
+            value: SpinLock::new(None),
+        });
+        (
+            TaskHandle {
+                inner: Arc::clone(&slot),
+            },
+            slot,
+        )
+    }
+
+    /// `true` once the task has finished.
+    pub fn is_done(&self) -> bool {
+        self.inner.flag.is_set()
+    }
+
+    /// Waits passively for the result.
+    pub fn join(self) -> T {
+        self.join_with(WaitStrategy::Passive)
+    }
+
+    /// Waits for the result with an explicit strategy.
+    pub fn join_with(self, strategy: WaitStrategy) -> T {
+        self.inner.flag.wait(strategy);
+        self.inner
+            .value
+            .lock()
+            .take()
+            .expect("task completed without a value (already joined?)")
+    }
+
+    /// Non-blocking result retrieval.
+    pub fn try_join(self) -> Result<T, Self> {
+        if self.is_done() {
+            let v = self.inner.value.lock().take();
+            match v {
+                Some(v) => Ok(v),
+                None => panic!("task completed without a value (already joined?)"),
+            }
+        } else {
+            Err(self)
+        }
+    }
+}
+
+impl<T> TaskSlot<T> {
+    pub(crate) fn complete(&self, value: T) {
+        *self.value.lock() = Some(value);
+        self.flag.signal();
+    }
+}
+
+impl<T> std::fmt::Debug for TaskHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskHandle")
+            .field("done", &self.is_done())
+            .finish()
+    }
+}

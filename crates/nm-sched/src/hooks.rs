@@ -1,0 +1,134 @@
+//! Progression hook registry.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// Where in the scheduler a hook fires — the paper's "CPU idleness,
+/// context switches, timer interrupts" (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookEvent {
+    /// A worker found no runnable task.
+    Idle {
+        /// Index of the idle worker.
+        worker: usize,
+    },
+    /// A task boundary or explicit yield on a worker.
+    Yield {
+        /// Index of the yielding worker.
+        worker: usize,
+    },
+    /// The periodic timer tick.
+    Timer,
+}
+
+type Hook = Arc<dyn Fn(HookEvent) + Send + Sync>;
+
+/// A list of progression callbacks fired at scheduler events.
+///
+/// Registration is rare, firing is hot: the registry is read-optimized
+/// (an `RwLock` around an immutable snapshot that is cloned on write).
+#[derive(Default)]
+pub struct HookRegistry {
+    hooks: RwLock<Arc<Vec<Hook>>>,
+}
+
+impl HookRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a hook; it will fire on every subsequent event.
+    pub fn add(&self, hook: impl Fn(HookEvent) + Send + Sync + 'static) {
+        let mut guard = self.hooks.write();
+        let mut next: Vec<Hook> = (**guard).clone();
+        next.push(Arc::new(hook));
+        *guard = Arc::new(next);
+    }
+
+    /// Fires all hooks for `event`.
+    #[inline]
+    pub fn fire(&self, event: HookEvent) {
+        // Snapshot under the read lock, run outside it: a hook may
+        // recursively consult the scheduler without deadlocking.
+        let snapshot = Arc::clone(&self.hooks.read());
+        for hook in snapshot.iter() {
+            hook(event);
+        }
+    }
+
+    /// Number of registered hooks.
+    pub fn len(&self) -> usize {
+        self.hooks.read().len()
+    }
+
+    /// `true` when no hook is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for HookRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HookRegistry")
+            .field("hooks", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn hooks_fire_in_registration_order() {
+        let reg = HookRegistry::new();
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let log = Arc::clone(&log);
+            reg.add(move |_| log.lock().push(i));
+        }
+        reg.fire(HookEvent::Timer);
+        assert_eq!(*log.lock(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn hook_receives_event_payload() {
+        let reg = HookRegistry::new();
+        let seen = Arc::new(parking_lot::Mutex::new(None));
+        let s = Arc::clone(&seen);
+        reg.add(move |ev| *s.lock() = Some(ev));
+        reg.fire(HookEvent::Idle { worker: 3 });
+        assert_eq!(*seen.lock(), Some(HookEvent::Idle { worker: 3 }));
+    }
+
+    #[test]
+    fn hook_may_register_another_hook_reentrantly() {
+        let reg = Arc::new(HookRegistry::new());
+        let count = Arc::new(AtomicUsize::new(0));
+        let (r2, c2) = (Arc::clone(&reg), Arc::clone(&count));
+        reg.add(move |_| {
+            if c2.fetch_add(1, Ordering::SeqCst) == 0 {
+                let c3 = Arc::clone(&c2);
+                r2.add(move |_| {
+                    c3.fetch_add(100, Ordering::SeqCst);
+                });
+            }
+        });
+        reg.fire(HookEvent::Timer); // registers the second hook
+        reg.fire(HookEvent::Timer); // both fire
+        assert_eq!(count.load(Ordering::SeqCst), 102);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn empty_registry_reports_empty() {
+        let reg = HookRegistry::new();
+        assert!(reg.is_empty());
+        reg.fire(HookEvent::Timer); // must not panic
+        reg.add(|_| {});
+        assert!(!reg.is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! Two-level task scheduler with progression hooks (Marcel-style).
+//!
+//! The paper's thread library, MARCEL, matters to the communication study
+//! for two properties, both reproduced here:
+//!
+//! 1. **Two-level scheduling** — a pool of kernel worker threads (each
+//!    optionally bound to a core), each with a local work-stealing run
+//!    queue fed from a global injector. Application tasks are lightweight
+//!    closures scheduled onto the pool.
+//! 2. **Progression hooks** — "hooks usable for asynchronous communication
+//!    progression": callbacks invoked when a worker becomes *idle*, at
+//!    every *context switch* (task boundary or explicit yield), and on
+//!    *timer* ticks. PIOMan (`nm-progress`) registers itself on these hooks
+//!    so the network is polled from otherwise-wasted cycles.
+//!
+//! ```
+//! use nm_sched::{Scheduler, SchedulerConfig, HookEvent};
+//! use std::sync::Arc;
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! let sched = Scheduler::new(SchedulerConfig::default().workers(2));
+//! let hits = Arc::new(AtomicUsize::new(0));
+//! let h = Arc::clone(&hits);
+//! sched.add_hook(move |ev| {
+//!     if matches!(ev, HookEvent::Idle { .. }) {
+//!         h.fetch_add(1, Ordering::Relaxed);
+//!     }
+//! });
+//! let task = sched.spawn_with_handle(|| 6 * 7);
+//! assert_eq!(task.join(), 42);
+//! sched.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+mod handle;
+mod hooks;
+mod scheduler;
+
+pub use handle::TaskHandle;
+pub use hooks::{HookEvent, HookRegistry};
+pub use scheduler::{Scheduler, SchedulerConfig, WorkerCtx, WorkerStats};

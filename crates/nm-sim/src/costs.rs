@@ -1,0 +1,104 @@
+//! Calibrated operation costs.
+
+/// Per-operation costs (nanoseconds) charged by the simulated experiments.
+///
+/// Defaults are the constants the paper reports for its testbed; every
+/// field can be replaced with values calibrated on the host (see the
+/// calibration harness in `nm-bench`), letting the simulator predict what
+/// the real stack would measure on this machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimCosts {
+    /// One spinlock acquire/release cycle (paper: 70 ns).
+    pub lock_cycle_ns: u64,
+    /// One polling pass over a driver (decode/doorbell bookkeeping).
+    pub poll_pass_ns: u64,
+    /// Extra cost of going through the PIOMan registry per pass
+    /// (paper: ~200 ns — "management of PIOMan internal lists as well as
+    /// locking").
+    pub pioman_pass_ns: u64,
+    /// One blocking-primitive context switch (paper: ~750 ns).
+    pub ctx_switch_ns: u64,
+    /// CPU cost of submitting one packet (strategy, header, doorbell).
+    pub submit_ns: u64,
+    /// CPU cost of enqueueing a deferred submission (lock-free push).
+    pub enqueue_ns: u64,
+    /// Tasklet scheduling overhead: state machine + pending list +
+    /// runner wakeup (paper: ~2 µs total for the tasklet path).
+    pub tasklet_schedule_ns: u64,
+    /// Granularity of a progression thread's idle loop: how long after an
+    /// event lands before an idle-core poller notices it (bounded by its
+    /// pass length).
+    pub idle_poll_gap_ns: u64,
+}
+
+impl Default for SimCosts {
+    fn default() -> Self {
+        SimCosts {
+            lock_cycle_ns: 70,
+            poll_pass_ns: 50,
+            pioman_pass_ns: 200,
+            ctx_switch_ns: 750,
+            submit_ns: 250,
+            enqueue_ns: 100,
+            tasklet_schedule_ns: 800,
+            idle_poll_gap_ns: 300,
+        }
+    }
+}
+
+impl SimCosts {
+    /// The paper's testbed constants (same as `Default`).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the lock-cycle cost (e.g. with a host-calibrated value).
+    pub fn with_lock_cycle(mut self, ns: u64) -> Self {
+        self.lock_cycle_ns = ns;
+        self
+    }
+
+    /// Replaces the context-switch cost.
+    pub fn with_ctx_switch(mut self, ns: u64) -> Self {
+        self.ctx_switch_ns = ns;
+        self
+    }
+
+    /// Replaces the PIOMan pass cost.
+    pub fn with_pioman_pass(mut self, ns: u64) -> Self {
+        self.pioman_pass_ns = ns;
+        self
+    }
+
+    /// Replaces the tasklet scheduling cost.
+    pub fn with_tasklet_schedule(mut self, ns: u64) -> Self {
+        self.tasklet_schedule_ns = ns;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_constants() {
+        let c = SimCosts::paper();
+        assert_eq!(c.lock_cycle_ns, 70);
+        assert_eq!(c.pioman_pass_ns, 200);
+        assert_eq!(c.ctx_switch_ns, 750);
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let c = SimCosts::default()
+            .with_lock_cycle(99)
+            .with_ctx_switch(1234)
+            .with_pioman_pass(1)
+            .with_tasklet_schedule(5);
+        assert_eq!(c.lock_cycle_ns, 99);
+        assert_eq!(c.ctx_switch_ns, 1234);
+        assert_eq!(c.pioman_pass_ns, 1);
+        assert_eq!(c.tasklet_schedule_ns, 5);
+    }
+}

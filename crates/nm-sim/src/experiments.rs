@@ -1,0 +1,1029 @@
+//! Deterministic models of the paper's experiments, one per figure.
+//!
+//! Each function builds a [`Vm`], spawns the experiment's threads (nodes,
+//! progression threads, tasklet runners), runs it, and returns one
+//! [`Series`] per curve of the figure. The models mirror the *lock
+//! sequence* of the real `nm-core` implementation:
+//!
+//! * **send path** — coarse: one global-lock cycle per `isend` call;
+//!   fine: one collect-lock cycle (submit) + one driver-lock cycle
+//!   (transmit); no-locking: none.
+//! * **poll pass** — coarse: one global-lock cycle; fine: one driver-lock
+//!   cycle, plus a collect-lock cycle on successful dispatch.
+//!
+//! Latencies are reported as the paper plots them: half the measured
+//! round-trip time, in microseconds.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use nm_fabric::WireModel;
+use nm_topo::{Distance, Topology};
+
+use crate::{ChanId, EventId, LockId, SimCosts, ThreadCtx, Vm};
+
+/// Message sizes of Figs 3, 5, 6 and 7: 1 B – 2 KB, powers of two.
+pub fn small_sizes() -> Vec<usize> {
+    (0..=11).map(|p| 1usize << p).collect()
+}
+
+/// Message sizes of Fig 9: 2 KB – 32 KB.
+pub fn fig9_sizes() -> Vec<usize> {
+    (11..=15).map(|p| 1usize << p).collect()
+}
+
+/// One curve of a figure.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label (matches the paper's).
+    pub label: String,
+    /// `(message size in bytes, one-way latency in µs)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// The locking modes as the sim models them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Fig 3 "no locking".
+    NoLock,
+    /// Fig 2/3 coarse grain.
+    Coarse,
+    /// Fig 4/3 fine grain.
+    Fine,
+}
+
+impl Mode {
+    /// Paper legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mode::NoLock => "no locking",
+            Mode::Coarse => "coarse-grain locking",
+            Mode::Fine => "fine-grain locking",
+        }
+    }
+}
+
+/// The per-node locks of the model.
+#[derive(Clone, Copy)]
+struct NodeLocks {
+    global: LockId,
+    collect: LockId,
+    driver: LockId,
+}
+
+fn node_locks(vm: &mut Vm) -> NodeLocks {
+    NodeLocks {
+        global: vm.lock(),
+        collect: vm.lock(),
+        driver: vm.lock(),
+    }
+}
+
+/// Models one `isend` (submit + transmit) under `mode`.
+fn model_isend(ctx: &mut ThreadCtx, mode: Mode, locks: NodeLocks, chan: ChanId, size: usize) {
+    let c = *ctx.costs();
+    let half = c.submit_ns / 2;
+    match mode {
+        Mode::NoLock => {
+            ctx.advance(c.submit_ns);
+            ctx.chan_send(chan, size);
+        }
+        Mode::Coarse => {
+            // The paper's coarse send path takes the library-wide lock
+            // twice: "once for submitting the message to the collect
+            // layer, once to transmit it through the network" — the
+            // 2 x 70 ns = 140 ns of Fig 3.
+            ctx.lock(locks.global);
+            ctx.advance(half);
+            ctx.unlock(locks.global);
+            ctx.lock(locks.global);
+            ctx.advance(c.submit_ns - half);
+            ctx.chan_send(chan, size);
+            ctx.unlock(locks.global);
+        }
+        Mode::Fine => {
+            // Submit to the collect layer, then transmit via the driver.
+            ctx.lock(locks.collect);
+            ctx.advance(half);
+            ctx.unlock(locks.collect);
+            ctx.lock(locks.driver);
+            ctx.advance(c.submit_ns - half);
+            ctx.chan_send(chan, size);
+            ctx.unlock(locks.driver);
+        }
+    }
+}
+
+/// One empty poll pass's cost (the waiting loop's period) for `mode`.
+///
+/// The application's own wait in coarse mode holds the library lock, so
+/// its passes are bare polls; fine mode pays the driver lock every pass.
+fn pass_period(c: &SimCosts, mode: Mode, via_pioman: bool, held: bool) -> u64 {
+    let lockwork = match mode {
+        Mode::NoLock => 0,
+        Mode::Coarse if held => 0,
+        Mode::Coarse => c.lock_cycle_ns,
+        Mode::Fine => c.lock_cycle_ns,
+    };
+    let pioman = if via_pioman { c.pioman_pass_ns / 4 } else { 0 };
+    (c.poll_pass_ns + lockwork + pioman).max(1)
+}
+
+/// Blocks until the next packet lands, then aligns to the poll-pass grid:
+/// a busy poller would have discovered the packet on its next pass
+/// boundary after delivery. O(1) in simulator events.
+fn recv_aligned(ctx: &mut ThreadCtx, chan: ChanId, period: u64) -> usize {
+    let start = ctx.now();
+    let size = ctx.chan_recv_wait(chan);
+    let elapsed = ctx.now() - start;
+    let target = (elapsed.div_ceil(period)).max(1) * period;
+    ctx.advance(target - elapsed);
+    size
+}
+
+/// Charges the successful detection pass (decode + dispatch) costs.
+fn charge_detection(ctx: &mut ThreadCtx, mode: Mode, locks: NodeLocks, via_pioman: bool, held: bool) {
+    let c = *ctx.costs();
+    match mode {
+        Mode::NoLock => ctx.advance(c.poll_pass_ns),
+        Mode::Coarse if held => ctx.advance(c.poll_pass_ns),
+        Mode::Coarse => ctx.with_lock(locks.global, c.poll_pass_ns),
+        Mode::Fine => {
+            // Driver poll, then dispatch against the collect-layer lists.
+            ctx.with_lock(locks.driver, c.poll_pass_ns);
+            ctx.with_lock(locks.collect, c.poll_pass_ns);
+        }
+    }
+    if via_pioman {
+        // Completion travels through the engine's request lists (Fig 6's
+        // "management of PIOMan internal lists as well as locking").
+        ctx.advance(c.pioman_pass_ns);
+    }
+}
+
+/// Models the application's own busy wait (`MPI_Wait` with active
+/// waiting). In coarse mode the library-wide lock is held across the
+/// whole wait — the wait loop runs *inside* the library (Fig 2), which is
+/// exactly why two concurrent pingpongs serialize in Fig 5. Background
+/// agents must use [`model_agent_recv`] instead.
+fn model_recv_busy(
+    ctx: &mut ThreadCtx,
+    mode: Mode,
+    locks: NodeLocks,
+    chan: ChanId,
+    via_pioman: bool,
+) -> usize {
+    let c = *ctx.costs();
+    if mode == Mode::Coarse {
+        ctx.lock(locks.global);
+    }
+    let period = pass_period(&c, mode, via_pioman, true);
+    let size = recv_aligned(ctx, chan, period);
+    charge_detection(ctx, mode, locks, via_pioman, true);
+    if mode == Mode::Coarse {
+        ctx.unlock(locks.global);
+    }
+    size
+}
+
+/// A background agent's receive loop: per-pass locking (never holds the
+/// coarse lock across the wait, unlike an application's own busy wait).
+fn model_agent_recv(
+    ctx: &mut ThreadCtx,
+    mode: Mode,
+    locks: NodeLocks,
+    chan: ChanId,
+    via_pioman: bool,
+) -> usize {
+    let c = *ctx.costs();
+    let period = pass_period(&c, mode, via_pioman, false);
+    let size = recv_aligned(ctx, chan, period);
+    charge_detection(ctx, mode, locks, via_pioman, false);
+    size
+}
+
+const WARMUP: usize = 8;
+const ITERS: usize = 48;
+
+/// Result collector shared between sim threads and the harness.
+type Samples = Arc<Mutex<Vec<f64>>>;
+
+fn mean_us(samples: &Samples) -> f64 {
+    let s = samples.lock();
+    s.iter().sum::<f64>() / s.len() as f64
+}
+
+/// One pingpong (Figs 3 and 6): returns the mean one-way latency (µs).
+fn pingpong_once(costs: SimCosts, mode: Mode, size: usize, via_pioman: bool) -> f64 {
+    let mut vm = Vm::new(costs, Topology::xeon_x5460());
+    let locks_a = node_locks(&mut vm);
+    let locks_b = node_locks(&mut vm);
+    let ab = vm.chan(WireModel::myri_10g());
+    let ba = vm.chan(WireModel::myri_10g());
+    let samples: Samples = Arc::new(Mutex::new(Vec::new()));
+
+    let s2 = Arc::clone(&samples);
+    vm.spawn(0, move |ctx| {
+        for i in 0..WARMUP + ITERS {
+            let t0 = ctx.now();
+            ctx.advance(1); // loop overhead: the gap between library calls
+            model_isend(ctx, mode, locks_a, ab, size);
+            model_recv_busy(ctx, mode, locks_a, ba, via_pioman);
+            if i >= WARMUP {
+                s2.lock().push((ctx.now() - t0) as f64 / 2_000.0);
+            }
+        }
+    });
+    vm.spawn(1, move |ctx| {
+        for _ in 0..WARMUP + ITERS {
+            ctx.advance(1);
+            let got = model_recv_busy(ctx, mode, locks_b, ab, via_pioman);
+            model_isend(ctx, mode, locks_b, ba, got);
+        }
+    });
+    vm.run();
+    mean_us(&samples)
+}
+
+/// **Fig 3** — impact of locking on latency: pingpong under the three
+/// locking modes.
+pub fn fig3_locking_latency(costs: SimCosts, sizes: &[usize]) -> Vec<Series> {
+    [Mode::Coarse, Mode::Fine, Mode::NoLock]
+        .iter()
+        .map(|&mode| Series {
+            label: mode.label().to_string(),
+            points: sizes
+                .iter()
+                .map(|&s| (s, pingpong_once(costs, mode, s, false)))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Two concurrent pingpongs (Fig 5): returns the two threads' mean
+/// one-way latencies.
+fn concurrent_pingpong_once(costs: SimCosts, mode: Mode, size: usize) -> [f64; 2] {
+    let mut vm = Vm::new(costs, Topology::xeon_x5460());
+    let locks_a = node_locks(&mut vm);
+    let locks_b = node_locks(&mut vm);
+    // Two independent pingpong flows; each direction's two logical
+    // channels share one physical NIC wire (Fig 5's "more intensive use
+    // of the NIC").
+    let ab0 = vm.chan(WireModel::myri_10g());
+    let ab1 = vm.chan_sharing_wire(WireModel::myri_10g(), ab0);
+    let ba0 = vm.chan(WireModel::myri_10g());
+    let ba1 = vm.chan_sharing_wire(WireModel::myri_10g(), ba0);
+    let flows = [(ab0, ba0), (ab1, ba1)];
+
+    let mut per_thread = Vec::new();
+    for (t, &(ab, ba)) in flows.iter().enumerate() {
+        let samples: Samples = Arc::new(Mutex::new(Vec::new()));
+        per_thread.push(Arc::clone(&samples));
+        vm.spawn(t, move |ctx| {
+            for i in 0..WARMUP + ITERS {
+                let t0 = ctx.now();
+                ctx.advance(1); // loop overhead: the gap between library calls
+                model_isend(ctx, mode, locks_a, ab, size);
+                model_recv_busy(ctx, mode, locks_a, ba, false);
+                if i >= WARMUP {
+                    samples.lock().push((ctx.now() - t0) as f64 / 2_000.0);
+                }
+            }
+        });
+    }
+    for (t, &(ab, ba)) in flows.iter().enumerate() {
+        vm.spawn(2 + t, move |ctx| {
+            for _ in 0..WARMUP + ITERS {
+                ctx.advance(1);
+                let got = model_recv_busy(ctx, mode, locks_b, ab, false);
+                model_isend(ctx, mode, locks_b, ba, got);
+            }
+        });
+    }
+    vm.run();
+    [mean_us(&per_thread[0]), mean_us(&per_thread[1])]
+}
+
+/// **Fig 5** — two threads perform pingpongs concurrently, coarse vs fine,
+/// against the single-thread reference.
+pub fn fig5_concurrent_pingpong(costs: SimCosts, sizes: &[usize]) -> Vec<Series> {
+    let mut series = vec![Series {
+        label: "1 thread".into(),
+        points: sizes
+            .iter()
+            .map(|&s| (s, pingpong_once(costs, Mode::Fine, s, false)))
+            .collect(),
+    }];
+    for mode in [Mode::Fine, Mode::Coarse] {
+        let results: Vec<(usize, [f64; 2])> = sizes
+            .iter()
+            .map(|&s| (s, concurrent_pingpong_once(costs, mode, s)))
+            .collect();
+        for t in 0..2 {
+            series.push(Series {
+                label: format!("{} (thread {})", mode.label(), t + 1),
+                points: results.iter().map(|&(s, r)| (s, r[t])).collect(),
+            });
+        }
+    }
+    series
+}
+
+/// **Fig 6** — impact of PIOMan on latency: polling through the engine
+/// registry vs direct polling, both locking modes.
+pub fn fig6_pioman_overhead(costs: SimCosts, sizes: &[usize]) -> Vec<Series> {
+    let mut series = Vec::new();
+    for (via, tag) in [(true, "PIOMan "), (false, "")] {
+        for mode in [Mode::Coarse, Mode::Fine] {
+            series.push(Series {
+                label: format!("{tag}{}", mode.label()),
+                points: sizes
+                    .iter()
+                    .map(|&s| (s, pingpong_once(costs, mode, s, via)))
+                    .collect(),
+            });
+        }
+    }
+    series
+}
+
+/// Waiting strategies of Fig 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitKind {
+    /// Busy waiting (the app polls).
+    Active,
+    /// Semaphore blocking (a progression agent polls and signals).
+    Passive,
+    /// Fixed spin: poll for the window, then block.
+    FixedSpin(u64),
+}
+
+impl WaitKind {
+    fn label(&self) -> String {
+        match self {
+            WaitKind::Active => "active waiting".into(),
+            WaitKind::Passive => "passive waiting".into(),
+            WaitKind::FixedSpin(ns) => format!("fixed spin {} µs", ns / 1000),
+        }
+    }
+}
+
+/// Pingpong with an explicit waiting strategy (Fig 7): per-node
+/// progression agents poll and signal; the app blocks, spins, or both.
+fn waiting_pingpong_once(costs: SimCosts, mode: Mode, size: usize, wait: WaitKind) -> f64 {
+    if wait == WaitKind::Active {
+        return pingpong_once(costs, mode, size, false);
+    }
+    let mut vm = Vm::new(costs, Topology::xeon_x5460());
+    let locks_a = node_locks(&mut vm);
+    let locks_b = node_locks(&mut vm);
+    let ab = vm.chan(WireModel::myri_10g());
+    let ba = vm.chan(WireModel::myri_10g());
+    let (ev_a, ev_b) = (vm.event(), vm.event());
+    let samples: Samples = Arc::new(Mutex::new(Vec::new()));
+
+    let wait_on = move |ctx: &mut ThreadCtx, ev: EventId| match wait {
+        WaitKind::Active => unreachable!(),
+        WaitKind::Passive => ctx.event_wait_blocking(ev),
+        WaitKind::FixedSpin(window) => {
+            let pass = ctx.costs().poll_pass_ns;
+            ctx.event_fixed_spin_wait(ev, window, pass)
+        }
+    };
+
+    // Node A application (core 0) + progression agent (same core 0: the
+    // scheduler polls on the blocked thread's own CPU, as in §3.3).
+    let s2 = Arc::clone(&samples);
+    vm.spawn(0, move |ctx| {
+        for i in 0..WARMUP + ITERS {
+            let t0 = ctx.now();
+            model_isend(ctx, mode, locks_a, ab, size);
+            wait_on(ctx, ev_a);
+            ctx.event_reset(ev_a);
+            if i >= WARMUP {
+                s2.lock().push((ctx.now() - t0) as f64 / 2_000.0);
+            }
+        }
+    });
+    vm.spawn(0, move |ctx| {
+        for _ in 0..WARMUP + ITERS {
+            model_agent_recv(ctx, mode, locks_a, ba, false);
+            ctx.event_signal(ev_a);
+        }
+    });
+    // Node B: application blocks, agent polls, app echoes.
+    vm.spawn(0, move |ctx| {
+        for _ in 0..WARMUP + ITERS {
+            wait_on(ctx, ev_b);
+            ctx.event_reset(ev_b);
+            model_isend(ctx, mode, locks_b, ba, size);
+        }
+    });
+    vm.spawn(0, move |ctx| {
+        for _ in 0..WARMUP + ITERS {
+            model_agent_recv(ctx, mode, locks_b, ab, false);
+            ctx.event_signal(ev_b);
+        }
+    });
+    vm.run();
+    mean_us(&samples)
+}
+
+/// **Fig 7** — impact of semaphores on latency: passive vs active waiting
+/// under both locking modes.
+pub fn fig7_waiting_strategies(costs: SimCosts, sizes: &[usize]) -> Vec<Series> {
+    let mut series = Vec::new();
+    for wait in [WaitKind::Passive, WaitKind::Active] {
+        for mode in [Mode::Coarse, Mode::Fine] {
+            series.push(Series {
+                label: format!("{} ({})", wait.label(), mode.label()),
+                points: sizes
+                    .iter()
+                    .map(|&s| (s, waiting_pingpong_once(costs, mode, s, wait)))
+                    .collect(),
+            });
+        }
+    }
+    series
+}
+
+/// Extension of Fig 7: sweep the fixed-spin window (ablation of the 5 µs
+/// suggestion).
+pub fn fig7_fixed_spin_sweep(costs: SimCosts, size: usize, windows_ns: &[u64]) -> Series {
+    Series {
+        label: format!("fixed-spin sweep at {size} B"),
+        points: windows_ns
+            .iter()
+            .map(|&w| {
+                (
+                    w as usize,
+                    waiting_pingpong_once(costs, Mode::Fine, size, WaitKind::FixedSpin(w)),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Pingpong with polling deferred to `poll_core` (Fig 8). The application
+/// thread is bound to core 0; a progression thread on `poll_core` polls
+/// the NIC and the app spins on the completion flag, paying the
+/// cache-distance penalty.
+fn affinity_pingpong_once(costs: SimCosts, topo: &Topology, size: usize, poll_core: usize) -> f64 {
+    if poll_core == 0 {
+        // Polling on the application's own core = the app polls directly.
+        return pingpong_once(costs, Mode::Fine, size, false);
+    }
+    let mut vm = Vm::new(costs, topo.clone());
+    let locks_a = node_locks(&mut vm);
+    let locks_b = node_locks(&mut vm);
+    let ab = vm.chan(WireModel::myri_10g());
+    let ba = vm.chan(WireModel::myri_10g());
+    let (ev_a, ev_b) = (vm.event(), vm.event());
+    let samples: Samples = Arc::new(Mutex::new(Vec::new()));
+
+    // Both nodes run the same configuration (the paper deploys the same
+    // build on both ends): app on core 0, poller on `poll_core`.
+    let s2 = Arc::clone(&samples);
+    vm.spawn(0, move |ctx| {
+        let pass = ctx.costs().poll_pass_ns;
+        for i in 0..WARMUP + ITERS {
+            let t0 = ctx.now();
+            model_isend(ctx, Mode::Fine, locks_a, ab, size);
+            // Spin on the completion flag the poller will set: no context
+            // switch, but the flag and payload live in the poller's cache.
+            ctx.event_busy_wait(ev_a, pass);
+            ctx.event_reset(ev_a);
+            if i >= WARMUP {
+                s2.lock().push((ctx.now() - t0) as f64 / 2_000.0);
+            }
+        }
+    });
+    vm.spawn(poll_core, move |ctx| {
+        for _ in 0..WARMUP + ITERS {
+            model_agent_recv(ctx, Mode::Fine, locks_a, ba, false);
+            ctx.event_signal(ev_a);
+        }
+    });
+    // Node B: echo with the same deferred-polling placement.
+    vm.spawn(0, move |ctx| {
+        let pass = ctx.costs().poll_pass_ns;
+        for _ in 0..WARMUP + ITERS {
+            ctx.event_busy_wait(ev_b, pass);
+            ctx.event_reset(ev_b);
+            model_isend(ctx, Mode::Fine, locks_b, ba, size);
+        }
+    });
+    vm.spawn(poll_core, move |ctx| {
+        for _ in 0..WARMUP + ITERS {
+            model_agent_recv(ctx, Mode::Fine, locks_b, ab, false);
+            ctx.event_signal(ev_b);
+        }
+    });
+    vm.run();
+    mean_us(&samples)
+}
+
+/// **Fig 8** — impact of cache affinity: polling placed on each distance
+/// class of `topo` relative to the application's core 0.
+pub fn fig8_cache_affinity(costs: SimCosts, topo: &Topology, sizes: &[usize]) -> Vec<Series> {
+    topo.representative_cores(0)
+        .into_iter()
+        .map(|(dist, core)| Series {
+            label: format!(
+                "polling on cpu {core} ({})",
+                match dist {
+                    Distance::SameCore => "same core",
+                    Distance::SharedCache => "shared cache",
+                    Distance::SamePackage => "no shared cache",
+                    Distance::CrossPackage => "other chip",
+                }
+            ),
+            points: sizes
+                .iter()
+                .map(|&s| (s, affinity_pingpong_once(costs, topo, s, core)))
+                .collect(),
+        })
+        .collect()
+}
+
+/// The offload modes of Fig 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffloadKind {
+    /// Inline submission (the reference curve).
+    Reference,
+    /// Deferred to an idle core, no tasklet.
+    IdleCore,
+    /// Deferred via a tasklet.
+    Tasklet,
+}
+
+impl OffloadKind {
+    fn label(&self) -> &'static str {
+        match self {
+            OffloadKind::Reference => "Reference",
+            OffloadKind::IdleCore => "Offloading without tasklets",
+            OffloadKind::Tasklet => "Offloading using tasklets",
+        }
+    }
+}
+
+/// Overlap pingpong of Fig 9: non-blocking send, 10 µs of computation,
+/// then wait — with the submission executed inline, by an idle core, or
+/// by a tasklet.
+fn offload_pingpong_once(costs: SimCosts, size: usize, kind: OffloadKind) -> f64 {
+    const COMPUTE_NS: u64 = 10_000;
+    let mut vm = Vm::new(costs, Topology::xeon_x5460());
+    let locks_a = node_locks(&mut vm);
+    let locks_b = node_locks(&mut vm);
+    let ab = vm.chan(WireModel::myri_10g());
+    let ba = vm.chan(WireModel::myri_10g());
+    let work = vm.event();
+    let work_b_ev = vm.event();
+    let samples: Samples = Arc::new(Mutex::new(Vec::new()));
+
+    let s2 = Arc::clone(&samples);
+    vm.spawn(0, move |ctx| {
+        for i in 0..WARMUP + ITERS {
+            let t0 = ctx.now();
+            match kind {
+                OffloadKind::Reference => model_isend(ctx, Mode::Fine, locks_a, ab, size),
+                OffloadKind::IdleCore | OffloadKind::Tasklet => {
+                    // Enqueue the submission and let core 1 pick it up.
+                    let c = ctx.costs().enqueue_ns;
+                    ctx.advance(c);
+                    ctx.event_signal(work);
+                }
+            }
+            ctx.advance(COMPUTE_NS); // overlapped computation
+            model_recv_busy(ctx, Mode::Fine, locks_a, ba, false);
+            if i >= WARMUP {
+                s2.lock().push((ctx.now() - t0) as f64 / 2_000.0);
+            }
+        }
+    });
+    if kind != OffloadKind::Reference {
+        vm.spawn(1, move |ctx| {
+            let gap = ctx.costs().idle_poll_gap_ns;
+            for _ in 0..WARMUP + ITERS {
+                // The idle core discovers the deferred submission on its
+                // next pass...
+                ctx.event_busy_wait(work, gap);
+                ctx.event_reset(work);
+                if kind == OffloadKind::Tasklet {
+                    // ...and the tasklet machinery adds its state machine,
+                    // pending list and wakeup costs.
+                    let t = ctx.costs().tasklet_schedule_ns;
+                    ctx.advance(t);
+                    let sw = ctx.costs().ctx_switch_ns;
+                    ctx.advance(sw);
+                }
+                model_isend(ctx, Mode::Fine, locks_a, ab, size);
+            }
+        });
+    }
+    // Node B mirrors A: the echo's submission takes the same path.
+    let work_b = work_b_ev;
+    vm.spawn(0, move |ctx| {
+        for _ in 0..WARMUP + ITERS {
+            let got = model_recv_busy(ctx, Mode::Fine, locks_b, ab, false);
+            match kind {
+                OffloadKind::Reference => model_isend(ctx, Mode::Fine, locks_b, ba, got),
+                OffloadKind::IdleCore | OffloadKind::Tasklet => {
+                    let c = ctx.costs().enqueue_ns;
+                    ctx.advance(c);
+                    ctx.event_signal(work_b);
+                }
+            }
+        }
+    });
+    if kind != OffloadKind::Reference {
+        vm.spawn(1, move |ctx| {
+            let gap = ctx.costs().idle_poll_gap_ns;
+            for _ in 0..WARMUP + ITERS {
+                ctx.event_busy_wait(work_b, gap);
+                ctx.event_reset(work_b);
+                if kind == OffloadKind::Tasklet {
+                    let t = ctx.costs().tasklet_schedule_ns;
+                    ctx.advance(t);
+                    let sw = ctx.costs().ctx_switch_ns;
+                    ctx.advance(sw);
+                }
+                model_isend(ctx, Mode::Fine, locks_b, ba, size);
+            }
+        });
+    }
+    vm.run();
+    mean_us(&samples)
+}
+
+/// **Fig 9** — impact of tasklets on deferred message submission.
+pub fn fig9_offload_tasklets(costs: SimCosts, sizes: &[usize]) -> Vec<Series> {
+    [
+        OffloadKind::IdleCore,
+        OffloadKind::Tasklet,
+        OffloadKind::Reference,
+    ]
+    .iter()
+    .map(|&kind| Series {
+        label: kind.label().to_string(),
+        points: sizes
+            .iter()
+            .map(|&s| (s, offload_pingpong_once(costs, s, kind)))
+            .collect(),
+    })
+    .collect()
+}
+
+/// §4.1's claim: idle cores can manage rendezvous handshakes in the
+/// background, overlapping the transfer of large messages with
+/// computation.
+///
+/// The application posts a rendezvous send (RTS only), computes for
+/// `compute_ns`, then waits. Without background progression the CTS sits
+/// unhandled until the wait begins, serializing compute and transfer;
+/// with a progression agent on another core the data flows during the
+/// compute phase.
+fn rdv_overlap_once(costs: SimCosts, size: usize, with_progression: bool) -> f64 {
+    const COMPUTE_NS: u64 = 30_000;
+    let chunk = 16 * 1024;
+    let mut vm = Vm::new(costs, Topology::xeon_x5460());
+    let locks_a = node_locks(&mut vm);
+    let locks_b = node_locks(&mut vm);
+    let ab = vm.chan(WireModel::myri_10g());
+    let ba = vm.chan(WireModel::myri_10g());
+    let work = vm.event();
+    let samples: Samples = Arc::new(Mutex::new(Vec::new()));
+
+    // Node A application: RTS, compute, then wait for B's ACK that the
+    // whole message landed. Iterations do not pipeline: the ACK closes
+    // each one, so the sample is the true makespan of compute + transfer.
+    let s2 = Arc::clone(&samples);
+    vm.spawn(0, move |ctx| {
+        for i in 0..WARMUP + ITERS {
+            let t0 = ctx.now();
+            // Post the RTS (a small control message).
+            model_isend(ctx, Mode::Fine, locks_a, ab, 0);
+            if with_progression {
+                ctx.event_signal(work);
+            }
+            ctx.advance(COMPUTE_NS);
+            if !with_progression {
+                // No idle core: the application handles the CTS only now,
+                // serializing the transfer behind the compute.
+                model_recv_busy(ctx, Mode::Fine, locks_a, ba, false); // CTS
+                let mut sent = 0;
+                while sent < size {
+                    let n = chunk.min(size - sent);
+                    model_isend(ctx, Mode::Fine, locks_a, ab, n);
+                    sent += n;
+                }
+            }
+            // B's ACK (size 0) confirms full delivery.
+            model_recv_busy(ctx, Mode::Fine, locks_a, ba, false);
+            if i >= WARMUP {
+                s2.lock().push((ctx.now() - t0) as f64 / 1_000.0);
+            }
+        }
+    });
+    if with_progression {
+        // The idle core: handles the CTS and drives the data transfer
+        // while the application computes.
+        vm.spawn(1, move |ctx| {
+            let gap = ctx.costs().idle_poll_gap_ns;
+            for _ in 0..WARMUP + ITERS {
+                ctx.event_busy_wait(work, gap);
+                ctx.event_reset(work);
+                model_agent_recv(ctx, Mode::Fine, locks_a, ba, false); // CTS
+                let mut sent = 0;
+                while sent < size {
+                    let n = chunk.min(size - sent);
+                    model_isend(ctx, Mode::Fine, locks_a, ab, n);
+                    sent += n;
+                }
+            }
+        });
+    }
+    // Node B: replies CTS to each RTS, absorbs the data, then ACKs.
+    vm.spawn(0, move |ctx| {
+        for _ in 0..WARMUP + ITERS {
+            model_recv_busy(ctx, Mode::Fine, locks_b, ab, false); // RTS
+            model_isend(ctx, Mode::Fine, locks_b, ba, 0); // CTS
+            let mut got = 0;
+            while got < size {
+                got += model_recv_busy(ctx, Mode::Fine, locks_b, ab, false);
+            }
+            model_isend(ctx, Mode::Fine, locks_b, ba, 0); // ACK
+        }
+    });
+    vm.run();
+    mean_us(&samples)
+}
+
+/// §4.1 — rendezvous overlap: total time of (RTS + 30 µs compute + wait)
+/// for large messages, with and without an idle core progressing the
+/// handshake in the background.
+pub fn rdv_overlap(costs: SimCosts, sizes: &[usize]) -> Vec<Series> {
+    [(false, "application-driven"), (true, "idle-core progression")]
+        .iter()
+        .map(|&(with, label)| Series {
+            label: label.to_string(),
+            points: sizes
+                .iter()
+                .map(|&s| (s, rdv_overlap_once(costs, s, with)))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Streaming bandwidth (the paper's §3.1 claim that locking overhead
+/// "does not impact bandwidth"): the sender pushes `count` back-to-back
+/// messages; achieved bandwidth is bytes over the time the last one
+/// lands.
+fn bandwidth_once(costs: SimCosts, mode: Mode, size: usize, count: usize) -> f64 {
+    let mut vm = Vm::new(costs, Topology::xeon_x5460());
+    let locks_a = node_locks(&mut vm);
+    let locks_b = node_locks(&mut vm);
+    let ab = vm.chan(WireModel::myri_10g());
+    let done_at = Arc::new(Mutex::new(0u64));
+
+    vm.spawn(0, move |ctx| {
+        for _ in 0..count {
+            model_isend(ctx, mode, locks_a, ab, size);
+        }
+    });
+    let d2 = Arc::clone(&done_at);
+    vm.spawn(1, move |ctx| {
+        for _ in 0..count {
+            model_recv_busy(ctx, mode, locks_b, ab, false);
+        }
+        *d2.lock() = ctx.now();
+    });
+    vm.run();
+    let elapsed_ns = *done_at.lock();
+    (count * size) as f64 / (elapsed_ns as f64 / 1e9) / 1e6 // MB/s
+}
+
+/// Bandwidth vs message size per locking mode (MB/s on the y axis).
+///
+/// At large sizes the wire dominates and all three modes converge — the
+/// constant lock overheads vanish into the transmission time, exactly as
+/// the paper observes.
+pub fn bandwidth_by_mode(costs: SimCosts, sizes: &[usize]) -> Vec<Series> {
+    [Mode::NoLock, Mode::Coarse, Mode::Fine]
+        .iter()
+        .map(|&mode| Series {
+            label: mode.label().to_string(),
+            points: sizes
+                .iter()
+                .map(|&s| (s, bandwidth_once(costs, mode, s, 64)))
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> SimCosts {
+        SimCosts::paper()
+    }
+
+    /// Mean constant offset (µs) between two series across all sizes.
+    fn offset(a: &Series, b: &Series) -> f64 {
+        assert_eq!(a.points.len(), b.points.len());
+        a.points
+            .iter()
+            .zip(&b.points)
+            .map(|(&(_, la), &(_, lb))| la - lb)
+            .sum::<f64>()
+            / a.points.len() as f64
+    }
+
+    fn spread(a: &Series, b: &Series) -> f64 {
+        let diffs: Vec<f64> = a
+            .points
+            .iter()
+            .zip(&b.points)
+            .map(|(&(_, la), &(_, lb))| la - lb)
+            .collect();
+        let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
+        diffs
+            .iter()
+            .map(|d| (d - mean).abs())
+            .fold(0.0f64, f64::max)
+    }
+
+    #[test]
+    fn fig3_overheads_are_constant_and_ordered() {
+        let sizes = small_sizes();
+        let series = fig3_locking_latency(costs(), &sizes);
+        let coarse = &series[0];
+        let fine = &series[1];
+        let none = &series[2];
+        let d_coarse = offset(coarse, none);
+        let d_fine = offset(fine, none);
+        // Paper: coarse ≈ +140 ns, fine ≈ +230 ns, both size-independent.
+        assert!(d_coarse > 0.05 && d_coarse < 0.4, "coarse Δ = {d_coarse} µs");
+        assert!(d_fine > d_coarse, "fine must cost more than coarse");
+        assert!(d_fine < 0.6, "fine Δ = {d_fine} µs");
+        assert!(spread(coarse, none) < 0.15, "coarse overhead not constant");
+        assert!(spread(fine, none) < 0.15, "fine overhead not constant");
+    }
+
+    #[test]
+    fn fig3_small_message_latency_is_myrinet_like() {
+        let series = fig3_locking_latency(costs(), &[4]);
+        for s in &series {
+            let lat = s.points[0].1;
+            // Paper Fig 3: ~2–4 µs at small sizes on Myri-10G.
+            assert!((1.5..5.0).contains(&lat), "{}: {lat} µs", s.label);
+        }
+    }
+
+    #[test]
+    fn fig5_coarse_serializes_to_about_double() {
+        let sizes = [4usize, 64, 1024];
+        let series = fig5_concurrent_pingpong(costs(), &sizes);
+        let single = &series[0];
+        let fine_t1 = &series[1];
+        let coarse_t1 = &series[3];
+        for i in 0..sizes.len() {
+            let s1 = single.points[i].1;
+            let c = coarse_t1.points[i].1;
+            let f = fine_t1.points[i].1;
+            assert!(
+                c > 1.5 * s1,
+                "coarse concurrent ({c}) should approach 2× single ({s1})"
+            );
+            assert!(f < c, "fine ({f}) must beat coarse ({c}) under concurrency");
+            assert!(f >= s1 * 0.95, "fine concurrent can't beat single-thread");
+        }
+    }
+
+    #[test]
+    fn fig6_pioman_adds_constant_overhead() {
+        let sizes = small_sizes();
+        let series = fig6_pioman_overhead(costs(), &sizes);
+        // Order: PIOMan coarse, PIOMan fine, coarse, fine.
+        let d_coarse = offset(&series[0], &series[2]);
+        let d_fine = offset(&series[1], &series[3]);
+        // Paper: ~200 ns = 0.2 µs.
+        assert!((0.1..0.4).contains(&d_coarse), "Δ = {d_coarse} µs");
+        assert!((0.1..0.4).contains(&d_fine), "Δ = {d_fine} µs");
+    }
+
+    #[test]
+    fn fig7_passive_costs_a_context_switch() {
+        let sizes = [4usize, 256, 2048];
+        let series = fig7_waiting_strategies(costs(), &sizes);
+        // Order: passive coarse, passive fine, active coarse, active fine.
+        let d = offset(&series[0], &series[2]);
+        // Paper: ~750 ns per one-way.
+        assert!((0.4..1.2).contains(&d), "passive Δ = {d} µs");
+    }
+
+    #[test]
+    fn fig7_fixed_spin_avoids_switch_when_event_is_fast() {
+        // With a window larger than the wire latency the event always
+        // lands inside the spin phase: latency ≈ active waiting.
+        let active = waiting_pingpong_once(costs(), Mode::Fine, 4, WaitKind::Active);
+        let spin = waiting_pingpong_once(costs(), Mode::Fine, 4, WaitKind::FixedSpin(50_000));
+        let passive = waiting_pingpong_once(costs(), Mode::Fine, 4, WaitKind::Passive);
+        assert!(
+            spin < passive,
+            "fixed spin ({spin}) must beat passive ({passive})"
+        );
+        assert!(spin < active + 0.3, "fixed spin ≈ active ({active})");
+    }
+
+    #[test]
+    fn fig8_monotone_in_cache_distance() {
+        let topo = Topology::xeon_x5460();
+        let sizes = [4usize, 1024];
+        let series = fig8_cache_affinity(costs(), &topo, &sizes);
+        assert_eq!(series.len(), 3, "quad-core: same, shared, no-shared");
+        for i in 0..sizes.len() {
+            let same = series[0].points[i].1;
+            let shared = series[1].points[i].1;
+            let far = series[2].points[i].1;
+            assert!(same < shared, "shared-cache poll must cost more");
+            assert!(shared < far, "cross-die poll must cost more");
+            // Paper: +400 ns and +1.2 µs.
+            assert!((0.2..0.8).contains(&(shared - same)), "Δ = {}", shared - same);
+            assert!((0.8..2.0).contains(&(far - same)), "Δ = {}", far - same);
+        }
+    }
+
+    #[test]
+    fn fig8_dual_socket_has_four_classes() {
+        let topo = Topology::dual_xeon_x5460();
+        let series = fig8_cache_affinity(costs(), &topo, &[64]);
+        assert_eq!(series.len(), 4);
+        let lats: Vec<f64> = series.iter().map(|s| s.points[0].1).collect();
+        assert!(lats.windows(2).all(|w| w[0] < w[1]), "not monotone: {lats:?}");
+        // Cross-package ≈ +3.1 µs.
+        let d = lats[3] - lats[0];
+        assert!((2.0..4.5).contains(&d), "cross-package Δ = {d} µs");
+    }
+
+    #[test]
+    fn fig9_tasklets_cost_more_than_direct_offload() {
+        let sizes = [2048usize, 8192, 32768];
+        let series = fig9_offload_tasklets(costs(), &sizes);
+        let (idle, tasklet, reference) = (&series[0], &series[1], &series[2]);
+        let d_idle = offset(idle, reference);
+        let d_tasklet = offset(tasklet, reference);
+        // Paper: ~400 ns without tasklets, ~2 µs with.
+        assert!((0.1..1.0).contains(&d_idle), "idle-core Δ = {d_idle} µs");
+        assert!(
+            (1.0..3.5).contains(&d_tasklet),
+            "tasklet Δ = {d_tasklet} µs"
+        );
+        assert!(d_tasklet > d_idle + 0.5, "tasklets must cost visibly more");
+    }
+
+    #[test]
+    fn rdv_overlap_hides_transfer_behind_compute() {
+        let sizes = [64 * 1024usize, 256 * 1024];
+        let series = rdv_overlap(costs(), &sizes);
+        let (app, idle) = (&series[0], &series[1]);
+        for i in 0..sizes.len() {
+            let (a, b) = (app.points[i].1, idle.points[i].1);
+            // Background progression hides (most of) the 30 µs compute
+            // window behind the transfer, at every size.
+            let saved = a - b;
+            assert!(
+                saved > 20.0,
+                "only {saved} µs hidden at {} B ({b} vs {a})",
+                sizes[i]
+            );
+        }
+    }
+
+    #[test]
+    fn bandwidth_converges_at_large_sizes() {
+        let series = bandwidth_by_mode(costs(), &[64, 32 * 1024]);
+        // Small messages: locking reduces the achievable message rate.
+        let small: Vec<f64> = series.iter().map(|s| s.points[0].1).collect();
+        assert!(small[0] > small[1], "no-lock must beat coarse at 64 B");
+        assert!(small[1] > small[2], "coarse must beat fine at 64 B");
+        // Large messages: the wire dominates; modes agree within 1 %.
+        let large: Vec<f64> = series.iter().map(|s| s.points[1].1).collect();
+        let spread = (large[0] - large[2]).abs() / large[0];
+        assert!(spread < 0.01, "bandwidth diverged by {spread:.3} at 32 KB");
+        // And the absolute value approaches the modelled 1.25 GB/s wire.
+        assert!(large[0] > 1_000.0, "32 KB bandwidth {} MB/s", large[0]);
+    }
+
+    #[test]
+    fn experiments_are_deterministic() {
+        let a = pingpong_once(costs(), Mode::Fine, 256, false);
+        let b = pingpong_once(costs(), Mode::Fine, 256, false);
+        assert_eq!(a, b, "virtual-time runs must be bit-identical");
+        let c = concurrent_pingpong_once(costs(), Mode::Coarse, 64);
+        let d = concurrent_pingpong_once(costs(), Mode::Coarse, 64);
+        assert_eq!(c, d);
+    }
+}

@@ -1,0 +1,34 @@
+//! Discrete-event deterministic twin of the nomad stack.
+//!
+//! The paper's measurements were taken on quad-core Xeon X5460 nodes over
+//! Myrinet MX. Where that hardware (or simply a multicore host) is not
+//! available, this crate reproduces every experiment *deterministically*:
+//! a virtual-time machine ([`Vm`]) runs each experiment's threads one at a
+//! time against a nanosecond clock, charging calibrated costs
+//! ([`SimCosts`]) for the operations the paper prices:
+//!
+//! * spinlock acquire/release cycles (70 ns, §3.1),
+//! * PIOMan list management per pass (200 ns, Fig 6),
+//! * context switches on blocking primitives (750 ns, Fig 7),
+//! * cross-core completion penalties from the machine topology
+//!   (400 ns / 1.2 µs / 2.3 µs / 3.1 µs, Fig 8),
+//! * tasklet scheduling vs direct idle-core pickup (2 µs vs 400 ns,
+//!   Fig 9),
+//!
+//! plus the wire model of `nm-fabric` for transmission times.
+//!
+//! [`experiments`] contains one entry point per figure; the `figures`
+//! binary of the bench crate prints their output in the paper's format.
+//! The defaults of [`SimCosts`] are the paper's constants; calibration
+//! from the host's real primitives is possible via
+//! [`SimCosts::with_lock_cycle`] etc., so sim and real modes can be
+//! cross-checked.
+
+#![warn(missing_docs)]
+
+mod costs;
+pub mod experiments;
+mod vm;
+
+pub use costs::SimCosts;
+pub use vm::{ChanId, EventId, LockId, ThreadCtx, Vm, VmReport};

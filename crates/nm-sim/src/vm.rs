@@ -1,0 +1,984 @@
+//! The virtual-time machine.
+//!
+//! Experiment threads are real OS threads, but exactly one runs at a time:
+//! a scheduler hands control to the runnable thread with the earliest
+//! virtual wake-up time, so execution is fully deterministic regardless of
+//! the host's core count (this box may well have a single CPU). Threads
+//! interact with virtual time through their [`ThreadCtx`]: advancing the
+//! clock, taking simulated locks (FIFO, with contention), sending packets
+//! over modelled wires, and blocking on events (charged a context switch
+//! and a topology-dependent cache penalty, per §3.3 and §4.1 of the
+//! paper).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use nm_fabric::WireModel;
+use nm_topo::Topology;
+
+use crate::SimCosts;
+
+/// Handle to a simulated lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockId(usize);
+
+/// Handle to a simulated one-shot event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventId(usize);
+
+/// Handle to a simulated unidirectional wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChanId(usize);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    Ready { wake_at: u64 },
+    Active,
+    Blocked,
+    Done,
+}
+
+struct LockState {
+    holder: Option<usize>,
+    waiters: VecDeque<usize>,
+    acquisitions: u64,
+    contentions: u64,
+}
+
+struct EventState {
+    set: bool,
+    /// Thread that signalled (for cache-penalty attribution).
+    producer: Option<usize>,
+    waiters: Vec<usize>,
+}
+
+struct Msg {
+    deliver_at: u64,
+    size: usize,
+}
+
+struct ChanState {
+    model: WireModel,
+    /// Index into `State::wires`: channels in the same group serialize on
+    /// one physical wire (same NIC, several logical flows).
+    wire: usize,
+    queue: VecDeque<Msg>,
+    /// Threads blocked in [`ThreadCtx::chan_recv_wait`]; a send wakes
+    /// them at the packet's delivery time.
+    waiters: Vec<usize>,
+}
+
+struct State {
+    now: u64,
+    deadline: u64,
+    /// Fatal condition (deadlock, deadline, panicking thread): `run()`
+    /// re-raises it.
+    poisoned: Option<String>,
+    threads: Vec<TState>,
+    /// One condvar per thread: dispatch wakes exactly the target thread
+    /// (a global notify_all would stampede every parked thread on each
+    /// virtual event).
+    wakeups: Vec<Arc<Condvar>>,
+    /// Per-physical-wire next-free times (bandwidth serialization).
+    wires: Vec<u64>,
+    cores: Vec<usize>,
+    locks: Vec<LockState>,
+    events: Vec<EventState>,
+    chans: Vec<ChanState>,
+}
+
+struct Shared {
+    m: Mutex<State>,
+    /// Signalled when the machine completes or is poisoned.
+    done_cv: Condvar,
+}
+
+/// Summary returned by [`Vm::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmReport {
+    /// Virtual time at which the last thread finished.
+    pub elapsed_ns: u64,
+    /// Number of threads that ran.
+    pub threads: usize,
+}
+
+/// A deterministic virtual-time machine.
+pub struct Vm {
+    shared: Arc<Shared>,
+    costs: SimCosts,
+    topo: Arc<Topology>,
+    bodies: Vec<(usize, Box<dyn FnOnce(&mut ThreadCtx) + Send>)>,
+}
+
+impl Vm {
+    /// Creates a machine with the given cost table and topology.
+    pub fn new(costs: SimCosts, topo: Topology) -> Self {
+        Vm {
+            shared: Arc::new(Shared {
+                m: Mutex::new(State {
+                    now: 0,
+                    deadline: 30_000_000_000, // 30 s of virtual time
+                    poisoned: None,
+                    threads: Vec::new(),
+                    wakeups: Vec::new(),
+                    wires: Vec::new(),
+                    cores: Vec::new(),
+                    locks: Vec::new(),
+                    events: Vec::new(),
+                    chans: Vec::new(),
+                }),
+                done_cv: Condvar::new(),
+            }),
+            costs,
+            topo: Arc::new(topo),
+            bodies: Vec::new(),
+        }
+    }
+
+    /// Overrides the virtual-time safety deadline.
+    pub fn deadline_ns(&mut self, ns: u64) {
+        self.shared.m.lock().deadline = ns;
+    }
+
+    /// Registers a simulated lock.
+    pub fn lock(&self) -> LockId {
+        let mut g = self.shared.m.lock();
+        g.locks.push(LockState {
+            holder: None,
+            waiters: VecDeque::new(),
+            acquisitions: 0,
+            contentions: 0,
+        });
+        LockId(g.locks.len() - 1)
+    }
+
+    /// Registers a one-shot event.
+    pub fn event(&mut self) -> EventId {
+        let mut g = self.shared.m.lock();
+        g.events.push(EventState {
+            set: false,
+            producer: None,
+            waiters: Vec::new(),
+        });
+        EventId(g.events.len() - 1)
+    }
+
+    /// Registers a unidirectional wire with the given model.
+    pub fn chan(&mut self, model: WireModel) -> ChanId {
+        let mut g = self.shared.m.lock();
+        g.wires.push(0);
+        let wire = g.wires.len() - 1;
+        g.chans.push(ChanState {
+            model,
+            wire,
+            queue: VecDeque::new(),
+            waiters: Vec::new(),
+        });
+        ChanId(g.chans.len() - 1)
+    }
+
+    /// Registers a logical channel sharing `other`'s physical wire: the
+    /// flows keep separate queues but serialize their transmissions on
+    /// one NIC (Fig 5's "more intensive use of the NIC").
+    pub fn chan_sharing_wire(&mut self, model: WireModel, other: ChanId) -> ChanId {
+        let mut g = self.shared.m.lock();
+        let wire = g.chans[other.0].wire;
+        g.chans.push(ChanState {
+            model,
+            wire,
+            queue: VecDeque::new(),
+            waiters: Vec::new(),
+        });
+        ChanId(g.chans.len() - 1)
+    }
+
+    /// Registers a thread pinned to `core`, runnable at t = 0.
+    pub fn spawn(&mut self, core: usize, f: impl FnOnce(&mut ThreadCtx) + Send + 'static) {
+        assert!(core < self.topo.num_cores(), "core {core} outside topology");
+        let mut g = self.shared.m.lock();
+        g.threads.push(TState::Ready { wake_at: 0 });
+        g.cores.push(core);
+        g.wakeups.push(Arc::new(Condvar::new()));
+        drop(g);
+        self.bodies.push((core, Box::new(f)));
+    }
+
+    /// Runs the machine to completion and returns the report.
+    ///
+    /// # Panics
+    /// Panics on virtual deadlock (all threads blocked) or when the
+    /// virtual deadline is exceeded (runaway experiment).
+    pub fn run(self) -> VmReport {
+        let n = self.bodies.len();
+        assert!(n > 0, "no threads spawned");
+        let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(n);
+        for (id, (core, body)) in self.bodies.into_iter().enumerate() {
+            let shared = Arc::clone(&self.shared);
+            let costs = self.costs;
+            let topo = Arc::clone(&self.topo);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("nm-sim-{id}"))
+                    .spawn(move || {
+                        let mut ctx = ThreadCtx {
+                            shared,
+                            id,
+                            core,
+                            costs,
+                            topo,
+                        };
+                        ctx.wait_until_active();
+                        let result = std::panic::catch_unwind(
+                            std::panic::AssertUnwindSafe(|| body(&mut ctx)),
+                        );
+                        match result {
+                            Ok(()) => ctx.finish(),
+                            Err(payload) => {
+                                ctx.poison("a sim thread panicked".into());
+                                std::panic::resume_unwind(payload);
+                            }
+                        }
+                    })
+                    .expect("failed to spawn sim thread"),
+            );
+        }
+
+        // Kick off the earliest thread; from then on, scheduling is
+        // performed by the yielding threads themselves (direct handoff —
+        // no dedicated scheduler thread, and zero OS context switches
+        // when the running thread stays earliest).
+        {
+            let mut g = self.shared.m.lock();
+            match dispatch_next(&mut g) {
+                Ok(next) => {
+                    g.wakeups[next].notify_one();
+                }
+                Err(_) => panic!("no runnable thread at start"),
+            }
+        }
+        // Wait for completion (or a fatal condition).
+        let elapsed;
+        {
+            let mut g = self.shared.m.lock();
+            while g.poisoned.is_none() && !g.threads.iter().all(|t| *t == TState::Done) {
+                self.shared.done_cv.wait(&mut g);
+            }
+            if let Some(msg) = g.poisoned.take() {
+                drop(g);
+                // Threads may be parked forever; detach them.
+                drop(handles);
+                panic!("{msg}");
+            }
+            elapsed = g.now;
+        }
+        for h in handles {
+            h.join().expect("sim thread panicked");
+        }
+        VmReport {
+            elapsed_ns: elapsed,
+            threads: n,
+        }
+    }
+}
+
+/// A simulated thread's interface to the machine.
+pub struct ThreadCtx {
+    shared: Arc<Shared>,
+    id: usize,
+    core: usize,
+    costs: SimCosts,
+    topo: Arc<Topology>,
+}
+
+impl ThreadCtx {
+    /// The cost table in effect.
+    pub fn costs(&self) -> &SimCosts {
+        &self.costs
+    }
+
+    /// The topology in effect.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The core this thread is pinned to.
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.shared.m.lock().now
+    }
+
+    /// Consumes `ns` of virtual CPU time.
+    pub fn advance(&self, ns: u64) {
+        let mut g = self.shared.m.lock();
+        let wake_at = g.now + ns;
+        self.yield_with(&mut g, TState::Ready { wake_at });
+    }
+
+    /// Acquires a simulated lock and charges one lock cycle.
+    ///
+    /// Contended acquisition uses *retry* semantics, not FIFO handoff:
+    /// a released lock is up for grabs, and a thread that is already
+    /// running wins over a waiter that must first wake — exactly the
+    /// cache-locality unfairness of real spinlocks. This is what makes
+    /// two concurrent pingpongs serialize behind the coarse lock (Fig 5)
+    /// instead of pipelining through the release/re-acquire gap.
+    pub fn lock(&self, l: LockId) {
+        let mut g = self.shared.m.lock();
+        let mut first_attempt = true;
+        loop {
+            let lock = &mut g.locks[l.0];
+            if lock.holder.is_none() {
+                lock.holder = Some(self.id);
+                lock.acquisitions += 1;
+                break;
+            }
+            if first_attempt {
+                lock.contentions += 1;
+                first_attempt = false;
+            }
+            lock.waiters.push_back(self.id);
+            self.yield_with(&mut g, TState::Blocked);
+            // Woken by an unlock: retry (the lock may have been stolen).
+        }
+        // Charge the acquire/release cycle up front.
+        let wake_at = g.now + self.costs.lock_cycle_ns;
+        self.yield_with(&mut g, TState::Ready { wake_at });
+    }
+
+    /// Releases a simulated lock and wakes the first waiter (which then
+    /// retries the acquisition).
+    pub fn unlock(&self, l: LockId) {
+        let mut g = self.shared.m.lock();
+        let now = g.now;
+        let lock = &mut g.locks[l.0];
+        debug_assert_eq!(lock.holder, Some(self.id), "unlock by non-holder");
+        lock.holder = None;
+        if let Some(w) = lock.waiters.pop_front() {
+            g.threads[w] = TState::Ready { wake_at: now };
+        }
+    }
+
+    /// Runs `work_ns` of virtual time under the lock.
+    pub fn with_lock(&self, l: LockId, work_ns: u64) {
+        self.lock(l);
+        if work_ns > 0 {
+            self.advance(work_ns);
+        }
+        self.unlock(l);
+    }
+
+    /// Lock acquisition/contention counters.
+    pub fn lock_stats(&self, l: LockId) -> (u64, u64) {
+        let g = self.shared.m.lock();
+        (g.locks[l.0].acquisitions, g.locks[l.0].contentions)
+    }
+
+    /// Injects a packet of `size` payload bytes into a wire.
+    pub fn chan_send(&self, c: ChanId, size: usize) {
+        let mut g = self.shared.m.lock();
+        let now = g.now;
+        let chan = &g.chans[c.0];
+        let wire = chan.wire;
+        let inject = g.wires[wire].max(now);
+        let tx = chan.model.tx_time_ns(size);
+        let deliver_at = inject + tx + chan.model.latency_ns;
+        g.wires[wire] = inject + tx;
+        g.chans[c.0].queue.push_back(Msg { deliver_at, size });
+        // Blocked receivers resume exactly when the packet lands.
+        let waiters = std::mem::take(&mut g.chans[c.0].waiters);
+        for w in waiters {
+            g.threads[w] = TState::Ready { wake_at: deliver_at };
+        }
+    }
+
+    /// Earliest pending delivery time on a wire, if any packet is in
+    /// flight.
+    pub fn chan_next_deliver(&self, c: ChanId) -> Option<u64> {
+        let g = self.shared.m.lock();
+        g.chans[c.0].queue.front().map(|m| m.deliver_at)
+    }
+
+    /// Receives the next packet, *blocking virtually* until it lands.
+    ///
+    /// Semantically equivalent to an infinitely fine busy-poll loop, but
+    /// O(1) in simulator events: the thread parks and the sender wakes it
+    /// at the packet's delivery time. Callers model their poll-pass
+    /// granularity by aligning afterwards (see the experiments module).
+    pub fn chan_recv_wait(&self, c: ChanId) -> usize {
+        loop {
+            let mut g = self.shared.m.lock();
+            let now = g.now;
+            match g.chans[c.0].queue.front() {
+                Some(m) if m.deliver_at <= now => {
+                    let msg = g.chans[c.0].queue.pop_front().expect("front checked");
+                    return msg.size;
+                }
+                Some(m) => {
+                    // In flight: sleep until it lands.
+                    let wake_at = m.deliver_at;
+                    self.yield_with(&mut g, TState::Ready { wake_at });
+                }
+                None => {
+                    // Nothing in flight: park until a send targets us.
+                    g.chans[c.0].waiters.push(self.id);
+                    self.yield_with(&mut g, TState::Blocked);
+                }
+            }
+        }
+    }
+
+    /// Polls a wire: pops the head packet if it has been delivered.
+    pub fn chan_try_recv(&self, c: ChanId) -> Option<usize> {
+        let mut g = self.shared.m.lock();
+        let now = g.now;
+        let chan = &mut g.chans[c.0];
+        if chan.queue.front().is_some_and(|m| m.deliver_at <= now) {
+            Some(chan.queue.pop_front().expect("front checked").size)
+        } else {
+            None
+        }
+    }
+
+    /// Busy-polls a wire until a packet is delivered; each empty pass
+    /// costs `pass_ns`. Returns the payload size.
+    pub fn chan_busy_recv(&self, c: ChanId, pass_ns: u64) -> usize {
+        loop {
+            if let Some(size) = self.chan_try_recv(c) {
+                return size;
+            }
+            self.advance(pass_ns.max(1));
+        }
+    }
+
+    /// Signals an event, waking all blocked waiters.
+    pub fn event_signal(&self, e: EventId) {
+        let mut g = self.shared.m.lock();
+        let now = g.now;
+        let ev = &mut g.events[e.0];
+        ev.set = true;
+        ev.producer = Some(self.id);
+        let waiters = std::mem::take(&mut ev.waiters);
+        for w in waiters {
+            g.threads[w] = TState::Ready { wake_at: now };
+        }
+    }
+
+    /// Clears an event for reuse.
+    pub fn event_reset(&self, e: EventId) {
+        let mut g = self.shared.m.lock();
+        let ev = &mut g.events[e.0];
+        debug_assert!(ev.waiters.is_empty(), "reset with blocked waiters");
+        ev.set = false;
+        ev.producer = None;
+    }
+
+    /// `true` once the event is signalled (spin-loop predicate).
+    pub fn event_is_set(&self, e: EventId) -> bool {
+        self.shared.m.lock().events[e.0].set
+    }
+
+    /// Blocks on an event (passive waiting): charges a context switch on
+    /// wake-up plus the cache penalty of reading state the producer wrote
+    /// on its core.
+    pub fn event_wait_blocking(&self, e: EventId) {
+        let blocked;
+        {
+            let mut g = self.shared.m.lock();
+            if g.events[e.0].set {
+                blocked = false;
+            } else {
+                blocked = true;
+                g.events[e.0].waiters.push(self.id);
+                self.yield_with(&mut g, TState::Blocked);
+            }
+        }
+        if blocked {
+            self.advance(self.costs.ctx_switch_ns);
+        }
+        self.charge_producer_penalty(e);
+    }
+
+    /// Spin-waits on an event (busy waiting): polls every `pass_ns`, never
+    /// blocks, then charges the producer cache penalty.
+    pub fn event_busy_wait(&self, e: EventId, pass_ns: u64) {
+        while !self.event_is_set(e) {
+            self.advance(pass_ns.max(1));
+        }
+        self.charge_producer_penalty(e);
+    }
+
+    /// Fixed-spin wait (Karlin et al.): spin for `window_ns`, then block.
+    pub fn event_fixed_spin_wait(&self, e: EventId, window_ns: u64, pass_ns: u64) {
+        let start = self.now();
+        while self.now() - start < window_ns {
+            if self.event_is_set(e) {
+                self.charge_producer_penalty(e);
+                return;
+            }
+            self.advance(pass_ns.max(1));
+        }
+        self.event_wait_blocking(e);
+    }
+
+    /// Charges the cache-distance penalty for consuming data produced on
+    /// `producer_core` (Fig 8's constants).
+    pub fn charge_cache_penalty(&self, producer_core: usize) {
+        let ns = self
+            .topo
+            .poll_penalty(self.core, producer_core)
+            .as_nanos() as u64;
+        if ns > 0 {
+            self.advance(ns);
+        }
+    }
+
+    fn charge_producer_penalty(&self, e: EventId) {
+        let producer_core = {
+            let g = self.shared.m.lock();
+            g.events[e.0].producer.map(|p| g.cores[p])
+        };
+        if let Some(pc) = producer_core {
+            self.charge_cache_penalty(pc);
+        }
+    }
+
+    // ---- scheduler protocol ---------------------------------------------
+
+    fn wait_until_active(&self) {
+        let mut g = self.shared.m.lock();
+        let cv = Arc::clone(&g.wakeups[self.id]);
+        while g.threads[self.id] != TState::Active {
+            cv.wait(&mut g);
+        }
+        if g.poisoned.is_some() {
+            panic!("sim machine poisoned");
+        }
+    }
+
+    /// Records this thread's new state and hands the machine to the
+    /// earliest-runnable thread. Fast path: if that thread is *us*, we
+    /// keep running without any OS context switch.
+    fn yield_with(&self, g: &mut parking_lot::MutexGuard<'_, State>, state: TState) {
+        g.threads[self.id] = state;
+        match dispatch_next(g) {
+            Ok(next) if next == self.id => return,
+            Ok(next) => {
+                g.wakeups[next].notify_one();
+            }
+            Err(stall) => self.raise(g, stall),
+        }
+        let cv = Arc::clone(&g.wakeups[self.id]);
+        while g.threads[self.id] != TState::Active {
+            if g.poisoned.is_some() {
+                // Another thread hit a fatal condition; unwind quietly.
+                panic!("sim machine poisoned");
+            }
+            cv.wait(g);
+        }
+        if g.poisoned.is_some() {
+            panic!("sim machine poisoned");
+        }
+    }
+
+    fn finish(&self) {
+        let mut g = self.shared.m.lock();
+        g.threads[self.id] = TState::Done;
+        match dispatch_next(&mut g) {
+            Ok(next) => {
+                g.wakeups[next].notify_one();
+            }
+            Err(Stalled::AllDone) => {
+                self.shared.done_cv.notify_all();
+            }
+            Err(stall) => self.raise(&mut g, stall),
+        }
+    }
+
+    /// Records a fatal condition and unwinds; `run()` re-raises it.
+    fn raise(&self, g: &mut parking_lot::MutexGuard<'_, State>, stall: Stalled) -> ! {
+        let msg = match stall {
+            Stalled::AllDone => unreachable!("AllDone is not fatal"),
+            Stalled::Deadlock => {
+                "virtual deadlock: every live thread is blocked".to_string()
+            }
+            Stalled::Deadline(t) => format!(
+                "virtual deadline exceeded at t = {t} ns (runaway experiment?)"
+            ),
+        };
+        g.poisoned = Some(msg.clone());
+        for cv in &g.wakeups {
+            cv.notify_one();
+        }
+        self.shared.done_cv.notify_all();
+        panic!("{msg}");
+    }
+
+    fn poison(&self, msg: String) {
+        let mut g = self.shared.m.lock();
+        g.threads[self.id] = TState::Done;
+        g.poisoned.get_or_insert(msg);
+        for cv in &g.wakeups {
+            cv.notify_one();
+        }
+        self.shared.done_cv.notify_all();
+    }
+}
+
+enum Stalled {
+    AllDone,
+    Deadlock,
+    Deadline(u64),
+}
+
+/// Activates the earliest Ready thread, advancing the virtual clock.
+fn dispatch_next(g: &mut State) -> Result<usize, Stalled> {
+    let next = g
+        .threads
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| {
+            if let TState::Ready { wake_at } = *t {
+                Some((wake_at, i))
+            } else {
+                None
+            }
+        })
+        .min();
+    match next {
+        Some((wake_at, i)) => {
+            let now = g.now.max(wake_at);
+            if now > g.deadline {
+                return Err(Stalled::Deadline(now));
+            }
+            g.now = now;
+            g.threads[i] = TState::Active;
+            Ok(i)
+        }
+        None if g.threads.iter().all(|t| *t == TState::Done) => Err(Stalled::AllDone),
+        None => Err(Stalled::Deadlock),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn vm() -> Vm {
+        Vm::new(SimCosts::paper(), Topology::xeon_x5460())
+    }
+
+    #[test]
+    fn advance_accumulates_virtual_time() {
+        let mut m = vm();
+        m.spawn(0, |ctx| {
+            ctx.advance(100);
+            ctx.advance(250);
+            assert_eq!(ctx.now(), 350);
+        });
+        let r = m.run();
+        assert_eq!(r.elapsed_ns, 350);
+        assert_eq!(r.threads, 1);
+    }
+
+    #[test]
+    fn threads_interleave_deterministically() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut m = vm();
+        for (id, step) in [(0u64, 100u64), (1, 150)] {
+            let order = Arc::clone(&order);
+            m.spawn(id as usize, move |ctx| {
+                for i in 0..3 {
+                    ctx.advance(step);
+                    order.lock().push((id, i, ctx.now()));
+                }
+            });
+        }
+        m.run();
+        let log = order.lock().clone();
+        // Thread 0 wakes at 100,200,300; thread 1 at 150,300,450.
+        // At the t=300 tie, thread 0 (lower id) goes first.
+        assert_eq!(
+            log,
+            vec![
+                (0, 0, 100),
+                (1, 0, 150),
+                (0, 1, 200),
+                (0, 2, 300),
+                (1, 1, 300),
+                (1, 2, 450),
+            ]
+        );
+    }
+
+    #[test]
+    fn lock_contention_serializes_and_is_fifo() {
+        let mut m = vm();
+        let l = m.lock();
+        let spans = Arc::new(Mutex::new(Vec::new()));
+        for id in 0..3usize {
+            let spans = Arc::clone(&spans);
+            m.spawn(id, move |ctx| {
+                // Stagger arrivals so the queue order is 0, 1, 2.
+                ctx.advance(10 * id as u64 + 1);
+                ctx.lock(l);
+                let start = ctx.now();
+                ctx.advance(1_000); // critical section
+                ctx.unlock(l);
+                spans.lock().push((id, start, ctx.now()));
+            });
+        }
+        m.run();
+        let spans = spans.lock().clone();
+        // FIFO order and no overlap.
+        assert_eq!(spans[0].0, 0);
+        assert_eq!(spans[1].0, 1);
+        assert_eq!(spans[2].0, 2);
+        for w in spans.windows(2) {
+            assert!(w[1].1 >= w[0].2, "critical sections overlap: {spans:?}");
+        }
+    }
+
+    #[test]
+    fn lock_charges_one_cycle() {
+        let mut m = vm();
+        let l = m.lock();
+        m.spawn(0, move |ctx| {
+            let t0 = ctx.now();
+            ctx.lock(l);
+            ctx.unlock(l);
+            assert_eq!(ctx.now() - t0, ctx.costs().lock_cycle_ns);
+        });
+        m.run();
+    }
+
+    #[test]
+    fn chan_models_wire_latency_and_bandwidth() {
+        let mut m = vm();
+        let c = m.chan(WireModel {
+            latency_ns: 1_000,
+            ns_per_byte: 1.0,
+            per_packet_ns: 0,
+            mtu: 1 << 20,
+            tx_depth: 16,
+        });
+        m.spawn(0, move |ctx| {
+            ctx.chan_send(c, 500); // deliver at 500 + 1000 = 1500
+            ctx.chan_send(c, 500); // serializes: deliver at 2000... wait: inject at 500
+        });
+        let got = Arc::new(AtomicU64::new(0));
+        let got2 = Arc::clone(&got);
+        let mut m = m;
+        m.spawn(1, move |ctx| {
+            ctx.chan_busy_recv(c, 10);
+            let first = ctx.now();
+            ctx.chan_busy_recv(c, 10);
+            let second = ctx.now();
+            got2.store(first * 1_000_000 + second, Ordering::SeqCst);
+        });
+        m.run();
+        let v = got.load(Ordering::SeqCst);
+        let (first, second) = (v / 1_000_000, v % 1_000_000);
+        assert!((1_500..1_600).contains(&first), "first at {first}");
+        assert!((2_000..2_100).contains(&second), "second at {second}");
+    }
+
+    #[test]
+    fn blocking_event_charges_ctx_switch_and_penalty() {
+        let mut m = vm();
+        let e = m.event();
+        let waited = Arc::new(AtomicU64::new(0));
+        let w2 = Arc::clone(&waited);
+        // Producer on core 2 (no shared cache with core 0).
+        m.spawn(2, move |ctx| {
+            ctx.advance(5_000);
+            ctx.event_signal(e);
+        });
+        m.spawn(0, move |ctx| {
+            ctx.event_wait_blocking(e);
+            w2.store(ctx.now(), Ordering::SeqCst);
+        });
+        m.run();
+        // 5000 (signal) + 750 (ctx switch) + 1200 (cross-die penalty).
+        assert_eq!(waited.load(Ordering::SeqCst), 5_000 + 750 + 1_200);
+    }
+
+    #[test]
+    fn busy_event_skips_ctx_switch() {
+        let mut m = vm();
+        let e = m.event();
+        let t = Arc::new(AtomicU64::new(0));
+        let t2 = Arc::clone(&t);
+        m.spawn(1, move |ctx| {
+            ctx.advance(5_000);
+            ctx.event_signal(e);
+        });
+        m.spawn(0, move |ctx| {
+            ctx.event_busy_wait(e, 50);
+            t2.store(ctx.now(), Ordering::SeqCst);
+        });
+        m.run();
+        let when = t.load(Ordering::SeqCst);
+        // Signal at 5000, noticed within one 50 ns pass, + 400 ns
+        // shared-cache penalty; definitely no 750 ns switch.
+        assert!((5_400..5_500).contains(&when), "woke at {when}");
+    }
+
+    #[test]
+    fn fixed_spin_blocks_only_past_window() {
+        let mut m = vm();
+        let (fast, slow) = (m.event(), m.event());
+        let times = Arc::new(Mutex::new((0u64, 0u64)));
+        let t2 = Arc::clone(&times);
+        m.spawn(1, move |ctx| {
+            ctx.advance(2_000);
+            ctx.event_signal(fast); // within the 5 µs window
+            ctx.advance(18_000);
+            ctx.event_signal(slow); // at t = 20 µs, far past the window
+        });
+        m.spawn(0, move |ctx| {
+            let t0 = ctx.now();
+            ctx.event_fixed_spin_wait(fast, 5_000, 50);
+            let fast_done = ctx.now() - t0;
+            let t1 = ctx.now();
+            ctx.event_fixed_spin_wait(slow, 5_000, 50);
+            t2.lock().0 = fast_done;
+            t2.lock().1 = ctx.now() - t1;
+        });
+        m.run();
+        let (fast_done, slow_done) = *times.lock();
+        assert!(fast_done < 3_000, "fast event handled in spin phase: {fast_done}");
+        // Slow: blocked at ~5 µs, woken at 20 µs + switch + penalty.
+        assert!(slow_done >= 18_000, "slow path blocked: {slow_done}");
+    }
+
+    #[test]
+    fn chan_recv_wait_blocks_until_delivery() {
+        let mut m = vm();
+        let c = m.chan(WireModel {
+            latency_ns: 5_000,
+            ns_per_byte: 0.0,
+            per_packet_ns: 0,
+            mtu: 1 << 20,
+            tx_depth: 16,
+        });
+        let when = Arc::new(AtomicU64::new(0));
+        let w2 = Arc::clone(&when);
+        m.spawn(0, move |ctx| {
+            ctx.advance(1_000);
+            ctx.chan_send(c, 64);
+        });
+        m.spawn(1, move |ctx| {
+            let size = ctx.chan_recv_wait(c);
+            assert_eq!(size, 64);
+            w2.store(ctx.now(), Ordering::SeqCst);
+        });
+        m.run();
+        // Sent at 1000, delivered at 1000 + 5000.
+        assert_eq!(when.load(Ordering::SeqCst), 6_000);
+    }
+
+    #[test]
+    fn chan_recv_wait_pops_in_flight_packet() {
+        let mut m = vm();
+        let c = m.chan(WireModel {
+            latency_ns: 100,
+            ns_per_byte: 0.0,
+            per_packet_ns: 0,
+            mtu: 1 << 20,
+            tx_depth: 16,
+        });
+        m.spawn(0, move |ctx| {
+            ctx.chan_send(c, 1);
+            ctx.chan_send(c, 2);
+            // Receive both on the same thread: the second is in flight,
+            // not yet delivered, when the first wait returns.
+            assert_eq!(ctx.chan_recv_wait(c), 1);
+            assert_eq!(ctx.chan_recv_wait(c), 2);
+            assert!(ctx.chan_next_deliver(c).is_none());
+        });
+        m.run();
+    }
+
+    #[test]
+    fn shared_wire_serializes_two_channels() {
+        let mut m = vm();
+        let model = WireModel {
+            latency_ns: 0,
+            ns_per_byte: 1.0,
+            per_packet_ns: 0,
+            mtu: 1 << 20,
+            tx_depth: 16,
+        };
+        let c0 = m.chan(model);
+        let c1 = m.chan_sharing_wire(model, c0);
+        let times = Arc::new(Mutex::new((0u64, 0u64)));
+        let t2 = Arc::clone(&times);
+        m.spawn(0, move |ctx| {
+            // Two 1000-byte packets on different channels, same wire: the
+            // second serializes behind the first.
+            ctx.chan_send(c0, 1_000);
+            ctx.chan_send(c1, 1_000);
+            let a = ctx.chan_next_deliver(c0).unwrap();
+            let b = ctx.chan_next_deliver(c1).unwrap();
+            *t2.lock() = (a, b);
+        });
+        m.run();
+        let (a, b) = *times.lock();
+        assert_eq!(a, 1_000);
+        assert_eq!(b, 2_000, "second channel must wait for the shared wire");
+    }
+
+    #[test]
+    fn two_waiters_on_one_channel_each_get_a_packet() {
+        let mut m = vm();
+        let c = m.chan(WireModel::ideal());
+        let got = Arc::new(Mutex::new(Vec::new()));
+        for id in 0..2usize {
+            let got = Arc::clone(&got);
+            m.spawn(id, move |ctx| {
+                let size = ctx.chan_recv_wait(c);
+                got.lock().push(size);
+            });
+        }
+        m.spawn(2, move |ctx| {
+            ctx.advance(500);
+            ctx.chan_send(c, 11);
+            ctx.advance(500);
+            ctx.chan_send(c, 22);
+        });
+        m.run();
+        let mut sizes = got.lock().clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![11, 22]);
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual deadlock")]
+    fn deadlock_is_detected() {
+        let mut m = vm();
+        let e = m.event();
+        m.spawn(0, move |ctx| {
+            ctx.event_wait_blocking(e); // nobody will signal
+        });
+        m.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline exceeded")]
+    fn runaway_experiment_hits_deadline() {
+        let mut m = vm();
+        m.deadline_ns(1_000);
+        m.spawn(0, |ctx| loop {
+            ctx.advance(100);
+        });
+        m.run();
+    }
+}

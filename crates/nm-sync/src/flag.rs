@@ -1,0 +1,305 @@
+//! One-shot completion flags.
+//!
+//! Every communication request in `nm-core` (send, receive, rendezvous
+//! handshake) completes through a [`CompletionFlag`]. The flag is where the
+//! waiting-strategy study of §3.3 becomes concrete: `wait` takes a
+//! [`WaitStrategy`] and an optional poll callback so that a busy waiter can
+//! drive network progression itself, while a passive waiter blocks and lets
+//! the progression engine signal it.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::{Backoff, WaitStrategy};
+
+const PENDING: u32 = 0;
+const SET: u32 = 1;
+
+/// A one-shot event flag with strategy-driven waiting.
+///
+/// Can be [`reset`](CompletionFlag::reset) for reuse so a pingpong loop
+/// does not allocate a fresh flag per iteration.
+pub struct CompletionFlag {
+    state: AtomicU32,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl CompletionFlag {
+    /// Creates a flag in the pending state.
+    pub fn new() -> Self {
+        CompletionFlag {
+            state: AtomicU32::new(PENDING),
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// `true` once [`signal`](CompletionFlag::signal) has been called.
+    #[inline]
+    pub fn is_set(&self) -> bool {
+        self.state.load(Ordering::Acquire) == SET
+    }
+
+    /// Sets the flag and wakes all waiters.
+    ///
+    /// Establishes a happens-before edge: everything written before
+    /// `signal` is visible to a thread that observed `is_set()`.
+    pub fn signal(&self) {
+        self.state.store(SET, Ordering::Release);
+        // Taking the lock orders this notify after any concurrent waiter's
+        // predicate check, so the wakeup cannot be lost.
+        let _g = self.lock.lock();
+        self.cond.notify_all();
+    }
+
+    /// Returns the flag to the pending state.
+    ///
+    /// Only sound once all waiters of the previous completion have
+    /// returned; `nm-core` reuses flags strictly iteration-by-iteration.
+    pub fn reset(&self) {
+        self.state.store(PENDING, Ordering::Release);
+    }
+
+    /// Waits for the flag with the given strategy.
+    pub fn wait(&self, strategy: WaitStrategy) {
+        self.wait_with_poll(strategy, || {});
+    }
+
+    /// Waits for the flag, calling `poll` on every spin iteration.
+    ///
+    /// With [`WaitStrategy::Busy`] this is the paper's classic busy wait:
+    /// the calling thread polls the network (via `poll`) until the request
+    /// completes. With [`WaitStrategy::FixedSpin`] the thread polls for the
+    /// window and then blocks; with [`WaitStrategy::Passive`] it blocks
+    /// immediately and `poll` is never called.
+    pub fn wait_with_poll(&self, strategy: WaitStrategy, mut poll: impl FnMut()) {
+        if self.is_set() {
+            return;
+        }
+        match strategy.spin_budget() {
+            None => {
+                let mut backoff = Backoff::new();
+                loop {
+                    poll();
+                    if self.is_set() {
+                        return;
+                    }
+                    backoff.spin();
+                }
+            }
+            Some(budget) if !budget.is_zero() => {
+                let deadline = Instant::now() + budget;
+                loop {
+                    poll();
+                    if self.is_set() {
+                        return;
+                    }
+                    std::hint::spin_loop();
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+                self.block();
+            }
+            _ => self.block(),
+        }
+    }
+
+    /// Waits with a deadline; `true` if the flag was set in time.
+    ///
+    /// Spin-phase polling still runs for busy/fixed-spin strategies.
+    pub fn wait_timeout(&self, strategy: WaitStrategy, timeout: Duration) -> bool {
+        if self.is_set() {
+            return true;
+        }
+        let deadline = Instant::now() + timeout;
+        match strategy.spin_budget() {
+            None => {
+                let mut backoff = Backoff::new();
+                while !self.is_set() {
+                    if Instant::now() >= deadline {
+                        return self.is_set();
+                    }
+                    backoff.spin();
+                }
+                true
+            }
+            Some(budget) => {
+                let spin_deadline = Instant::now() + budget;
+                while Instant::now() < spin_deadline {
+                    if self.is_set() {
+                        return true;
+                    }
+                    std::hint::spin_loop();
+                }
+                self.block_until(deadline)
+            }
+        }
+    }
+
+    fn block(&self) {
+        let mut guard = self.lock.lock();
+        while !self.is_set() {
+            self.cond.wait(&mut guard);
+        }
+    }
+
+    fn block_until(&self, deadline: Instant) -> bool {
+        let mut guard = self.lock.lock();
+        while !self.is_set() {
+            if self.cond.wait_until(&mut guard, deadline).timed_out() {
+                return self.is_set();
+            }
+        }
+        true
+    }
+}
+
+impl Default for CompletionFlag {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CompletionFlag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompletionFlag")
+            .field("set", &self.is_set())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn signal_then_wait_returns_immediately() {
+        let f = CompletionFlag::new();
+        f.signal();
+        f.wait(WaitStrategy::Passive);
+        f.wait(WaitStrategy::Busy);
+        assert!(f.is_set());
+    }
+
+    #[test]
+    fn passive_wait_blocks_until_signal() {
+        let f = Arc::new(CompletionFlag::new());
+        let f2 = Arc::clone(&f);
+        let h = thread::spawn(move || {
+            f2.wait(WaitStrategy::Passive);
+            99
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert!(!f.is_set());
+        f.signal();
+        assert_eq!(h.join().unwrap(), 99);
+    }
+
+    #[test]
+    fn busy_wait_polls() {
+        let f = Arc::new(CompletionFlag::new());
+        let polls = Arc::new(AtomicUsize::new(0));
+        let (f2, p2) = (Arc::clone(&f), Arc::clone(&polls));
+        let h = thread::spawn(move || {
+            f2.wait_with_poll(WaitStrategy::Busy, || {
+                p2.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        thread::sleep(Duration::from_millis(20));
+        f.signal();
+        h.join().unwrap();
+        assert!(polls.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn poll_callback_may_itself_signal() {
+        // Models busy waiting in nm-core: the waiter's own polling completes
+        // the request it is waiting on.
+        let f = Arc::new(CompletionFlag::new());
+        let f2 = Arc::clone(&f);
+        let mut count = 0;
+        f.wait_with_poll(WaitStrategy::Busy, move || {
+            count += 1;
+            if count == 10 {
+                f2.signal();
+            }
+        });
+        assert!(f.is_set());
+    }
+
+    #[test]
+    fn fixed_spin_blocks_after_window() {
+        let f = Arc::new(CompletionFlag::new());
+        let f2 = Arc::clone(&f);
+        let h = thread::spawn(move || {
+            f2.wait(WaitStrategy::FixedSpin(Duration::from_micros(100)));
+        });
+        thread::sleep(Duration::from_millis(80));
+        f.signal();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_expires() {
+        let f = CompletionFlag::new();
+        assert!(!f.wait_timeout(WaitStrategy::Passive, Duration::from_millis(20)));
+        assert!(!f.wait_timeout(
+            WaitStrategy::FixedSpin(Duration::from_micros(10)),
+            Duration::from_millis(20)
+        ));
+        f.signal();
+        assert!(f.wait_timeout(WaitStrategy::Passive, Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn busy_wait_timeout_expires() {
+        let f = CompletionFlag::new();
+        let t0 = Instant::now();
+        assert!(!f.wait_timeout(WaitStrategy::Busy, Duration::from_millis(10)));
+        assert!(t0.elapsed() >= Duration::from_millis(9));
+    }
+
+    #[test]
+    fn reset_allows_reuse() {
+        let f = Arc::new(CompletionFlag::new());
+        for _ in 0..3 {
+            let f2 = Arc::clone(&f);
+            let h = thread::spawn(move || f2.wait(WaitStrategy::Passive));
+            thread::sleep(Duration::from_millis(10));
+            f.signal();
+            h.join().unwrap();
+            f.reset();
+            assert!(!f.is_set());
+        }
+    }
+
+    #[test]
+    fn many_waiters_all_wake() {
+        let f = Arc::new(CompletionFlag::new());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let f = Arc::clone(&f);
+                thread::spawn(move || {
+                    let strat = if i % 2 == 0 {
+                        WaitStrategy::Passive
+                    } else {
+                        WaitStrategy::fixed_spin_default()
+                    };
+                    f.wait(strat);
+                })
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(30));
+        f.signal();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

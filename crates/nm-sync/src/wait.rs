@@ -1,0 +1,90 @@
+//! Waiting strategies (§3.3 of the paper).
+
+use std::time::Duration;
+
+/// How a thread waits for a communication event to complete.
+///
+/// The paper contrasts three behaviours for `MPI_Wait`-like functions:
+///
+/// * **Busy waiting** — poll in a tight loop until the network request
+///   succeeds. Fastest in a single-threaded run, but wastes a CPU and
+///   degrades when several threads poll concurrently.
+/// * **Passive waiting** — block on a semaphore and let the progression
+///   engine signal completion. Frees the core for application threads, but
+///   each wakeup pays a context switch (measured at ~750 ns in the paper,
+///   Fig 7).
+/// * **Fixed spin** — the competitive-spinning compromise of Karlin et al.:
+///   poll for a bounded duration (the paper suggests 5 µs), then block. The
+///   context switch is avoided whenever the event lands within the spin
+///   window, and amortized when it does not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WaitStrategy {
+    /// Poll until completion, never block.
+    Busy,
+    /// Block immediately on the completion primitive.
+    Passive,
+    /// Poll for the given duration, then block.
+    FixedSpin(Duration),
+}
+
+impl WaitStrategy {
+    /// The fixed-spin window suggested by the paper (§3.3): 5 µs.
+    pub const DEFAULT_SPIN: Duration = Duration::from_micros(5);
+
+    /// Fixed-spin with the paper's default 5 µs window.
+    pub const fn fixed_spin_default() -> Self {
+        WaitStrategy::FixedSpin(Self::DEFAULT_SPIN)
+    }
+
+    /// Duration this strategy is willing to poll before blocking:
+    /// `None` means "forever" (busy waiting).
+    pub fn spin_budget(&self) -> Option<Duration> {
+        match self {
+            WaitStrategy::Busy => None,
+            WaitStrategy::Passive => Some(Duration::ZERO),
+            WaitStrategy::FixedSpin(d) => Some(*d),
+        }
+    }
+
+    /// `true` if this strategy may end up blocking on a primitive.
+    pub fn may_block(&self) -> bool {
+        !matches!(self, WaitStrategy::Busy)
+    }
+}
+
+impl Default for WaitStrategy {
+    /// The default mirrors the paper's recommendation: fixed spin.
+    fn default() -> Self {
+        Self::fixed_spin_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_budgets() {
+        assert_eq!(WaitStrategy::Busy.spin_budget(), None);
+        assert_eq!(WaitStrategy::Passive.spin_budget(), Some(Duration::ZERO));
+        assert_eq!(
+            WaitStrategy::FixedSpin(Duration::from_micros(7)).spin_budget(),
+            Some(Duration::from_micros(7))
+        );
+    }
+
+    #[test]
+    fn blocking_classification() {
+        assert!(!WaitStrategy::Busy.may_block());
+        assert!(WaitStrategy::Passive.may_block());
+        assert!(WaitStrategy::fixed_spin_default().may_block());
+    }
+
+    #[test]
+    fn default_is_paper_recommendation() {
+        assert_eq!(
+            WaitStrategy::default(),
+            WaitStrategy::FixedSpin(Duration::from_micros(5))
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the synchronization primitives.
+
+use proptest::prelude::*;
+
+use nm_sync::{Backoff, CompletionFlag, Semaphore, SpinLock, TicketLock, WaitStrategy};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Sequential semaphore operations match a counter model.
+    #[test]
+    fn semaphore_matches_counter_model(
+        initial in 0isize..8,
+        ops in prop::collection::vec(any::<bool>(), 0..64),
+    ) {
+        let sem = Semaphore::new(initial);
+        let mut model = initial;
+        for acquire in ops {
+            if acquire {
+                let got = sem.try_acquire();
+                prop_assert_eq!(got, model > 0);
+                if got {
+                    model -= 1;
+                }
+            } else {
+                sem.release();
+                model += 1;
+            }
+        }
+        prop_assert_eq!(sem.available(), model);
+    }
+
+    /// A spinlock-protected counter incremented `n` times reads `n`;
+    /// try_lock always succeeds sequentially.
+    #[test]
+    fn spinlock_counts_exactly(n in 0u64..500) {
+        let lock = SpinLock::new(0u64);
+        for _ in 0..n {
+            *lock.lock() += 1;
+        }
+        prop_assert_eq!(*lock.try_lock().expect("uncontended"), n);
+        prop_assert_eq!(lock.stats().acquisitions(), n + 1);
+        prop_assert_eq!(lock.stats().contentions(), 0);
+    }
+
+    /// Ticket lock behaves identically for sequential use.
+    #[test]
+    fn ticket_lock_counts_exactly(n in 0u64..500) {
+        let lock = TicketLock::new(0u64);
+        for _ in 0..n {
+            *lock.lock() += 1;
+        }
+        prop_assert_eq!(lock.into_inner(), n);
+    }
+
+    /// A completion flag observes any signal/reset sequence consistently.
+    #[test]
+    fn flag_state_machine(ops in prop::collection::vec(any::<bool>(), 0..64)) {
+        let flag = CompletionFlag::new();
+        let mut set = false;
+        for signal in ops {
+            if signal {
+                flag.signal();
+                set = true;
+            } else if set {
+                // Reset is only legal once set (library usage pattern).
+                flag.reset();
+                set = false;
+            }
+            prop_assert_eq!(flag.is_set(), set);
+            if set {
+                // Must return immediately for every strategy.
+                flag.wait(WaitStrategy::Busy);
+                flag.wait(WaitStrategy::Passive);
+                flag.wait(WaitStrategy::fixed_spin_default());
+            }
+        }
+    }
+
+    /// Backoff completes after a bounded number of snoozes, never from
+    /// pure spinning.
+    #[test]
+    fn backoff_bounded(snoozes in 0u32..32) {
+        let mut b = Backoff::new();
+        for _ in 0..snoozes {
+            b.snooze();
+        }
+        prop_assert_eq!(b.is_completed(), snoozes > Backoff::YIELD_LIMIT);
+    }
+
+    /// Wait-strategy budgets classify exactly.
+    #[test]
+    fn strategy_budget_classification(us in 1u64..100_000) {
+        let d = std::time::Duration::from_micros(us);
+        let s = WaitStrategy::FixedSpin(d);
+        prop_assert_eq!(s.spin_budget(), Some(d));
+        prop_assert!(s.may_block());
+    }
+}

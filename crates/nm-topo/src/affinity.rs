@@ -1,0 +1,232 @@
+//! Thread-to-core binding without libc.
+//!
+//! Fig 8 requires "a pingpong test that binds the main thread to a CPU"
+//! and a progression thread bound elsewhere. We issue the Linux
+//! `sched_setaffinity`/`sched_getaffinity` syscalls directly (x86-64 and
+//! aarch64); other platforms get [`AffinityError::Unsupported`] and the
+//! benches fall back to the deterministic simulator for this figure.
+
+use std::fmt;
+
+/// Why a binding request could not be honoured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AffinityError {
+    /// The platform has no supported affinity syscall.
+    Unsupported,
+    /// The kernel rejected the request (errno value).
+    Kernel(i32),
+    /// The core id is outside the mask the process may use.
+    InvalidCore(usize),
+}
+
+impl fmt::Display for AffinityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AffinityError::Unsupported => write!(f, "thread affinity unsupported on this platform"),
+            AffinityError::Kernel(errno) => write!(f, "sched_setaffinity failed (errno {errno})"),
+            AffinityError::InvalidCore(c) => write!(f, "core {c} outside the allowed CPU mask"),
+        }
+    }
+}
+
+impl std::error::Error for AffinityError {}
+
+const MASK_WORDS: usize = 16; // 1024 CPUs, same as glibc's cpu_set_t.
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod sys {
+    use super::MASK_WORDS;
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_SETAFFINITY: i64 = 203;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_GETAFFINITY: i64 = 204;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_SETAFFINITY: i64 = 122;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_GETAFFINITY: i64 = 123;
+
+    /// Raw 3-argument syscall. Returns the kernel's raw result
+    /// (negative errno on failure).
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall3(num: i64, a1: i64, a2: i64, a3: i64) -> i64 {
+        let ret: i64;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") num => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall3(num: i64, a1: i64, a2: i64, a3: i64) -> i64 {
+        let ret: i64;
+        core::arch::asm!(
+            "svc 0",
+            inlateout("x0") a1 => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x8") num,
+            options(nostack),
+        );
+        ret
+    }
+
+    /// `sched_setaffinity(0, …)` applies to the calling thread.
+    pub fn set_affinity(mask: &[u64; MASK_WORDS]) -> Result<(), i32> {
+        // SAFETY: we pass a valid, properly sized mask buffer; pid 0 means
+        // "calling thread"; the syscall does not retain the pointer.
+        let ret = unsafe {
+            syscall3(
+                SYS_SETAFFINITY,
+                0,
+                std::mem::size_of_val(mask) as i64,
+                mask.as_ptr() as i64,
+            )
+        };
+        if ret < 0 {
+            Err((-ret) as i32)
+        } else {
+            Ok(())
+        }
+    }
+
+    pub fn get_affinity(mask: &mut [u64; MASK_WORDS]) -> Result<usize, i32> {
+        // SAFETY: as above; the kernel writes at most `size` bytes.
+        let ret = unsafe {
+            syscall3(
+                SYS_GETAFFINITY,
+                0,
+                std::mem::size_of_val(mask) as i64,
+                mask.as_mut_ptr() as i64,
+            )
+        };
+        if ret < 0 {
+            Err((-ret) as i32)
+        } else {
+            Ok(ret as usize)
+        }
+    }
+}
+
+/// `true` when this build can actually bind threads to cores.
+pub fn is_supported() -> bool {
+    cfg!(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))
+}
+
+/// Binds the calling thread to the single core `core`.
+pub fn bind_current_thread(core: usize) -> Result<(), AffinityError> {
+    bind_current_thread_to_set(&[core])
+}
+
+/// Binds the calling thread to a set of cores.
+pub fn bind_current_thread_to_set(cores: &[usize]) -> Result<(), AffinityError> {
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        let mut mask = [0u64; MASK_WORDS];
+        for &c in cores {
+            if c >= MASK_WORDS * 64 {
+                return Err(AffinityError::InvalidCore(c));
+            }
+            mask[c / 64] |= 1 << (c % 64);
+        }
+        return sys::set_affinity(&mask).map_err(AffinityError::Kernel);
+    }
+    #[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    {
+        let _ = cores;
+        Err(AffinityError::Unsupported)
+    }
+}
+
+/// Returns the cores the calling thread may currently run on.
+pub fn current_affinity() -> Result<Vec<usize>, AffinityError> {
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        let mut mask = [0u64; MASK_WORDS];
+        let written = sys::get_affinity(&mut mask).map_err(AffinityError::Kernel)?;
+        let mut cores = Vec::new();
+        for (w, &word) in mask.iter().enumerate().take(written.div_ceil(8)) {
+            for b in 0..64 {
+                if word & (1 << b) != 0 {
+                    cores.push(w * 64 + b);
+                }
+            }
+        }
+        return Ok(cores);
+    }
+    #[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    Err(AffinityError::Unsupported)
+}
+
+/// Restores the calling thread's affinity to all cores in `allowed`.
+pub fn unbind_current_thread(allowed: &[usize]) -> Result<(), AffinityError> {
+    bind_current_thread_to_set(allowed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_affinity_lists_cores_when_supported() {
+        match current_affinity() {
+            Ok(cores) => {
+                assert!(!cores.is_empty());
+                assert!(cores.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+            }
+            Err(AffinityError::Unsupported) => assert!(!is_supported()),
+            Err(e) => panic!("unexpected affinity error: {e}"),
+        }
+    }
+
+    #[test]
+    fn bind_and_restore_round_trip() {
+        if !is_supported() {
+            return;
+        }
+        let original = current_affinity().expect("read original mask");
+        let target = original[0];
+        bind_current_thread(target).expect("bind to first allowed core");
+        let bound = current_affinity().expect("read bound mask");
+        assert_eq!(bound, vec![target]);
+        unbind_current_thread(&original).expect("restore");
+        assert_eq!(current_affinity().unwrap(), original);
+    }
+
+    #[test]
+    fn out_of_range_core_rejected() {
+        let err = bind_current_thread(MASK_WORDS * 64 + 1).unwrap_err();
+        if is_supported() {
+            assert_eq!(err, AffinityError::InvalidCore(MASK_WORDS * 64 + 1));
+        } else {
+            assert_eq!(err, AffinityError::Unsupported);
+        }
+    }
+
+    #[test]
+    fn binding_to_disallowed_core_fails_cleanly() {
+        if !is_supported() {
+            return;
+        }
+        // A core id far beyond anything present but within mask range.
+        match bind_current_thread(1023) {
+            Ok(()) => {
+                // Extremely unlikely (1024-core machine); restore and accept.
+                let all = (0..std::thread::available_parallelism().unwrap().get()).collect::<Vec<_>>();
+                let _ = unbind_current_thread(&all);
+            }
+            Err(AffinityError::Kernel(errno)) => assert_eq!(errno, 22 /* EINVAL */),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+}

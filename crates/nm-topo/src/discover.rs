@@ -1,0 +1,167 @@
+//! Host topology discovery from `/sys/devices/system/cpu` (Linux).
+
+use std::fs;
+use std::path::Path;
+
+use crate::{CoreInfo, PollPenalties, Topology};
+
+/// Attempts to build the host topology from sysfs; `None` when sysfs is
+/// unavailable or malformed (the caller falls back to a uniform topology).
+pub(crate) fn discover() -> Option<Topology> {
+    discover_from(Path::new("/sys/devices/system/cpu"))
+}
+
+/// Sysfs-driven discovery rooted at `base` (separated out for tests).
+pub(crate) fn discover_from(base: &Path) -> Option<Topology> {
+    let online = fs::read_to_string(base.join("online")).ok()?;
+    let cpus = parse_cpu_list(online.trim())?;
+    if cpus.is_empty() || cpus[0] != 0 {
+        return None;
+    }
+    // Only dense 0..n layouts are representable; hotplugged holes fall back.
+    for (i, &c) in cpus.iter().enumerate() {
+        if c != i {
+            return None;
+        }
+    }
+
+    let mut cores = Vec::with_capacity(cpus.len());
+    for &cpu in &cpus {
+        let cpu_dir = base.join(format!("cpu{cpu}"));
+        let package = read_usize(&cpu_dir.join("topology/physical_package_id")).unwrap_or(0);
+        // The shared-cache group is the set of CPUs sharing the largest
+        // non-L1 cache; identify it by the first CPU of that set.
+        let cache_group = shared_cache_leader(&cpu_dir).unwrap_or(cpu);
+        cores.push(CoreInfo {
+            id: cpu,
+            package,
+            cache_group,
+        });
+    }
+    // Normalize cache-group leaders to dense group ids.
+    let mut leaders: Vec<usize> = cores.iter().map(|c| c.cache_group).collect();
+    leaders.sort_unstable();
+    leaders.dedup();
+    for c in &mut cores {
+        c.cache_group = leaders.binary_search(&c.cache_group).unwrap();
+    }
+
+    Some(Topology::from_cores(
+        "discovered",
+        cores,
+        PollPenalties::XEON_X5460,
+    ))
+}
+
+/// Finds the lowest CPU id sharing this CPU's largest (highest-level,
+/// non-instruction) cache.
+fn shared_cache_leader(cpu_dir: &Path) -> Option<usize> {
+    let cache_dir = cpu_dir.join("cache");
+    let mut best: Option<(usize, usize)> = None; // (level, leader)
+    let entries = fs::read_dir(&cache_dir).ok()?;
+    for e in entries.flatten() {
+        let name = e.file_name();
+        let name = name.to_string_lossy();
+        if !name.starts_with("index") {
+            continue;
+        }
+        let idx_dir = e.path();
+        let level = read_usize(&idx_dir.join("level"))?;
+        if level < 2 {
+            continue; // L1 is private; only shared levels matter.
+        }
+        let list = fs::read_to_string(idx_dir.join("shared_cpu_list")).ok()?;
+        let members = parse_cpu_list(list.trim())?;
+        let leader = *members.first()?;
+        match best {
+            Some((l, _)) if l >= level => {}
+            _ => best = Some((level, leader)),
+        }
+    }
+    best.map(|(_, leader)| leader)
+}
+
+fn read_usize(path: &Path) -> Option<usize> {
+    fs::read_to_string(path).ok()?.trim().parse().ok()
+}
+
+/// Parses a kernel CPU list like `0-3,8,10-11` into sorted CPU ids.
+pub(crate) fn parse_cpu_list(s: &str) -> Option<Vec<usize>> {
+    let mut out = Vec::new();
+    if s.is_empty() {
+        return Some(out);
+    }
+    for part in s.split(',') {
+        let part = part.trim();
+        if let Some((lo, hi)) = part.split_once('-') {
+            let (lo, hi): (usize, usize) = (lo.parse().ok()?, hi.parse().ok()?);
+            if lo > hi {
+                return None;
+            }
+            out.extend(lo..=hi);
+        } else {
+            out.push(part.parse().ok()?);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_lists() {
+        assert_eq!(parse_cpu_list("0-3").unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(parse_cpu_list("0").unwrap(), vec![0]);
+        assert_eq!(parse_cpu_list("0,2-3,5").unwrap(), vec![0, 2, 3, 5]);
+        assert_eq!(parse_cpu_list("").unwrap(), Vec::<usize>::new());
+        assert!(parse_cpu_list("3-1").is_none());
+        assert!(parse_cpu_list("x").is_none());
+    }
+
+    fn write(path: &Path, contents: &str) {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, contents).unwrap();
+    }
+
+    /// Builds a fake sysfs tree mirroring the paper's quad-core X5460:
+    /// cores {0,1} and {2,3} each share an L2.
+    fn fake_x5460(root: &Path) {
+        write(&root.join("online"), "0-3\n");
+        for cpu in 0..4 {
+            let d = root.join(format!("cpu{cpu}"));
+            write(&d.join("topology/physical_package_id"), "0\n");
+            // L1 private.
+            write(&d.join("cache/index0/level"), "1\n");
+            write(
+                &d.join("cache/index0/shared_cpu_list"),
+                &format!("{cpu}\n"),
+            );
+            // L2 shared per pair.
+            let pair = if cpu < 2 { "0-1" } else { "2-3" };
+            write(&d.join("cache/index2/level"), "2\n");
+            write(&d.join("cache/index2/shared_cpu_list"), &format!("{pair}\n"));
+        }
+    }
+
+    #[test]
+    fn discovers_shared_cache_pairs() {
+        let dir = std::env::temp_dir().join(format!("nm-topo-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fake_x5460(&dir);
+        let t = discover_from(&dir).expect("discovery should succeed");
+        assert_eq!(t.num_cores(), 4);
+        assert_eq!(t.distance(0, 1), crate::Distance::SharedCache);
+        assert_eq!(t.distance(0, 2), crate::Distance::SamePackage);
+        assert_eq!(t.distance(2, 3), crate::Distance::SharedCache);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_sysfs_returns_none() {
+        assert!(discover_from(Path::new("/nonexistent-sysfs-root")).is_none());
+    }
+}

@@ -1,0 +1,24 @@
+//! Machine topology model, discovery and thread affinity.
+//!
+//! Figure 8 of the paper measures the cost of *where* the polling runs
+//! relative to the application thread: on the same core, on a core sharing
+//! an L2 cache, on a core of the same chip with a separate cache, or on
+//! another chip. This crate provides:
+//!
+//! * [`Topology`] — a description of cores, shared-cache groups and
+//!   packages, with presets matching the paper's testbeds
+//!   ([`Topology::xeon_x5460`], [`Topology::dual_xeon_x5460`]) and
+//!   discovery from `/sys` on Linux ([`Topology::discover`]).
+//! * [`Distance`] — the cache-distance classification between two cores,
+//!   plus per-class polling penalties used by the deterministic simulator.
+//! * [`affinity`] — binding the current thread to a core via a raw
+//!   `sched_setaffinity` syscall (no libc dependency), with a graceful
+//!   fallback on unsupported platforms.
+
+#![warn(missing_docs)]
+
+pub mod affinity;
+mod discover;
+mod topology;
+
+pub use topology::{CoreInfo, Distance, PollPenalties, Topology};

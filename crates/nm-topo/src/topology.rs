@@ -1,0 +1,354 @@
+//! Topology description and cache-distance model.
+
+use std::fmt;
+use std::time::Duration;
+
+/// One logical core: its package (chip) and shared-cache group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreInfo {
+    /// OS core id (index into the topology).
+    pub id: usize,
+    /// Physical package (socket/chip) this core belongs to.
+    pub package: usize,
+    /// Last-level shared-cache group; cores in the same group share an
+    /// L2/L3 cache (on the paper's Xeon X5460, cores come in L2 pairs).
+    pub cache_group: usize,
+}
+
+/// Cache distance between two cores, ordered from closest to farthest.
+///
+/// Fig 8's four curves are exactly these classes: polling on CPU 0 (same
+/// core), CPU 1 (shared cache), CPU 2/3 (same chip, no shared cache), and —
+/// on the dual-socket testbed — CPUs of the other chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Distance {
+    /// The same core: no cache traffic at all.
+    SameCore,
+    /// A different core sharing a cache with this one.
+    SharedCache,
+    /// Same package, but no shared cache level (other die of an MCM).
+    SamePackage,
+    /// A core on another package.
+    CrossPackage,
+}
+
+/// Per-distance polling penalties, in nanoseconds.
+///
+/// These are the constants the paper measures in §4.1; the simulator
+/// charges them to every cross-core completion notification, and the
+/// real-time benches measure them from actual cache traffic instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollPenalties {
+    /// Polling on the application core itself.
+    pub same_core_ns: u64,
+    /// Polling on a core sharing a cache (paper: 400 ns).
+    pub shared_cache_ns: u64,
+    /// Polling on the same chip without a shared cache (paper: 1.2 µs on
+    /// the quad-core testbed, 2.3 µs on the dual quad-core one).
+    pub same_package_ns: u64,
+    /// Polling on another chip (paper: 3.1 µs).
+    pub cross_package_ns: u64,
+}
+
+impl PollPenalties {
+    /// Quad-core Xeon X5460 constants from §4.1.
+    pub const XEON_X5460: PollPenalties = PollPenalties {
+        same_core_ns: 0,
+        shared_cache_ns: 400,
+        same_package_ns: 1_200,
+        cross_package_ns: 1_200,
+    };
+
+    /// Dual quad-core Xeon constants from §4.1.
+    pub const DUAL_XEON: PollPenalties = PollPenalties {
+        same_core_ns: 0,
+        shared_cache_ns: 400,
+        same_package_ns: 2_300,
+        cross_package_ns: 3_100,
+    };
+
+    /// Penalty for a given distance class.
+    pub fn for_distance(&self, d: Distance) -> Duration {
+        let ns = match d {
+            Distance::SameCore => self.same_core_ns,
+            Distance::SharedCache => self.shared_cache_ns,
+            Distance::SamePackage => self.same_package_ns,
+            Distance::CrossPackage => self.cross_package_ns,
+        };
+        Duration::from_nanos(ns)
+    }
+}
+
+/// A machine topology: cores grouped by shared cache and package.
+#[derive(Clone)]
+pub struct Topology {
+    name: String,
+    cores: Vec<CoreInfo>,
+    penalties: PollPenalties,
+}
+
+impl Topology {
+    /// Builds a topology from explicit core descriptions.
+    ///
+    /// # Panics
+    /// Panics if `cores` is empty or core ids are not `0..n` in order.
+    pub fn from_cores(
+        name: impl Into<String>,
+        cores: Vec<CoreInfo>,
+        penalties: PollPenalties,
+    ) -> Self {
+        assert!(!cores.is_empty(), "topology needs at least one core");
+        for (i, c) in cores.iter().enumerate() {
+            assert_eq!(c.id, i, "core ids must be dense and ordered");
+        }
+        Topology {
+            name: name.into(),
+            cores,
+            penalties,
+        }
+    }
+
+    /// The paper's primary testbed: one quad-core Xeon X5460, organized as
+    /// two dual-core dies, each pair sharing an L2 cache
+    /// (cores {0,1} and {2,3}).
+    pub fn xeon_x5460() -> Self {
+        let cores = (0..4)
+            .map(|id| CoreInfo {
+                id,
+                package: 0,
+                cache_group: id / 2,
+            })
+            .collect();
+        Self::from_cores("xeon-x5460", cores, PollPenalties::XEON_X5460)
+    }
+
+    /// The paper's secondary testbed: two quad-core Xeons (8 cores, two
+    /// packages, L2 shared per core pair).
+    pub fn dual_xeon_x5460() -> Self {
+        let cores = (0..8)
+            .map(|id| CoreInfo {
+                id,
+                package: id / 4,
+                cache_group: id / 2,
+            })
+            .collect();
+        Self::from_cores("dual-xeon-x5460", cores, PollPenalties::DUAL_XEON)
+    }
+
+    /// A flat SMP: `n` cores, one package, one shared cache.
+    pub fn uniform(n: usize) -> Self {
+        let cores = (0..n)
+            .map(|id| CoreInfo {
+                id,
+                package: 0,
+                cache_group: 0,
+            })
+            .collect();
+        Self::from_cores(
+            format!("uniform-{n}"),
+            cores,
+            PollPenalties {
+                same_core_ns: 0,
+                shared_cache_ns: 400,
+                same_package_ns: 400,
+                cross_package_ns: 400,
+            },
+        )
+    }
+
+    /// Discovers the host topology from `/sys` (Linux), falling back to a
+    /// uniform topology sized by `std::thread::available_parallelism`.
+    pub fn discover() -> Self {
+        crate::discover::discover().unwrap_or_else(|| {
+            let n = std::thread::available_parallelism().map_or(1, |n| n.get());
+            Self::uniform(n)
+        })
+    }
+
+    /// Human-readable topology name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Core description by id.
+    pub fn core(&self, id: usize) -> &CoreInfo {
+        &self.cores[id]
+    }
+
+    /// All cores.
+    pub fn cores(&self) -> &[CoreInfo] {
+        &self.cores
+    }
+
+    /// Number of distinct packages.
+    pub fn num_packages(&self) -> usize {
+        self.cores
+            .iter()
+            .map(|c| c.package)
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+
+    /// Cache distance between two cores.
+    pub fn distance(&self, a: usize, b: usize) -> Distance {
+        let (ca, cb) = (&self.cores[a], &self.cores[b]);
+        if ca.id == cb.id {
+            Distance::SameCore
+        } else if ca.cache_group == cb.cache_group {
+            Distance::SharedCache
+        } else if ca.package == cb.package {
+            Distance::SamePackage
+        } else {
+            Distance::CrossPackage
+        }
+    }
+
+    /// Polling penalty charged by the simulator for completions produced on
+    /// core `producer` and polled from core `poller`.
+    pub fn poll_penalty(&self, poller: usize, producer: usize) -> Duration {
+        self.penalties.for_distance(self.distance(poller, producer))
+    }
+
+    /// The per-class penalty table.
+    pub fn penalties(&self) -> PollPenalties {
+        self.penalties
+    }
+
+    /// A core of each distinct distance class relative to `origin`, closest
+    /// first. Used by Fig 8 to pick its "CPU 0 / 1 / 2 / 4" placements.
+    pub fn representative_cores(&self, origin: usize) -> Vec<(Distance, usize)> {
+        let mut reps = vec![(Distance::SameCore, origin)];
+        for d in [
+            Distance::SharedCache,
+            Distance::SamePackage,
+            Distance::CrossPackage,
+        ] {
+            if let Some(c) = self
+                .cores
+                .iter()
+                .find(|c| self.distance(origin, c.id) == d)
+            {
+                reps.push((d, c.id));
+            }
+        }
+        reps
+    }
+}
+
+impl fmt::Debug for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Topology")
+            .field("name", &self.name)
+            .field("cores", &self.cores.len())
+            .field("packages", &self.num_packages())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_x5460_layout() {
+        let t = Topology::xeon_x5460();
+        assert_eq!(t.num_cores(), 4);
+        assert_eq!(t.num_packages(), 1);
+        assert_eq!(t.distance(0, 0), Distance::SameCore);
+        assert_eq!(t.distance(0, 1), Distance::SharedCache);
+        assert_eq!(t.distance(0, 2), Distance::SamePackage);
+        assert_eq!(t.distance(0, 3), Distance::SamePackage);
+        assert_eq!(t.distance(2, 3), Distance::SharedCache);
+    }
+
+    #[test]
+    fn dual_xeon_layout() {
+        let t = Topology::dual_xeon_x5460();
+        assert_eq!(t.num_cores(), 8);
+        assert_eq!(t.num_packages(), 2);
+        assert_eq!(t.distance(0, 4), Distance::CrossPackage);
+        assert_eq!(t.distance(0, 7), Distance::CrossPackage);
+        assert_eq!(t.distance(4, 5), Distance::SharedCache);
+        assert_eq!(t.distance(4, 6), Distance::SamePackage);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        for t in [Topology::xeon_x5460(), Topology::dual_xeon_x5460()] {
+            for a in 0..t.num_cores() {
+                for b in 0..t.num_cores() {
+                    assert_eq!(t.distance(a, b), t.distance(b, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_penalties() {
+        let t = Topology::xeon_x5460();
+        assert_eq!(t.poll_penalty(0, 0), Duration::ZERO);
+        assert_eq!(t.poll_penalty(1, 0), Duration::from_nanos(400));
+        assert_eq!(t.poll_penalty(2, 0), Duration::from_nanos(1_200));
+
+        let d = Topology::dual_xeon_x5460();
+        assert_eq!(d.poll_penalty(1, 0), Duration::from_nanos(400));
+        assert_eq!(d.poll_penalty(2, 0), Duration::from_nanos(2_300));
+        assert_eq!(d.poll_penalty(4, 0), Duration::from_nanos(3_100));
+    }
+
+    #[test]
+    fn representative_cores_cover_all_classes() {
+        let t = Topology::dual_xeon_x5460();
+        let reps = t.representative_cores(0);
+        let classes: Vec<Distance> = reps.iter().map(|(d, _)| *d).collect();
+        assert_eq!(
+            classes,
+            vec![
+                Distance::SameCore,
+                Distance::SharedCache,
+                Distance::SamePackage,
+                Distance::CrossPackage
+            ]
+        );
+        // And the chosen cores actually have those distances.
+        for (d, c) in reps {
+            assert_eq!(t.distance(0, c), d);
+        }
+    }
+
+    #[test]
+    fn uniform_topology_all_shared() {
+        let t = Topology::uniform(3);
+        assert_eq!(t.distance(0, 2), Distance::SharedCache);
+        assert_eq!(t.representative_cores(0).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense and ordered")]
+    fn non_dense_core_ids_rejected() {
+        let _ = Topology::from_cores(
+            "bad",
+            vec![CoreInfo {
+                id: 1,
+                package: 0,
+                cache_group: 0,
+            }],
+            PollPenalties::XEON_X5460,
+        );
+    }
+
+    #[test]
+    fn discover_never_panics_and_has_cores() {
+        let t = Topology::discover();
+        assert!(t.num_cores() >= 1);
+        // Every core must classify against core 0 without panicking.
+        for c in 0..t.num_cores() {
+            let _ = t.distance(0, c);
+        }
+    }
+}

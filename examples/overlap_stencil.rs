@@ -1,0 +1,88 @@
+//! Communication/computation overlap: a 1-D halo-exchange stencil.
+//!
+//! Two ranks each own half of a vector and repeatedly smooth it; the halo
+//! cells travel as non-blocking messages while the inner cells are
+//! computed — the §4 use case: background progression makes the exchange
+//! advance during the compute phase.
+//!
+//! ```sh
+//! cargo run --release --example overlap_stencil
+//! ```
+
+use std::sync::Arc;
+
+use nomad::mpi::{Comm, ThreadLevel, World};
+use nomad::progress::{IdlePolicy, ProgressEngine, ProgressionThread};
+use nomad::sync::WaitStrategy;
+
+const CELLS: usize = 1 << 14;
+const STEPS: usize = 20;
+
+fn smooth_inner(data: &mut [f64]) {
+    // Jacobi-style smoothing of the interior (ends handled via halos).
+    let prev: Vec<f64> = data.to_vec();
+    for i in 1..data.len() - 1 {
+        data[i] = 0.25 * prev[i - 1] + 0.5 * prev[i] + 0.25 * prev[i + 1];
+    }
+}
+
+fn run_rank(comm: Comm, peer: usize, mut data: Vec<f64>) -> f64 {
+    for step in 0..STEPS {
+        let tag = step as u64;
+        // Post the halo exchange, then compute while it progresses in the
+        // background (the progression thread polls; we wait passively).
+        let recv = comm.irecv_from(peer, tag).expect("irecv");
+        let boundary = if comm.rank() == 0 {
+            data[data.len() - 1]
+        } else {
+            data[0]
+        };
+        let send = comm
+            .isend_to(peer, tag, &boundary.to_le_bytes())
+            .expect("isend");
+
+        smooth_inner(&mut data); // overlapped computation
+
+        recv.wait_flag_only(WaitStrategy::fixed_spin_default());
+        send.wait_flag_only(WaitStrategy::fixed_spin_default());
+        let halo_bytes = recv.take_data().expect("halo");
+        let halo = f64::from_le_bytes(halo_bytes[..8].try_into().unwrap());
+        if comm.rank() == 0 {
+            let n = data.len();
+            data[n - 1] = 0.5 * (data[n - 1] + halo);
+        } else {
+            data[0] = 0.5 * (data[0] + halo);
+        }
+    }
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+fn main() {
+    let world = World::pair(ThreadLevel::Multiple);
+
+    // Background progression: both ranks' cores registered with one
+    // engine polled by a dedicated progression thread.
+    let engine = Arc::new(ProgressEngine::new());
+    engine.register(world.core(0) as _);
+    engine.register(world.core(1) as _);
+    let progression = ProgressionThread::spawn(Arc::clone(&engine), None, IdlePolicy::Yield);
+
+    let (c0, c1) = world.comm_pair();
+    let h0 = std::thread::spawn(move || {
+        let data = vec![1.0; CELLS];
+        run_rank(c0, 1, data)
+    });
+    let h1 = std::thread::spawn(move || {
+        let data = vec![3.0; CELLS];
+        run_rank(c1, 0, data)
+    });
+    let (m0, m1) = (h0.join().unwrap(), h1.join().unwrap());
+    progression.stop();
+
+    println!("rank 0 mean after {STEPS} steps: {m0:.6}");
+    println!("rank 1 mean after {STEPS} steps: {m1:.6}");
+    // Smoothing conserves each half's interior mass approximately; the
+    // halos couple the halves so the means drift toward each other.
+    assert!(m0 > 1.0 - 1e-6 && m1 < 3.0 + 1e-6);
+    println!("halo exchange overlapped with computation: OK");
+}

@@ -1,0 +1,134 @@
+//! The whole paper in one terminal page.
+//!
+//! Runs the deterministic simulator's version of every experiment and
+//! prints a condensed "paper says / we measure" comparison. Bit-identical
+//! output on any machine.
+//!
+//! ```sh
+//! cargo run --release --example paper_tour
+//! ```
+
+use nomad::sim::{experiments as exp, SimCosts};
+use nomad::topo::Topology;
+
+fn delta_us(a: &nomad::bench::Series, b: &nomad::bench::Series) -> f64 {
+    let n = a.points.len() as f64;
+    a.points
+        .iter()
+        .zip(&b.points)
+        .map(|(&(_, x), &(_, y))| x - y)
+        .sum::<f64>()
+        / n
+}
+
+fn row(what: &str, paper: &str, ours: String) {
+    println!("{what:<52} {paper:>14} {ours:>14}");
+}
+
+fn main() {
+    let costs = SimCosts::paper();
+    let sizes = [4usize, 64, 512, 2048];
+
+    println!(
+        "{:<52} {:>14} {:>14}",
+        "mechanism (one-way overheads unless noted)", "paper", "this repo"
+    );
+    println!("{}", "-".repeat(84));
+
+    // Fig 3: locking overheads.
+    let fig3 = exp::fig3_locking_latency(costs, &sizes);
+    row(
+        "Fig 3  coarse-grain locking overhead",
+        "+140 ns",
+        format!("{:+.0} ns", 1000.0 * delta_us(&fig3[0], &fig3[2])),
+    );
+    row(
+        "Fig 3  fine-grain locking overhead",
+        "+230 ns",
+        format!("{:+.0} ns", 1000.0 * delta_us(&fig3[1], &fig3[2])),
+    );
+
+    // Fig 5: concurrent pingpongs.
+    let fig5 = exp::fig5_concurrent_pingpong(costs, &[64]);
+    row(
+        "Fig 5  coarse: 2 concurrent pingpongs vs 1 thread",
+        "~2.0x",
+        format!("{:.2}x", fig5[3].points[0].1 / fig5[0].points[0].1),
+    );
+
+    // Fig 6: engine overhead.
+    let fig6 = exp::fig6_pioman_overhead(costs, &sizes);
+    row(
+        "Fig 6  PIOMan registry on the polling path",
+        "+200 ns",
+        format!("{:+.0} ns", 1000.0 * delta_us(&fig6[1], &fig6[3])),
+    );
+
+    // Fig 7: passive waiting.
+    let fig7 = exp::fig7_waiting_strategies(costs, &sizes);
+    row(
+        "Fig 7  semaphore (passive) vs busy waiting",
+        "+750 ns",
+        format!("{:+.0} ns", 1000.0 * delta_us(&fig7[1], &fig7[3])),
+    );
+
+    // Fig 8: polling placement.
+    let topo = Topology::dual_xeon_x5460();
+    let fig8 = exp::fig8_cache_affinity(costs, &topo, &[64]);
+    let base = fig8[0].points[0].1;
+    row(
+        "Fig 8  polling on the shared-cache core",
+        "+400 ns",
+        format!("{:+.0} ns", 1000.0 * (fig8[1].points[0].1 - base)),
+    );
+    row(
+        "Fig 8  polling on the same chip, no shared cache",
+        "+2.3 us",
+        format!("{:+.2} us", fig8[2].points[0].1 - base),
+    );
+    row(
+        "Fig 8  polling on the other chip",
+        "+3.1 us",
+        format!("{:+.2} us", fig8[3].points[0].1 - base),
+    );
+
+    // Fig 9: deferred submission.
+    let fig9 = exp::fig9_offload_tasklets(costs, &[8192, 16384, 32768]);
+    row(
+        "Fig 9  submission offload via tasklets",
+        "+2 us",
+        format!("{:+.2} us", delta_us(&fig9[1], &fig9[2])),
+    );
+    row(
+        "Fig 9  submission offload via idle core",
+        "+0.4 us",
+        format!("{:+.2} us", delta_us(&fig9[0], &fig9[2])),
+    );
+
+    // Bandwidth claim.
+    let bw = exp::bandwidth_by_mode(costs, &[32 * 1024]);
+    let spread =
+        (bw[0].points[0].1 - bw[2].points[0].1).abs() / bw[0].points[0].1 * 100.0;
+    row(
+        "§3.1   locking impact on 32 KB bandwidth",
+        "none",
+        format!("{spread:.2} %"),
+    );
+
+    // §4.1 overlap claim.
+    let ov = exp::rdv_overlap(costs, &[128 * 1024]);
+    row(
+        "§4.1   compute hidden behind a 128 KB rendezvous",
+        "~all of it",
+        format!(
+            "{:.0} of 30 us",
+            ov[0].points[0].1 - ov[1].points[0].1
+        ),
+    );
+
+    println!("{}", "-".repeat(84));
+    println!(
+        "deterministic simulator, paper-calibrated costs \
+         (70 ns lock cycle, 750 ns switch, ...)"
+    );
+}

@@ -1,0 +1,46 @@
+//! Quickstart: two in-process "nodes" over a simulated Myri-10G rail.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use nomad::mpi::{ThreadLevel, World};
+
+fn main() {
+    // An MPI_THREAD_MULTIPLE world: fine-grain locking inside the library.
+    let world = World::pair(ThreadLevel::Multiple);
+    let (alice, bob) = world.comm_pair();
+
+    // Bob echoes whatever he receives.
+    let echo = std::thread::spawn(move || {
+        let msg = bob.recv(0).expect("recv");
+        println!("[bob]   got {} bytes, echoing", msg.len());
+        bob.send(0, &msg).expect("send");
+    });
+
+    let payload = b"hello, high performance network";
+    println!("[alice] sending {} bytes", payload.len());
+    alice.send(0, payload).expect("send");
+    let back = alice.recv(0).expect("recv");
+    assert_eq!(&back, payload);
+    println!("[alice] received the echo intact");
+    echo.join().unwrap();
+
+    // A larger message takes the rendezvous path automatically.
+    let (alice, bob) = world.comm_pair();
+    let big = vec![7u8; 1 << 20];
+    let echo = std::thread::spawn(move || {
+        let msg = bob.recv(1).expect("recv");
+        println!("[bob]   rendezvous delivered {} KiB", msg.len() / 1024);
+    });
+    alice.send(1, &big).expect("send");
+    echo.join().unwrap();
+
+    let stats = alice.core().stats();
+    println!(
+        "[stats] eager: {}, rendezvous: {}, packets tx: {}",
+        stats.eager_sent.get(),
+        stats.rdv_started.get(),
+        stats.packets_tx.get(),
+    );
+}
