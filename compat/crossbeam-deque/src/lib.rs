@@ -1,0 +1,260 @@
+//! Vendored, dependency-free subset of the [`crossbeam-deque`] crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace ships minimal local implementations of the third-party APIs it
+//! consumes (see `crates/compat/README.md`).
+//!
+//! [`Worker`], [`Stealer`] and [`Injector`] here are mutex-protected
+//! `VecDeque`s rather than the real Chase–Lev lock-free deques: the
+//! work-stealing *semantics* used by `nm-sched` (FIFO local queue, batch
+//! refill from the injector, sibling stealing) are preserved, while the
+//! synchronization is a plain lock. `nm-sched` schedules coarse tasks
+//! (communication progression passes, bench workloads), so lock cost is
+//! noise relative to task run time.
+//!
+//! [`crossbeam-deque`]: https://docs.rs/crossbeam-deque
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(m: &Mutex<VecDeque<T>>) -> MutexGuard<'_, VecDeque<T>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The source was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The attempt lost a race and should be retried.
+    ///
+    /// The mutex-backed implementation never loses races, so this variant
+    /// is never produced here; it exists so `match` arms written against
+    /// the real crate still compile.
+    Retry,
+}
+
+/// A FIFO worker queue owned by one scheduler thread.
+pub struct Worker<T> {
+    q: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a FIFO worker queue.
+    pub fn new_fifo() -> Self {
+        Worker {
+            q: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Creates a [`Stealer`] handle for other threads.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            q: Arc::clone(&self.q),
+        }
+    }
+
+    /// Pushes a task onto the local queue.
+    pub fn push(&self, task: T) {
+        lock(&self.q).push_back(task);
+    }
+
+    /// Pops the next local task (FIFO order).
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.q).pop_front()
+    }
+
+    /// `true` if the local queue is empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        lock(&self.q).is_empty()
+    }
+}
+
+impl<T> fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Worker { .. }")
+    }
+}
+
+/// A handle that steals tasks from another worker's queue.
+pub struct Stealer<T> {
+    q: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    /// Steals one task from the front of the sibling's queue.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.q).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            q: Arc::clone(&self.q),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Stealer { .. }")
+    }
+}
+
+/// A global FIFO injector queue shared by all workers.
+pub struct Injector<T> {
+    q: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            q: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Enqueues a task.
+    pub fn push(&self, task: T) {
+        lock(&self.q).push_back(task);
+    }
+
+    /// Pops one task directly from the injector.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.q).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Moves a batch of tasks into `dest` and pops one of them.
+    ///
+    /// Like the real crate, takes roughly half the injector (bounded), so
+    /// one worker does not drain the whole global queue.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        const MAX_BATCH: usize = 32;
+        let mut g = lock(&self.q);
+        let first = match g.pop_front() {
+            Some(t) => t,
+            None => return Steal::Empty,
+        };
+        let extra = (g.len() / 2).min(MAX_BATCH);
+        if extra > 0 {
+            let mut dest_q = lock(&dest.q);
+            for _ in 0..extra {
+                match g.pop_front() {
+                    Some(t) => dest_q.push_back(t),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// `true` if the injector is empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        lock(&self.q).is_empty()
+    }
+
+    /// Number of queued tasks (racy snapshot).
+    pub fn len(&self) -> usize {
+        lock(&self.q).len()
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> fmt::Debug for Injector<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Injector")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_fifo_and_stealer() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(s.steal(), Steal::Success(2));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_batch_refill() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        // Pops 0, moves a batch of the rest into the worker.
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        assert!(!w.is_empty());
+        let mut drained = Vec::new();
+        while let Some(v) = w.pop() {
+            drained.push(v);
+        }
+        while let Steal::Success(v) = inj.steal() {
+            drained.push(v);
+        }
+        drained.sort_unstable();
+        assert_eq!(drained, (1..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn everything_delivered_once_under_stealing() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inj = Arc::new(Injector::new());
+        let done = Arc::new(AtomicUsize::new(0));
+        for i in 0..4000 {
+            inj.push(i);
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let inj = Arc::clone(&inj);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    let w = Worker::new_fifo();
+                    loop {
+                        let task = w.pop().or_else(|| match inj.steal_batch_and_pop(&w) {
+                            Steal::Success(t) => Some(t),
+                            _ => None,
+                        });
+                        match task {
+                            Some(_) => {
+                                done.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => break,
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(done.load(Ordering::Relaxed), 4000);
+    }
+}

@@ -1,0 +1,114 @@
+//! Vendored, dependency-free subset of the [`crossbeam-queue`] crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace ships minimal local implementations of the third-party APIs it
+//! consumes (see `crates/compat/README.md`).
+//!
+//! [`SegQueue`] here is a mutex-protected `VecDeque` rather than the real
+//! lock-free segmented queue: identical semantics (unbounded MPMC FIFO),
+//! different scalability. The queues guarded by it in `nm-progress` are
+//! control-plane paths (submission offload, tasklet pending lists), not the
+//! per-message hot path, so the difference does not distort the paper's
+//! figures.
+//!
+//! [`crossbeam-queue`]: https://docs.rs/crossbeam-queue
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Mutex, PoisonError};
+
+/// An unbounded MPMC FIFO queue.
+pub struct SegQueue<T> {
+    q: Mutex<VecDeque<T>>,
+}
+
+impl<T> SegQueue<T> {
+    /// Creates an empty queue.
+    pub const fn new() -> Self {
+        SegQueue {
+            q: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn guard(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.q.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues `value` at the back.
+    pub fn push(&self, value: T) {
+        self.guard().push_back(value);
+    }
+
+    /// Dequeues from the front, `None` if empty.
+    pub fn pop(&self) -> Option<T> {
+        self.guard().pop_front()
+    }
+
+    /// Number of queued elements (racy snapshot, like the real crate).
+    pub fn len(&self) -> usize {
+        self.guard().len()
+    }
+
+    /// `true` if the queue is empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.guard().is_empty()
+    }
+}
+
+impl<T> Default for SegQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> fmt::Debug for SegQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SegQueue")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn mpmc_delivers_everything_exactly_once() {
+        let q = Arc::new(SegQueue::new());
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..1000 {
+                        q.push(p * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Some(v) = q.pop() {
+            assert!(seen.insert(v), "duplicate {v}");
+        }
+        assert_eq!(seen.len(), 4000);
+    }
+}

@@ -1,0 +1,81 @@
+//! Vendored, dependency-free subset of the [`crossbeam-utils`] crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace ships minimal local implementations of the third-party APIs it
+//! consumes (see `crates/compat/README.md`). Only [`CachePadded`] is used
+//! by the nomad stack.
+//!
+//! [`crossbeam-utils`]: https://docs.rs/crossbeam-utils
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes so two `CachePadded` values never
+/// share a cache line (128 covers the spatial prefetcher pairs on x86 and
+/// the 128-byte lines on some AArch64 parts).
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in its own cache line.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwraps the value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_is_128() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        let a = [CachePadded::new(0u8), CachePadded::new(1u8)];
+        let p0 = &a[0] as *const _ as usize;
+        let p1 = &a[1] as *const _ as usize;
+        assert!(p1 - p0 >= 128, "values share a cache line");
+    }
+
+    #[test]
+    fn deref_round_trip() {
+        let mut c = CachePadded::new(7u64);
+        *c += 1;
+        assert_eq!(*c, 8);
+        assert_eq!(c.into_inner(), 8);
+    }
+}

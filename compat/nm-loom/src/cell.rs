@@ -1,0 +1,64 @@
+//! Instrumented interior-mutability cell with data-race detection.
+
+use std::sync::atomic::AtomicUsize;
+
+use crate::rt;
+
+/// A checked [`std::cell::UnsafeCell`]: inside [`crate::model`] every
+/// access is validated against the vector clocks — two accesses without a
+/// happens-before edge (at least one of them a write) panic the execution
+/// with a data-race report. Outside a model run it is a plain cell.
+///
+/// Access is closure-scoped (`with` / `with_mut`) so the runtime can
+/// bracket the raw pointer's lifetime, mirroring the real loom API.
+#[derive(Debug)]
+pub struct UnsafeCell<T> {
+    meta: AtomicUsize,
+    data: std::cell::UnsafeCell<T>,
+}
+
+impl<T> UnsafeCell<T> {
+    /// Creates a new cell holding `value`.
+    pub const fn new(value: T) -> Self {
+        UnsafeCell {
+            meta: AtomicUsize::new(0),
+            data: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    /// Immutable access. Under the model this is checked to happen-after
+    /// the last write to the cell.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        if let Some((exec, tid)) = rt::current() {
+            exec.cell_read(tid, rt::loc_id(&self.meta));
+        }
+        f(self.data.get())
+    }
+
+    /// Mutable access. Under the model this is checked to happen-after
+    /// every earlier read and write of the cell.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        if let Some((exec, tid)) = rt::current() {
+            exec.cell_write(tid, rt::loc_id(&self.meta));
+        }
+        f(self.data.get())
+    }
+
+    /// Consumes the cell, returning the value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: Default> Default for UnsafeCell<T> {
+    fn default() -> Self {
+        UnsafeCell::new(T::default())
+    }
+}
+
+// SAFETY: like `std::cell::UnsafeCell`, sending the cell moves its value.
+unsafe impl<T: Send> Send for UnsafeCell<T> {}
+// SAFETY: sharing is what this type exists to test — the caller asserts a
+// synchronization protocol orders the accesses (as with a raw cell inside
+// a lock), and the model checks that assertion dynamically.
+unsafe impl<T: Send> Sync for UnsafeCell<T> {}

@@ -1,0 +1,572 @@
+//! Shimmed synchronization primitives: atomics with symbolic
+//! memory-ordering checks, and a parking_lot-flavoured `Mutex`/`Condvar`
+//! pair the scheduler can reason about.
+
+use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+use std::sync::{Arc, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::rt;
+
+/// Atomic memory orderings (re-exported from std; the model interprets
+/// them symbolically with vector clocks).
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use super::*;
+
+    /// A model-aware memory fence.
+    pub fn fence(ord: Ordering) {
+        match rt::current() {
+            Some((exec, tid)) => exec.fence(tid, ord),
+            None => std::sync::atomic::fence(ord),
+        }
+    }
+
+    macro_rules! atomic_int {
+        ($(#[$doc:meta])* $name:ident, $std:ident, $ty:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name {
+                v: std::sync::atomic::$std,
+                meta: StdAtomicUsize,
+            }
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                pub const fn new(v: $ty) -> Self {
+                    $name {
+                        v: std::sync::atomic::$std::new(v),
+                        meta: StdAtomicUsize::new(0),
+                    }
+                }
+
+                /// Atomic load.
+                pub fn load(&self, ord: Ordering) -> $ty {
+                    match rt::current() {
+                        Some((exec, tid)) => {
+                            exec.schedule_point(tid);
+                            let out = self.v.load(Ordering::SeqCst);
+                            exec.atomic_load_effects(tid, rt::loc_id(&self.meta), ord);
+                            out
+                        }
+                        None => self.v.load(ord),
+                    }
+                }
+
+                /// Atomic store.
+                pub fn store(&self, val: $ty, ord: Ordering) {
+                    match rt::current() {
+                        Some((exec, tid)) => {
+                            exec.schedule_point(tid);
+                            self.v.store(val, Ordering::SeqCst);
+                            exec.atomic_store_effects(tid, rt::loc_id(&self.meta), ord);
+                        }
+                        None => self.v.store(val, ord),
+                    }
+                }
+
+                /// Atomic swap, returning the previous value.
+                pub fn swap(&self, val: $ty, ord: Ordering) -> $ty {
+                    self.rmw(ord, |_| val)
+                }
+
+                /// Atomic add, returning the previous value.
+                pub fn fetch_add(&self, val: $ty, ord: Ordering) -> $ty {
+                    match rt::current() {
+                        Some(_) => self.rmw(ord, |old| old.wrapping_add(val)),
+                        None => self.v.fetch_add(val, ord),
+                    }
+                }
+
+                /// Atomic subtract, returning the previous value.
+                pub fn fetch_sub(&self, val: $ty, ord: Ordering) -> $ty {
+                    match rt::current() {
+                        Some(_) => self.rmw(ord, |old| old.wrapping_sub(val)),
+                        None => self.v.fetch_sub(val, ord),
+                    }
+                }
+
+                /// Atomic bitwise OR, returning the previous value.
+                pub fn fetch_or(&self, val: $ty, ord: Ordering) -> $ty {
+                    match rt::current() {
+                        Some(_) => self.rmw(ord, |old| old | val),
+                        None => self.v.fetch_or(val, ord),
+                    }
+                }
+
+                /// Atomic bitwise AND, returning the previous value.
+                pub fn fetch_and(&self, val: $ty, ord: Ordering) -> $ty {
+                    match rt::current() {
+                        Some(_) => self.rmw(ord, |old| old & val),
+                        None => self.v.fetch_and(val, ord),
+                    }
+                }
+
+                /// Atomic compare-and-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    match rt::current() {
+                        Some((exec, tid)) => {
+                            exec.schedule_point(tid);
+                            let loc = rt::loc_id(&self.meta);
+                            match self.v.compare_exchange(
+                                current,
+                                new,
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                            ) {
+                                Ok(prev) => {
+                                    exec.atomic_rmw_effects(tid, loc, success);
+                                    Ok(prev)
+                                }
+                                Err(prev) => {
+                                    exec.atomic_load_effects(tid, loc, failure);
+                                    Err(prev)
+                                }
+                            }
+                        }
+                        None => self.v.compare_exchange(current, new, success, failure),
+                    }
+                }
+
+                /// Atomic compare-and-exchange that may fail spuriously —
+                /// the model injects spurious failures at random so retry
+                /// loops get exercised.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    match rt::current() {
+                        Some((exec, tid)) => {
+                            exec.schedule_point(tid);
+                            let loc = rt::loc_id(&self.meta);
+                            if exec.spurious_failure() {
+                                let prev = self.v.load(Ordering::SeqCst);
+                                exec.atomic_load_effects(tid, loc, failure);
+                                return Err(prev);
+                            }
+                            match self.v.compare_exchange(
+                                current,
+                                new,
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                            ) {
+                                Ok(prev) => {
+                                    exec.atomic_rmw_effects(tid, loc, success);
+                                    Ok(prev)
+                                }
+                                Err(prev) => {
+                                    exec.atomic_load_effects(tid, loc, failure);
+                                    Err(prev)
+                                }
+                            }
+                        }
+                        None => self.v.compare_exchange_weak(current, new, success, failure),
+                    }
+                }
+
+                fn rmw(&self, ord: Ordering, f: impl Fn($ty) -> $ty) -> $ty {
+                    match rt::current() {
+                        Some((exec, tid)) => {
+                            exec.schedule_point(tid);
+                            // Serialized execution: a plain read-modify-write
+                            // of the std atomic is atomic w.r.t. the model.
+                            let prev = self.v.load(Ordering::SeqCst);
+                            self.v.store(f(prev), Ordering::SeqCst);
+                            exec.atomic_rmw_effects(tid, rt::loc_id(&self.meta), ord);
+                            prev
+                        }
+                        None => {
+                            let mut prev = self.v.load(Ordering::Relaxed);
+                            loop {
+                                match self.v.compare_exchange_weak(
+                                    prev,
+                                    f(prev),
+                                    ord,
+                                    Ordering::Relaxed,
+                                ) {
+                                    Ok(p) => return p,
+                                    Err(p) => prev = p,
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    atomic_int!(
+        /// Model-aware `AtomicU32`.
+        AtomicU32,
+        AtomicU32,
+        u32
+    );
+    atomic_int!(
+        /// Model-aware `AtomicU64`.
+        AtomicU64,
+        AtomicU64,
+        u64
+    );
+    atomic_int!(
+        /// Model-aware `AtomicUsize`.
+        AtomicUsize,
+        AtomicUsize,
+        usize
+    );
+
+    /// Model-aware `AtomicBool`.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        v: std::sync::atomic::AtomicBool,
+        meta: StdAtomicUsize,
+    }
+
+    impl AtomicBool {
+        /// Creates a new atomic boolean.
+        pub const fn new(v: bool) -> Self {
+            AtomicBool {
+                v: std::sync::atomic::AtomicBool::new(v),
+                meta: StdAtomicUsize::new(0),
+            }
+        }
+
+        /// Atomic load.
+        pub fn load(&self, ord: Ordering) -> bool {
+            match rt::current() {
+                Some((exec, tid)) => {
+                    exec.schedule_point(tid);
+                    let out = self.v.load(Ordering::SeqCst);
+                    exec.atomic_load_effects(tid, rt::loc_id(&self.meta), ord);
+                    out
+                }
+                None => self.v.load(ord),
+            }
+        }
+
+        /// Atomic store.
+        pub fn store(&self, val: bool, ord: Ordering) {
+            match rt::current() {
+                Some((exec, tid)) => {
+                    exec.schedule_point(tid);
+                    self.v.store(val, Ordering::SeqCst);
+                    exec.atomic_store_effects(tid, rt::loc_id(&self.meta), ord);
+                }
+                None => self.v.store(val, ord),
+            }
+        }
+
+        /// Atomic swap, returning the previous value.
+        pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+            match rt::current() {
+                Some((exec, tid)) => {
+                    exec.schedule_point(tid);
+                    let prev = self.v.load(Ordering::SeqCst);
+                    self.v.store(val, Ordering::SeqCst);
+                    exec.atomic_rmw_effects(tid, rt::loc_id(&self.meta), ord);
+                    prev
+                }
+                None => self.v.swap(val, ord),
+            }
+        }
+
+        /// Atomic compare-and-exchange.
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            match rt::current() {
+                Some((exec, tid)) => {
+                    exec.schedule_point(tid);
+                    let loc = rt::loc_id(&self.meta);
+                    match self
+                        .v
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                    {
+                        Ok(prev) => {
+                            exec.atomic_rmw_effects(tid, loc, success);
+                            Ok(prev)
+                        }
+                        Err(prev) => {
+                            exec.atomic_load_effects(tid, loc, failure);
+                            Err(prev)
+                        }
+                    }
+                }
+                None => self.v.compare_exchange(current, new, success, failure),
+            }
+        }
+
+        /// Atomic compare-and-exchange with model-injected spurious
+        /// failures.
+        pub fn compare_exchange_weak(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            match rt::current() {
+                Some((exec, tid)) => {
+                    exec.schedule_point(tid);
+                    let loc = rt::loc_id(&self.meta);
+                    if exec.spurious_failure() {
+                        let prev = self.v.load(Ordering::SeqCst);
+                        exec.atomic_load_effects(tid, loc, failure);
+                        return Err(prev);
+                    }
+                    match self
+                        .v
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                    {
+                        Ok(prev) => {
+                            exec.atomic_rmw_effects(tid, loc, success);
+                            Ok(prev)
+                        }
+                        Err(prev) => {
+                            exec.atomic_load_effects(tid, loc, failure);
+                            Err(prev)
+                        }
+                    }
+                }
+                None => self.v.compare_exchange_weak(current, new, success, failure),
+            }
+        }
+    }
+}
+
+/// Result of a timed condvar wait; mirrors `parking_lot::WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(pub(crate) bool);
+
+impl WaitTimeoutResult {
+    /// `true` if the wait ended because the (modeled) timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A mutex with the parking_lot API shape (`lock()` returns the guard
+/// directly). Under the model, blocking participates in the schedule and
+/// lock/unlock carry happens-before edges; outside it, a plain std mutex
+/// provides the exclusion.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    meta: StdAtomicUsize,
+    fb: std::sync::Mutex<()>,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: the mutex provides exclusive access to `data`, either via the
+// model scheduler's single-owner bookkeeping or via the fallback std
+// mutex, so sharing it across threads is sound whenever `T: Send`.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: as above — all access to `data` goes through the exclusion.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+/// RAII guard for [`Mutex`]; unlocks on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    /// `Some` in fallback mode: the std guard providing real exclusion.
+    fb: Option<std::sync::MutexGuard<'a, ()>>,
+    /// `Some` in model mode: the execution and owning thread id.
+    model: Option<(Arc<rt::Execution>, usize)>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            meta: StdAtomicUsize::new(0),
+            fb: std::sync::Mutex::new(()),
+            data: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquires the mutex, blocking (or model-blocking) until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match rt::current() {
+            Some((exec, tid)) => {
+                exec.mutex_lock(tid, rt::loc_id(&self.meta));
+                MutexGuard {
+                    lock: self,
+                    fb: None,
+                    model: Some((exec, tid)),
+                }
+            }
+            None => MutexGuard {
+                lock: self,
+                fb: Some(self.fb.lock().unwrap_or_else(PoisonError::into_inner)),
+                model: None,
+            },
+        }
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match rt::current() {
+            Some((exec, tid)) => {
+                if exec.mutex_try_lock(tid, rt::loc_id(&self.meta)) {
+                    Some(MutexGuard {
+                        lock: self,
+                        fb: None,
+                        model: Some((exec, tid)),
+                    })
+                } else {
+                    None
+                }
+            }
+            None => self.fb.try_lock().ok().map(|g| MutexGuard {
+                lock: self,
+                fb: Some(g),
+                model: None,
+            }),
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    /// Consumes the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves exclusive ownership of the mutex (model
+        // bookkeeping or held std guard), so no other reference exists.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — the guard guarantees exclusivity.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((exec, tid)) = self.model.take() {
+            exec.mutex_unlock(tid, rt::loc_id(&self.lock.meta));
+        }
+    }
+}
+
+/// A condition variable paired with [`Mutex`], parking_lot API shape.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    meta: StdAtomicUsize,
+    fb: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            meta: StdAtomicUsize::new(0),
+            fb: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Releases the guard's mutex, waits for a notification, reacquires.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        match &guard.model {
+            Some((exec, tid)) => {
+                let (exec, tid) = (Arc::clone(exec), *tid);
+                let _ = exec.condvar_wait(
+                    tid,
+                    rt::loc_id(&self.meta),
+                    rt::loc_id(&guard.lock.meta),
+                    false,
+                );
+            }
+            None => {
+                let g = guard.fb.take().expect("fallback guard missing");
+                guard.fb = Some(self.fb.wait(g).unwrap_or_else(PoisonError::into_inner));
+            }
+        }
+    }
+
+    /// Timed wait. Under the model the timeout branch is explored
+    /// nondeterministically (there is no real clock in the schedule
+    /// space), so callers must tolerate both outcomes — exactly the
+    /// discipline a timed wait demands anyway.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        match &guard.model {
+            Some((exec, tid)) => {
+                let (exec, tid) = (Arc::clone(exec), *tid);
+                let timed_out = exec.condvar_wait(
+                    tid,
+                    rt::loc_id(&self.meta),
+                    rt::loc_id(&guard.lock.meta),
+                    true,
+                );
+                WaitTimeoutResult(timed_out)
+            }
+            None => {
+                let g = guard.fb.take().expect("fallback guard missing");
+                let (g, r) = self
+                    .fb
+                    .wait_timeout(g, timeout)
+                    .unwrap_or_else(PoisonError::into_inner);
+                guard.fb = Some(g);
+                WaitTimeoutResult(r.timed_out())
+            }
+        }
+    }
+
+    /// Timed wait with an absolute deadline; see [`Condvar::wait_for`].
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        match &guard.model {
+            Some(_) => self.wait_for(guard, Duration::from_millis(1)),
+            None => {
+                let timeout = deadline.saturating_duration_since(Instant::now());
+                self.wait_for(guard, timeout)
+            }
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        match rt::current() {
+            Some((exec, tid)) => exec.condvar_notify(tid, rt::loc_id(&self.meta), false),
+            None => self.fb.notify_one(),
+        }
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        match rt::current() {
+            Some((exec, tid)) => exec.condvar_notify(tid, rt::loc_id(&self.meta), true),
+            None => self.fb.notify_all(),
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Model-aware thread spawn/join. Outside a model run these delegate to
+//! [`std::thread`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::rt;
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        exec: Arc<rt::Execution>,
+        tid: usize,
+        result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    },
+}
+
+/// Handle for joining a spawned thread (model-scheduled inside
+/// [`crate::model`], a real detached thread otherwise).
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Under the model, panics if the execution has already failed.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Std(h) => h.join(),
+            Inner::Model { exec, tid, result } => {
+                let (_, me) = rt::current().expect("model JoinHandle joined outside the model");
+                exec.join_thread(me, tid);
+                result
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("joined thread left no result")
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Spawns a thread. Inside [`crate::model`] the child participates in the
+/// token-passing schedule; its creation happens-after the parent's history
+/// so far.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Some((exec, parent)) = rt::current() else {
+        return JoinHandle {
+            inner: Inner::Std(std::thread::spawn(f)),
+        };
+    };
+    let tid = exec.register_thread(parent);
+    let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+    let (exec2, result2) = (Arc::clone(&exec), Arc::clone(&result));
+    let handle = std::thread::Builder::new()
+        .name(format!("nm-loom-{tid}"))
+        .spawn(move || {
+            rt::set_current(Arc::clone(&exec2), tid);
+            exec2.wait_for_turn(tid);
+            let out = catch_unwind(AssertUnwindSafe(f));
+            let panic_msg = out.as_ref().err().map(|e| panic_message(&**e));
+            *result2.lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
+            rt::clear_current();
+            exec2.finish_thread(tid, panic_msg);
+        })
+        .expect("spawn model thread");
+    exec.store_handle(handle);
+    JoinHandle {
+        inner: Inner::Model { exec, tid, result },
+    }
+}
+
+/// A pure schedule point: lets the model switch threads, yields outside it.
+pub fn yield_now() {
+    match rt::current() {
+        Some((exec, tid)) => exec.schedule_point(tid),
+        None => std::thread::yield_now(),
+    }
+}

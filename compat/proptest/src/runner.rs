@@ -1,0 +1,200 @@
+//! The case runner: deterministic seeding, regression-file replay, and
+//! failure reporting.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use crate::{ProptestConfig, TestCaseError, TestRng};
+
+/// Environment variable replaying a single case seed (16 hex digits).
+pub const SEED_ENV: &str = "NOMAD_PROPTEST_SEED";
+/// Environment variable mixing the clock into the base seed.
+pub const RANDOM_ENV: &str = "NOMAD_PROPTEST_RANDOM";
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Locates the source file on disk by walking up from the manifest dir
+/// (`file!()` may be manifest-relative or workspace-relative depending on
+/// how cargo invoked rustc).
+fn locate_source(manifest_dir: &str, file: &str) -> Option<PathBuf> {
+    let file = Path::new(file);
+    if file.is_absolute() {
+        return file.exists().then(|| file.to_path_buf());
+    }
+    for anc in Path::new(manifest_dir).ancestors() {
+        let candidate = anc.join(file);
+        if candidate.exists() {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+fn regression_path(manifest_dir: &str, file: &str) -> Option<PathBuf> {
+    locate_source(manifest_dir, file).map(|p| p.with_extension("proptest-regressions"))
+}
+
+/// Parses `seed <16-hex>` lines; warns once about legacy `cc` entries.
+fn load_regression_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("seed ") {
+            let hex = rest.split_whitespace().next().unwrap_or("");
+            let hex = hex.trim_start_matches("0x");
+            match u64::from_str_radix(hex, 16) {
+                Ok(s) => seeds.push(s),
+                Err(_) => eprintln!(
+                    "proptest-compat: ignoring malformed seed line in {}: {line:?}",
+                    path.display()
+                ),
+            }
+        } else if line.starts_with("cc ") {
+            eprintln!(
+                "proptest-compat: ignoring legacy upstream-proptest entry in {} \
+                 (not replayable offline; convert it to an explicit unit test): {line:?}",
+                path.display()
+            );
+        }
+    }
+    seeds
+}
+
+fn persist_failure(path: Option<&Path>, seed: u64, test: &str) {
+    let Some(path) = path else { return };
+    use std::io::Write;
+    let new_file = !path.exists();
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| {
+            if new_file {
+                writeln!(
+                    f,
+                    "# Failing case seeds recorded by the vendored proptest runner.\n\
+                     # Each `seed <16-hex>` line is replayed before generated cases.\n\
+                     # Check this file in so CI replays past failures."
+                )?;
+            }
+            writeln!(f, "seed {seed:016x} # {test}")
+        });
+    if let Err(e) = res {
+        eprintln!("proptest-compat: could not persist regression seed: {e}");
+    }
+}
+
+enum CaseSource {
+    Regression,
+    Generated,
+    EnvReplay,
+}
+
+/// Runs one property: regression seeds first, then `config.cases` generated
+/// cases. Panics (failing the `#[test]`) on the first failing case with the
+/// inputs, the seed, and a replay hint.
+pub fn run<F>(config: &ProptestConfig, manifest_dir: &str, file: &str, test: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    let reg_path = regression_path(manifest_dir, file);
+
+    let mut plan: Vec<(u64, CaseSource)> = Vec::new();
+    if let Ok(seed_hex) = std::env::var(SEED_ENV) {
+        let seed = u64::from_str_radix(seed_hex.trim_start_matches("0x"), 16)
+            .unwrap_or_else(|_| panic!("{SEED_ENV} must be a hex u64, got {seed_hex:?}"));
+        plan.push((seed, CaseSource::EnvReplay));
+    } else {
+        if let Some(p) = reg_path.as_deref() {
+            for s in load_regression_seeds(p) {
+                plan.push((s, CaseSource::Regression));
+            }
+        }
+        let mut base = fnv1a(test.as_bytes()) ^ fnv1a(file.as_bytes());
+        if std::env::var_os(RANDOM_ENV).is_some() {
+            let t = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            base ^= t;
+            eprintln!("proptest-compat: randomized base seed {base:016x} for {test}");
+        }
+        let mut seq = TestRng::new(base);
+        for _ in 0..config.cases {
+            plan.push((seq.next_u64(), CaseSource::Generated));
+        }
+    }
+
+    for (i, (seed, source)) in plan.iter().enumerate() {
+        let mut rng = TestRng::new(*seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| case(&mut rng)));
+        let (desc, failure) = match outcome {
+            Ok((desc, Ok(()))) => (desc, None),
+            Ok((desc, Err(e))) => (desc, Some(e.to_string())),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic>".into());
+                ("<inputs unavailable: case panicked>".into(), Some(msg))
+            }
+        };
+        if let Some(msg) = failure {
+            if matches!(source, CaseSource::Generated) {
+                persist_failure(reg_path.as_deref(), *seed, test);
+            }
+            let kind = match source {
+                CaseSource::Regression => "regression-file case",
+                CaseSource::Generated => "generated case",
+                CaseSource::EnvReplay => "env-replayed case",
+            };
+            panic!(
+                "property {test} failed on {kind} {i}\n  inputs: {desc}\n  cause: {msg}\n  \
+                 replay with: {SEED_ENV}={seed:016x}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable() {
+        // A changed hash would silently change every derived case seed.
+        assert_eq!(fnv1a(b"nomad"), fnv1a(b"nomad"));
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    #[test]
+    fn regression_seed_parsing() {
+        let dir = std::env::temp_dir().join("nomad-proptest-compat-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("sample.proptest-regressions");
+        std::fs::write(
+            &p,
+            "# comment\n\
+             cc 024108d3e4f97e19 # legacy, ignored\n\
+             seed 00000000000000ff # replayable\n\
+             seed 0x10\n",
+        )
+        .unwrap();
+        assert_eq!(load_regression_seeds(&p), vec![0xff, 0x10]);
+        let _ = std::fs::remove_file(&p);
+    }
+}

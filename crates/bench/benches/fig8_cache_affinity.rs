@@ -81,7 +81,9 @@ fn fig8(c: &mut Criterion) {
 
     // Deterministic simulator per placement (always available).
     let topo = Topology::xeon_x5460();
-    for (dist, core) in topo.representative_cores(0) {
+    // One representative placement is enough for the sim timing; the
+    // series itself contains every placement.
+    if let Some((dist, core)) = topo.representative_cores(0).into_iter().next() {
         g.bench_with_input(
             BenchmarkId::new("sim_pingpong", format!("{dist:?}-cpu{core}")),
             &core,
@@ -92,10 +94,6 @@ fn fig8(c: &mut Criterion) {
                 })
             },
         );
-        // One representative placement is enough for the sim timing; the
-        // series itself contains every placement.
-        let _ = dist;
-        break;
     }
     g.finish();
 }

@@ -48,24 +48,27 @@ fn submission_path(c: &mut Criterion) {
             .build();
 
         let payload = Bytes::from(vec![0u8; 2048]);
-        g.bench_function(BenchmarkId::new("isend_to_delivery", mode.label()), |bench| {
-            bench.iter(|| {
-                // One message end to end: the deferred-submission path
-                // (queue push, tasklet state machine + runner wakeup)
-                // rides the measured interval.
-                let r = b.irecv(GateId(0), 0).expect("irecv");
-                let s = a.isend(GateId(0), 0, payload.clone()).expect("isend");
-                while !r.is_complete() {
-                    // The measuring thread doubles as the idle core for
-                    // IdleCore mode; tasklet mode is drained by its
-                    // runner thread.
-                    a.drain_offload();
-                    a.progress();
-                    b.progress();
-                }
-                criterion::black_box((s, r.take_data()))
-            });
-        });
+        g.bench_function(
+            BenchmarkId::new("isend_to_delivery", mode.label()),
+            |bench| {
+                bench.iter(|| {
+                    // One message end to end: the deferred-submission path
+                    // (queue push, tasklet state machine + runner wakeup)
+                    // rides the measured interval.
+                    let r = b.irecv(GateId(0), 0).expect("irecv");
+                    let s = a.isend(GateId(0), 0, payload.clone()).expect("isend");
+                    while !r.is_complete() {
+                        // The measuring thread doubles as the idle core for
+                        // IdleCore mode; tasklet mode is drained by its
+                        // runner thread.
+                        a.drain_offload();
+                        a.progress();
+                        b.progress();
+                    }
+                    criterion::black_box((s, r.take_data()))
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -87,9 +90,7 @@ fn overlap_pingpong(c: &mut Criterion) {
                 let stats = nm_bench::overlap::overlap_latency(&opts, 8192);
                 // Total time represented by the measured iterations,
                 // normalized back to the requested count.
-                Duration::from_nanos(
-                    (stats.mean_ns() * iters as f64) as u64,
-                )
+                Duration::from_nanos((stats.mean_ns() * iters as f64) as u64)
             })
         });
     }

@@ -38,10 +38,16 @@ fn burst(strategy: StrategyKind, n: usize) {
         .add_gate(vec![Arc::new(db) as Arc<dyn Driver>])
         .build();
 
-    let payload = Bytes::from_static(b"burst-payload-64-bytes.........................................");
-    let recvs: Vec<_> = (0..n).map(|i| b.irecv(GateId(0), i as u64).expect("irecv")).collect();
+    let payload =
+        Bytes::from_static(b"burst-payload-64-bytes.........................................");
+    let recvs: Vec<_> = (0..n)
+        .map(|i| b.irecv(GateId(0), i as u64).expect("irecv"))
+        .collect();
     let sends: Vec<_> = (0..n)
-        .map(|i| a.isend(GateId(0), i as u64, payload.clone()).expect("isend"))
+        .map(|i| {
+            a.isend(GateId(0), i as u64, payload.clone())
+                .expect("isend")
+        })
         .collect();
     while recvs.iter().any(|r| !r.is_complete()) {
         a.progress();

@@ -56,8 +56,8 @@ fn main() {
             "--dual" => opts.dual = true,
             "--csv" => opts.csv = true,
             "--quick" => opts.quick = true,
-            "all" | "fig3" | "fig5" | "fig6" | "fig7" | "fig7sweep" | "fig8" | "fig9"
-            | "bw" | "rdvoverlap" | "table1" | "sec33" => what.push(a.clone()),
+            "all" | "fig3" | "fig5" | "fig6" | "fig7" | "fig7sweep" | "fig8" | "fig9" | "bw"
+            | "rdvoverlap" | "table1" | "sec33" => what.push(a.clone()),
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -71,8 +71,17 @@ fn main() {
     }
     if what.is_empty() || what.iter().any(|w| w == "all") {
         what = [
-            "fig3", "fig5", "fig6", "fig7", "fig7sweep", "fig8", "fig9", "bw", "rdvoverlap",
-            "table1", "sec33",
+            "fig3",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig7sweep",
+            "fig8",
+            "fig9",
+            "bw",
+            "rdvoverlap",
+            "table1",
+            "sec33",
         ]
         .map(String::from)
         .to_vec();
@@ -149,22 +158,29 @@ fn real_pingpong_opts(locking: LockingMode, via_engine: bool, quick: bool) -> Pi
 fn fig3(opts: &Options, costs: SimCosts) {
     let sz = sizes(opts);
     let series = if opts.real {
-        [LockingMode::Coarse, LockingMode::Fine, LockingMode::SingleThread]
-            .iter()
-            .map(|&m| {
-                pingpong_series(
-                    &real_pingpong_opts(m, false, opts.quick),
-                    &format!("{} locking", m.label()),
-                    &sz,
-                )
-            })
-            .collect::<Vec<_>>()
+        [
+            LockingMode::Coarse,
+            LockingMode::Fine,
+            LockingMode::SingleThread,
+        ]
+        .iter()
+        .map(|&m| {
+            pingpong_series(
+                &real_pingpong_opts(m, false, opts.quick),
+                &format!("{} locking", m.label()),
+                &sz,
+            )
+        })
+        .collect::<Vec<_>>()
     } else {
         sim::fig3_locking_latency(costs, &sz)
     };
     emit(
         opts,
-        &format!("Figure 3 — impact of locking on latency ({})", mode_note(opts)),
+        &format!(
+            "Figure 3 — impact of locking on latency ({})",
+            mode_note(opts)
+        ),
         &series,
     );
 }
@@ -217,7 +233,10 @@ fn fig6(opts: &Options, costs: SimCosts) {
     };
     emit(
         opts,
-        &format!("Figure 6 — impact of PIOMan on latency ({})", mode_note(opts)),
+        &format!(
+            "Figure 6 — impact of PIOMan on latency ({})",
+            mode_note(opts)
+        ),
         &series,
     );
 }
@@ -231,7 +250,10 @@ fn fig7(opts: &Options, costs: SimCosts) {
     };
     emit(
         opts,
-        &format!("Figure 7 — impact of semaphores on latency ({})", mode_note(opts)),
+        &format!(
+            "Figure 7 — impact of semaphores on latency ({})",
+            mode_note(opts)
+        ),
         &series,
     );
 }
@@ -257,11 +279,7 @@ fn fig7_real(opts: &Options, sz: &[usize]) -> Vec<Series> {
                     let engine = Arc::new(ProgressEngine::new());
                     engine.register(Arc::clone(&a) as _);
                     engine.register(Arc::clone(&b) as _);
-                    let pt = ProgressionThread::spawn(
-                        Arc::clone(&engine),
-                        None,
-                        IdlePolicy::Yield,
-                    );
+                    let pt = ProgressionThread::spawn(Arc::clone(&engine), None, IdlePolicy::Yield);
                     let stats = pingpong_with_cores(&a, &b, &po, s);
                     pt.stop();
                     (s, stats)

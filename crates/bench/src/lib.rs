@@ -30,14 +30,13 @@ pub fn build_ideal_pair(locking: LockingMode) -> (Arc<CommCore>, Arc<CommCore>) 
 }
 
 /// Builds two connected cores over a real-time simulated NIC.
-pub fn build_wire_pair(
-    locking: LockingMode,
-    wire: WireModel,
-) -> (Arc<CommCore>, Arc<CommCore>) {
+pub fn build_wire_pair(locking: LockingMode, wire: WireModel) -> (Arc<CommCore>, Arc<CommCore>) {
     let fabric = nm_fabric::Fabric::real_time();
     let (pa, pb) = fabric.pair(&[wire], true);
     let config = CoreConfig::default().locking(locking);
-    let a = CoreBuilder::new(config.clone()).add_gate(pa.drivers()).build();
+    let a = CoreBuilder::new(config.clone())
+        .add_gate(pa.drivers())
+        .build();
     let b = CoreBuilder::new(config).add_gate(pb.drivers()).build();
     (a, b)
 }

@@ -30,8 +30,8 @@ use nm_sync::WaitStrategy;
 use crate::config::CoreConfig;
 use crate::error::CommError;
 use crate::gate::{
-    Gate, GateId, PendingRts, PostedRecv, RdvRecv, RdvSend, RdvSendDone, TagPattern,
-    UnexpectedMsg, XferItem,
+    Gate, GateId, PendingRts, PostedRecv, RdvRecv, RdvSend, RdvSendDone, TagPattern, UnexpectedMsg,
+    XferItem,
 };
 use crate::locking::{LockPolicy, SectionKind};
 use crate::request::{Request, RequestKind};
@@ -443,12 +443,7 @@ impl CommCore {
     }
 
     /// Blocking receive: `irecv` + wait; returns the payload.
-    pub fn recv(
-        &self,
-        gate: GateId,
-        tag: u64,
-        strategy: WaitStrategy,
-    ) -> Result<Bytes, CommError> {
+    pub fn recv(&self, gate: GateId, tag: u64, strategy: WaitStrategy) -> Result<Bytes, CommError> {
         let req = self.irecv(gate, tag)?;
         self.wait(&req, strategy);
         if let Some(e) = req.take_error() {
@@ -522,10 +517,8 @@ impl CommCore {
                             self.deliver_eager(rx, tag, seq, data, &mut after);
                             rx.expected_eager = rx.expected_eager.wrapping_add(1);
                             // Drain any now-in-order parked messages.
-                            while let Some(i) = rx
-                                .eager_ooo
-                                .iter()
-                                .position(|m| m.seq == rx.expected_eager)
+                            while let Some(i) =
+                                rx.eager_ooo.iter().position(|m| m.seq == rx.expected_eager)
                             {
                                 let m = rx.eager_ooo.swap_remove(i);
                                 self.deliver_eager(rx, m.tag, m.seq, m.data, &mut after);
@@ -596,11 +589,7 @@ impl CommCore {
                         r.received += data.len() as u32;
                         if r.received == r.total {
                             let done = rx.rdv_in.swap_remove(i);
-                            after.push(After::CompleteRecv(
-                                done.req,
-                                done.tag,
-                                done.buf.freeze(),
-                            ));
+                            after.push(After::CompleteRecv(done.req, done.tag, done.buf.freeze()));
                         }
                     }),
                 }
@@ -627,6 +616,8 @@ impl CommCore {
             remaining: std::sync::atomic::AtomicUsize::new(num_chunks),
             req: rdv.req,
         });
+        // relaxed: round-robin cursor; any interleaving is a valid rail
+        // choice, no data is published through it.
         let start_rail = g.rr_rail.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         for i in 0..num_chunks {
             let offset = i * chunk;
@@ -660,16 +651,15 @@ impl CommCore {
             events += self.flush_xfer(g, rail);
         }
         // Optimization layer: fill idle rails from the collect queue.
+        // relaxed: round-robin cursor, see above.
         let mut rail_cursor = g.rr_rail.load(std::sync::atomic::Ordering::Relaxed);
-        loop {
-            let Some(rail) = self.pick_idle_rail(g, rail_cursor) else {
-                break;
-            };
+        while let Some(rail) = self.pick_idle_rail(g, rail_cursor) {
             rail_cursor = rail + 1;
             let budget = self.packet_budget(g);
             let items = {
                 let s = self.policy.enter(SectionKind::Collect);
-                let items = g.tx.with(&s, |tx| self.strategy.next_packet(&mut tx.queue, budget));
+                let items =
+                    g.tx.with(&s, |tx| self.strategy.next_packet(&mut tx.queue, budget));
                 drop(s);
                 items
             };

@@ -45,7 +45,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(CommError::MessageTooLarge { len: 5 }.to_string().contains('5'));
+        assert!(CommError::MessageTooLarge { len: 5 }
+            .to_string()
+            .contains('5'));
         assert!(CommError::InvalidGate(3).to_string().contains('3'));
         let w: CommError = WireError::Truncated.into();
         assert!(w.to_string().contains("truncated"));

@@ -80,6 +80,7 @@ pub(crate) fn thread_id() -> u64 {
     ID.with(|id| {
         let mut v = id.get();
         if v == 0 {
+            // relaxed: unique-id allocation; only atomicity matters.
             v = NEXT.fetch_add(1, Ordering::Relaxed);
             id.set(v);
         }
@@ -98,6 +99,20 @@ pub enum SectionKind {
     Driver(usize),
 }
 
+/// Per-index lock-order classes for driver locks (lockdep-style
+/// subclasses). Class names must be `&'static str`, so the table is
+/// finite; driver locks past the table are untracked by `lockcheck`.
+pub const DRIVER_LOCK_CLASSES: [&str; 8] = [
+    "core.driver.0",
+    "core.driver.1",
+    "core.driver.2",
+    "core.driver.3",
+    "core.driver.4",
+    "core.driver.5",
+    "core.driver.6",
+    "core.driver.7",
+];
+
 /// Lock-placement policy for one communication core.
 pub struct LockPolicy {
     mode: LockingMode,
@@ -113,12 +128,27 @@ pub struct LockPolicy {
 
 impl LockPolicy {
     /// Builds a policy for `num_drivers` transfer-layer lists.
+    ///
+    /// The locks carry lock-order classes for `nm-sync`'s `lockcheck`
+    /// feature; the documented hierarchy is `core.api-global` →
+    /// `core.collect` → `core.driver.N` (outermost to innermost), and any
+    /// acquisition inverting it panics with both stacks when validation
+    /// is compiled in. Driver locks get one class *per index* — fine mode
+    /// legitimately holds several driver locks at once (distinct NICs),
+    /// which a shared class would misreport as a recursive acquisition.
+    /// This mirrors lockdep subclasses; indices beyond
+    /// [`DRIVER_LOCK_CLASSES`] are left untracked rather than mis-classed.
     pub fn new(mode: LockingMode, num_drivers: usize) -> Self {
         LockPolicy {
             mode,
-            global: RawSpin::new(),
-            collect: RawSpin::new(),
-            drivers: (0..num_drivers).map(|_| RawSpin::new()).collect(),
+            global: RawSpin::with_class("core.api-global"),
+            collect: RawSpin::with_class("core.collect"),
+            drivers: (0..num_drivers)
+                .map(|i| match DRIVER_LOCK_CLASSES.get(i) {
+                    Some(class) => RawSpin::with_class(class),
+                    None => RawSpin::new(),
+                })
+                .collect(),
             owner: AtomicU64::new(0),
         }
     }
@@ -163,7 +193,11 @@ impl LockPolicy {
     /// in debug builds). Inner sections must not be nested with each other.
     #[inline]
     pub fn enter(&self, kind: SectionKind) -> Section<'_> {
-        debug_assert_ne!(kind, SectionKind::Global, "use enter_api for the global section");
+        debug_assert_ne!(
+            kind,
+            SectionKind::Global,
+            "use enter_api for the global section"
+        );
         match self.mode {
             LockingMode::SingleThread => Section { lock: None, kind },
             LockingMode::Coarse => {
@@ -191,10 +225,14 @@ impl LockPolicy {
     #[inline]
     fn check_single_thread(&self) {
         let me = thread_id();
+        // relaxed: the owner id is an identity check, not a data
+        // publication; SingleThread mode has no cross-thread data to order.
         let owner = self.owner.load(Ordering::Relaxed);
         if owner == me {
             return;
         }
+        // relaxed: claiming ownership races only with other claimants; the
+        // winner publishes nothing beyond its own id.
         if owner == 0
             && self
                 .owner
@@ -267,6 +305,11 @@ impl Drop for Section<'_> {
 /// Holding the *matching* [`Section`] guard is the access contract: in
 /// debug builds [`Protected::with`] asserts the guard covers this cell
 /// (exact kind match, or the global/API guard which covers everything).
+///
+/// Lock-order validation comes for free: the section guards are backed by
+/// the [`LockPolicy`]'s classed [`RawSpin`]s, so with the `lockcheck`
+/// feature every `Protected` access in `gate.rs`/`comm.rs` feeds the
+/// global ordering graph and inversions panic with both stacks.
 pub struct Protected<T> {
     kind: SectionKind,
     cell: UnsafeCell<T>,
@@ -275,6 +318,7 @@ pub struct Protected<T> {
 // SAFETY: access is serialized by the section guards handed out by the
 // LockPolicy (or by the single-thread runtime check in SingleThread mode).
 unsafe impl<T: Send> Send for Protected<T> {}
+// SAFETY: as above — the section guard protocol provides mutual exclusion.
 unsafe impl<T: Send> Sync for Protected<T> {}
 
 impl<T> Protected<T> {
@@ -304,7 +348,9 @@ impl<T> Protected<T> {
 
 impl<T> std::fmt::Debug for Protected<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Protected").field("kind", &self.kind).finish()
+        f.debug_struct("Protected")
+            .field("kind", &self.kind)
+            .finish()
     }
 }
 

@@ -44,9 +44,9 @@ impl Request {
             inner: Arc::new(Inner {
                 kind,
                 flag: CompletionFlag::new(),
-                data: SpinLock::new(None),
-                matched_tag: SpinLock::new(None),
-                error: SpinLock::new(None),
+                data: SpinLock::with_class("core.request.data", None),
+                matched_tag: SpinLock::with_class("core.request.tag", None),
+                error: SpinLock::with_class("core.request.error", None),
             }),
         }
     }

@@ -133,7 +133,7 @@ impl Strategy for FifoStrategy {
     }
 
     fn next_packet(&self, queue: &mut VecDeque<SendItem>, budget: usize) -> Option<Vec<SendItem>> {
-        let fits = queue.front().map_or(false, |i| i.wire_size() <= budget);
+        let fits = queue.front().is_some_and(|i| i.wire_size() <= budget);
         if fits {
             Some(vec![queue.pop_front().expect("front checked")])
         } else {

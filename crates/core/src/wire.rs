@@ -352,7 +352,10 @@ mod tests {
         buf.put_u32(0);
         buf.put_u32(0);
         buf.put_u32(0);
-        assert_eq!(decode_packet(buf.freeze()), Err(WireError::UnknownKind(0xEE)));
+        assert_eq!(
+            decode_packet(buf.freeze()),
+            Err(WireError::UnknownKind(0xEE))
+        );
     }
 
     #[test]

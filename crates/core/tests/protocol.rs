@@ -27,7 +27,9 @@ fn loopback_pair(config: CoreConfig) -> (Arc<CommCore>, Arc<CommCore>) {
 fn simnic_pair(config: CoreConfig, model: WireModel) -> (Arc<CommCore>, Arc<CommCore>) {
     let fabric = Fabric::real_time();
     let (pa, pb) = fabric.pair(&[model], true);
-    let a = CoreBuilder::new(config.clone()).add_gate(pa.drivers()).build();
+    let a = CoreBuilder::new(config.clone())
+        .add_gate(pa.drivers())
+        .build();
     let b = CoreBuilder::new(config).add_gate(pb.drivers()).build();
     (a, b)
 }
@@ -137,7 +139,9 @@ fn multirail_distributes_rendezvous_chunks() {
     let models = [WireModel::ideal(), WireModel::ideal()];
     let (pa, pb) = fabric.pair(&models, true);
     let config = CoreConfig::default().eager_threshold(512).rdv_chunk(1024);
-    let a = CoreBuilder::new(config.clone()).add_gate(pa.drivers()).build();
+    let a = CoreBuilder::new(config.clone())
+        .add_gate(pa.drivers())
+        .build();
     let b = CoreBuilder::new(config).add_gate(pb.drivers()).build();
 
     let payload = Bytes::from(vec![0xCD; 64 * 1024]);
@@ -328,10 +332,14 @@ fn virtual_clock_pingpong() {
     let clock = ClockSource::manual();
     let (na, nb) = SimNic::pair("vt", WireModel::myri_10g(), clock.clone());
     let a = CoreBuilder::new(CoreConfig::default())
-        .add_gate(vec![Arc::new(SimNicDriver::new(na, true)) as Arc<dyn Driver>])
+        .add_gate(vec![
+            Arc::new(SimNicDriver::new(na, true)) as Arc<dyn Driver>
+        ])
         .build();
     let b = CoreBuilder::new(CoreConfig::default())
-        .add_gate(vec![Arc::new(SimNicDriver::new(nb, true)) as Arc<dyn Driver>])
+        .add_gate(vec![
+            Arc::new(SimNicDriver::new(nb, true)) as Arc<dyn Driver>
+        ])
         .build();
 
     let send = a.isend(G, 0, Bytes::from_static(b"tick")).unwrap();
@@ -597,7 +605,10 @@ fn flush_local_drains_send_queues() {
     for i in 0..6 {
         let _ = a.isend(G, i, Bytes::from_static(b"queued")).unwrap();
     }
-    assert!(a.pending().collect_items > 0, "wire too small for the burst");
+    assert!(
+        a.pending().collect_items > 0,
+        "wire too small for the burst"
+    );
     let drainer = std::thread::spawn(move || {
         for i in 0..6 {
             let r = b.irecv(G, i).unwrap();

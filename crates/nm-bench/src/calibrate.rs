@@ -188,7 +188,10 @@ mod tests {
         assert_eq!(costs.lock_cycle_ns, cal.lock_cycle_ns.max(1));
         assert_eq!(costs.ctx_switch_ns, cal.ctx_switch_ns.max(1));
         // Unmeasured fields keep paper defaults.
-        assert_eq!(costs.idle_poll_gap_ns, nm_sim::SimCosts::paper().idle_poll_gap_ns);
+        assert_eq!(
+            costs.idle_poll_gap_ns,
+            nm_sim::SimCosts::paper().idle_poll_gap_ns
+        );
     }
 
     #[test]

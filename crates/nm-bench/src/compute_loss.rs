@@ -40,9 +40,13 @@ fn compute_kernel(stop: &AtomicBool) -> u64 {
     // A cache-resident integer kernel: iterations are the throughput unit.
     let mut acc: u64 = 0x9E37_79B9_7F4A_7C15;
     let mut iters = 0u64;
+    // relaxed: stop flag carries no data; a late observation only extends
+    // the measurement window by one batch.
     while !stop.load(Ordering::Relaxed) {
         for _ in 0..1024 {
-            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            acc = acc
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
         }
         iters += 1;
     }
@@ -56,6 +60,7 @@ fn run_compute(threads: usize, with_poller: bool, window: Duration) -> f64 {
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || {
             // The dedicated communication core: pure busy polling.
+            // relaxed: stop flag carries no data (see compute_kernel).
             while !stop.load(Ordering::Relaxed) {
                 std::hint::spin_loop();
             }
@@ -69,6 +74,7 @@ fn run_compute(threads: usize, with_poller: bool, window: Duration) -> f64 {
         .collect();
     let t0 = Instant::now();
     std::thread::sleep(window);
+    // relaxed: stop flag carries no data; join() below synchronizes.
     stop.store(true, Ordering::Relaxed);
     let total: u64 = workers.into_iter().map(|h| h.join().expect("worker")).sum();
     if let Some(p) = poller {

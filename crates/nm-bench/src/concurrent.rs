@@ -12,11 +12,7 @@ use crate::stats::LatencyStats;
 
 /// Runs `threads` concurrent pingpongs (distinct tags) over one shared
 /// pair of cores; returns per-thread one-way latency stats.
-pub fn concurrent_pingpong(
-    opts: &PingpongOpts,
-    size: usize,
-    threads: usize,
-) -> Vec<LatencyStats> {
+pub fn concurrent_pingpong(opts: &PingpongOpts, size: usize, threads: usize) -> Vec<LatencyStats> {
     assert!(
         opts.locking.thread_safe(),
         "concurrent pingpong requires a thread-safe locking mode"

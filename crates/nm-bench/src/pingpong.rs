@@ -47,7 +47,9 @@ pub fn build_pair(opts: &PingpongOpts) -> (Arc<CommCore>, Arc<CommCore>) {
     let fabric = Fabric::real_time();
     let (pa, pb) = fabric.pair(&[opts.wire], true);
     let config = CoreConfig::default().locking(opts.locking);
-    let a = CoreBuilder::new(config.clone()).add_gate(pa.drivers()).build();
+    let a = CoreBuilder::new(config.clone())
+        .add_gate(pa.drivers())
+        .build();
     let b = CoreBuilder::new(config).add_gate(pb.drivers()).build();
     (a, b)
 }

@@ -4,7 +4,7 @@ use nm_sim::experiments::Series;
 
 /// Formats sizes like the paper's x-axis: `1, 2, …, 1K, 2K, 32K`.
 pub fn fmt_size(bytes: usize) -> String {
-    if bytes >= 1024 && bytes % 1024 == 0 {
+    if bytes >= 1024 && bytes.is_multiple_of(1024) {
         format!("{}K", bytes / 1024)
     } else {
         bytes.to_string()

@@ -89,9 +89,9 @@ impl Fabric {
         models: &[WireModel],
         thread_safe_drivers: bool,
     ) -> Vec<Vec<Option<NodePorts>>> {
-        let mut ports: Vec<Vec<Option<NodePorts>>> = (0..n)
-            .map(|_| (0..n).map(|_| None).collect())
-            .collect();
+        let mut ports: Vec<Vec<Option<NodePorts>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        #[allow(clippy::needless_range_loop)] // i/j index two rows symmetrically
         for i in 0..n {
             for j in (i + 1)..n {
                 let (pi, pj) = self.pair(models, thread_safe_drivers);
@@ -136,6 +136,7 @@ mod tests {
     fn clique_full_connectivity() {
         let (fabric, clock) = Fabric::virtual_time();
         let ports = fabric.clique(3, &[WireModel::ideal()], true);
+        #[allow(clippy::needless_range_loop)] // i/j double-index the matrix
         for i in 0..3 {
             assert!(ports[i][i].is_none());
             for j in 0..3 {

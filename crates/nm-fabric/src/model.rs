@@ -112,7 +112,9 @@ mod tests {
     fn bandwidth_ordering_of_presets() {
         // InfiniBand DDR is faster per byte than Myri-10G, which beats GigE.
         let size = 1 << 20;
-        assert!(WireModel::connectx_ddr().tx_time_ns(size) < WireModel::myri_10g().tx_time_ns(size));
+        assert!(
+            WireModel::connectx_ddr().tx_time_ns(size) < WireModel::myri_10g().tx_time_ns(size)
+        );
         assert!(WireModel::myri_10g().tx_time_ns(size) < WireModel::gige_tcp().tx_time_ns(size));
     }
 

@@ -33,6 +33,7 @@ pub struct MpmcRing<T> {
 // SAFETY: values move through the queue with release/acquire handoff on the
 // slot sequence numbers; T only needs to be Send.
 unsafe impl<T: Send> Send for MpmcRing<T> {}
+// SAFETY: as above — the slot handoff protocol serializes access to each slot.
 unsafe impl<T: Send> Sync for MpmcRing<T> {}
 
 impl<T> MpmcRing<T> {
@@ -72,12 +73,16 @@ impl<T> MpmcRing<T> {
 
     /// Attempts to enqueue; returns `Err(value)` when the ring is full.
     pub fn push(&self, value: T) -> Result<(), T> {
+        // relaxed: `tail` is only a hint of where to try; the slot's `seq`
+        // (Acquire) is the ground truth that orders the data.
         let mut pos = self.tail.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos & self.mask];
             let seq = slot.seq.load(Ordering::Acquire);
             if seq == pos {
                 // Slot is empty for this lap: claim it.
+                // relaxed: the CAS only allocates the slot index; the
+                // value itself is published by the Release `seq` store.
                 match self.tail.compare_exchange_weak(
                     pos,
                     pos.wrapping_add(1),
@@ -98,6 +103,7 @@ impl<T> MpmcRing<T> {
                 return Err(value);
             } else {
                 // Another producer advanced past us; reload.
+                // relaxed: position hint, as above.
                 pos = self.tail.load(Ordering::Relaxed);
             }
         }
@@ -105,12 +111,16 @@ impl<T> MpmcRing<T> {
 
     /// Attempts to dequeue; `None` when the ring is empty.
     pub fn pop(&self) -> Option<T> {
+        // relaxed: `head` is only a hint; the slot's Acquire `seq` load
+        // below synchronizes with the producer's Release store.
         let mut pos = self.head.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos & self.mask];
             let seq = slot.seq.load(Ordering::Acquire);
             let expected = pos.wrapping_add(1);
             if seq == expected {
+                // relaxed: the CAS only claims the slot index; data came
+                // in through the Acquire `seq` load above.
                 match self.head.compare_exchange_weak(
                     pos,
                     pos.wrapping_add(1),
@@ -131,6 +141,7 @@ impl<T> MpmcRing<T> {
             } else if (seq as isize).wrapping_sub(expected as isize) < 0 {
                 return None; // Empty.
             } else {
+                // relaxed: position hint, as above.
                 pos = self.head.load(Ordering::Relaxed);
             }
         }
@@ -138,6 +149,7 @@ impl<T> MpmcRing<T> {
 
     /// Approximate number of queued elements (racy under concurrency).
     pub fn len(&self) -> usize {
+        // relaxed: advisory snapshot, documented racy.
         let tail = self.tail.load(Ordering::Relaxed);
         let head = self.head.load(Ordering::Relaxed);
         tail.wrapping_sub(head)

@@ -35,9 +35,11 @@ impl Wire {
     /// Reserves wire time for a packet of `tx_ns` serialization cost
     /// starting no earlier than `now`; returns the injection timestamp.
     fn reserve(&self, now: u64, tx_ns: u64) -> u64 {
+        // relaxed: initial guess for the CAS loop; failure reloads.
         let mut cur = self.next_free_ns.load(Ordering::Relaxed);
         loop {
             let inject = cur.max(now);
+            // relaxed: CAS failure just hands back the fresher value.
             match self.next_free_ns.compare_exchange_weak(
                 cur,
                 inject + tx_ns,

@@ -143,7 +143,11 @@ mod tests {
         let mut got = drain(&rx);
         assert_ne!(got, (0..32).collect::<Vec<u8>>(), "nothing was reordered");
         got.sort_unstable();
-        assert_eq!(got, (0..32).collect::<Vec<u8>>(), "packets lost or duplicated");
+        assert_eq!(
+            got,
+            (0..32).collect::<Vec<u8>>(),
+            "packets lost or duplicated"
+        );
     }
 
     #[test]
@@ -167,7 +171,10 @@ mod tests {
         assert!(tx.can_post());
         tx.post(Bytes::from_static(b"a")).unwrap();
         tx.post(Bytes::from_static(b"b")).unwrap();
-        assert_eq!(tx.post(Bytes::from_static(b"c")), Err(PostError::WouldBlock));
+        assert_eq!(
+            tx.post(Bytes::from_static(b"c")),
+            Err(PostError::WouldBlock)
+        );
         assert!(rx.poll().is_some());
     }
 

@@ -6,15 +6,22 @@ use proptest::prelude::*;
 use nm_fabric::{ClockSource, SimNic, WireModel};
 
 fn arbitrary_model() -> impl Strategy<Value = WireModel> {
-    (0u64..10_000, 0u64..8, 0u64..500, 64usize..65_536, 1usize..64).prop_map(
-        |(latency_ns, ns_per_byte, per_packet_ns, mtu, tx_depth)| WireModel {
-            latency_ns,
-            ns_per_byte: ns_per_byte as f64 / 2.0,
-            per_packet_ns,
-            mtu,
-            tx_depth,
-        },
+    (
+        0u64..10_000,
+        0u64..8,
+        0u64..500,
+        64usize..65_536,
+        1usize..64,
     )
+        .prop_map(
+            |(latency_ns, ns_per_byte, per_packet_ns, mtu, tx_depth)| WireModel {
+                latency_ns,
+                ns_per_byte: ns_per_byte as f64 / 2.0,
+                per_packet_ns,
+                mtu,
+                tx_depth,
+            },
+        )
 }
 
 proptest! {

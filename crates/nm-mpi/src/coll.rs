@@ -45,7 +45,11 @@ impl Comm {
             payload = self.recv_from(parent, TAG_BCAST)?;
         }
         // Forward to children: me + 2^k for k above me's lowest set bit.
-        let lowest = if me == 0 { n.next_power_of_two() } else { me & me.wrapping_neg() };
+        let lowest = if me == 0 {
+            n.next_power_of_two()
+        } else {
+            me & me.wrapping_neg()
+        };
         let mut step = 1;
         while step < lowest && me + step < n {
             let child = unvrank(me + step, root, n);

@@ -176,7 +176,10 @@ impl Comm {
         let req = self.irecv_any_from(peer)?;
         self.wait(&req);
         let tag = req.matched_tag().expect("completed recv has a tag");
-        Ok((tag, req.take_data().expect("completed recv has data").to_vec()))
+        Ok((
+            tag,
+            req.take_data().expect("completed recv has data").to_vec(),
+        ))
     }
 
     /// Waits for a request with this communicator's strategy.
@@ -197,7 +200,10 @@ impl Comm {
         let send = self.isend_to(peer, tag, data)?;
         self.wait(&send);
         self.wait(&recv);
-        Ok(recv.take_data().expect("completed recv carries data").to_vec())
+        Ok(recv
+            .take_data()
+            .expect("completed recv carries data")
+            .to_vec())
     }
 
     /// A simple linear barrier rooted at rank 0 (uses the reserved

@@ -108,9 +108,9 @@ impl World {
         let ports = fabric.clique(n, &config.rails, config.thread_safe_drivers);
 
         let mut comms = Vec::with_capacity(n);
+        #[allow(clippy::needless_range_loop)] // rank/peer double-index the matrix
         for rank in 0..n {
-            let mut builder =
-                CoreBuilder::new(config.core.clone().locking(config.level.locking()));
+            let mut builder = CoreBuilder::new(config.core.clone().locking(config.level.locking()));
             // Gate g of rank r reaches peer (g < r ? g : g + 1): dense gate
             // ids with the self-entry skipped.
             let mut peers = Vec::new();

@@ -44,7 +44,10 @@ fn nonblocking_requests() {
     let s = a.isend(3, b"deferred").unwrap();
     a.wait(&s);
     b.wait(&r);
-    assert_eq!(r.take_data().unwrap(), bytes::Bytes::from_static(b"deferred"));
+    assert_eq!(
+        r.take_data().unwrap(),
+        bytes::Bytes::from_static(b"deferred")
+    );
 }
 
 #[test]
@@ -259,9 +262,7 @@ fn allreduce_gives_everyone_the_sum() {
 
 #[test]
 fn gather_collects_in_rank_order() {
-    let results = spawn_world(3, |comm| {
-        comm.gather(2, &[comm.rank() as u8; 2]).unwrap()
-    });
+    let results = spawn_world(3, |comm| comm.gather(2, &[comm.rank() as u8; 2]).unwrap());
     assert!(results[0].is_none());
     assert!(results[1].is_none());
     let gathered = results[2].as_ref().unwrap();
@@ -273,8 +274,8 @@ fn gather_collects_in_rank_order() {
 #[test]
 fn scatter_distributes_chunks() {
     let results = spawn_world(3, |comm| {
-        let chunks: Option<Vec<Vec<u8>>> = (comm.rank() == 0)
-            .then(|| (0..3).map(|i| vec![i as u8 * 11]).collect());
+        let chunks: Option<Vec<Vec<u8>>> =
+            (comm.rank() == 0).then(|| (0..3).map(|i| vec![i as u8 * 11]).collect());
         comm.scatter(0, chunks.as_deref()).unwrap()
     });
     assert_eq!(results[0], vec![0]);
@@ -285,8 +286,12 @@ fn scatter_distributes_chunks() {
 #[test]
 fn back_to_back_collectives_do_not_mix() {
     let results = spawn_world(3, |comm| {
-        let a = comm.bcast(0, if comm.rank() == 0 { b"first" } else { b"" }).unwrap();
-        let b = comm.bcast(0, if comm.rank() == 0 { b"second" } else { b"" }).unwrap();
+        let a = comm
+            .bcast(0, if comm.rank() == 0 { b"first" } else { b"" })
+            .unwrap();
+        let b = comm
+            .bcast(0, if comm.rank() == 0 { b"second" } else { b"" })
+            .unwrap();
         let s = comm.allreduce_sum_f64(&[1.0]).unwrap();
         (a, b, s)
     });

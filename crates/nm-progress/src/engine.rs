@@ -63,7 +63,7 @@ impl ProgressEngine {
     /// Creates an empty engine.
     pub fn new() -> Self {
         ProgressEngine {
-            sources: SpinLock::new(Arc::new(Vec::new())),
+            sources: SpinLock::with_class("progress.sources", Arc::new(Vec::new())),
             next_id: AtomicU64::new(0),
             polls: Counter::new(),
             progressions: Counter::new(),
@@ -72,6 +72,8 @@ impl ProgressEngine {
 
     /// Registers a source; it is polled on every subsequent pass.
     pub fn register(&self, source: Arc<dyn PollSource>) -> SourceId {
+        // relaxed: unique-id allocation; the list update below is what
+        // publishes the source (under its spinlock).
         let id = SourceId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let mut guard = self.sources.lock();
         let mut next = (**guard).clone();

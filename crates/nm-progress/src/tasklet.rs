@@ -115,6 +115,8 @@ impl TaskletEngine {
     /// No-op if it is already scheduled; if it is currently running it
     /// will be re-run once after the current execution finishes.
     pub fn schedule(&self, tasklet: &Arc<Tasklet>) {
+        // relaxed: initial guess for the state CAS loop; the AcqRel CAS
+        // below is the synchronizing operation.
         let mut cur = tasklet.state.load(Ordering::Relaxed);
         loop {
             let (next, enqueue) = match cur {
@@ -301,7 +303,11 @@ mod tests {
             std::thread::yield_now();
         }
         assert!(wait_until(|| !t.is_pending(), 2000));
-        assert_eq!(max_inside.load(Ordering::SeqCst), 1, "tasklet ran concurrently");
+        assert_eq!(
+            max_inside.load(Ordering::SeqCst),
+            1,
+            "tasklet ran concurrently"
+        );
         engine.shutdown();
     }
 

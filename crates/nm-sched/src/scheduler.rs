@@ -139,7 +139,9 @@ impl Scheduler {
         let inner = Arc::new(Inner {
             injector: Injector::new(),
             stealers,
-            worker_stats: (0..config.workers).map(|_| WorkerStats::default()).collect(),
+            worker_stats: (0..config.workers)
+                .map(|_| WorkerStats::default())
+                .collect(),
             hooks: HookRegistry::new(),
             shutdown: AtomicBool::new(false),
             idle_lock: Mutex::new(()),
@@ -224,7 +226,11 @@ impl Scheduler {
 
     /// Total tasks executed across all workers.
     pub fn total_executed(&self) -> u64 {
-        self.inner.worker_stats.iter().map(|w| w.executed.get()).sum()
+        self.inner
+            .worker_stats
+            .iter()
+            .map(|w| w.executed.get())
+            .sum()
     }
 
     /// Stops all workers after the queues drain of currently stolen tasks,
@@ -479,9 +485,7 @@ mod tests {
     #[test]
     fn worker_stats_count_executions() {
         let sched = Scheduler::new(SchedulerConfig::default().workers(2));
-        let handles: Vec<_> = (0..20)
-            .map(|_| sched.spawn_with_handle(|| ()))
-            .collect();
+        let handles: Vec<_> = (0..20).map(|_| sched.spawn_with_handle(|| ())).collect();
         for h in handles {
             h.join();
         }

@@ -143,7 +143,13 @@ fn recv_aligned(ctx: &mut ThreadCtx, chan: ChanId, period: u64) -> usize {
 }
 
 /// Charges the successful detection pass (decode + dispatch) costs.
-fn charge_detection(ctx: &mut ThreadCtx, mode: Mode, locks: NodeLocks, via_pioman: bool, held: bool) {
+fn charge_detection(
+    ctx: &mut ThreadCtx,
+    mode: Mode,
+    locks: NodeLocks,
+    via_pioman: bool,
+    held: bool,
+) {
     let c = *ctx.costs();
     match mode {
         Mode::NoLock => ctx.advance(c.poll_pass_ns),
@@ -764,16 +770,19 @@ fn rdv_overlap_once(costs: SimCosts, size: usize, with_progression: bool) -> f64
 /// for large messages, with and without an idle core progressing the
 /// handshake in the background.
 pub fn rdv_overlap(costs: SimCosts, sizes: &[usize]) -> Vec<Series> {
-    [(false, "application-driven"), (true, "idle-core progression")]
-        .iter()
-        .map(|&(with, label)| Series {
-            label: label.to_string(),
-            points: sizes
-                .iter()
-                .map(|&s| (s, rdv_overlap_once(costs, s, with)))
-                .collect(),
-        })
-        .collect()
+    [
+        (false, "application-driven"),
+        (true, "idle-core progression"),
+    ]
+    .iter()
+    .map(|&(with, label)| Series {
+        label: label.to_string(),
+        points: sizes
+            .iter()
+            .map(|&s| (s, rdv_overlap_once(costs, s, with)))
+            .collect(),
+    })
+    .collect()
 }
 
 /// Streaming bandwidth (the paper's §3.1 claim that locking overhead
@@ -865,7 +874,10 @@ mod tests {
         let d_coarse = offset(coarse, none);
         let d_fine = offset(fine, none);
         // Paper: coarse ≈ +140 ns, fine ≈ +230 ns, both size-independent.
-        assert!(d_coarse > 0.05 && d_coarse < 0.4, "coarse Δ = {d_coarse} µs");
+        assert!(
+            d_coarse > 0.05 && d_coarse < 0.4,
+            "coarse Δ = {d_coarse} µs"
+        );
         assert!(d_fine > d_coarse, "fine must cost more than coarse");
         assert!(d_fine < 0.6, "fine Δ = {d_fine} µs");
         assert!(spread(coarse, none) < 0.15, "coarse overhead not constant");
@@ -951,7 +963,11 @@ mod tests {
             assert!(same < shared, "shared-cache poll must cost more");
             assert!(shared < far, "cross-die poll must cost more");
             // Paper: +400 ns and +1.2 µs.
-            assert!((0.2..0.8).contains(&(shared - same)), "Δ = {}", shared - same);
+            assert!(
+                (0.2..0.8).contains(&(shared - same)),
+                "Δ = {}",
+                shared - same
+            );
             assert!((0.8..2.0).contains(&(far - same)), "Δ = {}", far - same);
         }
     }
@@ -962,7 +978,10 @@ mod tests {
         let series = fig8_cache_affinity(costs(), &topo, &[64]);
         assert_eq!(series.len(), 4);
         let lats: Vec<f64> = series.iter().map(|s| s.points[0].1).collect();
-        assert!(lats.windows(2).all(|w| w[0] < w[1]), "not monotone: {lats:?}");
+        assert!(
+            lats.windows(2).all(|w| w[0] < w[1]),
+            "not monotone: {lats:?}"
+        );
         // Cross-package ≈ +3.1 µs.
         let d = lats[3] - lats[0];
         assert!((2.0..4.5).contains(&d), "cross-package Δ = {d} µs");
@@ -989,15 +1008,14 @@ mod tests {
         let sizes = [64 * 1024usize, 256 * 1024];
         let series = rdv_overlap(costs(), &sizes);
         let (app, idle) = (&series[0], &series[1]);
-        for i in 0..sizes.len() {
+        for (i, &size) in sizes.iter().enumerate() {
             let (a, b) = (app.points[i].1, idle.points[i].1);
             // Background progression hides (most of) the 30 µs compute
             // window behind the transfer, at every size.
             let saved = a - b;
             assert!(
                 saved > 20.0,
-                "only {saved} µs hidden at {} B ({b} vs {a})",
-                sizes[i]
+                "only {saved} µs hidden at {size} B ({b} vs {a})",
             );
         }
     }

@@ -105,12 +105,15 @@ pub struct VmReport {
     pub threads: usize,
 }
 
+/// A thread body queued for the next [`Vm::run`], tagged with its core.
+type QueuedBody = (usize, Box<dyn FnOnce(&mut ThreadCtx) + Send>);
+
 /// A deterministic virtual-time machine.
 pub struct Vm {
     shared: Arc<Shared>,
     costs: SimCosts,
     topo: Arc<Topology>,
-    bodies: Vec<(usize, Box<dyn FnOnce(&mut ThreadCtx) + Send>)>,
+    bodies: Vec<QueuedBody>,
 }
 
 impl Vm {
@@ -231,9 +234,9 @@ impl Vm {
                             topo,
                         };
                         ctx.wait_until_active();
-                        let result = std::panic::catch_unwind(
-                            std::panic::AssertUnwindSafe(|| body(&mut ctx)),
-                        );
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            body(&mut ctx)
+                        }));
                         match result {
                             Ok(()) => ctx.finish(),
                             Err(payload) => {
@@ -394,7 +397,9 @@ impl ThreadCtx {
         // Blocked receivers resume exactly when the packet lands.
         let waiters = std::mem::take(&mut g.chans[c.0].waiters);
         for w in waiters {
-            g.threads[w] = TState::Ready { wake_at: deliver_at };
+            g.threads[w] = TState::Ready {
+                wake_at: deliver_at,
+            };
         }
     }
 
@@ -530,10 +535,7 @@ impl ThreadCtx {
     /// Charges the cache-distance penalty for consuming data produced on
     /// `producer_core` (Fig 8's constants).
     pub fn charge_cache_penalty(&self, producer_core: usize) {
-        let ns = self
-            .topo
-            .poll_penalty(self.core, producer_core)
-            .as_nanos() as u64;
+        let ns = self.topo.poll_penalty(self.core, producer_core).as_nanos() as u64;
         if ns > 0 {
             self.advance(ns);
         }
@@ -605,12 +607,10 @@ impl ThreadCtx {
     fn raise(&self, g: &mut parking_lot::MutexGuard<'_, State>, stall: Stalled) -> ! {
         let msg = match stall {
             Stalled::AllDone => unreachable!("AllDone is not fatal"),
-            Stalled::Deadlock => {
-                "virtual deadlock: every live thread is blocked".to_string()
+            Stalled::Deadlock => "virtual deadlock: every live thread is blocked".to_string(),
+            Stalled::Deadline(t) => {
+                format!("virtual deadline exceeded at t = {t} ns (runaway experiment?)")
             }
-            Stalled::Deadline(t) => format!(
-                "virtual deadline exceeded at t = {t} ns (runaway experiment?)"
-            ),
         };
         g.poisoned = Some(msg.clone());
         for cv in &g.wakeups {
@@ -854,7 +854,10 @@ mod tests {
         });
         m.run();
         let (fast_done, slow_done) = *times.lock();
-        assert!(fast_done < 3_000, "fast event handled in spin phase: {fast_done}");
+        assert!(
+            fast_done < 3_000,
+            "fast event handled in spin phase: {fast_done}"
+        );
         // Slow: blocked at ~5 µs, woken at 20 µs + switch + penalty.
         assert!(slow_done >= 18_000, "slow path blocked: {slow_done}");
     }

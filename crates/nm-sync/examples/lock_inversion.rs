@@ -1,0 +1,34 @@
+//! Demonstrates the `lockcheck` lock-order validator.
+//!
+//! Run with the validator on to see the AB/BA inversion panic, with both
+//! acquisition stacks in the report:
+//!
+//! ```text
+//! cargo run -p nm-sync --features lockcheck --example lock_inversion
+//! ```
+//!
+//! Without `--features lockcheck` the classed locks cost nothing and the
+//! inversion goes unreported (until it deadlocks for real under
+//! contention — which is the point of turning the feature on in tests).
+
+use nm_sync::SpinLock;
+
+fn main() {
+    let a = SpinLock::with_class("example.a", 0u32);
+    let b = SpinLock::with_class("example.b", 0u32);
+
+    // Establish the order a -> b.
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+        println!("took a then b: ok");
+    }
+
+    // Now take them in the opposite order. With lockcheck enabled this
+    // panics immediately — no second thread or actual deadlock needed.
+    {
+        let _gb = b.lock();
+        let _ga = a.lock();
+        println!("took b then a: lockcheck is OFF (no inversion report)");
+    }
+}

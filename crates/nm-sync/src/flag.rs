@@ -7,10 +7,10 @@
 //! drive network progression itself, while a passive waiter blocks and lets
 //! the progression engine signal it.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use crate::sync_shim::atomic::{AtomicU32, Ordering};
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync_shim::{Condvar, Mutex};
 
 use crate::{Backoff, WaitStrategy};
 

@@ -23,15 +23,28 @@
 //!
 //! Memory-ordering discipline follows *Rust Atomics and Locks* (Bos):
 //! acquire on lock, release on unlock, and mutex-protected condition
-//! variables for blocking paths.
+//! variables for blocking paths. The full discipline — lock hierarchy,
+//! ordering rules, and how to model-check changes — is documented in
+//! `docs/CONCURRENCY.md` at the repository root.
+//!
+//! # Model checking
+//!
+//! Every primitive sources its atomics and blocking types from
+//! [`sync_shim`], which compiles to plain `std`/`parking_lot` re-exports
+//! normally and to the vendored `nm-loom` model checker under
+//! `RUSTFLAGS="--cfg loom"`. `cargo test -p nm-sync --test loom` with
+//! that cfg explores randomized thread interleavings and verifies the
+//! declared memory orderings symbolically.
 
 #![warn(missing_docs)]
 
 mod backoff;
 mod flag;
+pub mod lockcheck;
 mod sem;
 mod spin;
 pub mod stats;
+pub mod sync_shim;
 mod ticket;
 mod wait;
 

@@ -8,7 +8,7 @@
 
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync_shim::{Condvar, Mutex};
 
 use crate::{Backoff, WaitStrategy};
 

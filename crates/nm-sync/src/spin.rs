@@ -6,10 +6,10 @@
 //! thread waits actively, avoiding a context switch that would cost more
 //! than the whole critical section.
 
+use crate::sync_shim::atomic::{AtomicBool, Ordering};
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::stats::LockStats;
 use crate::Backoff;
@@ -25,6 +25,8 @@ use crate::Backoff;
 pub struct RawSpin {
     locked: AtomicBool,
     stats: LockStats,
+    /// Lock-order class for `lockcheck` (None = untracked).
+    class: Option<&'static str>,
 }
 
 impl RawSpin {
@@ -33,7 +35,27 @@ impl RawSpin {
         RawSpin {
             locked: AtomicBool::new(false),
             stats: LockStats::new(),
+            class: None,
         }
+    }
+
+    /// Creates an unlocked raw spinlock tagged with a lock-order class.
+    ///
+    /// With the `lockcheck` feature enabled, every acquisition is recorded
+    /// in the global lock-order graph under this class and validated
+    /// against inversions (see [`crate::lockcheck`]). Without the feature
+    /// the class is inert.
+    pub const fn with_class(class: &'static str) -> Self {
+        RawSpin {
+            locked: AtomicBool::new(false),
+            stats: LockStats::new(),
+            class: Some(class),
+        }
+    }
+
+    /// The lock-order class, if one was assigned.
+    pub fn class(&self) -> Option<&'static str> {
+        self.class
     }
 
     /// Acquires the lock, spinning with exponential backoff while contended.
@@ -41,15 +63,33 @@ impl RawSpin {
     pub fn lock(&self) {
         // Fast path: a single CAS, matching the cost model of the paper's
         // "each acquire/release cycle costs 70 ns".
+        // relaxed: CAS failure publishes nothing; we retry or spin.
         if self
             .locked
             .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
         {
             self.stats.record_acquire(false);
+            self.note_acquired();
             return;
         }
         self.lock_contended();
+    }
+
+    /// Reports the acquisition to the lock-order validator (no-op unless
+    /// the `lockcheck` feature is on and this lock has a class).
+    #[inline]
+    fn note_acquired(&self) {
+        if let Some(class) = self.class {
+            crate::lockcheck::acquired(class);
+        }
+    }
+
+    #[inline]
+    fn note_released(&self) {
+        if let Some(class) = self.class {
+            crate::lockcheck::released(class);
+        }
     }
 
     #[cold]
@@ -61,15 +101,18 @@ impl RawSpin {
             // `snooze` keeps this an active wait but yields to the OS once
             // the spin budget is exhausted, so a preempted lock holder can
             // run (essential on machines with fewer cores than threads).
+            // relaxed: speculative peek; the CAS below is the Acquire.
             while self.locked.load(Ordering::Relaxed) {
                 backoff.snooze();
             }
+            // relaxed: CAS failure publishes nothing; we go back to spinning.
             if self
                 .locked
                 .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
                 .is_ok()
             {
                 self.stats.record_acquire(true);
+                self.note_acquired();
                 return;
             }
         }
@@ -78,12 +121,14 @@ impl RawSpin {
     /// Attempts to acquire the lock without spinning.
     #[inline]
     pub fn try_lock(&self) -> bool {
+        // relaxed: CAS failure publishes nothing; caller just gets `false`.
         let ok = self
             .locked
             .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
             .is_ok();
         if ok {
             self.stats.record_acquire(false);
+            self.note_acquired();
         }
         ok
     }
@@ -95,15 +140,18 @@ impl RawSpin {
     #[inline]
     pub fn unlock(&self) {
         debug_assert!(
+            // relaxed: diagnostic only; the caller already holds the lock.
             self.locked.load(Ordering::Relaxed),
             "RawSpin::unlock called on an unlocked lock"
         );
+        self.note_released();
         self.locked.store(false, Ordering::Release);
     }
 
     /// `true` if the lock is currently held by some thread.
     #[inline]
     pub fn is_locked(&self) -> bool {
+        // relaxed: advisory snapshot; callers must not infer ownership.
         self.locked.load(Ordering::Relaxed)
     }
 
@@ -153,6 +201,7 @@ pub struct SpinLock<T: ?Sized> {
 // SAFETY: SpinLock provides mutual exclusion; T must be Send for the lock
 // to be shared (same bounds as std::sync::Mutex).
 unsafe impl<T: ?Sized + Send> Send for SpinLock<T> {}
+// SAFETY: as above — guarded access only, so &SpinLock is shareable.
 unsafe impl<T: ?Sized + Send> Sync for SpinLock<T> {}
 
 impl<T> SpinLock<T> {
@@ -160,6 +209,15 @@ impl<T> SpinLock<T> {
     pub const fn new(value: T) -> Self {
         SpinLock {
             raw: RawSpin::new(),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Creates a new spinlock tagged with a lock-order class for the
+    /// `lockcheck` validator (see [`RawSpin::with_class`]).
+    pub const fn with_class(class: &'static str, value: T) -> Self {
+        SpinLock {
+            raw: RawSpin::with_class(class),
             value: UnsafeCell::new(value),
         }
     }

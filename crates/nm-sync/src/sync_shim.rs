@@ -1,0 +1,88 @@
+//! cfg(loom)-switchable synchronization imports.
+//!
+//! Every primitive in this crate pulls its atomics, `Mutex`/`Condvar` and
+//! threads from this module instead of naming `std`/`parking_lot`
+//! directly. A normal build re-exports the real types with zero overhead;
+//! compiling with `RUSTFLAGS="--cfg loom"` swaps in the model-checked
+//! versions from the vendored `nm-loom` crate, so the loom test suite
+//! (`cargo test -p nm-sync --test loom` under that cfg) can explore
+//! thread interleavings and validate the declared memory orderings.
+//!
+//! Keep additions here mirrored between the two halves — the whole point
+//! is that the primitive sources compile unchanged under both.
+
+/// Atomic types and memory orderings.
+pub mod atomic {
+    #[cfg(loom)]
+    pub use loom::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+    #[cfg(not(loom))]
+    pub use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+}
+
+#[cfg(loom)]
+pub use loom::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+#[cfg(not(loom))]
+pub use parking_lot::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+/// Closure-scoped interior-mutability cell (loom API shape). The loom
+/// build race-checks every access; the std build is a plain wrapper.
+pub mod cell {
+    #[cfg(loom)]
+    pub use loom::cell::UnsafeCell;
+
+    /// Pass-through `UnsafeCell` with the loom `with`/`with_mut` API.
+    #[cfg(not(loom))]
+    #[derive(Debug, Default)]
+    pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+    #[cfg(not(loom))]
+    impl<T> UnsafeCell<T> {
+        /// Creates a new cell holding `value`.
+        pub const fn new(value: T) -> Self {
+            UnsafeCell(std::cell::UnsafeCell::new(value))
+        }
+
+        /// Immutable access to the contents via raw pointer.
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        /// Mutable access to the contents via raw pointer.
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        /// Consumes the cell, returning the value.
+        pub fn into_inner(self) -> T {
+            self.0.into_inner()
+        }
+    }
+
+    // SAFETY: same contract as `std::cell::UnsafeCell` being `Send`.
+    #[cfg(not(loom))]
+    unsafe impl<T: Send> Send for UnsafeCell<T> {}
+    // SAFETY: callers assert their own synchronization protocol, as with
+    // a raw cell inside a lock; the loom build checks it dynamically.
+    #[cfg(not(loom))]
+    unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+}
+
+/// Thread spawn/join/yield, model-scheduled under loom.
+pub mod thread {
+    #[cfg(loom)]
+    pub use loom::thread::{spawn, yield_now, JoinHandle};
+
+    #[cfg(not(loom))]
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Spin-loop hint; a schedule point under loom.
+pub mod hint {
+    #[cfg(loom)]
+    pub use loom::hint::spin_loop;
+
+    #[cfg(not(loom))]
+    pub use std::hint::spin_loop;
+}

@@ -5,10 +5,10 @@
 //! the concurrent pingpong of Fig 5, fairness matters: an unfair spinlock
 //! can let one pingpong thread starve the other, inflating tail latency.
 
+use crate::sync_shim::atomic::{AtomicUsize, Ordering};
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::Backoff;
 
@@ -16,11 +16,14 @@ use crate::Backoff;
 pub struct TicketLock<T: ?Sized> {
     next_ticket: AtomicUsize,
     now_serving: AtomicUsize,
+    /// Lock-order class for `lockcheck` (None = untracked).
+    class: Option<&'static str>,
     value: UnsafeCell<T>,
 }
 
 // SAFETY: mutual exclusion is provided by ticket ordering.
 unsafe impl<T: ?Sized + Send> Send for TicketLock<T> {}
+// SAFETY: as above — guarded access only, so &TicketLock is shareable.
 unsafe impl<T: ?Sized + Send> Sync for TicketLock<T> {}
 
 impl<T> TicketLock<T> {
@@ -29,6 +32,18 @@ impl<T> TicketLock<T> {
         TicketLock {
             next_ticket: AtomicUsize::new(0),
             now_serving: AtomicUsize::new(0),
+            class: None,
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Creates a new ticket lock tagged with a lock-order class for the
+    /// `lockcheck` validator (see [`crate::lockcheck`]).
+    pub const fn with_class(class: &'static str, value: T) -> Self {
+        TicketLock {
+            next_ticket: AtomicUsize::new(0),
+            now_serving: AtomicUsize::new(0),
+            class: Some(class),
             value: UnsafeCell::new(value),
         }
     }
@@ -42,6 +57,8 @@ impl<T> TicketLock<T> {
 impl<T: ?Sized> TicketLock<T> {
     /// Acquires the lock, spinning until this thread's ticket is served.
     pub fn lock(&self) -> TicketGuard<'_, T> {
+        // relaxed: the ticket number is just a queue position; the
+        // Acquire load of `now_serving` below synchronizes the data.
         let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
         let mut backoff = Backoff::new();
         // `snooze` yields past the spin budget so earlier ticket holders
@@ -49,17 +66,26 @@ impl<T: ?Sized> TicketLock<T> {
         while self.now_serving.load(Ordering::Acquire) != ticket {
             backoff.snooze();
         }
+        if let Some(class) = self.class {
+            crate::lockcheck::acquired(class);
+        }
         TicketGuard { lock: self }
     }
 
     /// Attempts to take the lock only if nobody is queued.
     pub fn try_lock(&self) -> Option<TicketGuard<'_, T>> {
+        // relaxed: speculative read of the serving counter.
         let serving = self.now_serving.load(Ordering::Relaxed);
+        // relaxed: CAS failure publishes nothing (caller gets `None`);
+        // its Acquire success ordering synchronizes.
         if self
             .next_ticket
             .compare_exchange(serving, serving + 1, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
         {
+            if let Some(class) = self.class {
+                crate::lockcheck::acquired(class);
+            }
             Some(TicketGuard { lock: self })
         } else {
             None
@@ -109,6 +135,9 @@ impl<T: ?Sized> DerefMut for TicketGuard<'_, T> {
 
 impl<T: ?Sized> Drop for TicketGuard<'_, T> {
     fn drop(&mut self) {
+        if let Some(class) = self.lock.class {
+            crate::lockcheck::released(class);
+        }
         // Release hands the critical section to the next ticket holder.
         self.lock.now_serving.fetch_add(1, Ordering::Release);
     }

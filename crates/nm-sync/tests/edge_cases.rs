@@ -1,0 +1,196 @@
+//! Edge-case coverage for the waiting primitives: `Backoff` saturation,
+//! the `FixedSpin` spin→block crossover, and `CompletionFlag` misuse
+//! (double signal, flag outliving its creator while a waiter blocks).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use nm_sync::{Backoff, CompletionFlag, WaitStrategy};
+
+// ---------------------------------------------------------------- Backoff
+
+#[test]
+fn snooze_step_saturates_without_overflow() {
+    let mut b = Backoff::new();
+    // Far beyond YIELD_LIMIT: the step counter must clamp, not wrap.
+    // (A wrapping u32 would need 2^32 iterations to surface; the clamp is
+    // observable immediately because `is_completed` would flip back.)
+    for _ in 0..10_000 {
+        b.snooze();
+        // Cheap loop guard: yielding 10k times must stay well under CI
+        // timeouts, so no explicit time assertion is needed.
+    }
+    assert!(b.is_completed(), "saturated backoff must stay completed");
+    b.snooze();
+    assert!(b.is_completed(), "extra snoozes must not reset completion");
+}
+
+#[test]
+fn spin_saturates_below_completion_threshold() {
+    let mut b = Backoff::new();
+    for _ in 0..10_000 {
+        b.spin();
+    }
+    // `spin` clamps at SPIN_LIMIT + 1: a pure spinner never reports that
+    // it should block. Only `snooze` walks the step up to YIELD_LIMIT.
+    assert!(!b.is_completed());
+    // From the saturated-spin state, snoozing still reaches completion.
+    for _ in 0..=Backoff::YIELD_LIMIT {
+        b.snooze();
+    }
+    assert!(b.is_completed());
+}
+
+#[test]
+fn reset_from_saturation_restarts_the_schedule() {
+    let mut b = Backoff::new();
+    for _ in 0..100 {
+        b.snooze();
+    }
+    assert!(b.is_completed());
+    b.reset();
+    assert!(!b.is_completed());
+    // The schedule replays identically after reset.
+    for _ in 0..=Backoff::YIELD_LIMIT {
+        assert!(!b.is_completed());
+        b.snooze();
+    }
+    assert!(b.is_completed());
+}
+
+// ------------------------------------------------- FixedSpin crossover
+
+#[test]
+fn fixed_spin_polls_during_window_then_blocks() {
+    let flag = Arc::new(CompletionFlag::new());
+    let polls = Arc::new(AtomicUsize::new(0));
+    let (f2, p2) = (Arc::clone(&flag), Arc::clone(&polls));
+    let waiter = thread::spawn(move || {
+        f2.wait_with_poll(WaitStrategy::FixedSpin(Duration::from_millis(1)), || {
+            p2.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    // Let the 1 ms window expire; the waiter must have crossed over to
+    // blocking, after which the poll counter freezes.
+    thread::sleep(Duration::from_millis(100));
+    let after_window = polls.load(Ordering::Relaxed);
+    assert!(
+        after_window > 0,
+        "no polling happened during the spin window"
+    );
+    thread::sleep(Duration::from_millis(50));
+    assert_eq!(
+        polls.load(Ordering::Relaxed),
+        after_window,
+        "waiter kept polling after the spin window: it never blocked"
+    );
+    flag.signal();
+    waiter.join().unwrap();
+}
+
+#[test]
+fn fixed_spin_zero_window_blocks_like_passive() {
+    let flag = Arc::new(CompletionFlag::new());
+    let f2 = Arc::clone(&flag);
+    let waiter = thread::spawn(move || {
+        f2.wait(WaitStrategy::FixedSpin(Duration::ZERO));
+        7
+    });
+    thread::sleep(Duration::from_millis(30));
+    assert!(!flag.is_set());
+    flag.signal();
+    assert_eq!(waiter.join().unwrap(), 7);
+}
+
+#[test]
+fn fixed_spin_completing_within_window_skips_the_block() {
+    // With the flag already set, a huge spin window must return
+    // immediately — the fast path never arms the spin loop at all.
+    let flag = CompletionFlag::new();
+    flag.signal();
+    let t0 = Instant::now();
+    flag.wait(WaitStrategy::FixedSpin(Duration::from_secs(60)));
+    assert!(t0.elapsed() < Duration::from_secs(1));
+}
+
+#[test]
+fn fixed_spin_timeout_crossover_expires_in_block_phase() {
+    // Spin budget (10 µs) < timeout (30 ms): the waiter crosses into the
+    // blocking phase and the timeout must fire there, returning false.
+    let flag = CompletionFlag::new();
+    let t0 = Instant::now();
+    let ok = flag.wait_timeout(
+        WaitStrategy::FixedSpin(Duration::from_micros(10)),
+        Duration::from_millis(30),
+    );
+    assert!(!ok);
+    assert!(t0.elapsed() >= Duration::from_millis(25));
+}
+
+// ---------------------------------------------------- CompletionFlag
+
+#[test]
+fn double_signal_is_idempotent() {
+    let flag = CompletionFlag::new();
+    flag.signal();
+    flag.signal(); // second signal must be a harmless no-op
+    assert!(flag.is_set());
+    flag.wait(WaitStrategy::Passive);
+    flag.wait(WaitStrategy::Busy);
+}
+
+#[test]
+fn concurrent_double_signal_wakes_every_waiter() {
+    let flag = Arc::new(CompletionFlag::new());
+    let waiters: Vec<_> = (0..4)
+        .map(|_| {
+            let f = Arc::clone(&flag);
+            thread::spawn(move || f.wait(WaitStrategy::Passive))
+        })
+        .collect();
+    thread::sleep(Duration::from_millis(20));
+    let signalers: Vec<_> = (0..2)
+        .map(|_| {
+            let f = Arc::clone(&flag);
+            thread::spawn(move || f.signal())
+        })
+        .collect();
+    for h in signalers.into_iter().chain(waiters) {
+        h.join().unwrap();
+    }
+    assert!(flag.is_set());
+}
+
+#[test]
+fn flag_outlives_creator_while_waiter_blocks() {
+    // The creator drops its handle while a waiter is still blocked; the
+    // waiter's own Arc must keep the flag (and its condvar) alive.
+    let flag = Arc::new(CompletionFlag::new());
+    let f2 = Arc::clone(&flag);
+    let waiter = thread::spawn(move || {
+        f2.wait(WaitStrategy::Passive);
+        f2.is_set()
+    });
+    thread::sleep(Duration::from_millis(20));
+    flag.signal();
+    drop(flag); // creator's handle gone before the waiter returns
+    assert!(waiter.join().unwrap());
+}
+
+#[test]
+fn signal_reset_signal_cycles_with_blocked_waiters() {
+    // Reuse across iterations, each with a fresh blocked waiter: the
+    // reset must not eat the *next* iteration's wakeup.
+    let flag = Arc::new(CompletionFlag::new());
+    for _ in 0..5 {
+        let f = Arc::clone(&flag);
+        let waiter = thread::spawn(move || f.wait(WaitStrategy::fixed_spin_default()));
+        thread::sleep(Duration::from_millis(5));
+        flag.signal();
+        waiter.join().unwrap();
+        flag.reset();
+        assert!(!flag.is_set());
+    }
+}

@@ -33,7 +33,10 @@ impl std::error::Error for AffinityError {}
 
 const MASK_WORDS: usize = 16; // 1024 CPUs, same as glibc's cpu_set_t.
 
-#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
 mod sys {
     use super::MASK_WORDS;
 
@@ -48,33 +51,49 @@ mod sys {
 
     /// Raw 3-argument syscall. Returns the kernel's raw result
     /// (negative errno on failure).
+    ///
+    /// # Safety
+    /// Arguments must satisfy syscall `num`'s contract (valid pointers).
     #[cfg(target_arch = "x86_64")]
     unsafe fn syscall3(num: i64, a1: i64, a2: i64, a3: i64) -> i64 {
         let ret: i64;
-        core::arch::asm!(
-            "syscall",
-            inlateout("rax") num => ret,
-            in("rdi") a1,
-            in("rsi") a2,
-            in("rdx") a3,
-            lateout("rcx") _,
-            lateout("r11") _,
-            options(nostack),
-        );
+        // SAFETY: caller upholds the syscall's contract (valid pointers and
+        // lengths for `num`); the clobber list covers everything the x86-64
+        // syscall ABI may trash (rax result, rcx/r11 scratched by the CPU).
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") num => ret,
+                in("rdi") a1,
+                in("rsi") a2,
+                in("rdx") a3,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
         ret
     }
 
+    /// Raw 3-argument syscall (negative errno on failure).
+    ///
+    /// # Safety
+    /// Arguments must satisfy syscall `num`'s contract (valid pointers).
     #[cfg(target_arch = "aarch64")]
     unsafe fn syscall3(num: i64, a1: i64, a2: i64, a3: i64) -> i64 {
         let ret: i64;
-        core::arch::asm!(
-            "svc 0",
-            inlateout("x0") a1 => ret,
-            in("x1") a2,
-            in("x2") a3,
-            in("x8") num,
-            options(nostack),
-        );
+        // SAFETY: caller upholds the syscall's contract; aarch64 `svc 0`
+        // takes the number in x8, arguments in x0-x2, result in x0.
+        unsafe {
+            core::arch::asm!(
+                "svc 0",
+                inlateout("x0") a1 => ret,
+                in("x1") a2,
+                in("x2") a3,
+                in("x8") num,
+                options(nostack),
+            );
+        }
         ret
     }
 
@@ -130,7 +149,10 @@ pub fn bind_current_thread(core: usize) -> Result<(), AffinityError> {
 
 /// Binds the calling thread to a set of cores.
 pub fn bind_current_thread_to_set(cores: &[usize]) -> Result<(), AffinityError> {
-    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
     {
         let mut mask = [0u64; MASK_WORDS];
         for &c in cores {
@@ -139,9 +161,12 @@ pub fn bind_current_thread_to_set(cores: &[usize]) -> Result<(), AffinityError> 
             }
             mask[c / 64] |= 1 << (c % 64);
         }
-        return sys::set_affinity(&mask).map_err(AffinityError::Kernel);
+        sys::set_affinity(&mask).map_err(AffinityError::Kernel)
     }
-    #[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )))]
     {
         let _ = cores;
         Err(AffinityError::Unsupported)
@@ -150,7 +175,10 @@ pub fn bind_current_thread_to_set(cores: &[usize]) -> Result<(), AffinityError> 
 
 /// Returns the cores the calling thread may currently run on.
 pub fn current_affinity() -> Result<Vec<usize>, AffinityError> {
-    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
     {
         let mut mask = [0u64; MASK_WORDS];
         let written = sys::get_affinity(&mut mask).map_err(AffinityError::Kernel)?;
@@ -162,9 +190,12 @@ pub fn current_affinity() -> Result<Vec<usize>, AffinityError> {
                 }
             }
         }
-        return Ok(cores);
+        Ok(cores)
     }
-    #[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )))]
     Err(AffinityError::Unsupported)
 }
 
@@ -222,7 +253,8 @@ mod tests {
         match bind_current_thread(1023) {
             Ok(()) => {
                 // Extremely unlikely (1024-core machine); restore and accept.
-                let all = (0..std::thread::available_parallelism().unwrap().get()).collect::<Vec<_>>();
+                let all =
+                    (0..std::thread::available_parallelism().unwrap().get()).collect::<Vec<_>>();
                 let _ = unbind_current_thread(&all);
             }
             Err(AffinityError::Kernel(errno)) => assert_eq!(errno, 22 /* EINVAL */),

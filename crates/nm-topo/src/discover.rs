@@ -136,14 +136,14 @@ mod tests {
             write(&d.join("topology/physical_package_id"), "0\n");
             // L1 private.
             write(&d.join("cache/index0/level"), "1\n");
-            write(
-                &d.join("cache/index0/shared_cpu_list"),
-                &format!("{cpu}\n"),
-            );
+            write(&d.join("cache/index0/shared_cpu_list"), &format!("{cpu}\n"));
             // L2 shared per pair.
             let pair = if cpu < 2 { "0-1" } else { "2-3" };
             write(&d.join("cache/index2/level"), "2\n");
-            write(&d.join("cache/index2/shared_cpu_list"), &format!("{pair}\n"));
+            write(
+                &d.join("cache/index2/shared_cpu_list"),
+                &format!("{pair}\n"),
+            );
         }
     }
 

@@ -228,11 +228,7 @@ impl Topology {
             Distance::SamePackage,
             Distance::CrossPackage,
         ] {
-            if let Some(c) = self
-                .cores
-                .iter()
-                .find(|c| self.distance(origin, c.id) == d)
-            {
+            if let Some(c) = self.cores.iter().find(|c| self.distance(origin, c.id) == d) {
                 reps.push((d, c.id));
             }
         }

@@ -61,5 +61,8 @@ fn main() {
     // Allreduce must give every rank the identical answer.
     assert!(estimates.windows(2).all(|w| w[0] == w[1]));
     assert!((estimates[0] - std::f64::consts::PI).abs() < 0.05);
-    println!("all {RANKS} ranks agree; error = {:+.5}", estimates[0] - std::f64::consts::PI);
+    println!(
+        "all {RANKS} ranks agree; error = {:+.5}",
+        estimates[0] - std::f64::consts::PI
+    );
 }

@@ -14,7 +14,10 @@ fn main() {
     let sizes = [4usize, 64, 1024];
 
     println!("real stack (median one-way µs; host-scheduling noise included):\n");
-    println!("{:>10} {:>14} {:>14} {:>14}", "size", "no-locking", "coarse", "fine");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "size", "no-locking", "coarse", "fine"
+    );
     for &size in &sizes {
         let mut row = format!("{size:>10}");
         for mode in [
@@ -28,7 +31,10 @@ fn main() {
                 warmup: 5,
                 ..PingpongOpts::default()
             };
-            row.push_str(&format!(" {:>14.2}", pingpong_latency(&opts, size).median_us()));
+            row.push_str(&format!(
+                " {:>14.2}",
+                pingpong_latency(&opts, size).median_us()
+            ));
         }
         println!("{row}");
     }

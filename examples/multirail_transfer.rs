@@ -27,9 +27,7 @@ fn transfer(rails: &[WireModel], label: &str) -> f64 {
     let a = CoreBuilder::new(config.clone())
         .add_gate(pa.drivers())
         .build();
-    let b = CoreBuilder::new(config)
-        .add_gate(pb.drivers())
-        .build();
+    let b = CoreBuilder::new(config).add_gate(pb.drivers()).build();
 
     const SIZE: usize = 2 << 20; // 2 MiB
     let payload = bytes::Bytes::from(vec![0xABu8; SIZE]);
@@ -49,7 +47,10 @@ fn transfer(rails: &[WireModel], label: &str) -> f64 {
     assert_eq!(got.len(), SIZE);
 
     let gbps = (SIZE as f64 * 8.0) / secs / 1e9;
-    println!("{label:<28} {SIZE:>9} bytes in {:>8.2} ms  ->  {gbps:.2} Gbit/s", secs * 1e3);
+    println!(
+        "{label:<28} {SIZE:>9} bytes in {:>8.2} ms  ->  {gbps:.2} Gbit/s",
+        secs * 1e3
+    );
     for (i, d) in pa.sim_drivers().iter().enumerate() {
         println!(
             "    rail {i}: {} packets, {} bytes",

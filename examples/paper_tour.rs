@@ -107,8 +107,7 @@ fn main() {
 
     // Bandwidth claim.
     let bw = exp::bandwidth_by_mode(costs, &[32 * 1024]);
-    let spread =
-        (bw[0].points[0].1 - bw[2].points[0].1).abs() / bw[0].points[0].1 * 100.0;
+    let spread = (bw[0].points[0].1 - bw[2].points[0].1).abs() / bw[0].points[0].1 * 100.0;
     row(
         "§3.1   locking impact on 32 KB bandwidth",
         "none",
@@ -120,10 +119,7 @@ fn main() {
     row(
         "§4.1   compute hidden behind a 128 KB rendezvous",
         "~all of it",
-        format!(
-            "{:.0} of 30 us",
-            ov[0].points[0].1 - ov[1].points[0].1
-        ),
+        format!("{:.0} of 30 us", ov[0].points[0].1 - ov[1].points[0].1),
     );
 
     println!("{}", "-".repeat(84));

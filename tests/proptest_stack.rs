@@ -189,3 +189,21 @@ proptest! {
         prop_assert_eq!(recv.take_data().unwrap(), data);
     }
 }
+
+/// Pinned regression: the legacy proptest regression file recorded a
+/// shrunk failure `entries = [(3, 140814840257324742, 0, 1489)]` for
+/// `wire_format_roundtrip` (a single `Entry::Data` whose 1489-byte payload
+/// once tripped a length-prefix bug). The vendored proptest runner cannot
+/// replay foreign `cc` hashes, so the case lives on as an explicit test.
+#[test]
+fn wire_format_roundtrip_data_entry_1489_bytes() {
+    use nomad::core::wire::{decode_packet, encode_packet, Entry};
+    let entries = vec![Entry::Data {
+        tag: 140814840257324742,
+        seq: 0,
+        offset: 1489u32.wrapping_mul(3),
+        data: payload(140814840257324742u64 as usize, 1489),
+    }];
+    let decoded = decode_packet(encode_packet(&entries)).expect("decode");
+    assert_eq!(decoded, entries);
+}

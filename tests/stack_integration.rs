@@ -19,8 +19,12 @@ use nomad::sync::WaitStrategy;
 fn scheduler_hooks_drive_passive_communication() {
     let fabric = Fabric::real_time();
     let (pa, pb) = fabric.pair(&[WireModel::myri_10g()], true);
-    let a = CoreBuilder::new(CoreConfig::default()).add_gate(pa.drivers()).build();
-    let b = CoreBuilder::new(CoreConfig::default()).add_gate(pb.drivers()).build();
+    let a = CoreBuilder::new(CoreConfig::default())
+        .add_gate(pa.drivers())
+        .build();
+    let b = CoreBuilder::new(CoreConfig::default())
+        .add_gate(pb.drivers())
+        .build();
 
     let engine = Arc::new(ProgressEngine::new());
     engine.register(Arc::clone(&a) as _);
@@ -35,7 +39,9 @@ fn scheduler_hooks_drive_passive_communication() {
     engine.attach(&sched);
 
     let recv = b.irecv(GateId(0), 1).expect("irecv");
-    let send = a.isend(GateId(0), 1, Bytes::from_static(b"via hooks")).expect("isend");
+    let send = a
+        .isend(GateId(0), 1, Bytes::from_static(b"via hooks"))
+        .expect("isend");
     // Purely passive: neither waiter polls anything itself.
     recv.wait_flag_only(WaitStrategy::Passive);
     send.wait_flag_only(WaitStrategy::Passive);
@@ -58,7 +64,9 @@ fn tasklet_offload_end_to_end() {
     )
     .add_gate(pa.drivers())
     .build();
-    let b = CoreBuilder::new(CoreConfig::default()).add_gate(pb.drivers()).build();
+    let b = CoreBuilder::new(CoreConfig::default())
+        .add_gate(pb.drivers())
+        .build();
 
     let engine = Arc::new(ProgressEngine::new());
     engine.register(Arc::clone(&a) as _);
@@ -72,9 +80,15 @@ fn tasklet_offload_end_to_end() {
             .expect("isend");
         recv.wait_flag_only(WaitStrategy::Passive);
         send.wait_flag_only(WaitStrategy::Passive);
-        assert_eq!(recv.take_data().unwrap(), Bytes::from(format!("tasklet {i}")));
+        assert_eq!(
+            recv.take_data().unwrap(),
+            Bytes::from(format!("tasklet {i}"))
+        );
     }
-    assert!(a.offloader().deferred_count() >= 20, "submissions not deferred");
+    assert!(
+        a.offloader().deferred_count() >= 20,
+        "submissions not deferred"
+    );
     pt.stop();
 }
 
@@ -91,7 +105,9 @@ fn idle_core_offload_end_to_end() {
     )
     .add_gate(pa.drivers())
     .build();
-    let b = CoreBuilder::new(CoreConfig::default()).add_gate(pb.drivers()).build();
+    let b = CoreBuilder::new(CoreConfig::default())
+        .add_gate(pb.drivers())
+        .build();
 
     let engine = Arc::new(ProgressEngine::new());
     engine.register(Arc::clone(a.offloader()) as _); // drains submissions

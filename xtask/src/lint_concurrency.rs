@@ -1,0 +1,323 @@
+//! `cargo xtask lint-concurrency`: source-text lints for concurrency rules
+//! the compiler cannot enforce.
+//!
+//! Three rules (details and rationale in `docs/CONCURRENCY.md`):
+//!
+//! 1. **Relaxed needs a reason.** Every `Ordering::Relaxed` in non-test
+//!    code must carry a `relaxed:` justification comment on the same line
+//!    or within the six preceding lines (multi-line `compare_exchange`
+//!    calls push the argument down), unless the file is on the allow-list
+//!    below (files whose module docs establish a blanket discipline, e.g.
+//!    statistics counters) or under `compat/`.
+//! 2. **No ad-hoc primitives on hot paths.** `std::sync::Mutex` and bare
+//!    `std::thread::spawn` are banned in the hot-path crates (`nm-sync`,
+//!    `nm-fabric`, `nm-progress`, `nm-core`, `nm-sched`) outside test code:
+//!    locks must go through `nm-sync`/`parking_lot` (so lockcheck sees
+//!    them) and threads through the crates' own spawn wrappers, which set
+//!    names and affinity.
+//! 3. **`unsafe` needs `// SAFETY:`.** Every line containing an `unsafe`
+//!    keyword must have a `SAFETY:` comment (or a `# Safety` rustdoc
+//!    section, the convention for `unsafe fn`) on the same line or within
+//!    the three preceding lines. (Clippy's `undocumented_unsafe_blocks`
+//!    covers blocks; this also catches `unsafe fn`/`unsafe impl` and does
+//!    not need a full compile.)
+//!
+//! The lint is text-based on purpose: it runs in under a second with no
+//! compilation, and the patterns involved are unambiguous in this codebase.
+//! String literals could in principle fool it; don't put `unsafe` in one.
+
+use std::fmt;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Files allowed to use `Ordering::Relaxed` without per-site justification.
+/// Keep this list short and justified:
+const RELAXED_ALLOW_LIST: &[&str] = &[
+    // Monotonic statistics counters; module docs state the discipline once.
+    "crates/nm-sync/src/stats.rs",
+];
+
+/// Path prefixes exempt from the Relaxed rule. `compat/` holds vendored
+/// stand-ins for external crates (parking_lot, crossbeam, the loom-lite
+/// model checker): they *implement* the primitives the rule protects, and
+/// keeping their text close to upstream matters more than our annotations.
+/// The SAFETY rule still applies to them.
+const RELAXED_EXEMPT_PREFIXES: &[&str] = &["compat/"];
+
+/// Crates where `std::sync::Mutex` / bare `thread::spawn` are banned in
+/// non-test code.
+const HOT_PATH_CRATES: &[&str] = &[
+    "crates/nm-sync",
+    "crates/nm-fabric",
+    "crates/nm-progress",
+    "crates/core",
+    "crates/nm-sched",
+];
+
+/// How many lines above an occurrence a justification comment may sit.
+const COMMENT_LOOKBACK: usize = 3;
+
+/// Lookback for the Relaxed rule: rustfmt splits `compare_exchange`
+/// calls across up to six lines, putting the `Ordering::Relaxed` argument
+/// well below the comment that precedes the statement.
+const RELAXED_LOOKBACK: usize = 6;
+
+struct Violation {
+    file: String,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+pub fn run(root: &Path) -> ExitCode {
+    let mut files = Vec::new();
+    super::collect_rs_files(root, &mut files);
+    files.sort();
+
+    let mut violations = Vec::new();
+    let mut checked = 0usize;
+    for path in &files {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        checked += 1;
+        lint_file(&rel, &text, &mut violations);
+    }
+
+    if violations.is_empty() {
+        println!(
+            "lint-concurrency: OK ({checked} files; relaxed justifications, \
+             hot-path primitives, SAFETY coverage)"
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!(
+            "\nlint-concurrency: {} violation(s) in {checked} files. \
+             See docs/CONCURRENCY.md for the rules.",
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn lint_file(rel: &str, text: &str, out: &mut Vec<Violation>) {
+    // Skip the lint's own source (rule names would trip the patterns).
+    if rel.starts_with("xtask/") {
+        return;
+    }
+    let lines: Vec<&str> = text.lines().collect();
+    let test_start = test_code_start(&lines);
+    let in_tests_dir = rel.contains("/tests/") || rel.contains("/benches/");
+
+    let relaxed_allowed = RELAXED_ALLOW_LIST.contains(&rel)
+        || RELAXED_EXEMPT_PREFIXES.iter().any(|p| rel.starts_with(p));
+    let hot_path = HOT_PATH_CRATES
+        .iter()
+        .any(|c| rel.starts_with(&format!("{c}/src/")) || rel == format!("{c}/src/lib.rs"));
+
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let code = strip_line_comment(line);
+        let is_test_code = in_tests_dir || idx >= test_start;
+
+        // Rule 1: Ordering::Relaxed needs a `relaxed:` justification.
+        // Test code is exempt: the rule protects production hot paths.
+        if !relaxed_allowed
+            && !is_test_code
+            && code.contains("Relaxed")
+            && (code.contains("Ordering::Relaxed") || code.contains("::Relaxed"))
+            && !has_marker_within(&lines, idx, "relaxed:", RELAXED_LOOKBACK)
+        {
+            out.push(Violation {
+                file: rel.into(),
+                line: lineno,
+                rule: "relaxed-needs-reason",
+                message: "Ordering::Relaxed without a `// relaxed: <why>` \
+                          justification within 6 lines"
+                    .into(),
+            });
+        }
+
+        // Rule 2: hot-path crates must not use std Mutex / bare spawn
+        // outside test code.
+        if hot_path && !is_test_code {
+            if code.contains("std::sync::Mutex") || code.contains("sync::Mutex<") {
+                out.push(Violation {
+                    file: rel.into(),
+                    line: lineno,
+                    rule: "hot-path-std-mutex",
+                    message: "std::sync::Mutex in a hot-path crate; use \
+                              nm-sync primitives or parking_lot so lockcheck \
+                              and loom see the lock"
+                        .into(),
+                });
+            }
+            if (code.contains("thread::spawn(") || code.contains("std::thread::spawn("))
+                && !code.contains("Builder")
+            {
+                out.push(Violation {
+                    file: rel.into(),
+                    line: lineno,
+                    rule: "hot-path-bare-spawn",
+                    message: "bare thread::spawn in a hot-path crate; use \
+                              std::thread::Builder (named threads) or the \
+                              crate's spawn wrapper"
+                        .into(),
+                });
+            }
+        }
+
+        // Rule 3: unsafe needs SAFETY. `# Safety` doc sections (the
+        // rustdoc convention for `unsafe fn`) count too.
+        if mentions_unsafe(code)
+            && !has_marker(&lines, idx, "SAFETY:")
+            && !has_marker(&lines, idx, "# Safety")
+        {
+            out.push(Violation {
+                file: rel.into(),
+                line: lineno,
+                rule: "unsafe-needs-safety-comment",
+                message: "`unsafe` without a `// SAFETY:` comment within 3 lines".into(),
+            });
+        }
+    }
+}
+
+/// Index of the first line of trailing test code (`#[cfg(test)]` or
+/// `mod tests`), or `usize::MAX` if none. Heuristic: everything after the
+/// first test marker is treated as test code — in this codebase test
+/// modules sit at the end of each file.
+fn test_code_start(lines: &[&str]) -> usize {
+    lines
+        .iter()
+        .position(|l| {
+            let t = l.trim_start();
+            t.starts_with("#[cfg(test)]") || t.starts_with("mod tests")
+        })
+        .unwrap_or(usize::MAX)
+}
+
+/// Strips a trailing `//` comment so commented-out code is not linted.
+/// Comment markers inside string literals would confuse this; the codebase
+/// has none on the linted patterns.
+fn strip_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// True if `marker` appears on this line or within [`COMMENT_LOOKBACK`]
+/// preceding lines (typically inside a comment).
+fn has_marker(lines: &[&str], idx: usize, marker: &str) -> bool {
+    has_marker_within(lines, idx, marker, COMMENT_LOOKBACK)
+}
+
+fn has_marker_within(lines: &[&str], idx: usize, marker: &str, lookback: usize) -> bool {
+    let lo = idx.saturating_sub(lookback);
+    lines[lo..=idx].iter().any(|l| l.contains(marker))
+}
+
+/// True if the (comment-stripped) line uses the `unsafe` keyword — as a
+/// block, fn, impl or trait — excluding negative mentions like
+/// `unsafe_op_in_unsafe_fn` or `forbid(unsafe_code)`.
+fn mentions_unsafe(code: &str) -> bool {
+    let mut rest = code;
+    while let Some(pos) = rest.find("unsafe") {
+        let before_ok = rest[..pos]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        let after = &rest[pos + "unsafe".len()..];
+        let after_ok = after
+            .chars()
+            .next()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        // `unsafe` as a lint name appears in attributes like
+        // `deny(unsafe_op_in_unsafe_fn)` / `forbid(unsafe_code)`; those are
+        // caught by before/after_ok except bare `(unsafe)` forms, which the
+        // codebase does not use.
+        if before_ok && after_ok && !code.contains("unsafe_code") {
+            return true;
+        }
+        rest = &rest[pos + "unsafe".len()..];
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(rel: &str, text: &str) -> Vec<String> {
+        let mut v = Vec::new();
+        lint_file(rel, text, &mut v);
+        v.iter().map(|x| x.rule.to_string()).collect()
+    }
+
+    #[test]
+    fn relaxed_without_reason_flagged() {
+        let src = "fn f(a: &std::sync::atomic::AtomicU32) {\n    a.load(Ordering::Relaxed);\n}\n";
+        assert_eq!(
+            lint_str("crates/nm-sync/src/x.rs", src),
+            vec!["relaxed-needs-reason"]
+        );
+    }
+
+    #[test]
+    fn relaxed_with_reason_ok() {
+        let src = "// relaxed: monotonic counter, only read for stats\nlet v = a.load(Ordering::Relaxed);\n";
+        assert!(lint_str("crates/nm-sync/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn std_mutex_flagged_in_hot_path_only() {
+        let src =
+            "use std::sync::Mutex;\nstatic M: std::sync::Mutex<u32> = std::sync::Mutex::new(0);\n";
+        assert!(lint_str("crates/nm-sync/src/x.rs", src)
+            .iter()
+            .all(|r| r == "hot-path-std-mutex"));
+        assert!(lint_str("crates/nm-bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_exempt_from_hot_path_rules() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| ()); }\n}\n";
+        assert!(lint_str("crates/nm-sync/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_without_safety_flagged() {
+        let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        assert_eq!(
+            lint_str("crates/core/src/x.rs", src),
+            vec!["unsafe-needs-safety-comment"]
+        );
+        let ok = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p }\n}\n";
+        assert!(lint_str("crates/core/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn lint_attributes_not_flagged_as_unsafe() {
+        let src = "#![deny(unsafe_op_in_unsafe_fn)]\n#![forbid(unsafe_code)]\n";
+        assert!(lint_str("crates/core/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! Repo automation tasks, invoked as `cargo xtask <command>`.
+//!
+//! Currently one command: `lint-concurrency`, a source-text lint pass for
+//! concurrency rules that rustc/clippy cannot express (see
+//! `docs/CONCURRENCY.md`). Exits non-zero if any violation is found, so it
+//! can gate CI.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+mod lint_concurrency;
+
+fn workspace_root() -> PathBuf {
+    // xtask always runs via `cargo xtask ...`, whose cwd-independent anchor
+    // is this crate's manifest dir: <root>/xtask.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .expect("xtask crate must live inside the workspace")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint-concurrency") => lint_concurrency::run(&workspace_root()),
+        Some(other) => {
+            eprintln!("unknown xtask command: {other}");
+            print_usage();
+            ExitCode::FAILURE
+        }
+        None => {
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: cargo xtask <command>\n\n\
+         commands:\n  \
+         lint-concurrency   check memory-ordering justifications, hot-path\n                     \
+         primitive bans and SAFETY comment coverage"
+    );
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping `target/`.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
