@@ -5,6 +5,11 @@
 //!
 //!   --real        measure the real stack (meaningful on multicore hosts)
 //!   --calibrated  feed host-calibrated primitive costs to the simulator
+//!   --from-trace  table1: derive constants from trace events instead of
+//!                 stopwatch timing (needs the `trace` cargo feature;
+//!                 with --real it traces the real stack, otherwise it
+//!                 replays a bit-deterministic virtual-clock script)
+//!   --folded      table1 --from-trace: also print flamegraph-folded lines
 //!   --dual        fig8: use the dual-socket topology
 //!   --csv         CSV output instead of Markdown
 //!   --quick       fewer sizes and iterations
@@ -34,6 +39,8 @@ use nm_topo::Topology;
 struct Options {
     real: bool,
     calibrated: bool,
+    from_trace: bool,
+    folded: bool,
     dual: bool,
     csv: bool,
     quick: bool,
@@ -45,6 +52,8 @@ fn main() {
     let mut opts = Options {
         real: false,
         calibrated: false,
+        from_trace: false,
+        folded: false,
         dual: false,
         csv: false,
         quick: false,
@@ -53,6 +62,8 @@ fn main() {
         match a.as_str() {
             "--real" => opts.real = true,
             "--calibrated" => opts.calibrated = true,
+            "--from-trace" => opts.from_trace = true,
+            "--folded" => opts.folded = true,
             "--dual" => opts.dual = true,
             "--csv" => opts.csv = true,
             "--quick" => opts.quick = true,
@@ -106,7 +117,7 @@ fn main() {
             "rdvoverlap" => rdv_overlap(&opts, costs),
             "fig8" => fig8(&opts, costs),
             "fig9" => fig9(&opts, costs),
-            "table1" => table1(),
+            "table1" => table1(&opts, costs),
             "sec33" => sec33(),
             _ => unreachable!(),
         }
@@ -116,7 +127,7 @@ fn main() {
 fn print_usage() {
     eprintln!(
         "usage: figures [all|fig3|fig5|fig6|fig7|fig8|fig9|table1|sec33] \
-         [--real] [--calibrated] [--dual] [--csv] [--quick]"
+         [--real] [--calibrated] [--from-trace] [--folded] [--dual] [--csv] [--quick]"
     );
 }
 
@@ -435,7 +446,11 @@ fn fig9(opts: &Options, costs: SimCosts) {
     );
 }
 
-fn table1() {
+fn table1(opts: &Options, costs: SimCosts) {
+    if opts.from_trace {
+        table1_from_trace(opts, costs);
+        return;
+    }
     let cal = calibrate::calibrate();
     let rows = vec![
         ConstantRow {
@@ -474,6 +489,66 @@ fn table1() {
         constants_table("Table 1 — in-text constants, paper vs this host", &rows)
     );
     let _ = Calibration::paper_reference();
+}
+
+/// Table 1 derived from trace timestamps instead of stopwatch timing:
+/// the constants come out of `LockAcquire` gaps, `PollPass` spans,
+/// `ThreadBlock`→`ThreadWake` spans and `OffloadSubmit`→`OffloadRun`
+/// hops alone.
+fn table1_from_trace(opts: &Options, costs: SimCosts) {
+    use nm_bench::fromtrace;
+    use nm_trace::TraceReport;
+
+    if !nm_trace::enabled() {
+        eprintln!(
+            "table1 --from-trace needs event tracing compiled in; rerun as\n\
+             \n    cargo run --release --features trace --bin figures -- table1 --from-trace\n"
+        );
+        std::process::exit(2);
+    }
+    let (trace, mode) = if opts.real {
+        (fromtrace::real_trace(), "traced real stack")
+    } else {
+        (
+            fromtrace::sim_trace(&costs),
+            "deterministic virtual-clock replay",
+        )
+    };
+    let c = fromtrace::derive(&trace);
+    let rows = vec![
+        ConstantRow {
+            name: "spinlock acquire/release cycle".into(),
+            paper_ns: 70,
+            ours_ns: c.lock_cycle_ns,
+        },
+        ConstantRow {
+            name: "PIOMan pass (lists + locking)".into(),
+            paper_ns: 200,
+            ours_ns: c.pioman_pass_ns,
+        },
+        ConstantRow {
+            name: "blocking context switch".into(),
+            paper_ns: 750,
+            ours_ns: c.ctx_switch_ns,
+        },
+        ConstantRow {
+            name: "offload hop (idle core)".into(),
+            paper_ns: 400,
+            ours_ns: c.offload_hop_ns,
+        },
+    ];
+    println!(
+        "{}",
+        constants_table(
+            &format!("Table 1 — in-text constants from trace events ({mode})"),
+            &rows
+        )
+    );
+    let report = TraceReport::from_trace(&trace);
+    println!("{report}");
+    if opts.folded {
+        println!("```folded\n{}```", report.folded());
+    }
 }
 
 fn sec33() {

@@ -166,6 +166,7 @@ impl CommCore {
         }
         let req = Request::new(RequestKind::Send);
         self.stats.sends_posted.incr();
+        nm_trace::trace_event!(SubmitBegin, gate.0, data.len());
         {
             let api = self.policy.enter_api();
             let item = if data.len() <= self.config.eager_threshold {
@@ -197,13 +198,18 @@ impl CommCore {
                 }
             };
             let s = self.policy.enter(SectionKind::Collect);
-            g.tx.with(&s, |tx| tx.queue.push_back(item));
+            let depth = g.tx.with(&s, |tx| {
+                tx.queue.push_back(item);
+                tx.queue.len()
+            });
             drop(s);
+            nm_trace::trace_event!(QueueDepth, gate.0, depth);
             // Release between submission and transmission, exactly like
             // the paper's coarse mode ("the spinlock is held and released
             // twice: once for submitting ..., once to transmit").
             drop(api);
         }
+        nm_trace::trace_event!(SubmitEnd, gate.0);
         // Submission: inline, or deferred to an idle core / tasklet
         // (§4.2) — the expensive part (strategy, encode, doorbell).
         if self.config.offload == OffloadMode::Inline {
@@ -293,6 +299,7 @@ impl CommCore {
         if let Then::Complete(tag, data) = then {
             req.complete_with_tagged_data(tag, data);
         }
+        nm_trace::trace_event!(RecvPosted, gate.0);
         Ok(req)
     }
 
@@ -314,6 +321,7 @@ impl CommCore {
             events += self.poll_gate(g);
             events += self.pump_gate(g);
         }
+        nm_trace::trace_event!(ProgressPass, events);
         events
     }
 
@@ -493,10 +501,12 @@ impl CommCore {
 
     /// Decodes one inbound packet and applies its entries.
     fn dispatch(&self, g: &Gate, raw: Bytes) {
+        nm_trace::trace_event!(DispatchBegin, g.id.0, raw.len());
         let entries = match decode_packet(raw) {
             Ok(e) => e,
             Err(_) => {
                 self.stats.wire_errors.incr();
+                nm_trace::trace_event!(DispatchEnd, g.id.0);
                 return;
             }
         };
@@ -604,6 +614,7 @@ impl CommCore {
         if queued_cts {
             self.pump_gate(g);
         }
+        nm_trace::trace_event!(DispatchEnd, g.id.0);
     }
 
     /// Chunks an acknowledged rendezvous send and distributes the chunks
@@ -671,12 +682,14 @@ impl CommCore {
             }
             let entries: Vec<Entry> = items.iter().map(SendItem::to_entry).collect();
             let packet = encode_packet(&entries);
+            nm_trace::trace_event!(TransmitBegin, g.id.0, rail);
             let posted = {
                 let s = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
                 let r = g.drivers[rail].post(packet);
                 drop(s);
                 r
             };
+            nm_trace::trace_event!(TransmitEnd, g.id.0, posted.is_ok());
             match posted {
                 Ok(()) => {
                     self.stats.packets_tx.incr();
@@ -717,7 +730,9 @@ impl CommCore {
                 drop(s);
                 break;
             };
+            nm_trace::trace_event!(TransmitBegin, g.id.0, rail);
             let res = g.drivers[rail].post(item.packet.clone());
+            nm_trace::trace_event!(TransmitEnd, g.id.0, res.is_ok());
             if res.is_err() {
                 g.xfer[rail].with(&s, |q| q.push_front(item));
                 drop(s);

@@ -175,7 +175,7 @@ pub(crate) struct TxState {
 
 /// One peer connection: its rails and all shared per-layer lists.
 pub(crate) struct Gate {
-    #[allow(dead_code)] // diagnostic identity; used by Debug formatting
+    /// Diagnostic identity; used by Debug formatting and trace events.
     pub id: GateId,
     /// The rails (one driver per rail) to this peer.
     pub drivers: Vec<Arc<dyn Driver>>,

@@ -19,6 +19,7 @@
 pub mod calibrate;
 pub mod compute_loss;
 pub mod concurrent;
+pub mod fromtrace;
 pub mod overlap;
 pub mod pingpong;
 pub mod stats;

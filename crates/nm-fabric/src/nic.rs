@@ -165,12 +165,17 @@ impl SimNic {
             deliver_at_ns,
             payload,
         };
+        let was_idle = self.tx.ring.is_empty();
         // A racing producer may have filled the ring between the depth
         // check and this push; the reserved wire time then stays booked,
         // which only makes the model slightly conservative.
         self.tx.ring.push(pkt).map_err(|_| TxQueueFull)?;
         self.counters.tx_packets.incr();
         self.counters.tx_bytes.add(len as u64);
+        nm_trace::trace_event!(PacketTx, len);
+        if was_idle {
+            nm_trace::trace_event!(NicIdle, 0u64);
+        }
         Ok(())
     }
 
@@ -185,6 +190,12 @@ impl SimNic {
         if pkt.deliver_at_ns <= now {
             self.counters.rx_packets.incr();
             self.counters.rx_bytes.add(pkt.payload.len() as u64);
+            nm_trace::trace_event!(PacketRx, pkt.payload.len());
+            if self.rx.ring.is_empty() {
+                // Last in-flight packet delivered: the sending side's
+                // injection queue (this wire) is drained — NIC idle.
+                nm_trace::trace_event!(NicIdle, 1u64);
+            }
             Some(pkt.payload)
         } else {
             *stash = Some(pkt);
@@ -348,6 +359,10 @@ mod tests {
 
     #[test]
     fn real_clock_end_to_end() {
+        // Warm this thread's trace ring: with the `trace` feature the
+        // first emit allocates it, which can take longer than the wire
+        // latency and make the packet look like it arrived instantly.
+        nm_trace::emit(nm_trace::EventId::NicIdle, 1, 0);
         let clock = ClockSource::real();
         let model = WireModel {
             latency_ns: 200_000, // 200 µs so the test is robust

@@ -42,7 +42,7 @@ impl Comm {
         // cleared.
         if me != 0 {
             let parent = unvrank(me & (me - 1), root, n);
-            payload = self.recv_from(parent, TAG_BCAST)?;
+            payload = self.peer(parent)?.recv(TAG_BCAST)?;
         }
         // Forward to children: me + 2^k for k above me's lowest set bit.
         let lowest = if me == 0 {
@@ -53,7 +53,7 @@ impl Comm {
         let mut step = 1;
         while step < lowest && me + step < n {
             let child = unvrank(me + step, root, n);
-            self.send_to(child, TAG_BCAST, &payload)?;
+            self.peer(child)?.send(TAG_BCAST, &payload)?;
             step <<= 1;
         }
         Ok(payload)
@@ -83,12 +83,12 @@ impl Comm {
                 // Send the accumulator to the parent and stop.
                 let parent = unvrank(me & !step, root, n);
                 let bytes: Vec<u8> = acc.iter().flat_map(|v| v.to_le_bytes()).collect();
-                self.send_to(parent, TAG_REDUCE, &bytes)?;
+                self.peer(parent)?.send(TAG_REDUCE, &bytes)?;
                 return Ok(None);
             }
             if me + step < n {
                 let child = unvrank(me + step, root, n);
-                let bytes = self.recv_from(child, TAG_REDUCE)?;
+                let bytes = self.peer(child)?.recv(TAG_REDUCE)?;
                 assert_eq!(
                     bytes.len(),
                     acc.len() * 8,
@@ -131,11 +131,11 @@ impl Comm {
             let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
             out[root] = data.to_vec();
             for peer in (0..n).filter(|&p| p != root) {
-                out[peer] = self.recv_from(peer, TAG_GATHER)?;
+                out[peer] = self.peer(peer)?.recv(TAG_GATHER)?;
             }
             Ok(Some(out))
         } else {
-            self.send_to(root, TAG_GATHER, data)?;
+            self.peer(root)?.send(TAG_GATHER, data)?;
             Ok(None)
         }
     }
@@ -154,11 +154,11 @@ impl Comm {
             let chunks = chunks.expect("root must supply the chunks");
             assert_eq!(chunks.len(), n, "one chunk per rank required");
             for peer in (0..n).filter(|&p| p != root) {
-                self.send_to(peer, TAG_SCATTER, &chunks[peer])?;
+                self.peer(peer)?.send(TAG_SCATTER, &chunks[peer])?;
             }
             Ok(chunks[root].clone())
         } else {
-            self.recv_from(root, TAG_SCATTER)
+            self.peer(root)?.recv(TAG_SCATTER)
         }
     }
 }

@@ -1,4 +1,41 @@
-//! Communicators: the per-rank API handle.
+//! Communicators and endpoints: the per-rank API handles.
+//!
+//! # Migration note: the `Endpoint` API
+//!
+//! Point-to-point operations used to exist twice on [`Comm`]: a tagless
+//! two-rank convenience set (`send`/`recv`/`isend`/`irecv`) and an
+//! addressed set (`send_to`/`recv_from`/...). Both are now thin
+//! deprecated shims over a single endpoint-oriented surface, following
+//! the "scalable communication endpoints" shape: [`Comm::peer`] returns
+//! an [`Endpoint`] bound to one peer rank, and all operations live
+//! there once:
+//!
+//! ```
+//! use nm_mpi::{World, ThreadLevel};
+//!
+//! let world = World::pair(ThreadLevel::Multiple);
+//! let (a, b) = world.comm_pair();
+//! let to_b = a.peer(1).unwrap();      // or a.sole_peer() in a pair
+//! let from_a = b.peer(0).unwrap();
+//! let echo = std::thread::spawn(move || {
+//!     let m = from_a.recv(1).unwrap();
+//!     from_a.send(1, &m).unwrap();
+//! });
+//! to_b.send(1, b"ping").unwrap();
+//! assert_eq!(to_b.recv(1).unwrap(), b"ping");
+//! echo.join().unwrap();
+//! ```
+//!
+//! | old (deprecated)            | new                              |
+//! |-----------------------------|----------------------------------|
+//! | `comm.send(tag, d)`         | `comm.sole_peer()?.send(tag, d)` |
+//! | `comm.send_to(p, tag, d)`   | `comm.peer(p)?.send(tag, d)`     |
+//! | `comm.irecv_from(p, tag)`   | `comm.peer(p)?.irecv(tag)`       |
+//! | `comm.recv_any_from(p)`     | `comm.peer(p)?.recv_any()`       |
+//! | `comm.sendrecv(p, tag, d)`  | `comm.peer(p)?.sendrecv(tag, d)` |
+//!
+//! [`Comm::wait`]/[`Comm::wait_all`] now also surface request errors as
+//! `Result<(), MpiError>` instead of swallowing them.
 
 use std::sync::Arc;
 
@@ -36,7 +73,10 @@ impl From<CommError> for MpiError {
 /// A rank's handle into the world.
 ///
 /// Cloneable; clones share the rank's communication core. Thread safety
-/// follows the world's [`ThreadLevel`](crate::ThreadLevel).
+/// follows the world's [`ThreadLevel`](crate::ThreadLevel). Point-to-point
+/// operations live on [`Endpoint`] (see [`Comm::peer`]); `Comm` keeps
+/// the world-level surface: collectives, [`barrier`](Comm::barrier),
+/// [`wait`](Comm::wait).
 #[derive(Clone)]
 pub struct Comm {
     rank: usize,
@@ -44,6 +84,126 @@ pub struct Comm {
     /// `peers[gate] = rank` mapping (dense, self skipped).
     peers: Vec<usize>,
     wait: WaitStrategy,
+}
+
+/// One rank's communication channel toward a single peer.
+///
+/// Obtained from [`Comm::peer`] (or [`Comm::sole_peer`] in two-rank
+/// worlds); cheap to create and to clone, and usable from any thread the
+/// world's [`ThreadLevel`](crate::ThreadLevel) allows. Holding an
+/// `Endpoint` amortizes the peer→gate lookup across operations.
+#[derive(Clone)]
+pub struct Endpoint {
+    rank: usize,
+    peer: usize,
+    gate: GateId,
+    core: Arc<CommCore>,
+    wait: WaitStrategy,
+}
+
+impl Endpoint {
+    /// The local rank this endpoint belongs to.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The remote rank this endpoint reaches.
+    pub fn peer(&self) -> usize {
+        self.peer
+    }
+
+    /// The gate id this endpoint maps to on the local core.
+    pub fn gate(&self) -> GateId {
+        self.gate
+    }
+
+    /// The waiting strategy used by this endpoint's blocking operations.
+    pub fn wait_strategy(&self) -> WaitStrategy {
+        self.wait
+    }
+
+    /// Returns a clone using a different waiting strategy.
+    pub fn with_wait_strategy(&self, wait: WaitStrategy) -> Endpoint {
+        let mut e = self.clone();
+        e.wait = wait;
+        e
+    }
+
+    /// Blocking send.
+    pub fn send(&self, tag: u64, data: &[u8]) -> Result<(), MpiError> {
+        self.core
+            .send(self.gate, tag, Bytes::copy_from_slice(data), self.wait)?;
+        Ok(())
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self, tag: u64) -> Result<Vec<u8>, MpiError> {
+        Ok(self.core.recv(self.gate, tag, self.wait)?.to_vec())
+    }
+
+    /// Non-blocking send.
+    pub fn isend(&self, tag: u64, data: &[u8]) -> Result<Request, MpiError> {
+        self.isend_bytes(tag, Bytes::copy_from_slice(data))
+    }
+
+    /// Non-blocking zero-copy send.
+    pub fn isend_bytes(&self, tag: u64, data: Bytes) -> Result<Request, MpiError> {
+        Ok(self.core.isend(self.gate, tag, data)?)
+    }
+
+    /// Non-blocking receive.
+    pub fn irecv(&self, tag: u64) -> Result<Request, MpiError> {
+        Ok(self.core.irecv(self.gate, tag)?)
+    }
+
+    /// Non-blocking wildcard receive (`MPI_ANY_TAG`): matches the
+    /// earliest message of any tag; see [`Request::matched_tag`].
+    pub fn irecv_any(&self) -> Result<Request, MpiError> {
+        Ok(self.core.irecv_any(self.gate)?)
+    }
+
+    /// Blocking wildcard receive: returns `(tag, payload)`.
+    pub fn recv_any(&self) -> Result<(u64, Vec<u8>), MpiError> {
+        let req = self.irecv_any()?;
+        self.wait(&req)?;
+        let tag = req.matched_tag().expect("completed recv has a tag");
+        Ok((
+            tag,
+            req.take_data().expect("completed recv has data").to_vec(),
+        ))
+    }
+
+    /// Combined send+receive with this peer (classic pingpong body).
+    pub fn sendrecv(&self, tag: u64, data: &[u8]) -> Result<Vec<u8>, MpiError> {
+        let recv = self.irecv(tag)?;
+        let send = self.isend(tag, data)?;
+        self.wait(&send)?;
+        self.wait(&recv)?;
+        Ok(recv
+            .take_data()
+            .expect("completed recv carries data")
+            .to_vec())
+    }
+
+    /// Waits for a request with this endpoint's strategy, surfacing any
+    /// request error.
+    pub fn wait(&self, req: &Request) -> Result<(), MpiError> {
+        self.core.wait(req, self.wait);
+        match req.take_error() {
+            Some(e) => Err(e.into()),
+            None => Ok(()),
+        }
+    }
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("rank", &self.rank)
+            .field("peer", &self.peer)
+            .field("gate", &self.gate)
+            .finish()
+    }
 }
 
 impl Comm {
@@ -99,112 +259,144 @@ impl Comm {
             .ok_or(MpiError::InvalidRank(peer))
     }
 
-    /// The single peer of a two-rank world.
-    fn only_peer(&self) -> Result<usize, MpiError> {
+    // ---- endpoints -----------------------------------------------------
+
+    /// The endpoint toward rank `peer`.
+    ///
+    /// Fails with [`MpiError::InvalidRank`] for self or out-of-world
+    /// ranks. The endpoint inherits this communicator's waiting strategy.
+    pub fn peer(&self, peer: usize) -> Result<Endpoint, MpiError> {
+        Ok(Endpoint {
+            rank: self.rank,
+            peer,
+            gate: self.gate(peer)?,
+            core: Arc::clone(&self.core),
+            wait: self.wait,
+        })
+    }
+
+    /// The endpoint toward the only peer of a two-rank world.
+    pub fn sole_peer(&self) -> Result<Endpoint, MpiError> {
         if self.peers.len() == 1 {
-            Ok(self.peers[0])
+            self.peer(self.peers[0])
         } else {
             Err(MpiError::InvalidRank(usize::MAX))
         }
     }
 
-    // ---- two-rank convenience (peer implied) ---------------------------
-
-    /// Blocking send to the only peer (two-rank worlds).
-    pub fn send(&self, tag: u64, data: &[u8]) -> Result<(), MpiError> {
-        self.send_to(self.only_peer()?, tag, data)
+    /// Endpoints toward every peer rank, in rank order.
+    pub fn peers(&self) -> Vec<Endpoint> {
+        self.peers
+            .iter()
+            .map(|&p| self.peer(p).expect("peer table entries are valid"))
+            .collect()
     }
 
-    /// Blocking receive from the only peer (two-rank worlds).
-    pub fn recv(&self, tag: u64) -> Result<Vec<u8>, MpiError> {
-        self.recv_from(self.only_peer()?, tag)
-    }
+    // ---- waiting -------------------------------------------------------
 
-    /// Non-blocking send to the only peer.
-    pub fn isend(&self, tag: u64, data: &[u8]) -> Result<Request, MpiError> {
-        self.isend_to(self.only_peer()?, tag, data)
-    }
-
-    /// Non-blocking receive from the only peer.
-    pub fn irecv(&self, tag: u64) -> Result<Request, MpiError> {
-        self.irecv_from(self.only_peer()?, tag)
-    }
-
-    // ---- addressed operations ------------------------------------------
-
-    /// Blocking send to `peer`.
-    pub fn send_to(&self, peer: usize, tag: u64, data: &[u8]) -> Result<(), MpiError> {
-        let gate = self.gate(peer)?;
-        self.core
-            .send(gate, tag, Bytes::copy_from_slice(data), self.wait)?;
-        Ok(())
-    }
-
-    /// Blocking receive from `peer`.
-    pub fn recv_from(&self, peer: usize, tag: u64) -> Result<Vec<u8>, MpiError> {
-        let gate = self.gate(peer)?;
-        Ok(self.core.recv(gate, tag, self.wait)?.to_vec())
-    }
-
-    /// Non-blocking send to `peer`.
-    pub fn isend_to(&self, peer: usize, tag: u64, data: &[u8]) -> Result<Request, MpiError> {
-        let gate = self.gate(peer)?;
-        Ok(self.core.isend(gate, tag, Bytes::copy_from_slice(data))?)
-    }
-
-    /// Non-blocking zero-copy send to `peer`.
-    pub fn isend_bytes_to(&self, peer: usize, tag: u64, data: Bytes) -> Result<Request, MpiError> {
-        let gate = self.gate(peer)?;
-        Ok(self.core.isend(gate, tag, data)?)
-    }
-
-    /// Non-blocking receive from `peer`.
-    pub fn irecv_from(&self, peer: usize, tag: u64) -> Result<Request, MpiError> {
-        let gate = self.gate(peer)?;
-        Ok(self.core.irecv(gate, tag)?)
-    }
-
-    /// Non-blocking wildcard receive from `peer` (`MPI_ANY_TAG`): matches
-    /// the earliest message of any tag; see [`Request::matched_tag`].
-    pub fn irecv_any_from(&self, peer: usize) -> Result<Request, MpiError> {
-        let gate = self.gate(peer)?;
-        Ok(self.core.irecv_any(gate)?)
-    }
-
-    /// Blocking wildcard receive from `peer`: returns `(tag, payload)`.
-    pub fn recv_any_from(&self, peer: usize) -> Result<(u64, Vec<u8>), MpiError> {
-        let req = self.irecv_any_from(peer)?;
-        self.wait(&req);
-        let tag = req.matched_tag().expect("completed recv has a tag");
-        Ok((
-            tag,
-            req.take_data().expect("completed recv has data").to_vec(),
-        ))
-    }
-
-    /// Waits for a request with this communicator's strategy.
-    pub fn wait(&self, req: &Request) {
+    /// Waits for a request with this communicator's strategy, surfacing
+    /// any request error (previously swallowed).
+    pub fn wait(&self, req: &Request) -> Result<(), MpiError> {
         self.core.wait(req, self.wait);
-    }
-
-    /// Waits for all requests.
-    pub fn wait_all(&self, reqs: &[Request]) {
-        for r in reqs {
-            self.wait(r);
+        match req.take_error() {
+            Some(e) => Err(e.into()),
+            None => Ok(()),
         }
     }
 
-    /// Combined send+receive with the same peer (classic pingpong body).
-    pub fn sendrecv(&self, peer: usize, tag: u64, data: &[u8]) -> Result<Vec<u8>, MpiError> {
-        let recv = self.irecv_from(peer, tag)?;
-        let send = self.isend_to(peer, tag, data)?;
-        self.wait(&send);
-        self.wait(&recv);
-        Ok(recv
-            .take_data()
-            .expect("completed recv carries data")
-            .to_vec())
+    /// Waits for all requests; reports the first error after every
+    /// request has completed (no request is left unwaited).
+    pub fn wait_all(&self, reqs: &[Request]) -> Result<(), MpiError> {
+        let mut first_err = None;
+        for r in reqs {
+            if let Err(e) = self.wait(r) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
+
+    // ---- deprecated shims over Endpoint --------------------------------
+
+    /// Blocking send to the only peer (two-rank worlds).
+    #[deprecated(since = "0.1.0", note = "use `comm.sole_peer()?.send(tag, data)`")]
+    pub fn send(&self, tag: u64, data: &[u8]) -> Result<(), MpiError> {
+        self.sole_peer()?.send(tag, data)
+    }
+
+    /// Blocking receive from the only peer (two-rank worlds).
+    #[deprecated(since = "0.1.0", note = "use `comm.sole_peer()?.recv(tag)`")]
+    pub fn recv(&self, tag: u64) -> Result<Vec<u8>, MpiError> {
+        self.sole_peer()?.recv(tag)
+    }
+
+    /// Non-blocking send to the only peer.
+    #[deprecated(since = "0.1.0", note = "use `comm.sole_peer()?.isend(tag, data)`")]
+    pub fn isend(&self, tag: u64, data: &[u8]) -> Result<Request, MpiError> {
+        self.sole_peer()?.isend(tag, data)
+    }
+
+    /// Non-blocking receive from the only peer.
+    #[deprecated(since = "0.1.0", note = "use `comm.sole_peer()?.irecv(tag)`")]
+    pub fn irecv(&self, tag: u64) -> Result<Request, MpiError> {
+        self.sole_peer()?.irecv(tag)
+    }
+
+    /// Blocking send to `peer`.
+    #[deprecated(since = "0.1.0", note = "use `comm.peer(peer)?.send(tag, data)`")]
+    pub fn send_to(&self, peer: usize, tag: u64, data: &[u8]) -> Result<(), MpiError> {
+        self.peer(peer)?.send(tag, data)
+    }
+
+    /// Blocking receive from `peer`.
+    #[deprecated(since = "0.1.0", note = "use `comm.peer(peer)?.recv(tag)`")]
+    pub fn recv_from(&self, peer: usize, tag: u64) -> Result<Vec<u8>, MpiError> {
+        self.peer(peer)?.recv(tag)
+    }
+
+    /// Non-blocking send to `peer`.
+    #[deprecated(since = "0.1.0", note = "use `comm.peer(peer)?.isend(tag, data)`")]
+    pub fn isend_to(&self, peer: usize, tag: u64, data: &[u8]) -> Result<Request, MpiError> {
+        self.peer(peer)?.isend(tag, data)
+    }
+
+    /// Non-blocking zero-copy send to `peer`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `comm.peer(peer)?.isend_bytes(tag, data)`"
+    )]
+    pub fn isend_bytes_to(&self, peer: usize, tag: u64, data: Bytes) -> Result<Request, MpiError> {
+        self.peer(peer)?.isend_bytes(tag, data)
+    }
+
+    /// Non-blocking receive from `peer`.
+    #[deprecated(since = "0.1.0", note = "use `comm.peer(peer)?.irecv(tag)`")]
+    pub fn irecv_from(&self, peer: usize, tag: u64) -> Result<Request, MpiError> {
+        self.peer(peer)?.irecv(tag)
+    }
+
+    /// Non-blocking wildcard receive from `peer` (`MPI_ANY_TAG`).
+    #[deprecated(since = "0.1.0", note = "use `comm.peer(peer)?.irecv_any()`")]
+    pub fn irecv_any_from(&self, peer: usize) -> Result<Request, MpiError> {
+        self.peer(peer)?.irecv_any()
+    }
+
+    /// Blocking wildcard receive from `peer`: returns `(tag, payload)`.
+    #[deprecated(since = "0.1.0", note = "use `comm.peer(peer)?.recv_any()`")]
+    pub fn recv_any_from(&self, peer: usize) -> Result<(u64, Vec<u8>), MpiError> {
+        self.peer(peer)?.recv_any()
+    }
+
+    /// Combined send+receive with the same peer (classic pingpong body).
+    #[deprecated(since = "0.1.0", note = "use `comm.peer(peer)?.sendrecv(tag, data)`")]
+    pub fn sendrecv(&self, peer: usize, tag: u64, data: &[u8]) -> Result<Vec<u8>, MpiError> {
+        self.peer(peer)?.sendrecv(tag, data)
+    }
+
+    // ---- collectives helpers -------------------------------------------
 
     /// A simple linear barrier rooted at rank 0 (uses the reserved
     /// internal tag space).
@@ -216,14 +408,15 @@ impl Comm {
         }
         if self.rank == 0 {
             for peer in 1..n {
-                self.recv_from(peer, BARRIER_TAG)?;
+                self.peer(peer)?.recv(BARRIER_TAG)?;
             }
             for peer in 1..n {
-                self.send_to(peer, BARRIER_TAG, b"")?;
+                self.peer(peer)?.send(BARRIER_TAG, b"")?;
             }
         } else {
-            self.send_to(0, BARRIER_TAG, b"")?;
-            self.recv_from(0, BARRIER_TAG)?;
+            let root = self.peer(0)?;
+            root.send(BARRIER_TAG, b"")?;
+            root.recv(BARRIER_TAG)?;
         }
         Ok(())
     }

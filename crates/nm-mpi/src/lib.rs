@@ -11,19 +11,22 @@
 //! | `Multiple`       | `Fine` (concurrent flows in parallel) |
 //!
 //! Worlds are in-process: every rank is a communication core connected to
-//! its peers through the simulated fabric.
+//! its peers through the simulated fabric. Point-to-point operations go
+//! through per-peer [`Endpoint`]s (see [`Comm::peer`]):
 //!
 //! ```
 //! use nm_mpi::{World, ThreadLevel};
 //!
 //! let world = World::pair(ThreadLevel::Multiple);
 //! let (a, b) = world.comm_pair();
+//! let to_b = a.sole_peer().unwrap();
+//! let to_a = b.sole_peer().unwrap();
 //! let echo = std::thread::spawn(move || {
-//!     let m = b.recv(1).unwrap();
-//!     b.send(1, &m).unwrap();
+//!     let m = to_a.recv(1).unwrap();
+//!     to_a.send(1, &m).unwrap();
 //! });
-//! a.send(1, b"ping").unwrap();
-//! assert_eq!(a.recv(1).unwrap(), b"ping");
+//! to_b.send(1, b"ping").unwrap();
+//! assert_eq!(to_b.recv(1).unwrap(), b"ping");
 //! echo.join().unwrap();
 //! ```
 
@@ -33,5 +36,7 @@ mod coll;
 mod comm;
 mod world;
 
-pub use comm::{Comm, MpiError};
-pub use world::{ThreadLevel, World, WorldConfig};
+pub use comm::{Comm, Endpoint, MpiError};
+#[allow(deprecated)]
+pub use world::WorldConfig;
+pub use world::{ConfigError, ThreadLevel, World, WorldBuilder};

@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use nm_core::{CommCore, CoreBuilder, CoreConfig, GateId, LockingMode};
 use nm_fabric::{ClockSource, Fabric, NodePorts, WireModel};
+use nm_progress::OffloadMode;
 use nm_sync::WaitStrategy;
 
 use crate::comm::Comm;
@@ -33,9 +34,78 @@ impl ThreadLevel {
     }
 }
 
-/// World construction parameters.
+/// An incoherent [`WorldBuilder`] configuration, caught by
+/// [`WorldBuilder::validate`] before any core is built.
+///
+/// These used to surface as panics deep inside `CoreBuilder::build` (or
+/// as hangs at the first blocking wait); the builder now rejects them up
+/// front with a typed error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// No rail models configured: ranks would have no wires between them.
+    NoRails,
+    /// `ThreadLevel::Single` with a waiting strategy that can block: with
+    /// no locks and no concurrent progression thread, a blocked waiter
+    /// can never be signalled.
+    SingleThreadBlockingWait(WaitStrategy),
+    /// A submission offload mode with a non-thread-safe locking mode:
+    /// offloaded work runs on another thread.
+    OffloadNeedsThreadSafety(OffloadMode, LockingMode),
+    /// `OffloadMode::Tasklet` without a tasklet engine to run the work.
+    TaskletOffloadWithoutEngine,
+    /// The eager threshold plus protocol headers exceeds a rail's MTU, so
+    /// a maximal eager message could never be encoded into one packet.
+    EagerExceedsMtu {
+        /// Configured eager threshold (payload bytes).
+        eager_threshold: usize,
+        /// Per-message plus per-packet header bytes added on the wire.
+        headers: usize,
+        /// Smallest MTU across the configured rails.
+        min_mtu: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoRails => write!(f, "world has no rails"),
+            ConfigError::SingleThreadBlockingWait(w) => write!(
+                f,
+                "ThreadLevel::Single cannot use blocking wait strategy {w:?}: \
+                 nothing would ever wake the waiter"
+            ),
+            ConfigError::OffloadNeedsThreadSafety(o, l) => write!(
+                f,
+                "offload mode {o:?} runs submission on another thread and \
+                 needs a thread-safe locking mode, got {l:?}"
+            ),
+            ConfigError::TaskletOffloadWithoutEngine => {
+                write!(f, "OffloadMode::Tasklet requires a tasklet engine")
+            }
+            ConfigError::EagerExceedsMtu {
+                eager_threshold,
+                headers,
+                min_mtu,
+            } => write!(
+                f,
+                "eager threshold {eager_threshold} + {headers} header bytes \
+                 exceeds the smallest rail MTU {min_mtu}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`World`] construction parameters.
+///
+/// Validated as a whole by [`WorldBuilder::validate`] /
+/// [`World::try_with_config`]: incoherent combinations (blocking waits at
+/// `ThreadLevel::Single`, offload without thread safety, eager messages
+/// that cannot fit a rail MTU) are rejected with a typed
+/// [`ConfigError`] instead of panicking mid-construction.
 #[derive(Clone)]
-pub struct WorldConfig {
+pub struct WorldBuilder {
     /// Thread level (determines the locking mode).
     pub level: ThreadLevel,
     /// One wire model per rail between each pair of ranks.
@@ -50,10 +120,14 @@ pub struct WorldConfig {
     pub clock: ClockSource,
 }
 
-impl WorldConfig {
+/// Former name of [`WorldBuilder`].
+#[deprecated(since = "0.1.0", note = "renamed to `WorldBuilder`")]
+pub type WorldConfig = WorldBuilder;
+
+impl WorldBuilder {
     /// A world at `level` over one Myri-10G rail on real time, busy waits.
     pub fn new(level: ThreadLevel) -> Self {
-        WorldConfig {
+        WorldBuilder {
             level,
             rails: vec![WireModel::myri_10g()],
             core: CoreConfig::default(),
@@ -80,6 +154,58 @@ impl WorldConfig {
         self.wait = wait;
         self
     }
+
+    /// Sets the fabric clock source.
+    pub fn clock(mut self, clock: ClockSource) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Sets driver thread safety (MX-style drivers are not thread-safe).
+    pub fn thread_safe_drivers(mut self, safe: bool) -> Self {
+        self.thread_safe_drivers = safe;
+        self
+    }
+
+    /// Checks the configuration as a whole for coherence.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.rails.is_empty() {
+            return Err(ConfigError::NoRails);
+        }
+        if self.level == ThreadLevel::Single && self.wait.may_block() {
+            return Err(ConfigError::SingleThreadBlockingWait(self.wait));
+        }
+        let locking = self.level.locking();
+        if self.core.offload != OffloadMode::Inline && !locking.thread_safe() {
+            return Err(ConfigError::OffloadNeedsThreadSafety(
+                self.core.offload,
+                locking,
+            ));
+        }
+        if self.core.offload == OffloadMode::Tasklet && self.core.tasklet_engine.is_none() {
+            return Err(ConfigError::TaskletOffloadWithoutEngine);
+        }
+        let headers = nm_core::wire::ENTRY_HEADER + nm_core::wire::PACKET_HEADER;
+        let min_mtu = self
+            .rails
+            .iter()
+            .map(|r| r.mtu)
+            .min()
+            .expect("rails checked non-empty above");
+        if self.core.eager_threshold + headers > min_mtu {
+            return Err(ConfigError::EagerExceedsMtu {
+                eager_threshold: self.core.eager_threshold,
+                headers,
+                min_mtu,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates, then builds a world of `n` ranks.
+    pub fn build(self, n: usize) -> Result<World, ConfigError> {
+        World::try_with_config(n, self)
+    }
 }
 
 /// An in-process world of communicating ranks.
@@ -93,17 +219,36 @@ pub struct World {
 impl World {
     /// A two-rank world with defaults (one Myri-10G rail, busy waits).
     pub fn pair(level: ThreadLevel) -> Self {
-        Self::with_config(2, WorldConfig::new(level))
+        Self::with_config(2, WorldBuilder::new(level))
     }
 
     /// A fully connected world of `n` ranks with defaults.
     pub fn clique(n: usize, level: ThreadLevel) -> Self {
-        Self::with_config(n, WorldConfig::new(level))
+        Self::with_config(n, WorldBuilder::new(level))
     }
 
-    /// A world of `n` ranks with explicit configuration.
-    pub fn with_config(n: usize, config: WorldConfig) -> Self {
+    /// A world of `n` ranks with explicit configuration; panics on an
+    /// invalid configuration (see [`World::try_with_config`]).
+    pub fn with_config(n: usize, config: WorldBuilder) -> Self {
+        match Self::try_with_config(n, config) {
+            Ok(w) => w,
+            Err(e) => panic!("invalid world configuration: {e}"),
+        }
+    }
+
+    /// A world of `n` ranks with explicit, validated configuration.
+    pub fn try_with_config(n: usize, config: WorldBuilder) -> Result<Self, ConfigError> {
         assert!(n >= 2, "a world needs at least two ranks");
+        config.validate()?;
+
+        // Route the tracer's clock through the fabric's: manual (sim)
+        // clocks make traces bit-deterministic, real clocks stay real.
+        if let ClockSource::Manual(ns) = &config.clock {
+            nm_trace::install_virtual_clock(Arc::clone(ns));
+        } else {
+            nm_trace::install_real_clock();
+        }
+
         let fabric = Fabric::new(config.clock.clone());
         let ports = fabric.clique(n, &config.rails, config.thread_safe_drivers);
 
@@ -127,11 +272,11 @@ impl World {
             let core = builder.build();
             comms.push(Comm::new(rank, core, peers, config.wait));
         }
-        World {
+        Ok(World {
             comms,
             ports,
             clock: config.clock,
-        }
+        })
     }
 
     /// Number of ranks.
@@ -206,5 +351,80 @@ mod tests {
     #[should_panic(expected = "at least two ranks")]
     fn singleton_world_rejected() {
         let _ = World::clique(1, ThreadLevel::Multiple);
+    }
+
+    #[test]
+    fn default_config_validates() {
+        for level in [
+            ThreadLevel::Single,
+            ThreadLevel::Funneled,
+            ThreadLevel::Serialized,
+            ThreadLevel::Multiple,
+        ] {
+            assert_eq!(WorldBuilder::new(level).validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn no_rails_rejected() {
+        let b = WorldBuilder::new(ThreadLevel::Multiple).rails(vec![]);
+        assert_eq!(b.validate(), Err(ConfigError::NoRails));
+        assert!(World::try_with_config(2, b).is_err());
+    }
+
+    #[test]
+    fn single_thread_blocking_wait_rejected() {
+        let b = WorldBuilder::new(ThreadLevel::Single).wait(WaitStrategy::Passive);
+        assert_eq!(
+            b.validate(),
+            Err(ConfigError::SingleThreadBlockingWait(WaitStrategy::Passive))
+        );
+        // Busy waits at Single stay valid.
+        assert_eq!(WorldBuilder::new(ThreadLevel::Single).validate(), Ok(()));
+    }
+
+    #[test]
+    fn offload_without_thread_safety_rejected() {
+        let b = WorldBuilder::new(ThreadLevel::Single)
+            .core(CoreConfig::default().offload(OffloadMode::IdleCore));
+        assert_eq!(
+            b.validate(),
+            Err(ConfigError::OffloadNeedsThreadSafety(
+                OffloadMode::IdleCore,
+                LockingMode::SingleThread
+            ))
+        );
+    }
+
+    #[test]
+    fn tasklet_offload_without_engine_rejected() {
+        let b = WorldBuilder::new(ThreadLevel::Multiple)
+            .core(CoreConfig::default().offload(OffloadMode::Tasklet));
+        assert_eq!(b.validate(), Err(ConfigError::TaskletOffloadWithoutEngine));
+    }
+
+    #[test]
+    fn eager_threshold_must_fit_mtu() {
+        let rail = WireModel::myri_10g();
+        let mtu = rail.mtu;
+        let b = WorldBuilder::new(ThreadLevel::Multiple)
+            .rails(vec![rail])
+            .core(CoreConfig::default().eager_threshold(mtu));
+        match b.validate() {
+            Err(ConfigError::EagerExceedsMtu { min_mtu, .. }) => assert_eq!(min_mtu, mtu),
+            other => panic!("expected EagerExceedsMtu, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_config_panics_with_typed_message() {
+        let b = WorldBuilder::new(ThreadLevel::Single).wait(WaitStrategy::Passive);
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| World::with_config(2, b)))
+                .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic carries a String");
+        assert!(msg.contains("invalid world configuration"), "{msg}");
     }
 }

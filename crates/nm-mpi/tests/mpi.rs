@@ -2,19 +2,21 @@
 
 use std::sync::Arc;
 
-use nm_mpi::{MpiError, ThreadLevel, World, WorldConfig};
+use nm_mpi::{MpiError, ThreadLevel, World, WorldBuilder};
 use nm_sync::WaitStrategy;
 
 #[test]
 fn pair_send_recv() {
     let world = World::pair(ThreadLevel::Multiple);
     let (a, b) = world.comm_pair();
+    let to_a = b.sole_peer().unwrap();
     let echo = std::thread::spawn(move || {
-        let m = b.recv(1).unwrap();
-        b.send(1, &m).unwrap();
+        let m = to_a.recv(1).unwrap();
+        to_a.send(1, &m).unwrap();
     });
-    a.send(1, b"ping").unwrap();
-    assert_eq!(a.recv(1).unwrap(), b"ping");
+    let to_b = a.sole_peer().unwrap();
+    to_b.send(1, b"ping").unwrap();
+    assert_eq!(to_b.recv(1).unwrap(), b"ping");
     echo.join().unwrap();
 }
 
@@ -23,14 +25,16 @@ fn sendrecv_pingpong() {
     let world = World::pair(ThreadLevel::Multiple);
     let (a, b) = world.comm_pair();
     let echo = std::thread::spawn(move || {
+        let ep = b.peer(0).unwrap();
         for _ in 0..20 {
-            let m = b.recv_from(0, 0).unwrap();
-            b.send_to(0, 0, &m).unwrap();
+            let m = ep.recv(0).unwrap();
+            ep.send(0, &m).unwrap();
         }
     });
+    let ep = a.peer(1).unwrap();
     for i in 0..20 {
         let msg = vec![i as u8; 64];
-        let back = a.sendrecv(1, 0, &msg).unwrap();
+        let back = ep.sendrecv(0, &msg).unwrap();
         assert_eq!(back, msg);
     }
     echo.join().unwrap();
@@ -40,13 +44,32 @@ fn sendrecv_pingpong() {
 fn nonblocking_requests() {
     let world = World::pair(ThreadLevel::Multiple);
     let (a, b) = world.comm_pair();
-    let r = b.irecv(3).unwrap();
-    let s = a.isend(3, b"deferred").unwrap();
-    a.wait(&s);
-    b.wait(&r);
+    let r = b.sole_peer().unwrap().irecv(3).unwrap();
+    let s = a.sole_peer().unwrap().isend(3, b"deferred").unwrap();
+    a.wait(&s).unwrap();
+    b.wait(&r).unwrap();
     assert_eq!(
         r.take_data().unwrap(),
         bytes::Bytes::from_static(b"deferred")
+    );
+}
+
+#[test]
+fn endpoint_identity() {
+    let world = World::clique(3, ThreadLevel::Multiple);
+    let comm = world.comm(1);
+    let ep = comm.peer(2).unwrap();
+    assert_eq!(ep.rank(), 1);
+    assert_eq!(ep.peer(), 2);
+    assert_eq!(ep.gate(), world.gate_for(1, 2));
+    assert!(matches!(comm.peer(1), Err(MpiError::InvalidRank(1))));
+    assert!(matches!(comm.peer(9), Err(MpiError::InvalidRank(9))));
+    // sole_peer only exists in two-rank worlds.
+    assert!(comm.sole_peer().is_err());
+    let peers = comm.peers();
+    assert_eq!(
+        peers.iter().map(|e| e.peer()).collect::<Vec<_>>(),
+        vec![0, 2]
     );
 }
 
@@ -58,13 +81,13 @@ fn three_rank_ring() {
         let world = Arc::clone(&world);
         handles.push(std::thread::spawn(move || {
             let comm = world.comm(rank);
-            let next = (rank + 1) % 3;
-            let prev = (rank + 2) % 3;
+            let next = comm.peer((rank + 1) % 3).unwrap();
+            let prev = comm.peer((rank + 2) % 3).unwrap();
             // Send own rank around the ring twice.
             let mut token = vec![rank as u8];
             for _ in 0..2 {
-                comm.send_to(next, 0, &token).unwrap();
-                token = comm.recv_from(prev, 0).unwrap();
+                next.send(0, &token).unwrap();
+                token = prev.recv(0).unwrap();
             }
             // After two hops the token came from prev's prev = next.
             assert_eq!(token, vec![((rank + 1) % 3) as u8]);
@@ -104,11 +127,11 @@ fn large_message_uses_rendezvous() {
     let big = vec![0x5Au8; 512 * 1024];
     let expected = big.clone();
     let echo = std::thread::spawn(move || {
-        let m = b.recv(9).unwrap();
+        let m = b.sole_peer().unwrap().recv(9).unwrap();
         assert_eq!(m.len(), 512 * 1024);
         m
     });
-    a.send(9, &big).unwrap();
+    a.sole_peer().unwrap().send(9, &big).unwrap();
     let got = echo.join().unwrap();
     assert_eq!(got, expected);
     assert!(a.core().stats().rdv_started.get() >= 1);
@@ -118,14 +141,8 @@ fn large_message_uses_rendezvous() {
 fn invalid_and_self_rank_rejected() {
     let world = World::pair(ThreadLevel::Multiple);
     let (a, _b) = world.comm_pair();
-    assert!(matches!(
-        a.send_to(0, 0, b"self"),
-        Err(MpiError::InvalidRank(0))
-    ));
-    assert!(matches!(
-        a.send_to(7, 0, b"nobody"),
-        Err(MpiError::InvalidRank(7))
-    ));
+    assert!(matches!(a.peer(0), Err(MpiError::InvalidRank(0))));
+    assert!(matches!(a.peer(7), Err(MpiError::InvalidRank(7))));
 }
 
 #[test]
@@ -133,11 +150,13 @@ fn funneled_level_uses_coarse_locking() {
     let world = World::pair(ThreadLevel::Funneled);
     let (a, b) = world.comm_pair();
     let echo = std::thread::spawn(move || {
-        let m = b.recv(0).unwrap();
-        b.send(0, &m).unwrap();
+        let ep = b.sole_peer().unwrap();
+        let m = ep.recv(0).unwrap();
+        ep.send(0, &m).unwrap();
     });
-    a.send(0, b"coarse").unwrap();
-    assert_eq!(a.recv(0).unwrap(), b"coarse");
+    let ep = a.sole_peer().unwrap();
+    ep.send(0, b"coarse").unwrap();
+    assert_eq!(ep.recv(0).unwrap(), b"coarse");
     echo.join().unwrap();
     // The global lock is actually exercised.
     assert!(a.core().lock_policy().global_stats().acquisitions() > 0);
@@ -149,12 +168,19 @@ fn wait_strategy_override() {
 
     let world = World::with_config(
         2,
-        WorldConfig::new(ThreadLevel::Multiple).wait(WaitStrategy::Busy),
+        WorldBuilder::new(ThreadLevel::Multiple).wait(WaitStrategy::Busy),
     );
     let (a, b) = world.comm_pair();
     let a2 = a.with_wait_strategy(WaitStrategy::fixed_spin_default());
     assert_eq!(a2.wait_strategy(), WaitStrategy::fixed_spin_default());
     assert_eq!(a.wait_strategy(), WaitStrategy::Busy, "original unchanged");
+    // Endpoints inherit the communicator's strategy and can override it.
+    let ep = a2.sole_peer().unwrap();
+    assert_eq!(ep.wait_strategy(), WaitStrategy::fixed_spin_default());
+    assert_eq!(
+        ep.with_wait_strategy(WaitStrategy::Busy).wait_strategy(),
+        WaitStrategy::Busy
+    );
     // Fixed spin falls back to blocking once the 5 µs window expires, so —
     // exactly as §3.3 prescribes — background progression must exist for
     // the blocked waiter's own requests to complete.
@@ -164,11 +190,12 @@ fn wait_strategy_override() {
     let pt = ProgressionThread::spawn(Arc::clone(&engine), None, IdlePolicy::Yield);
 
     let echo = std::thread::spawn(move || {
-        let m = b.recv(0).unwrap();
-        b.send(0, &m).unwrap();
+        let ep = b.sole_peer().unwrap();
+        let m = ep.recv(0).unwrap();
+        ep.send(0, &m).unwrap();
     });
-    a2.send(0, b"spin").unwrap();
-    assert_eq!(a2.recv(0).unwrap(), b"spin");
+    ep.send(0, b"spin").unwrap();
+    assert_eq!(ep.recv(0).unwrap(), b"spin");
     echo.join().unwrap();
     pt.stop();
 }
@@ -179,16 +206,17 @@ fn thread_multiple_concurrent_comms() {
     let (a, b) = world.comm_pair();
     let mut handles = Vec::new();
     for t in 0..3u64 {
-        let a = a.clone();
+        // Endpoints are cheap clones: one per thread.
+        let to_b = a.sole_peer().unwrap();
         handles.push(std::thread::spawn(move || {
             for i in 0..30 {
-                a.send(t, format!("t{t}m{i}").as_bytes()).unwrap();
+                to_b.send(t, format!("t{t}m{i}").as_bytes()).unwrap();
             }
         }));
-        let b = b.clone();
+        let to_a = b.sole_peer().unwrap();
         handles.push(std::thread::spawn(move || {
             for i in 0..30 {
-                let m = b.recv(t).unwrap();
+                let m = to_a.recv(t).unwrap();
                 assert_eq!(m, format!("t{t}m{i}").as_bytes());
             }
         }));
@@ -307,11 +335,13 @@ fn wildcard_receive_via_facade() {
     let world = World::pair(ThreadLevel::Multiple);
     let (a, b) = world.comm_pair();
     let sender = std::thread::spawn(move || {
-        a.send(31, b"tagged-31").unwrap();
-        a.send(7, b"tagged-7").unwrap();
+        let ep = a.sole_peer().unwrap();
+        ep.send(31, b"tagged-31").unwrap();
+        ep.send(7, b"tagged-7").unwrap();
     });
-    let (t1, m1) = b.recv_any_from(0).unwrap();
-    let (t2, m2) = b.recv_any_from(0).unwrap();
+    let from_a = b.peer(0).unwrap();
+    let (t1, m1) = from_a.recv_any().unwrap();
+    let (t2, m2) = from_a.recv_any().unwrap();
     assert_eq!((t1, m1.as_slice()), (31, b"tagged-31".as_slice()));
     assert_eq!((t2, m2.as_slice()), (7, b"tagged-7".as_slice()));
     sender.join().unwrap();
@@ -324,18 +354,18 @@ fn four_rank_all_to_all_stress() {
     const ROUNDS: usize = 2;
     let results = spawn_world(4, |comm| {
         let me = comm.rank();
-        let n = comm.size();
+        let peers = comm.peers();
         for round in 0..ROUNDS {
             let mut recvs = Vec::new();
-            for peer in (0..n).filter(|&p| p != me) {
-                recvs.push((peer, comm.irecv_from(peer, round as u64).unwrap()));
+            for ep in &peers {
+                recvs.push((ep.peer(), ep.irecv(round as u64).unwrap()));
             }
-            for peer in (0..n).filter(|&p| p != me) {
-                let msg = format!("r{round} {me}->{peer}");
-                comm.send_to(peer, round as u64, msg.as_bytes()).unwrap();
+            for ep in &peers {
+                let msg = format!("r{round} {me}->{}", ep.peer());
+                ep.send(round as u64, msg.as_bytes()).unwrap();
             }
             for (peer, r) in recvs {
-                comm.wait(&r);
+                comm.wait(&r).unwrap();
                 let data = r.take_data().unwrap();
                 assert_eq!(&data[..], format!("r{round} {peer}->{me}").as_bytes());
             }
@@ -344,4 +374,80 @@ fn four_rank_all_to_all_stress() {
         me
     });
     assert_eq!(results, vec![0, 1, 2, 3]);
+}
+
+/// The deprecated `Comm` shims must behave identically to the
+/// [`nm_mpi::Endpoint`] calls they forward to.
+mod shim_equivalence {
+    #![allow(deprecated)]
+
+    use super::*;
+
+    #[test]
+    fn tagless_shims_match_endpoint() {
+        let world = World::pair(ThreadLevel::Multiple);
+        let (a, b) = world.comm_pair();
+        let echo = std::thread::spawn(move || {
+            let ep = b.sole_peer().unwrap();
+            for _ in 0..2 {
+                let m = ep.recv(1).unwrap();
+                ep.send(1, &m).unwrap();
+            }
+        });
+        // Old tagless surface...
+        a.send(1, b"old").unwrap();
+        assert_eq!(a.recv(1).unwrap(), b"old");
+        // ...and the endpoint surface, interleaved on the same comm.
+        let ep = a.sole_peer().unwrap();
+        ep.send(1, b"new").unwrap();
+        assert_eq!(ep.recv(1).unwrap(), b"new");
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn addressed_shims_match_endpoint() {
+        let world = World::pair(ThreadLevel::Multiple);
+        let (a, b) = world.comm_pair();
+        let echo = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let m = b.recv_from(0, 0).unwrap();
+                b.send_to(0, 0, &m).unwrap();
+            }
+        });
+        assert_eq!(a.sendrecv(1, 0, b"shim").unwrap(), b"shim");
+        assert_eq!(a.peer(1).unwrap().sendrecv(0, b"ep").unwrap(), b"ep");
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn shim_errors_match_endpoint_errors() {
+        let world = World::pair(ThreadLevel::Multiple);
+        let (a, _b) = world.comm_pair();
+        assert_eq!(
+            a.send_to(0, 0, b"self").unwrap_err(),
+            a.peer(0).unwrap_err()
+        );
+        assert_eq!(a.irecv_from(7, 0).unwrap_err(), a.peer(7).unwrap_err());
+    }
+
+    #[test]
+    fn nonblocking_shims_complete() {
+        let world = World::pair(ThreadLevel::Multiple);
+        let (a, b) = world.comm_pair();
+        let r = b.irecv_from(0, 5).unwrap();
+        let s = a.isend_to(1, 5, b"compat").unwrap();
+        a.wait_all(&[s]).unwrap();
+        b.wait(&r).unwrap();
+        assert_eq!(r.take_data().unwrap(), bytes::Bytes::from_static(b"compat"));
+        let (tag, m) = {
+            let r2 = b.irecv_any_from(0).unwrap();
+            let s2 = a
+                .isend_bytes_to(1, 6, bytes::Bytes::from_static(b"zero-copy"))
+                .unwrap();
+            a.wait(&s2).unwrap();
+            b.wait(&r2).unwrap();
+            (r2.matched_tag().unwrap(), r2.take_data().unwrap())
+        };
+        assert_eq!((tag, &m[..]), (6, b"zero-copy".as_slice()));
+    }
 }

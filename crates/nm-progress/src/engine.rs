@@ -102,6 +102,8 @@ impl ProgressEngine {
         // of one uncontended spinlock cycle plus an Arc refcount bump.
         let snapshot = Arc::clone(&*self.sources.lock());
         self.polls.incr();
+        // The begin→end span is the paper's ~200 ns "PIOMan pass".
+        nm_trace::trace_event!(PollPassBegin);
         let mut progressed = 0;
         for (_, source) in snapshot.iter() {
             if source.poll() == PollOutcome::Progressed {
@@ -111,6 +113,7 @@ impl ProgressEngine {
         if progressed > 0 {
             self.progressions.add(progressed as u64);
         }
+        nm_trace::trace_event!(PollPassEnd, progressed);
         progressed
     }
 

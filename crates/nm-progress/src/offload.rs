@@ -125,10 +125,12 @@ impl Offloader {
             OffloadMode::IdleCore => {
                 self.queue.push(Box::new(job));
                 self.deferred.incr();
+                nm_trace::trace_event!(OffloadSubmit, self.mode as usize);
             }
             OffloadMode::Tasklet => {
                 self.queue.push(Box::new(job));
                 self.deferred.incr();
+                nm_trace::trace_event!(OffloadSubmit, self.mode as usize);
                 let (engine, tasklet) = self
                     .tasklet
                     .as_ref()
@@ -146,6 +148,9 @@ impl Offloader {
     pub fn drain(&self) -> usize {
         let mut ran = 0;
         while let Some(job) = self.queue.pop() {
+            // Matched FIFO against OffloadSubmit: the gap is the offload
+            // hop (Fig 9's 400 ns idle-core / ~3.1 µs tasklet placement).
+            nm_trace::trace_event!(OffloadRun, self.mode as usize);
             job();
             ran += 1;
         }

@@ -57,7 +57,10 @@ impl ProgressionThread {
                         match policy {
                             IdlePolicy::Spin => std::hint::spin_loop(),
                             IdlePolicy::Yield => std::thread::yield_now(),
-                            IdlePolicy::Park(d) => std::thread::sleep(d),
+                            IdlePolicy::Park(d) => {
+                                std::thread::sleep(d);
+                                nm_trace::trace_event!(ProgressionWake);
+                            }
                         }
                     }
                 }

@@ -133,6 +133,7 @@ impl TaskletEngine {
             ) {
                 Ok(_) => {
                     if enqueue {
+                        nm_trace::trace_event!(TaskletSched, Arc::as_ptr(tasklet) as usize);
                         self.shared.pending.push(Arc::clone(tasklet));
                         let _g = self.shared.lock.lock();
                         self.shared.cv.notify_one();
@@ -186,6 +187,8 @@ fn run_one(shared: &Arc<Shared>, tasklet: Arc<Tasklet>) {
     // schedule, so no other runner can execute this tasklet concurrently.
     let prev = tasklet.state.swap(RUNNING, Ordering::AcqRel);
     debug_assert_eq!(prev, SCHEDULED, "tasklet dequeued in state {prev}");
+    // The TaskletSched→TaskletRun gap is the SCHED→RUN hand-off cost.
+    nm_trace::trace_event!(TaskletRun, Arc::as_ptr(&tasklet) as usize);
     (tasklet.func)();
     tasklet.runs.incr();
     // RUNNING -> IDLE, unless someone requested a re-run meanwhile.

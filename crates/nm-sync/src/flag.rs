@@ -49,6 +49,7 @@ impl CompletionFlag {
     /// `signal` is visible to a thread that observed `is_set()`.
     pub fn signal(&self) {
         self.state.store(SET, Ordering::Release);
+        nm_trace::trace_event!(FlagSignal);
         // Taking the lock orders this notify after any concurrent waiter's
         // predicate check, so the wakeup cannot be lost.
         let _g = self.lock.lock();
@@ -85,6 +86,7 @@ impl CompletionFlag {
                 loop {
                     poll();
                     if self.is_set() {
+                        nm_trace::trace_event!(WaitSpun, 0u64);
                         return;
                     }
                     backoff.spin();
@@ -95,6 +97,7 @@ impl CompletionFlag {
                 loop {
                     poll();
                     if self.is_set() {
+                        nm_trace::trace_event!(WaitSpun, 1u64);
                         return;
                     }
                     std::hint::spin_loop();
@@ -102,9 +105,13 @@ impl CompletionFlag {
                         break;
                     }
                 }
+                nm_trace::trace_event!(WaitBlocked, 1u64);
                 self.block();
             }
-            _ => self.block(),
+            _ => {
+                nm_trace::trace_event!(WaitBlocked, 2u64);
+                self.block();
+            }
         }
     }
 
@@ -142,18 +149,28 @@ impl CompletionFlag {
 
     fn block(&self) {
         let mut guard = self.lock.lock();
+        if self.is_set() {
+            return;
+        }
+        nm_trace::trace_event!(ThreadBlock);
         while !self.is_set() {
             self.cond.wait(&mut guard);
         }
+        nm_trace::trace_event!(ThreadWake);
     }
 
     fn block_until(&self, deadline: Instant) -> bool {
         let mut guard = self.lock.lock();
+        if self.is_set() {
+            return true;
+        }
+        nm_trace::trace_event!(ThreadBlock);
         while !self.is_set() {
             if self.cond.wait_until(&mut guard, deadline).timed_out() {
                 return self.is_set();
             }
         }
+        nm_trace::trace_event!(ThreadWake);
         true
     }
 }

@@ -140,8 +140,14 @@ impl Semaphore {
 
     fn acquire_blocking(&self) {
         let mut permits = self.permits.lock();
-        while *permits <= 0 {
-            self.cond.wait(&mut permits);
+        if *permits <= 0 {
+            // The ThreadBlock→ThreadWake span around an actual condvar
+            // sleep is the paper's ~750 ns blocking context switch.
+            nm_trace::trace_event!(ThreadBlock);
+            while *permits <= 0 {
+                self.cond.wait(&mut permits);
+            }
+            nm_trace::trace_event!(ThreadWake);
         }
         *permits -= 1;
     }

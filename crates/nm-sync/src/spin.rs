@@ -58,6 +58,12 @@ impl RawSpin {
         self.class
     }
 
+    /// Stable id for trace events: the lock word's address.
+    #[inline]
+    fn lock_id(&self) -> usize {
+        &self.locked as *const _ as usize
+    }
+
     /// Acquires the lock, spinning with exponential backoff while contended.
     #[inline]
     pub fn lock(&self) {
@@ -71,6 +77,7 @@ impl RawSpin {
         {
             self.stats.record_acquire(false);
             self.note_acquired();
+            nm_trace::trace_event!(LockAcquire, self.lock_id(), 0u64);
             return;
         }
         self.lock_contended();
@@ -113,6 +120,7 @@ impl RawSpin {
             {
                 self.stats.record_acquire(true);
                 self.note_acquired();
+                nm_trace::trace_event!(LockAcquire, self.lock_id(), 1u64);
                 return;
             }
         }
@@ -129,6 +137,7 @@ impl RawSpin {
         if ok {
             self.stats.record_acquire(false);
             self.note_acquired();
+            nm_trace::trace_event!(LockAcquire, self.lock_id(), 0u64);
         }
         ok
     }
@@ -145,6 +154,7 @@ impl RawSpin {
             "RawSpin::unlock called on an unlocked lock"
         );
         self.note_released();
+        nm_trace::trace_event!(LockRelease, self.lock_id());
         self.locked.store(false, Ordering::Release);
     }
 

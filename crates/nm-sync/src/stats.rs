@@ -1,128 +1,8 @@
-//! Lightweight lock/event instrumentation.
+//! Lock/event instrumentation — re-exported from [`nm_trace::counters`].
 //!
-//! The paper decomposes thread-support overheads into per-primitive
-//! constants (70 ns per lock acquire/release cycle, 750 ns per context
-//! switch, …). These counters let the calibration harness attribute costs:
-//! how many lock operations sit on the critical path of one pingpong
-//! iteration, and how often they were contended.
+//! [`LockStats`] and [`Counter`] used to be defined here; they moved to
+//! `nm-trace` so every layer shares one counter registry
+//! ([`nm_trace::counters::registry`]) instead of bespoke per-crate
+//! stats structs. This module remains the `nm-sync`-facing path.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Acquisition/contention counters attached to every lock in the stack.
-///
-/// All increments are `Relaxed` single atomic adds; on x86-64 this costs on
-/// the order of a nanosecond and does not perturb the measured constants at
-/// the precision the paper reports.
-#[derive(Debug, Default)]
-pub struct LockStats {
-    acquisitions: AtomicU64,
-    contended: AtomicU64,
-}
-
-impl LockStats {
-    /// Creates zeroed counters.
-    pub const fn new() -> Self {
-        LockStats {
-            acquisitions: AtomicU64::new(0),
-            contended: AtomicU64::new(0),
-        }
-    }
-
-    /// Records one successful acquisition; `contended` when the fast path
-    /// failed and the acquirer had to spin.
-    #[inline]
-    pub fn record_acquire(&self, contended: bool) {
-        self.acquisitions.fetch_add(1, Ordering::Relaxed);
-        if contended {
-            self.contended.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    /// Total successful acquisitions.
-    pub fn acquisitions(&self) -> u64 {
-        self.acquisitions.load(Ordering::Relaxed)
-    }
-
-    /// Acquisitions that found the lock held and had to spin.
-    pub fn contentions(&self) -> u64 {
-        self.contended.load(Ordering::Relaxed)
-    }
-
-    /// Fraction of acquisitions that were contended, in `[0, 1]`.
-    pub fn contention_ratio(&self) -> f64 {
-        let acq = self.acquisitions();
-        if acq == 0 {
-            0.0
-        } else {
-            self.contentions() as f64 / acq as f64
-        }
-    }
-
-    /// Resets both counters to zero.
-    pub fn reset(&self) {
-        self.acquisitions.store(0, Ordering::Relaxed);
-        self.contended.store(0, Ordering::Relaxed);
-    }
-}
-
-/// A general-purpose relaxed event counter.
-#[derive(Debug, Default)]
-pub struct Counter(AtomicU64);
-
-impl Counter {
-    /// Creates a zeroed counter.
-    pub const fn new() -> Self {
-        Counter(AtomicU64::new(0))
-    }
-
-    /// Adds one.
-    #[inline]
-    pub fn incr(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Adds `n`.
-    #[inline]
-    pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Current value.
-    pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
-
-    /// Resets to zero, returning the previous value.
-    pub fn take(&self) -> u64 {
-        self.0.swap(0, Ordering::Relaxed)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn lock_stats_accumulate() {
-        let s = LockStats::new();
-        s.record_acquire(false);
-        s.record_acquire(true);
-        s.record_acquire(true);
-        assert_eq!(s.acquisitions(), 3);
-        assert_eq!(s.contentions(), 2);
-        assert!((s.contention_ratio() - 2.0 / 3.0).abs() < 1e-12);
-        s.reset();
-        assert_eq!(s.acquisitions(), 0);
-        assert_eq!(s.contention_ratio(), 0.0);
-    }
-
-    #[test]
-    fn counter_take_swaps_to_zero() {
-        let c = Counter::new();
-        c.incr();
-        c.add(9);
-        assert_eq!(c.get(), 10);
-        assert_eq!(c.take(), 10);
-        assert_eq!(c.get(), 0);
-    }
-}
+pub use nm_trace::counters::{registry, Counter, CounterRegistry, LockStats};

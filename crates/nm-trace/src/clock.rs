@@ -1,0 +1,67 @@
+//! The trace timestamp source.
+//!
+//! Real runs timestamp with a monotonic clock relative to a process
+//! epoch; simulated runs install the same virtual-nanosecond counter
+//! that drives `nm-fabric`'s manual [`ClockSource`], so a sim run
+//! traces *identically* (bit-deterministic timestamps) across hosts.
+//!
+//! The mode switch is a read-mostly `RwLock`; `now_ns` takes a shared
+//! read on every event, which is uncontended in steady state.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+enum Mode {
+    /// Monotonic nanoseconds since the first trace timestamp request.
+    Real,
+    /// Shared virtual-nanosecond counter (sim runs advance it manually).
+    Virtual(Arc<AtomicU64>),
+}
+
+static MODE: RwLock<Mode> = RwLock::new(Mode::Real);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Current trace timestamp in nanoseconds.
+pub fn now_ns() -> u64 {
+    match &*MODE.read().unwrap() {
+        Mode::Real => epoch().elapsed().as_nanos() as u64,
+        // relaxed: a monotonic counter read for a timestamp; no other
+        // memory is published through it.
+        Mode::Virtual(ns) => ns.load(Ordering::Relaxed),
+    }
+}
+
+/// Switches trace timestamps to `ns`, a shared virtual-nanosecond
+/// counter — pass the same `Arc` that backs the fabric's manual clock
+/// so events and wire delivery share one timeline.
+pub fn install_virtual_clock(ns: Arc<AtomicU64>) {
+    *MODE.write().unwrap() = Mode::Virtual(ns);
+}
+
+/// Switches trace timestamps back to the real monotonic clock.
+pub fn install_real_clock() {
+    *MODE.write().unwrap() = Mode::Real;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_tracks_counter() {
+        let ns = Arc::new(AtomicU64::new(41));
+        install_virtual_clock(Arc::clone(&ns));
+        assert_eq!(now_ns(), 41);
+        ns.store(1000, Ordering::Relaxed);
+        assert_eq!(now_ns(), 1000);
+        install_real_clock();
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

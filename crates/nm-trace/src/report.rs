@@ -1,0 +1,310 @@
+//! Post-run analysis: turn a drained [`Trace`] into per-mechanism
+//! histogram summaries, the duration samples the "Table 1" constants
+//! are derived from, and flamegraph-folded text.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::events::EventId;
+use crate::ring::{Trace, TraceEvent};
+
+/// Summary statistics over one mechanism's duration samples (ns).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanStats {
+    /// Number of matched samples.
+    pub count: u64,
+    /// Sum of all samples, ns.
+    pub total_ns: u64,
+    /// Median sample, ns.
+    pub p50_ns: u64,
+    /// Smallest sample, ns.
+    pub min_ns: u64,
+    /// Largest sample, ns.
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    /// Builds stats from raw samples (ns).
+    pub fn from_samples(mut samples: Vec<u64>) -> SpanStats {
+        if samples.is_empty() {
+            return SpanStats::default();
+        }
+        samples.sort_unstable();
+        SpanStats {
+            count: samples.len() as u64,
+            total_ns: samples.iter().sum(),
+            p50_ns: samples[samples.len() / 2],
+            min_ns: samples[0],
+            max_ns: samples[samples.len() - 1],
+        }
+    }
+}
+
+/// The span pairs the report folds (begin id, end id, folded stack).
+const SPANS: &[(EventId, EventId, &str)] = &[
+    (EventId::SubmitBegin, EventId::SubmitEnd, "core;submit"),
+    (
+        EventId::TransmitBegin,
+        EventId::TransmitEnd,
+        "core;transmit",
+    ),
+    (
+        EventId::DispatchBegin,
+        EventId::DispatchEnd,
+        "core;dispatch",
+    ),
+    (
+        EventId::PollPassBegin,
+        EventId::PollPassEnd,
+        "progress;poll_pass",
+    ),
+    (EventId::ThreadBlock, EventId::ThreadWake, "sync;blocked"),
+];
+
+/// A digested trace: event counts plus per-mechanism span histograms.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// Retained events per id.
+    pub counts: BTreeMap<EventId, u64>,
+    /// Span statistics keyed by folded stack name (see `SPANS`).
+    pub spans: BTreeMap<&'static str, SpanStats>,
+    /// Events dropped to ring wraparound.
+    pub dropped: u64,
+}
+
+impl TraceReport {
+    /// Digests a drained trace.
+    pub fn from_trace(trace: &Trace) -> TraceReport {
+        let mut counts = BTreeMap::new();
+        for t in &trace.threads {
+            for e in &t.events {
+                *counts.entry(e.id).or_insert(0) += 1;
+            }
+        }
+        let mut spans = BTreeMap::new();
+        for &(begin, end, name) in SPANS {
+            let samples = Self::span_durations(trace, begin, end);
+            if !samples.is_empty() {
+                spans.insert(name, SpanStats::from_samples(samples));
+            }
+        }
+        TraceReport {
+            counts,
+            spans,
+            dropped: trace.dropped(),
+        }
+    }
+
+    /// Retained events with this id.
+    pub fn count(&self, id: EventId) -> u64 {
+        self.counts.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Durations of `begin`→`end` spans, matched per thread with a LIFO
+    /// stack (spans of the same kind may nest but not interleave within
+    /// one thread).
+    pub fn span_durations(trace: &Trace, begin: EventId, end: EventId) -> Vec<u64> {
+        let mut out = Vec::new();
+        for t in &trace.threads {
+            let mut stack: Vec<u64> = Vec::new();
+            for e in &t.events {
+                if e.id == begin {
+                    stack.push(e.ts);
+                } else if e.id == end {
+                    if let Some(start) = stack.pop() {
+                        out.push(e.ts.saturating_sub(start));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Gaps between successive events with this id on the same thread,
+    /// filtered to the dominant `a` argument (so e.g. the hot lock of a
+    /// lock loop is measured, not incidental locks interleaved with it).
+    pub fn gap_durations(trace: &Trace, id: EventId) -> Vec<u64> {
+        // Find the dominant `a` value across all threads.
+        let mut freq: BTreeMap<u64, u64> = BTreeMap::new();
+        for t in &trace.threads {
+            for e in t.events.iter().filter(|e| e.id == id) {
+                *freq.entry(e.a).or_insert(0) += 1;
+            }
+        }
+        let Some((&dominant, _)) = freq.iter().max_by_key(|(_, &n)| n) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for t in &trace.threads {
+            let mut prev: Option<u64> = None;
+            for e in t.events.iter().filter(|e| e.id == id && e.a == dominant) {
+                if let Some(p) = prev {
+                    out.push(e.ts.saturating_sub(p));
+                }
+                prev = Some(e.ts);
+            }
+        }
+        out
+    }
+
+    /// Durations between `from` events and `to` events matched FIFO in
+    /// global timestamp order across threads (e.g. `OffloadSubmit` on
+    /// the application thread → `OffloadRun` on the progression thread).
+    pub fn cross_durations(trace: &Trace, from: EventId, to: EventId) -> Vec<u64> {
+        let merged: Vec<TraceEvent> = trace.merged();
+        let mut pending: VecDeque<u64> = VecDeque::new();
+        let mut out = Vec::new();
+        for e in &merged {
+            if e.id == from {
+                pending.push_back(e.ts);
+            } else if e.id == to {
+                if let Some(start) = pending.pop_front() {
+                    out.push(e.ts.saturating_sub(start));
+                }
+            }
+        }
+        out
+    }
+
+    /// Flamegraph-folded text: one `stack value` line per mechanism.
+    ///
+    /// Span lines weight by total nanoseconds; `events;<name>` lines
+    /// carry raw counts for ids that are not part of a span pair. Feed
+    /// to any `flamegraph.pl`-compatible renderer.
+    pub fn folded(&self) -> String {
+        let mut lines = Vec::new();
+        for (name, stats) in &self.spans {
+            lines.push(format!("nomad;{} {}", name, stats.total_ns));
+        }
+        let span_ids: Vec<EventId> = SPANS.iter().flat_map(|&(b, e, _)| [b, e]).collect();
+        for (&id, &n) in &self.counts {
+            if !span_ids.contains(&id) {
+                lines.push(format!("nomad;events;{} {}", id.name(), n));
+            }
+        }
+        let mut out = lines.join("\n");
+        out.push('\n');
+        out
+    }
+}
+
+impl std::fmt::Display for TraceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "trace report ({} events dropped)", self.dropped)?;
+        writeln!(f, "  spans (ns):")?;
+        for (name, s) in &self.spans {
+            writeln!(
+                f,
+                "    {:<24} n={:<8} p50={:<8} min={:<8} max={:<8} total={}",
+                name, s.count, s.p50_ns, s.min_ns, s.max_ns, s.total_ns
+            )?;
+        }
+        writeln!(f, "  counts:")?;
+        for (id, n) in &self.counts {
+            writeln!(f, "    {:<24} {}", id.name(), n)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::ThreadTrace;
+
+    fn ev(ts: u64, id: EventId, a: u64) -> TraceEvent {
+        TraceEvent { ts, id, a, b: 0 }
+    }
+
+    fn single_thread(events: Vec<TraceEvent>) -> Trace {
+        Trace {
+            threads: vec![ThreadTrace {
+                thread: 0,
+                name: "t0".into(),
+                dropped: 0,
+                events,
+            }],
+        }
+    }
+
+    #[test]
+    fn spans_match_lifo_per_thread() {
+        let trace = single_thread(vec![
+            ev(10, EventId::SubmitBegin, 0),
+            ev(12, EventId::SubmitBegin, 0), // nested
+            ev(15, EventId::SubmitEnd, 0),   // closes the inner (3 ns)
+            ev(30, EventId::SubmitEnd, 0),   // closes the outer (20 ns)
+        ]);
+        let mut d = TraceReport::span_durations(&trace, EventId::SubmitBegin, EventId::SubmitEnd);
+        d.sort_unstable();
+        assert_eq!(d, vec![3, 20]);
+    }
+
+    #[test]
+    fn gaps_filter_to_dominant_lock() {
+        let trace = single_thread(vec![
+            ev(0, EventId::LockAcquire, 7),
+            ev(5, EventId::LockAcquire, 9), // minority lock, ignored
+            ev(70, EventId::LockAcquire, 7),
+            ev(140, EventId::LockAcquire, 7),
+        ]);
+        assert_eq!(
+            TraceReport::gap_durations(&trace, EventId::LockAcquire),
+            vec![70, 70]
+        );
+    }
+
+    #[test]
+    fn cross_durations_match_fifo_across_threads() {
+        let trace = Trace {
+            threads: vec![
+                ThreadTrace {
+                    thread: 0,
+                    name: "app".into(),
+                    dropped: 0,
+                    events: vec![
+                        ev(0, EventId::OffloadSubmit, 1),
+                        ev(10, EventId::OffloadSubmit, 1),
+                    ],
+                },
+                ThreadTrace {
+                    thread: 1,
+                    name: "progress".into(),
+                    dropped: 0,
+                    events: vec![
+                        ev(400, EventId::OffloadRun, 1),
+                        ev(450, EventId::OffloadRun, 1),
+                    ],
+                },
+            ],
+        };
+        assert_eq!(
+            TraceReport::cross_durations(&trace, EventId::OffloadSubmit, EventId::OffloadRun),
+            vec![400, 440]
+        );
+    }
+
+    #[test]
+    fn report_counts_and_folded_output() {
+        let trace = single_thread(vec![
+            ev(0, EventId::PollPassBegin, 0),
+            ev(200, EventId::PollPassEnd, 1),
+            ev(300, EventId::PacketTx, 64),
+        ]);
+        let report = TraceReport::from_trace(&trace);
+        assert_eq!(report.count(EventId::PacketTx), 1);
+        assert_eq!(report.spans["progress;poll_pass"].p50_ns, 200);
+        let folded = report.folded();
+        assert!(folded.contains("nomad;progress;poll_pass 200"));
+        assert!(folded.contains("nomad;events;PacketTx 1"));
+    }
+
+    #[test]
+    fn span_stats_median() {
+        let s = SpanStats::from_samples(vec![5, 1, 9]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.p50_ns, 5);
+        assert_eq!(s.min_ns, 1);
+        assert_eq!(s.max_ns, 9);
+        assert_eq!(s.total_ns, 15);
+    }
+}

@@ -1,0 +1,310 @@
+//! Lock-free per-thread event rings (the FxT idea: fixed-size records,
+//! one ring per thread, drained after the run).
+//!
+//! Each thread owns one ring; `emit` is a handful of `Relaxed` stores
+//! plus one `Release` cursor bump — no locks, no allocation, no
+//! cross-thread traffic on the hot path. Rings overwrite their oldest
+//! slot when full and count total writes, so the drain reports exactly
+//! how many events were dropped. Rings are registered globally (and
+//! kept alive by an `Arc` even after their thread exits) so
+//! [`take_trace`] can collect every thread's events post-run.
+//!
+//! Draining while writers are still emitting is safe (all slot access
+//! is atomic) but a wrapping writer can tear a slot being read; drain
+//! after the traced workload quiesces for exact counts.
+
+use crate::events::EventId;
+
+/// One decoded trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Timestamp from [`crate::now_ns`] (real or virtual nanoseconds).
+    pub ts: u64,
+    /// What happened.
+    pub id: EventId,
+    /// First argument (meaning per [`EventId`] docs).
+    pub a: u64,
+    /// Second argument.
+    pub b: u64,
+}
+
+/// The drained events of one thread, in emission order.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadTrace {
+    /// Registration index of the thread's ring (stable, dense).
+    pub thread: u64,
+    /// The thread's name at ring creation (test harness threads are
+    /// named after their test).
+    pub name: String,
+    /// Events overwritten because the ring wrapped.
+    pub dropped: u64,
+    /// Retained events, oldest first.
+    pub events: Vec<TraceEvent>,
+}
+
+/// A full drain: one [`ThreadTrace`] per ring, in registration order.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Per-thread traces.
+    pub threads: Vec<ThreadTrace>,
+}
+
+impl Trace {
+    /// All events across threads, sorted by timestamp (ties keep
+    /// per-thread order).
+    pub fn merged(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = self
+            .threads
+            .iter()
+            .flat_map(|t| t.events.iter().copied())
+            .collect();
+        all.sort_by_key(|e| e.ts);
+        all
+    }
+
+    /// Total retained events.
+    pub fn len(&self) -> usize {
+        self.threads.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// True if no events were retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events dropped to ring wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.threads.iter().map(|t| t.dropped).sum()
+    }
+
+    /// How many retained events have this id.
+    pub fn count(&self, id: EventId) -> u64 {
+        self.threads
+            .iter()
+            .flat_map(|t| t.events.iter())
+            .filter(|e| e.id == id)
+            .count() as u64
+    }
+}
+
+#[cfg(feature = "trace")]
+mod imp {
+    use super::*;
+    use std::cell::OnceCell;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    /// Default ring capacity (events per thread).
+    const DEFAULT_CAP: usize = 1 << 16;
+
+    struct Slot {
+        ts: AtomicU64,
+        id: AtomicU64,
+        a: AtomicU64,
+        b: AtomicU64,
+    }
+
+    impl Slot {
+        fn empty() -> Slot {
+            Slot {
+                ts: AtomicU64::new(0),
+                id: AtomicU64::new(0),
+                a: AtomicU64::new(0),
+                b: AtomicU64::new(0),
+            }
+        }
+    }
+
+    pub(super) struct ThreadRing {
+        index: u64,
+        name: String,
+        cap: usize,
+        /// Total events ever written; slot = head % cap.
+        head: AtomicU64,
+        slots: Box<[Slot]>,
+    }
+
+    impl ThreadRing {
+        pub(super) fn new(index: u64, name: String, cap: usize) -> ThreadRing {
+            let cap = cap.max(1);
+            ThreadRing {
+                index,
+                name,
+                cap,
+                head: AtomicU64::new(0),
+                slots: (0..cap).map(|_| Slot::empty()).collect(),
+            }
+        }
+
+        /// Writer side: only the owning thread calls this.
+        #[inline]
+        pub(super) fn write(&self, ts: u64, id: EventId, a: u64, b: u64) {
+            let head = self.head.load(Ordering::Relaxed);
+            let slot = &self.slots[(head as usize) % self.cap];
+            slot.ts.store(ts, Ordering::Relaxed);
+            slot.id.store(id as u64, Ordering::Relaxed);
+            slot.a.store(a, Ordering::Relaxed);
+            slot.b.store(b, Ordering::Relaxed);
+            // Release: a drain that Acquire-loads the cursor sees the
+            // slot stores above.
+            self.head.store(head + 1, Ordering::Release);
+        }
+
+        pub(super) fn drain(&self, reset: bool) -> ThreadTrace {
+            let head = self.head.load(Ordering::Acquire);
+            let retained = (head as usize).min(self.cap);
+            let mut events = Vec::with_capacity(retained);
+            for i in (head as usize - retained)..head as usize {
+                let slot = &self.slots[i % self.cap];
+                let raw = slot.id.load(Ordering::Relaxed);
+                // Id 0 is unused: a zero here means the slot was never
+                // written (only possible mid-write teardown races).
+                if let Some(id) = EventId::from_raw(raw) {
+                    events.push(TraceEvent {
+                        ts: slot.ts.load(Ordering::Relaxed),
+                        id,
+                        a: slot.a.load(Ordering::Relaxed),
+                        b: slot.b.load(Ordering::Relaxed),
+                    });
+                }
+            }
+            if reset {
+                self.head.store(0, Ordering::Release);
+            }
+            ThreadTrace {
+                thread: self.index,
+                name: self.name.clone(),
+                dropped: head - retained as u64,
+                events,
+            }
+        }
+    }
+
+    static RING_CAP: AtomicUsize = AtomicUsize::new(DEFAULT_CAP);
+    static REGISTRY: Mutex<Vec<Arc<ThreadRing>>> = Mutex::new(Vec::new());
+
+    thread_local! {
+        static RING: OnceCell<Arc<ThreadRing>> = const { OnceCell::new() };
+    }
+
+    fn with_ring(f: impl FnOnce(&ThreadRing)) {
+        RING.with(|cell| {
+            let ring = cell.get_or_init(|| {
+                let mut registry = REGISTRY.lock().unwrap();
+                let ring = Arc::new(ThreadRing::new(
+                    registry.len() as u64,
+                    std::thread::current().name().unwrap_or("?").to_string(),
+                    RING_CAP.load(Ordering::Relaxed),
+                ));
+                registry.push(Arc::clone(&ring));
+                ring
+            });
+            f(ring);
+        });
+    }
+
+    /// Records one event in the calling thread's ring.
+    #[inline]
+    pub fn emit(id: EventId, a: u64, b: u64) {
+        let ts = crate::clock::now_ns();
+        with_ring(|ring| ring.write(ts, id, a, b));
+    }
+
+    /// True when the `trace` feature is compiled in.
+    pub fn enabled() -> bool {
+        true
+    }
+
+    /// Sets the capacity (in events) used for rings created after this
+    /// call; existing rings keep their size.
+    pub fn set_ring_capacity(cap: usize) {
+        RING_CAP.store(cap.max(1), Ordering::Relaxed);
+    }
+
+    pub fn collect(reset: bool) -> Trace {
+        let registry = REGISTRY.lock().unwrap();
+        Trace {
+            threads: registry.iter().map(|r| r.drain(reset)).collect(),
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn ring_wraps_overwriting_oldest() {
+            let ring = ThreadRing::new(0, "test".into(), 8);
+            for i in 0..13u64 {
+                ring.write(i, EventId::LockAcquire, i, 0);
+            }
+            let t = ring.drain(false);
+            assert_eq!(t.dropped, 5);
+            assert_eq!(t.events.len(), 8);
+            // Oldest retained is write #5; order is preserved.
+            let args: Vec<u64> = t.events.iter().map(|e| e.a).collect();
+            assert_eq!(args, (5..13).collect::<Vec<u64>>());
+        }
+
+        #[test]
+        fn drain_reset_restarts_ring() {
+            let ring = ThreadRing::new(0, "test".into(), 4);
+            ring.write(1, EventId::PacketTx, 64, 0);
+            let t = ring.drain(true);
+            assert_eq!(t.events.len(), 1);
+            let t = ring.drain(false);
+            assert_eq!(t.events.len(), 0);
+            assert_eq!(t.dropped, 0);
+        }
+
+        #[test]
+        fn capacity_one_keeps_last_event() {
+            let ring = ThreadRing::new(0, "test".into(), 1);
+            for i in 0..3u64 {
+                ring.write(i, EventId::PacketRx, i, 0);
+            }
+            let t = ring.drain(false);
+            assert_eq!(t.dropped, 2);
+            assert_eq!(t.events.len(), 1);
+            assert_eq!(t.events[0].a, 2);
+        }
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod imp {
+    use super::*;
+
+    /// Records one event — compiled to nothing (`trace` feature is off).
+    #[inline(always)]
+    pub fn emit(_id: EventId, _a: u64, _b: u64) {}
+
+    /// True when the `trace` feature is compiled in.
+    pub fn enabled() -> bool {
+        false
+    }
+
+    /// No-op without the `trace` feature.
+    pub fn set_ring_capacity(_cap: usize) {}
+
+    pub fn collect(_reset: bool) -> Trace {
+        Trace::default()
+    }
+}
+
+pub use imp::{emit, enabled, set_ring_capacity};
+
+/// Drains every thread's ring, resetting them for the next run.
+pub fn take_trace() -> Trace {
+    imp::collect(true)
+}
+
+/// Copies every thread's ring without resetting.
+pub fn snapshot_trace() -> Trace {
+    imp::collect(false)
+}
+
+/// Clears all rings (start of a measured region).
+pub fn reset() {
+    let _ = imp::collect(true);
+}

@@ -27,19 +27,18 @@ fn smooth_inner(data: &mut [f64]) {
 }
 
 fn run_rank(comm: Comm, peer: usize, mut data: Vec<f64>) -> f64 {
+    let halo = comm.peer(peer).expect("peer endpoint");
     for step in 0..STEPS {
         let tag = step as u64;
         // Post the halo exchange, then compute while it progresses in the
         // background (the progression thread polls; we wait passively).
-        let recv = comm.irecv_from(peer, tag).expect("irecv");
+        let recv = halo.irecv(tag).expect("irecv");
         let boundary = if comm.rank() == 0 {
             data[data.len() - 1]
         } else {
             data[0]
         };
-        let send = comm
-            .isend_to(peer, tag, &boundary.to_le_bytes())
-            .expect("isend");
+        let send = halo.isend(tag, &boundary.to_le_bytes()).expect("isend");
 
         smooth_inner(&mut data); // overlapped computation
 

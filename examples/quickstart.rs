@@ -10,30 +10,33 @@ fn main() {
     // An MPI_THREAD_MULTIPLE world: fine-grain locking inside the library.
     let world = World::pair(ThreadLevel::Multiple);
     let (alice, bob) = world.comm_pair();
+    // Each side talks to its (only) peer through an endpoint.
+    let to_bob = alice.sole_peer().expect("pair world");
+    let to_alice = bob.sole_peer().expect("pair world");
 
     // Bob echoes whatever he receives.
+    let bob_ep = to_alice.clone();
     let echo = std::thread::spawn(move || {
-        let msg = bob.recv(0).expect("recv");
+        let msg = bob_ep.recv(0).expect("recv");
         println!("[bob]   got {} bytes, echoing", msg.len());
-        bob.send(0, &msg).expect("send");
+        bob_ep.send(0, &msg).expect("send");
     });
 
     let payload = b"hello, high performance network";
     println!("[alice] sending {} bytes", payload.len());
-    alice.send(0, payload).expect("send");
-    let back = alice.recv(0).expect("recv");
+    to_bob.send(0, payload).expect("send");
+    let back = to_bob.recv(0).expect("recv");
     assert_eq!(&back, payload);
     println!("[alice] received the echo intact");
     echo.join().unwrap();
 
     // A larger message takes the rendezvous path automatically.
-    let (alice, bob) = world.comm_pair();
     let big = vec![7u8; 1 << 20];
     let echo = std::thread::spawn(move || {
-        let msg = bob.recv(1).expect("recv");
+        let msg = to_alice.recv(1).expect("recv");
         println!("[bob]   rendezvous delivered {} KiB", msg.len() / 1024);
     });
-    alice.send(1, &big).expect("send");
+    to_bob.send(1, &big).expect("send");
     echo.join().unwrap();
 
     let stats = alice.core().stats();

@@ -23,21 +23,22 @@ fn main() {
     let mut handles = Vec::new();
     for t in 0..THREADS {
         // Each sender thread owns a tag lane; receivers reply with an ack.
-        let a = a.clone();
+        // Endpoints are cheap clones, one per thread.
+        let to_b = a.sole_peer().expect("pair world");
         handles.push(std::thread::spawn(move || {
             for i in 0..MESSAGES {
                 let msg = format!("lane {t}, message {i}");
-                a.send(t, msg.as_bytes()).expect("send");
-                let ack = a.recv(t).expect("ack");
+                to_b.send(t, msg.as_bytes()).expect("send");
+                let ack = to_b.recv(t).expect("ack");
                 assert_eq!(ack, format!("ack {i}").as_bytes());
             }
         }));
-        let b = b.clone();
+        let to_a = b.sole_peer().expect("pair world");
         handles.push(std::thread::spawn(move || {
             for i in 0..MESSAGES {
-                let msg = b.recv(t).expect("recv");
+                let msg = to_a.recv(t).expect("recv");
                 assert_eq!(msg, format!("lane {t}, message {i}").as_bytes());
-                b.send(t, format!("ack {i}").as_bytes()).expect("ack");
+                to_a.send(t, format!("ack {i}").as_bytes()).expect("ack");
             }
         }));
     }

@@ -19,6 +19,8 @@
 //! * [`mpi`] — a Mad-MPI-style façade (communicators, tags, thread levels).
 //! * [`sim`] — discrete-event deterministic twin.
 //! * [`bench`] — benchmark harness used to regenerate the paper's figures.
+//! * [`trace`] — low-overhead event tracing and the counters registry
+//!   (records only with the `trace` cargo feature; see `docs/TRACING.md`).
 //!
 //! ## Quickstart
 //!
@@ -29,14 +31,16 @@
 //! // Two in-process "nodes" connected by a simulated Myri-10G rail.
 //! let world = World::pair(ThreadLevel::Multiple);
 //! let (a, b) = world.comm_pair();
+//! // Point-to-point operations live on per-peer endpoints.
+//! let (to_b, to_a) = (a.sole_peer().unwrap(), b.sole_peer().unwrap());
 //!
 //! let echo = std::thread::spawn(move || {
-//!     let msg = b.recv(0).expect("recv");
-//!     b.send(0, &msg).expect("send");
+//!     let msg = to_a.recv(0).expect("recv");
+//!     to_a.send(0, &msg).expect("send");
 //! });
 //!
-//! a.send(0, b"hello network").expect("send");
-//! let reply = a.recv(0).expect("recv");
+//! to_b.send(0, b"hello network").expect("send");
+//! let reply = to_b.recv(0).expect("recv");
 //! assert_eq!(&reply[..], b"hello network");
 //! echo.join().unwrap();
 //! ```
@@ -50,3 +54,4 @@ pub use nm_sched as sched;
 pub use nm_sim as sim;
 pub use nm_sync as sync;
 pub use nm_topo as topo;
+pub use nm_trace as trace;

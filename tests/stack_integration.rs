@@ -8,7 +8,7 @@ use bytes::Bytes;
 
 use nomad::core::{CoreBuilder, CoreConfig, GateId, LockingMode};
 use nomad::fabric::{ClockSource, Fabric, WireModel};
-use nomad::mpi::{ThreadLevel, World, WorldConfig};
+use nomad::mpi::{ThreadLevel, World, WorldBuilder};
 use nomad::progress::{IdlePolicy, OffloadMode, ProgressEngine, ProgressionThread, TaskletEngine};
 use nomad::sched::{Scheduler, SchedulerConfig};
 use nomad::sync::WaitStrategy;
@@ -131,17 +131,15 @@ fn idle_core_offload_end_to_end() {
 #[test]
 fn virtual_clock_world() {
     let clock = ClockSource::manual();
-    let config = WorldConfig {
-        clock: clock.clone(),
-        ..WorldConfig::new(ThreadLevel::Multiple)
-    };
+    let config = WorldBuilder::new(ThreadLevel::Multiple).clock(clock.clone());
     let world = World::with_config(2, config);
     let (a, b) = world.comm_pair();
+    let (to_b, to_a) = (a.sole_peer().unwrap(), b.sole_peer().unwrap());
 
-    let send = a.isend(7, b"timed").expect("isend");
+    let send = to_b.isend(7, b"timed").expect("isend");
     a.core().progress();
     assert!(send.is_complete(), "eager send completes on injection");
-    let recv = b.irecv(7).expect("irecv");
+    let recv = to_a.irecv(7).expect("irecv");
     b.core().progress();
     assert!(!recv.is_complete(), "nothing deliverable at t = 0");
     clock.advance(10_000_000);
@@ -153,16 +151,14 @@ fn virtual_clock_world() {
 /// Multirail world: a large message over two rails through the facade.
 #[test]
 fn multirail_world_rendezvous() {
-    let config = WorldConfig {
-        rails: vec![WireModel::ideal(), WireModel::ideal()],
-        ..WorldConfig::new(ThreadLevel::Multiple)
-    };
+    let config = WorldBuilder::new(ThreadLevel::Multiple)
+        .rails(vec![WireModel::ideal(), WireModel::ideal()]);
     let world = World::with_config(2, config);
     let (a, b) = world.comm_pair();
     let big = vec![0xEEu8; 256 * 1024];
     let expected = big.clone();
-    let echo = std::thread::spawn(move || b.recv(0).expect("recv"));
-    a.send(0, &big).expect("send");
+    let echo = std::thread::spawn(move || b.sole_peer().unwrap().recv(0).expect("recv"));
+    a.sole_peer().unwrap().send(0, &big).expect("send");
     assert_eq!(echo.join().unwrap(), expected);
     // Both rails carried packets.
     let ports = world.ports(0, 1).expect("ports");

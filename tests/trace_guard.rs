@@ -1,0 +1,47 @@
+//! Guard for the *disabled* form of tracing: without the `trace`
+//! feature every probe must compile to nothing — no rings, no records,
+//! no behavioural difference in the communication path.
+
+#![cfg(not(feature = "trace"))]
+
+use nomad::mpi::{ThreadLevel, World};
+use nomad::trace;
+
+#[test]
+fn disabled_tracing_records_nothing() {
+    assert!(!trace::enabled());
+
+    // A real co-polled pingpong exercises every instrumented layer
+    // (sync, core, progress, fabric)...
+    let world = World::pair(ThreadLevel::Multiple);
+    let (a, b) = world.comm_pair();
+    let (to_b, to_a) = (a.sole_peer().unwrap(), b.sole_peer().unwrap());
+    let echo = std::thread::spawn(move || {
+        for i in 0..64u64 {
+            let msg = to_a.recv(i).expect("echo recv");
+            to_a.send(i, &msg).expect("echo send");
+        }
+    });
+    for i in 0..64u64 {
+        to_b.send(i, b"untraced").expect("send");
+        to_b.recv(i).expect("recv");
+    }
+    echo.join().unwrap();
+
+    // ...and none of it left a record.
+    assert!(trace::take_trace().is_empty());
+    assert!(trace::snapshot_trace().is_empty());
+}
+
+#[test]
+fn disabled_emit_is_a_no_op() {
+    // `emit` is an `#[inline(always)]` empty function: a million calls
+    // allocate no ring and retain nothing.
+    for i in 0..1_000_000u64 {
+        trace::emit(trace::EventId::LockAcquire, i, 0);
+    }
+    let t = trace::take_trace();
+    assert!(t.is_empty());
+    assert_eq!(t.dropped(), 0);
+    assert!(t.threads.is_empty(), "no ring should even be registered");
+}

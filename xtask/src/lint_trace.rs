@@ -1,0 +1,254 @@
+//! `cargo xtask lint-trace`: keeps `trace_event!` call sites and the
+//! registered schema in `crates/nm-trace/src/events.rs` from drifting
+//! apart.
+//!
+//! Two rules:
+//!
+//! 1. **Every emitted event is registered.** Each `trace_event!(Name, ...)`
+//!    site in the workspace must name a variant of `EventId` — an
+//!    unregistered name would be a compile error, but `trace_event!`
+//!    sites inside `#[cfg]`-gated or macro-generated code can dodge the
+//!    compiler, and this lint also runs without compiling anything.
+//! 2. **Every registered event is emitted (or schema-only by design).**
+//!    A variant with no `trace_event!`/`emit(` site anywhere is dead
+//!    schema: either instrument it or retire it. Variants exercised only
+//!    through `EventId::Name` expressions (tests, replay scripts like
+//!    `nm-bench`'s `fromtrace`) count as used.
+//!
+//! The scan is textual, like `lint-concurrency`: it runs in milliseconds
+//! and the `trace_event!(Identifier` shape is unambiguous in this
+//! codebase.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Where the schema lives, relative to the workspace root.
+const EVENTS_RS: &str = "crates/nm-trace/src/events.rs";
+
+/// Extracts the registered variant names from the `EventId` enum block.
+fn registered_variants(events_src: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut in_enum = false;
+    for line in events_src.lines() {
+        let t = line.trim();
+        if t.starts_with("pub enum EventId") {
+            in_enum = true;
+            continue;
+        }
+        if in_enum {
+            if t == "}" {
+                break;
+            }
+            // Variant lines look like `LockAcquire = 1,`.
+            if let Some((name, rest)) = t.split_once('=') {
+                let name = name.trim();
+                if rest.trim_end_matches(',').trim().parse::<u16>().is_ok()
+                    && name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                    && name.chars().all(|c| c.is_ascii_alphanumeric())
+                {
+                    out.insert(name.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Scans one file for `trace_event!(Name` sites and `EventId::Name`
+/// references, recording names into the respective maps.
+fn scan_file(
+    rel: &str,
+    text: &str,
+    sites: &mut Vec<(String, usize, String)>,
+    referenced: &mut BTreeSet<String>,
+) {
+    for (idx, line) in text.lines().enumerate() {
+        // Comments (incl. rustdoc) may spell the macro shape as prose.
+        let line = line.split("//").next().unwrap_or_default();
+        let mut rest = line;
+        while let Some(pos) = rest.find("trace_event!(") {
+            let after = &rest[pos + "trace_event!(".len()..];
+            let name: String = after
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                sites.push((rel.to_string(), idx + 1, name));
+            }
+            rest = after;
+        }
+        let mut rest = line;
+        while let Some(pos) = rest.find("EventId::") {
+            let after = &rest[pos + "EventId::".len()..];
+            let name: String = after
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                referenced.insert(name);
+            }
+            rest = after;
+        }
+    }
+}
+
+fn check(
+    registered: &BTreeSet<String>,
+    sites: &[(String, usize, String)],
+    referenced: &BTreeSet<String>,
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    for (file, line, name) in sites {
+        if !registered.contains(name) {
+            problems.push(format!(
+                "{file}:{line}: trace_event!({name}) is not a registered \
+                 EventId variant — add it to {EVENTS_RS}"
+            ));
+        }
+    }
+    // Count emissions per registered variant (macro sites + direct
+    // EventId:: references, which cover emit() calls and replay scripts).
+    let mut emitted: BTreeMap<&str, usize> = BTreeMap::new();
+    for (_, _, name) in sites {
+        *emitted.entry(name.as_str()).or_insert(0) += 1;
+    }
+    for name in registered {
+        if !emitted.contains_key(name.as_str()) && !referenced.contains(name) {
+            problems.push(format!(
+                "{EVENTS_RS}: EventId::{name} is registered but never \
+                 emitted or referenced anywhere — instrument it or retire it"
+            ));
+        }
+    }
+    problems
+}
+
+pub fn run(root: &Path) -> ExitCode {
+    let events_path = root.join(EVENTS_RS);
+    let Ok(events_src) = std::fs::read_to_string(&events_path) else {
+        eprintln!("lint-trace: cannot read {}", events_path.display());
+        return ExitCode::FAILURE;
+    };
+    let registered = registered_variants(&events_src);
+    if registered.is_empty() {
+        eprintln!("lint-trace: no EventId variants parsed from {EVENTS_RS}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut files = Vec::new();
+    super::collect_rs_files(root, &mut files);
+    files.sort();
+
+    let mut sites = Vec::new();
+    let mut referenced = BTreeSet::new();
+    let mut checked = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        // The lint's own source spells the patterns it greps for.
+        if rel.starts_with("xtask/") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        checked += 1;
+        scan_file(&rel, &text, &mut sites, &mut referenced);
+    }
+
+    let problems = check(&registered, &sites, &referenced);
+    if problems.is_empty() {
+        println!(
+            "lint-trace: OK ({} registered events, {} trace_event! sites, \
+             {checked} files)",
+            registered.len(),
+            sites.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("{p}");
+        }
+        eprintln!(
+            "\nlint-trace: {} problem(s). The schema in {EVENTS_RS} is the \
+             single source of truth (docs/TRACING.md).",
+            problems.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FAKE_EVENTS: &str = r#"
+pub enum EventId {
+    // ---- layer ----
+    LockAcquire = 1,
+    LockRelease = 2,
+    PacketTx = 64,
+}
+"#;
+
+    fn registered() -> BTreeSet<String> {
+        registered_variants(FAKE_EVENTS)
+    }
+
+    #[test]
+    fn parses_variants_from_enum_block() {
+        let r = registered();
+        assert_eq!(
+            r.iter().map(String::as_str).collect::<Vec<_>>(),
+            ["LockAcquire", "LockRelease", "PacketTx"]
+        );
+    }
+
+    #[test]
+    fn finds_macro_sites_and_references() {
+        let src = r#"
+            trace_event!(LockAcquire, id, 1);
+            trace_event!(PacketTx, len); trace_event!(LockRelease, id);
+            let x = EventId::LockAcquire;
+        "#;
+        let mut sites = Vec::new();
+        let mut refs = BTreeSet::new();
+        scan_file("a.rs", src, &mut sites, &mut refs);
+        assert_eq!(sites.len(), 3);
+        assert_eq!(sites[1].2, "PacketTx");
+        assert!(refs.contains("LockAcquire"));
+    }
+
+    #[test]
+    fn unregistered_site_is_a_problem() {
+        let sites = vec![("a.rs".into(), 3, "NotAnEvent".into())];
+        let problems = check(&registered(), &sites, &BTreeSet::new());
+        assert_eq!(problems.len(), 1 + registered().len());
+        assert!(problems[0].contains("NotAnEvent"));
+    }
+
+    #[test]
+    fn unemitted_variant_is_a_problem_unless_referenced() {
+        let sites = vec![
+            ("a.rs".into(), 1, "LockAcquire".into()),
+            ("b.rs".into(), 2, "LockRelease".into()),
+        ];
+        let problems = check(&registered(), &sites, &BTreeSet::new());
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("PacketTx"));
+
+        let mut refs = BTreeSet::new();
+        refs.insert("PacketTx".to_string());
+        assert!(check(&registered(), &sites, &refs).is_empty());
+    }
+
+    #[test]
+    fn the_real_workspace_passes() {
+        let root = super::super::workspace_root();
+        assert_eq!(run(&root), ExitCode::SUCCESS);
+    }
+}

@@ -1,14 +1,19 @@
 //! Repo automation tasks, invoked as `cargo xtask <command>`.
 //!
-//! Currently one command: `lint-concurrency`, a source-text lint pass for
-//! concurrency rules that rustc/clippy cannot express (see
-//! `docs/CONCURRENCY.md`). Exits non-zero if any violation is found, so it
-//! can gate CI.
+//! Two commands, both source-text lint passes that exit non-zero on any
+//! violation so they can gate CI:
+//!
+//! * `lint-concurrency` — concurrency rules that rustc/clippy cannot
+//!   express (see `docs/CONCURRENCY.md`).
+//! * `lint-trace` — `trace_event!` sites must match the registered
+//!   `EventId` schema, and every registered event must be emitted
+//!   somewhere (see `docs/TRACING.md`).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 mod lint_concurrency;
+mod lint_trace;
 
 fn workspace_root() -> PathBuf {
     // xtask always runs via `cargo xtask ...`, whose cwd-independent anchor
@@ -24,6 +29,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint-concurrency") => lint_concurrency::run(&workspace_root()),
+        Some("lint-trace") => lint_trace::run(&workspace_root()),
         Some(other) => {
             eprintln!("unknown xtask command: {other}");
             print_usage();
@@ -41,7 +47,9 @@ fn print_usage() {
         "usage: cargo xtask <command>\n\n\
          commands:\n  \
          lint-concurrency   check memory-ordering justifications, hot-path\n                     \
-         primitive bans and SAFETY comment coverage"
+         primitive bans and SAFETY comment coverage\n  \
+         lint-trace         check trace_event! sites against the registered\n                     \
+         EventId schema (and that no event is dead)"
     );
 }
 
