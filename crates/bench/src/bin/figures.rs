@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! figures [all|fig3|fig5|fig6|fig7|fig8|fig9|table1|sec33] [options]
+//! figures [all|fig3|fig5|fig6|fig7|fig8|fig9|table1|sec33|bench] [options]
 //!
 //!   --real        measure the real stack (meaningful on multicore hosts)
 //!   --calibrated  feed host-calibrated primitive costs to the simulator
@@ -13,7 +13,13 @@
 //!   --dual        fig8: use the dual-socket topology
 //!   --csv         CSV output instead of Markdown
 //!   --quick       fewer sizes and iterations
+//!   --json        bench: write BENCH_FIGURES.json / BENCH_PINGPONG.json
+//!   --out DIR     bench --json: output directory (default: cwd)
+//!   --sim-only    bench --json: skip the wall-clock records
 //! ```
+//!
+//! The `bench` subcommand produces the machine-readable regression
+//! baselines consumed by `cargo xtask bench-check` (docs/METRICS.md).
 //!
 //! Default mode is the deterministic simulator with the paper's cost
 //! constants, so output is reproducible anywhere; `--real` drives the
@@ -44,6 +50,9 @@ struct Options {
     dual: bool,
     csv: bool,
     quick: bool,
+    json: bool,
+    sim_only: bool,
+    out: Option<String>,
 }
 
 fn main() {
@@ -57,8 +66,13 @@ fn main() {
         dual: false,
         csv: false,
         quick: false,
+        json: false,
+        sim_only: false,
+        out: None,
     };
-    for a in &args {
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
         match a.as_str() {
             "--real" => opts.real = true,
             "--calibrated" => opts.calibrated = true,
@@ -67,8 +81,20 @@ fn main() {
             "--dual" => opts.dual = true,
             "--csv" => opts.csv = true,
             "--quick" => opts.quick = true,
+            "--json" => opts.json = true,
+            "--sim-only" => opts.sim_only = true,
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => opts.out = Some(dir.clone()),
+                    None => {
+                        eprintln!("--out needs a directory argument");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "all" | "fig3" | "fig5" | "fig6" | "fig7" | "fig7sweep" | "fig8" | "fig9" | "bw"
-            | "rdvoverlap" | "table1" | "sec33" => what.push(a.clone()),
+            | "rdvoverlap" | "table1" | "sec33" | "bench" => what.push(a.clone()),
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -79,6 +105,7 @@ fn main() {
                 std::process::exit(2);
             }
         }
+        i += 1;
     }
     if what.is_empty() || what.iter().any(|w| w == "all") {
         what = [
@@ -119,6 +146,7 @@ fn main() {
             "fig9" => fig9(&opts, costs),
             "table1" => table1(&opts, costs),
             "sec33" => sec33(),
+            "bench" => bench(&opts, costs),
             _ => unreachable!(),
         }
     }
@@ -126,8 +154,9 @@ fn main() {
 
 fn print_usage() {
     eprintln!(
-        "usage: figures [all|fig3|fig5|fig6|fig7|fig8|fig9|table1|sec33] \
-         [--real] [--calibrated] [--from-trace] [--folded] [--dual] [--csv] [--quick]"
+        "usage: figures [all|fig3|fig5|fig6|fig7|fig8|fig9|table1|sec33|bench] \
+         [--real] [--calibrated] [--from-trace] [--folded] [--dual] [--csv] [--quick] \
+         [--json] [--out DIR] [--sim-only]"
     );
 }
 
@@ -549,6 +578,112 @@ fn table1_from_trace(opts: &Options, costs: SimCosts) {
     if opts.folded {
         println!("```folded\n{}```", report.folded());
     }
+}
+
+/// Sizes used for the committed benchmark baselines. Deliberately fixed
+/// (not `--quick`-dependent): the baselines in git must always cover
+/// the same points, or bench-check would report spurious missing
+/// records.
+const BENCH_SIZES: &[usize] = &[4, 64, 1024, 16384];
+
+/// The `bench` subcommand: machine-readable regression baselines.
+///
+/// `BENCH_FIGURES.json` holds deterministic simulator results (compared
+/// exactly by `cargo xtask bench-check`); `BENCH_PINGPONG.json` holds
+/// wall-clock measurements of the real stack plus the metrics-layer
+/// record-cost microbench (compared within ±15%). `--sim-only` skips
+/// the wall-clock file for hosts/CI where timing is not comparable.
+fn bench(opts: &Options, costs: SimCosts) {
+    use nm_bench::report::{write_json, BenchRecord};
+
+    if !opts.json {
+        eprintln!("bench: only --json output is supported; pass --json");
+        std::process::exit(2);
+    }
+    let out_dir = std::path::PathBuf::from(opts.out.as_deref().unwrap_or("."));
+
+    // --- BENCH_FIGURES.json: deterministic sim records ----------------
+    let mut records = Vec::new();
+    let flatten = |records: &mut Vec<BenchRecord>, fig: &str, series: Vec<Series>| {
+        for s in series {
+            for (size, v) in s.points {
+                records.push(BenchRecord::sim(
+                    format!("{fig}/{}/size={size}", s.label),
+                    "us",
+                    v,
+                ));
+            }
+        }
+    };
+    flatten(
+        &mut records,
+        "fig3",
+        sim::fig3_locking_latency(costs, BENCH_SIZES),
+    );
+    flatten(
+        &mut records,
+        "fig5",
+        sim::fig5_concurrent_pingpong(costs, BENCH_SIZES),
+    );
+    flatten(
+        &mut records,
+        "fig6",
+        sim::fig6_pioman_overhead(costs, BENCH_SIZES),
+    );
+    flatten(
+        &mut records,
+        "fig7",
+        sim::fig7_waiting_strategies(costs, BENCH_SIZES),
+    );
+    flatten(
+        &mut records,
+        "fig9",
+        sim::fig9_offload_tasklets(costs, &[2048, 8192, 32768]),
+    );
+    let figures_path = out_dir.join("BENCH_FIGURES.json");
+    write_json(&figures_path, &records).expect("write BENCH_FIGURES.json");
+    eprintln!(
+        "# wrote {} ({} records)",
+        figures_path.display(),
+        records.len()
+    );
+
+    // --- BENCH_PINGPONG.json: wall-clock records ----------------------
+    if opts.sim_only {
+        return;
+    }
+    let mut records = Vec::new();
+    for &size in &[4usize, 1024] {
+        let po = PingpongOpts {
+            locking: LockingMode::Fine,
+            iters: if opts.quick { 50 } else { 400 },
+            warmup: if opts.quick { 10 } else { 40 },
+            ..PingpongOpts::default()
+        };
+        let stats = nm_bench::pingpong::pingpong_singlethread(&po, size);
+        records.push(BenchRecord::real(
+            format!("pingpong/singlethread/myri10g/size={size}"),
+            "us",
+            stats.median_us(),
+            stats.median_us(),
+            stats.percentile_ns(99.0) as f64 / 1_000.0,
+        ));
+    }
+    let rec_ns = nm_bench::report::measure_hist_record_ns();
+    records.push(BenchRecord::real(
+        "micro/hist_record/ns",
+        "ns",
+        rec_ns,
+        rec_ns,
+        rec_ns,
+    ));
+    let pingpong_path = out_dir.join("BENCH_PINGPONG.json");
+    write_json(&pingpong_path, &records).expect("write BENCH_PINGPONG.json");
+    eprintln!(
+        "# wrote {} ({} records)",
+        pingpong_path.display(),
+        records.len()
+    );
 }
 
 fn sec33() {

@@ -160,6 +160,7 @@ impl CommCore {
     /// larger messages complete when the last rendezvous chunk is
     /// injected.
     pub fn isend(&self, gate: GateId, tag: u64, data: Bytes) -> Result<Request, CommError> {
+        let _t = crate::metrics::send_hist().timer();
         let g = self.gate(gate)?;
         if data.len() > u32::MAX as usize {
             return Err(CommError::MessageTooLarge { len: data.len() });
@@ -249,6 +250,7 @@ impl CommCore {
     }
 
     fn irecv_matching(&self, gate: GateId, pattern: TagPattern) -> Result<Request, CommError> {
+        let _t = crate::metrics::recv_hist().timer();
         let g = self.gate(gate)?;
         let req = Request::new(RequestKind::Recv);
         self.stats.recvs_posted.incr();
@@ -343,6 +345,7 @@ impl CommCore {
     /// progression thread (or scheduler hooks) must be driving
     /// [`CommCore::progress`].
     pub fn wait(&self, req: &Request, strategy: WaitStrategy) {
+        let _t = crate::metrics::wait_hist().timer();
         match strategy.spin_budget() {
             // Busy: poll under the API guard until complete.
             None => {

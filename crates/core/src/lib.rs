@@ -49,6 +49,7 @@ mod config;
 mod error;
 mod gate;
 mod locking;
+pub mod metrics;
 mod request;
 mod stats;
 mod strategy;

@@ -1,0 +1,38 @@
+//! Always-on latency histograms for the core API operations.
+//!
+//! Each public operation records its wall-clock duration into a global
+//! log-linear histogram (`core.send_ns`, `core.recv_ns`,
+//! `core.wait_ns`) owned by [`nm_metrics::metrics`]. The handles are
+//! resolved once through a `OnceLock` so the per-op cost is two
+//! timestamps plus one relaxed atomic add — see the no-alloc and
+//! record-cost tests in `nm-metrics`.
+
+use std::sync::{Arc, OnceLock};
+
+use nm_metrics::Histogram;
+
+macro_rules! global_hist {
+    ($fn_name:ident, $metric:literal, $doc:literal) => {
+        #[doc = $doc]
+        pub fn $fn_name() -> &'static Arc<Histogram> {
+            static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+            H.get_or_init(|| nm_metrics::metrics().histogram($metric))
+        }
+    };
+}
+
+global_hist!(
+    send_hist,
+    "core.send_ns",
+    "Latency of `CommCore::isend` (post to return, ns)."
+);
+global_hist!(
+    recv_hist,
+    "core.recv_ns",
+    "Latency of `CommCore::irecv`/`irecv_any` (post to return, ns)."
+);
+global_hist!(
+    wait_hist,
+    "core.wait_ns",
+    "Latency of `CommCore::wait` (call to completion, ns)."
+);

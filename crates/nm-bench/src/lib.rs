@@ -22,6 +22,7 @@ pub mod concurrent;
 pub mod fromtrace;
 pub mod overlap;
 pub mod pingpong;
+pub mod report;
 pub mod stats;
 pub mod table;
 

@@ -120,6 +120,46 @@ pub fn pingpong_latency(opts: &PingpongOpts, size: usize) -> LatencyStats {
     LatencyStats::from_ns(samples)
 }
 
+/// Measures one-way latency with a **single thread driving both cores**.
+///
+/// The threaded [`pingpong_latency`] needs two busy-waiting threads; on
+/// a host with fewer cores than threads its timings are dominated by
+/// preemption (one side always holds the CPU while the other owes a
+/// reply). Here one thread posts both sides' operations and polls both
+/// cores' progress until each half round trip completes, so the
+/// measurement stays on-CPU end to end. This is the configuration the
+/// committed `BENCH_PINGPONG.json` baselines use — stable enough for a
+/// tolerance-based regression gate even on a single-core box.
+pub fn pingpong_singlethread(opts: &PingpongOpts, size: usize) -> LatencyStats {
+    let (a, b) = build_pair(opts);
+    let payload = Bytes::from(vec![0x42u8; size]);
+    let total = opts.warmup + opts.iters;
+    let mut samples = Vec::with_capacity(opts.iters);
+    for i in 0..total {
+        let t0 = std::time::Instant::now();
+        // a -> b
+        let r = b.irecv(GateId(0), 0).expect("irecv");
+        let s = a.isend(GateId(0), 0, payload.clone()).expect("isend");
+        while !(r.is_complete() && s.is_complete()) {
+            a.progress();
+            b.progress();
+        }
+        // b -> a (echo)
+        let data = r.take_data().expect("payload");
+        let r = a.irecv(GateId(0), 0).expect("irecv");
+        let s = b.isend(GateId(0), 0, data).expect("isend");
+        while !(r.is_complete() && s.is_complete()) {
+            a.progress();
+            b.progress();
+        }
+        let _ = r.take_data();
+        if i >= opts.warmup {
+            samples.push(t0.elapsed().as_nanos() as u64 / 2); // one-way
+        }
+    }
+    LatencyStats::from_ns(samples)
+}
+
 /// Produces one [`Series`] (median one-way latency per size).
 pub fn pingpong_series(opts: &PingpongOpts, label: &str, sizes: &[usize]) -> Series {
     Series {
@@ -167,6 +207,16 @@ mod tests {
         assert_eq!(s.points.len(), 2);
         assert_eq!(s.points[0].0, 1);
         assert!(s.points.iter().all(|&(_, us)| us > 0.0));
+    }
+
+    #[test]
+    fn singlethread_matches_threaded_protocol() {
+        let stats = pingpong_singlethread(&quick(LockingMode::Fine, false), 64);
+        assert_eq!(stats.count(), 10);
+        assert!(stats.min_ns() > 0);
+        // Rendezvous path too (size above the default eager threshold).
+        let stats = pingpong_singlethread(&quick(LockingMode::Coarse, false), 64 * 1024);
+        assert_eq!(stats.count(), 10);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 mod clock;
 mod driver;
 mod fabric;
+pub mod metrics;
 mod model;
 mod mpmc;
 mod nic;

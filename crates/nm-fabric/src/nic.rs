@@ -22,6 +22,8 @@ struct WirePacket {
 struct Wire {
     ring: MpmcRing<WirePacket>,
     next_free_ns: AtomicU64,
+    /// Payload bytes injected but not yet delivered (wire occupancy).
+    occupancy_bytes: AtomicU64,
 }
 
 impl Wire {
@@ -29,6 +31,7 @@ impl Wire {
         Wire {
             ring: MpmcRing::new(depth.max(1)),
             next_free_ns: AtomicU64::new(0),
+            occupancy_bytes: AtomicU64::new(0),
         }
     }
 
@@ -172,6 +175,14 @@ impl SimNic {
         self.tx.ring.push(pkt).map_err(|_| TxQueueFull)?;
         self.counters.tx_packets.incr();
         self.counters.tx_bytes.add(len as u64);
+        // relaxed: occupancy is a diagnostic aggregate; the ring push
+        // above is what publishes the packet.
+        self.tx
+            .occupancy_bytes
+            .fetch_add(len as u64, Ordering::Relaxed);
+        crate::metrics::tx_packets().incr();
+        crate::metrics::tx_bytes().add(len as u64);
+        crate::metrics::inflight_bytes().add(len as i64);
         nm_trace::trace_event!(PacketTx, len);
         if was_idle {
             nm_trace::trace_event!(NicIdle, 0u64);
@@ -190,6 +201,13 @@ impl SimNic {
         if pkt.deliver_at_ns <= now {
             self.counters.rx_packets.incr();
             self.counters.rx_bytes.add(pkt.payload.len() as u64);
+            // relaxed: diagnostic aggregate, mirrors the tx-side add.
+            self.rx
+                .occupancy_bytes
+                .fetch_sub(pkt.payload.len() as u64, Ordering::Relaxed);
+            crate::metrics::rx_packets().incr();
+            crate::metrics::rx_bytes().add(pkt.payload.len() as u64);
+            crate::metrics::inflight_bytes().sub(pkt.payload.len() as i64);
             nm_trace::trace_event!(PacketRx, pkt.payload.len());
             if self.rx.ring.is_empty() {
                 // Last in-flight packet delivered: the sending side's
@@ -218,6 +236,13 @@ impl SimNic {
     /// this endpoint.
     pub fn has_inbound(&self) -> bool {
         self.stash.lock().is_some() || !self.rx.ring.is_empty()
+    }
+
+    /// Payload bytes this endpoint has injected that the peer has not
+    /// yet delivered — this NIC's outbound wire occupancy.
+    pub fn inflight_bytes(&self) -> u64 {
+        // relaxed: advisory snapshot of a diagnostic aggregate.
+        self.tx.occupancy_bytes.load(Ordering::Relaxed)
     }
 }
 
@@ -344,6 +369,20 @@ mod tests {
         assert_eq!(a.counters().tx_bytes.get(), 100);
         assert_eq!(b.counters().rx_packets.get(), 1);
         assert_eq!(b.counters().rx_bytes.get(), 100);
+    }
+
+    #[test]
+    fn inflight_bytes_track_wire_occupancy() {
+        let (a, b, clock) = manual_pair(WireModel::myri_10g());
+        assert_eq!(a.inflight_bytes(), 0);
+        a.post_send(Bytes::from(vec![0u8; 64])).unwrap();
+        a.post_send(Bytes::from(vec![0u8; 36])).unwrap();
+        assert_eq!(a.inflight_bytes(), 100);
+        clock.advance(10_000_000);
+        b.poll_recv().unwrap();
+        assert_eq!(a.inflight_bytes(), 36);
+        b.poll_recv().unwrap();
+        assert_eq!(a.inflight_bytes(), 0);
     }
 
     #[test]

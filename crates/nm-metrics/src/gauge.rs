@@ -1,0 +1,76 @@
+//! Instantaneous-value gauges.
+//!
+//! A gauge is a relaxed `AtomicI64` that layers `set`/`add`/`sub` as the
+//! quantity it mirrors changes: tasklet queue depth, offload backlog,
+//! progress-engine empty-poll streak, bytes in flight on a wire. Like
+//! everything in this crate it is always compiled in and every update is
+//! one relaxed atomic op (module-wide discipline: advisory statistics,
+//! never synchronization).
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// An instantaneous value, updated with relaxed atomic ops.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if `v` is larger (high-watermark gauges).
+    #[inline]
+    pub fn record_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_add_sub() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        assert_eq!(g.get(), 12);
+        g.sub(20);
+        assert_eq!(g.get(), -8, "gauges may go negative transiently");
+    }
+
+    #[test]
+    fn record_max_is_a_high_watermark() {
+        let g = Gauge::new();
+        g.record_max(4);
+        g.record_max(2);
+        assert_eq!(g.get(), 4);
+        g.record_max(9);
+        assert_eq!(g.get(), 9);
+    }
+}

@@ -1,0 +1,155 @@
+//! Histogram correctness against a sorted-vector oracle.
+//!
+//! The satellite contract for the metrics layer: quantile estimates
+//! must stay within one log-linear bucket (≤ 1/64 relative) of the
+//! exact nearest-rank percentile, shard merges must be associative, the
+//! top bucket must saturate, and the record path must not allocate
+//! (covered separately in `tests/no_alloc.rs`).
+
+use proptest::prelude::*;
+
+use nm_metrics::{bucket_bound, bucket_floor, bucket_index, Histogram, HistogramSnapshot};
+
+/// Exact nearest-rank percentile over a sorted sample vector — the
+/// oracle the histogram is checked against.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The histogram's quantile must land in the same bucket as the oracle
+/// value: estimate ∈ [oracle, bucket_bound(bucket(oracle))].
+fn check_quantile(h: &HistogramSnapshot, sorted: &[u64], q: f64) {
+    let exact = oracle_quantile(sorted, q);
+    let est = h.quantile(q);
+    let hi = bucket_bound(bucket_index(exact));
+    let lo = bucket_floor(bucket_index(exact));
+    assert!(
+        est >= lo && est <= hi,
+        "q={q}: estimate {est} outside bucket [{lo}, {hi}] of exact {exact}"
+    );
+    // Relative error bound: one bucket width, ≤ 1/64 above the linear
+    // range (exact below it).
+    let err = est.abs_diff(exact) as f64;
+    assert!(
+        err <= (exact as f64 / 64.0).max(0.0) + 1.0,
+        "q={q}: |{est} - {exact}| = {err} exceeds the 1/64 bound"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    /// Quantiles track the sorted-vector oracle at every probe point,
+    /// across magnitudes from exact-linear to multi-second.
+    #[test]
+    fn quantiles_track_oracle(
+        raw in prop::collection::vec((0u64..5, 1u64..1_000_000), 1..400),
+    ) {
+        // Spread samples across magnitudes: value = base << (3 * octave).
+        let samples: Vec<u64> = raw
+            .iter()
+            .map(|&(octave, base)| base << (3 * octave))
+            .collect();
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            check_quantile(&snap, &sorted, q);
+        }
+        // min/max bracket the true extremes within their buckets.
+        prop_assert!(snap.min() <= sorted[0]);
+        prop_assert!(snap.max() >= *sorted.last().unwrap());
+    }
+
+    /// Merging shard snapshots is associative and commutative: any
+    /// grouping of the same records yields the identical snapshot.
+    #[test]
+    fn shard_merge_is_associative(
+        a in prop::collection::vec(0u64..1_000_000, 0..100),
+        b in prop::collection::vec(0u64..1_000_000, 0..100),
+        c in prop::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let snap = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        // (a ⊕ b) ⊕ c
+        let mut ab = snap(&a);
+        ab.merge(&snap(&b));
+        ab.merge(&snap(&c));
+        // a ⊕ (b ⊕ c)
+        let mut bc = snap(&b);
+        bc.merge(&snap(&c));
+        let mut a_bc = snap(&a);
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab, &a_bc);
+        // c ⊕ b ⊕ a (commutativity)
+        let mut cba = snap(&c);
+        cba.merge(&snap(&b));
+        cba.merge(&snap(&a));
+        prop_assert_eq!(&ab, &cba);
+        // ...and all equal recording everything into one histogram.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&ab, &snap(&all));
+    }
+}
+
+#[test]
+fn saturation_preserves_count_and_order() {
+    let h = Histogram::new();
+    h.record(100);
+    for _ in 0..10 {
+        h.record(u64::MAX);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.count(), 11);
+    assert_eq!(s.saturated(), 10);
+    assert_eq!(s.quantile(0.01), 100, "small value still visible");
+    assert_eq!(
+        s.quantile(1.0),
+        nm_metrics::bucket_bound(nm_metrics::BUCKETS - 1),
+        "saturated values report the top bucket bound"
+    );
+}
+
+#[test]
+fn multithreaded_shards_equal_single_thread() {
+    use std::sync::Arc;
+    // The same multiset of values recorded from 8 threads (spread over
+    // all stripes) must snapshot identically to a single-thread run.
+    let mt = Arc::new(Histogram::new());
+    let threads: Vec<_> = (0..8u64)
+        .map(|t| {
+            let h = Arc::clone(&mt);
+            std::thread::spawn(move || {
+                for i in 0..5_000u64 {
+                    h.record(t * 1_000 + (i % 997));
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let st = Histogram::new();
+    for t in 0..8u64 {
+        for i in 0..5_000u64 {
+            st.record(t * 1_000 + (i % 997));
+        }
+    }
+    assert_eq!(mt.snapshot(), st.snapshot());
+}

@@ -37,12 +37,20 @@
 //! [`Comm::wait`]/[`Comm::wait_all`] now also surface request errors as
 //! `Result<(), MpiError>` instead of swallowing them.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use bytes::Bytes;
 
 use nm_core::{CommCore, CommError, GateId, Request};
 use nm_sync::WaitStrategy;
+
+/// Latency of facade-level blocking waits ([`Endpoint::wait`] /
+/// [`Comm::wait`], ns) — the application-visible wait cost, one layer
+/// above `core.wait_ns`.
+fn mpi_wait_hist() -> &'static Arc<nm_metrics::Histogram> {
+    static H: OnceLock<Arc<nm_metrics::Histogram>> = OnceLock::new();
+    H.get_or_init(|| nm_metrics::metrics().histogram("mpi.wait_ns"))
+}
 
 /// Errors surfaced by the MPI façade.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -188,6 +196,7 @@ impl Endpoint {
     /// Waits for a request with this endpoint's strategy, surfacing any
     /// request error.
     pub fn wait(&self, req: &Request) -> Result<(), MpiError> {
+        let _t = mpi_wait_hist().timer();
         self.core.wait(req, self.wait);
         match req.take_error() {
             Some(e) => Err(e.into()),
@@ -297,6 +306,7 @@ impl Comm {
     /// Waits for a request with this communicator's strategy, surfacing
     /// any request error (previously swallowed).
     pub fn wait(&self, req: &Request) -> Result<(), MpiError> {
+        let _t = mpi_wait_hist().timer();
         self.core.wait(req, self.wait);
         match req.take_error() {
             Some(e) => Err(e.into()),

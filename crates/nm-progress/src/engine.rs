@@ -57,6 +57,8 @@ pub struct ProgressEngine {
     next_id: AtomicU64,
     polls: Counter,
     progressions: Counter,
+    /// Consecutive poll passes (on this engine) with zero progress.
+    empty_streak: AtomicU64,
 }
 
 impl ProgressEngine {
@@ -67,6 +69,7 @@ impl ProgressEngine {
             next_id: AtomicU64::new(0),
             polls: Counter::new(),
             progressions: Counter::new(),
+            empty_streak: AtomicU64::new(0),
         }
     }
 
@@ -102,6 +105,7 @@ impl ProgressEngine {
         // of one uncontended spinlock cycle plus an Arc refcount bump.
         let snapshot = Arc::clone(&*self.sources.lock());
         self.polls.incr();
+        crate::metrics::polls_counter().incr();
         // The begin→end span is the paper's ~200 ns "PIOMan pass".
         nm_trace::trace_event!(PollPassBegin);
         let mut progressed = 0;
@@ -112,6 +116,16 @@ impl ProgressEngine {
         }
         if progressed > 0 {
             self.progressions.add(progressed as u64);
+            crate::metrics::progressions_counter().add(progressed as u64);
+            // relaxed: health diagnostics; passes may interleave freely.
+            self.empty_streak.store(0, Ordering::Relaxed);
+            crate::metrics::empty_poll_streak().set(0);
+        } else {
+            // relaxed: as above — an approximate streak under concurrent
+            // pollers is acceptable for a health gauge.
+            let streak = self.empty_streak.fetch_add(1, Ordering::Relaxed) + 1;
+            crate::metrics::empty_poll_streak().set(streak as i64);
+            crate::metrics::empty_poll_streak_max().record_max(streak as i64);
         }
         nm_trace::trace_event!(PollPassEnd, progressed);
         progressed

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod metrics;
 mod offload;
 mod progression_thread;
 mod tasklet;

@@ -125,11 +125,13 @@ impl Offloader {
             OffloadMode::IdleCore => {
                 self.queue.push(Box::new(job));
                 self.deferred.incr();
+                crate::metrics::offload_backlog().add(1);
                 nm_trace::trace_event!(OffloadSubmit, self.mode as usize);
             }
             OffloadMode::Tasklet => {
                 self.queue.push(Box::new(job));
                 self.deferred.incr();
+                crate::metrics::offload_backlog().add(1);
                 nm_trace::trace_event!(OffloadSubmit, self.mode as usize);
                 let (engine, tasklet) = self
                     .tasklet
@@ -148,6 +150,7 @@ impl Offloader {
     pub fn drain(&self) -> usize {
         let mut ran = 0;
         while let Some(job) = self.queue.pop() {
+            crate::metrics::offload_backlog().sub(1);
             // Matched FIFO against OffloadSubmit: the gap is the offload
             // hop (Fig 9's 400 ns idle-core / ~3.1 µs tasklet placement).
             nm_trace::trace_event!(OffloadRun, self.mode as usize);

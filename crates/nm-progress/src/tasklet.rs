@@ -135,6 +135,7 @@ impl TaskletEngine {
                     if enqueue {
                         nm_trace::trace_event!(TaskletSched, Arc::as_ptr(tasklet) as usize);
                         self.shared.pending.push(Arc::clone(tasklet));
+                        crate::metrics::tasklet_depth().add(1);
                         let _g = self.shared.lock.lock();
                         self.shared.cv.notify_one();
                     }
@@ -164,6 +165,7 @@ fn runner_loop(shared: Arc<Shared>, core: Option<usize>) {
     }
     loop {
         if let Some(tasklet) = shared.pending.pop() {
+            crate::metrics::tasklet_depth().sub(1);
             run_one(&shared, tasklet);
             continue;
         }
@@ -201,6 +203,7 @@ fn run_one(shared: &Arc<Shared>, tasklet: Arc<Tasklet>) {
             debug_assert_eq!(state, RERUN);
             tasklet.state.store(SCHEDULED, Ordering::Release);
             shared.pending.push(tasklet);
+            crate::metrics::tasklet_depth().add(1);
             let _g = shared.lock.lock();
             shared.cv.notify_one();
         }

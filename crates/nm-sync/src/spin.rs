@@ -101,6 +101,9 @@ impl RawSpin {
 
     #[cold]
     fn lock_contended(&self) {
+        // Timestamping only happens here, on the contended slow path; the
+        // fast path above stays a bare CAS plus counter bump.
+        let start = std::time::Instant::now();
         let mut backoff = Backoff::new();
         loop {
             // Test-and-test-and-set: spin on a plain load so that waiting
@@ -118,6 +121,7 @@ impl RawSpin {
                 .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
                 .is_ok()
             {
+                crate::stats::lock_wait_hist().record(start.elapsed().as_nanos() as u64);
                 self.stats.record_acquire(true);
                 self.note_acquired();
                 nm_trace::trace_event!(LockAcquire, self.lock_id(), 1u64);

@@ -1,8 +1,25 @@
-//! Lock/event instrumentation — re-exported from [`nm_trace::counters`].
+//! Lock/event instrumentation — re-exported from [`nm_trace::counters`]
+//! (which itself re-exports the always-on `nm-metrics` crate).
 //!
-//! [`LockStats`] and [`Counter`] used to be defined here; they moved to
-//! `nm-trace` so every layer shares one counter registry
-//! ([`nm_trace::counters::registry`]) instead of bespoke per-crate
+//! [`LockStats`] and [`Counter`] used to be defined here; they moved
+//! down the stack so every layer shares one counter registry
+//! ([`nm_trace::counters::registry`], the same object as
+//! `nm_metrics::metrics().counters()`) instead of bespoke per-crate
 //! stats structs. This module remains the `nm-sync`-facing path.
 
-pub use nm_trace::counters::{registry, Counter, CounterRegistry, LockStats};
+use std::sync::{Arc, OnceLock};
+
+pub use nm_trace::counters::{registry, Counter, CounterRegistry, LockStats, ShardedCounter};
+
+/// Stack-wide histogram of contended lock wait times, in nanoseconds.
+///
+/// Fed by every [`crate::RawSpin`]/[`crate::SpinLock`] acquisition that
+/// missed its fast-path CAS and by every [`crate::TicketLock`]
+/// acquisition that found an earlier ticket still being served. The
+/// uncontended fast path never touches it (and pays no timestamp),
+/// matching the paper's cost model where an uncontended acquire/release
+/// cycle is a single CAS pair.
+pub fn lock_wait_hist() -> &'static Arc<nm_metrics::Histogram> {
+    static H: OnceLock<Arc<nm_metrics::Histogram>> = OnceLock::new();
+    H.get_or_init(|| nm_metrics::metrics().histogram("sync.lock.wait_ns"))
+}

@@ -60,11 +60,17 @@ impl<T: ?Sized> TicketLock<T> {
         // relaxed: the ticket number is just a queue position; the
         // Acquire load of `now_serving` below synchronizes the data.
         let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
-        let mut backoff = Backoff::new();
-        // `snooze` yields past the spin budget so earlier ticket holders
-        // can run even on an oversubscribed machine.
-        while self.now_serving.load(Ordering::Acquire) != ticket {
-            backoff.snooze();
+        if self.now_serving.load(Ordering::Acquire) != ticket {
+            // Contended: an earlier ticket is still being served. Only
+            // this path pays for a timestamp pair.
+            let start = std::time::Instant::now();
+            let mut backoff = Backoff::new();
+            // `snooze` yields past the spin budget so earlier ticket holders
+            // can run even on an oversubscribed machine.
+            while self.now_serving.load(Ordering::Acquire) != ticket {
+                backoff.snooze();
+            }
+            crate::stats::lock_wait_hist().record(start.elapsed().as_nanos() as u64);
         }
         if let Some(class) = self.class {
             crate::lockcheck::acquired(class);

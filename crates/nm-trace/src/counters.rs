@@ -1,223 +1,12 @@
-//! The stack-wide counter registry and the counter primitives.
+//! The stack-wide counter registry — re-exported from
+//! [`nm_metrics::counters`].
 //!
-//! The paper decomposes thread-support overheads into per-primitive
-//! constants (70 ns per lock acquire/release cycle, 750 ns per context
-//! switch, …). These counters let the calibration harness attribute
-//! costs: how many lock operations sit on the critical path of one
-//! pingpong iteration, and how often they were contended.
-//!
-//! [`Counter`] and [`LockStats`] used to live in `nm_sync::stats`; they
-//! moved here so every layer shares one registry ([`registry`]) instead
-//! of bespoke per-crate stats structs. `nm_sync::stats` re-exports this
-//! module for compatibility.
+//! [`Counter`] and [`LockStats`] used to live here (and before that in
+//! `nm_sync::stats`); they moved to the always-on `nm-metrics` crate so
+//! the metrics layer owns the single counters surface. This module
+//! remains the `nm-trace`-facing path: the registry obtained through
+//! [`registry`] is the *same object* as `nm_metrics::metrics().counters()`
+//! — one surface, no copies. Unlike trace events, counters are never
+//! feature-gated.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
-
-/// Acquisition/contention counters attached to every lock in the stack.
-///
-/// All increments are `Relaxed` single atomic adds; on x86-64 this costs on
-/// the order of a nanosecond and does not perturb the measured constants at
-/// the precision the paper reports.
-#[derive(Debug, Default)]
-pub struct LockStats {
-    acquisitions: AtomicU64,
-    contended: AtomicU64,
-}
-
-impl LockStats {
-    /// Creates zeroed counters.
-    pub const fn new() -> Self {
-        LockStats {
-            acquisitions: AtomicU64::new(0),
-            contended: AtomicU64::new(0),
-        }
-    }
-
-    /// Records one successful acquisition; `contended` when the fast path
-    /// failed and the acquirer had to spin.
-    ///
-    /// With the `trace` feature enabled this also feeds the registry's
-    /// stack-wide `sync.lock.acquisitions` / `sync.lock.contended`
-    /// aggregates, so cross-layer lock totals have one source of truth.
-    #[inline]
-    pub fn record_acquire(&self, contended: bool) {
-        self.acquisitions.fetch_add(1, Ordering::Relaxed);
-        if contended {
-            self.contended.fetch_add(1, Ordering::Relaxed);
-        }
-        #[cfg(feature = "trace")]
-        {
-            let (acq, cont) = global_lock_counters();
-            acq.incr();
-            if contended {
-                cont.incr();
-            }
-        }
-    }
-
-    /// Total successful acquisitions.
-    pub fn acquisitions(&self) -> u64 {
-        self.acquisitions.load(Ordering::Relaxed)
-    }
-
-    /// Acquisitions that found the lock held and had to spin.
-    pub fn contentions(&self) -> u64 {
-        self.contended.load(Ordering::Relaxed)
-    }
-
-    /// Fraction of acquisitions that were contended, in `[0, 1]`.
-    pub fn contention_ratio(&self) -> f64 {
-        let acq = self.acquisitions();
-        if acq == 0 {
-            0.0
-        } else {
-            self.contentions() as f64 / acq as f64
-        }
-    }
-
-    /// Resets both counters to zero.
-    pub fn reset(&self) {
-        self.acquisitions.store(0, Ordering::Relaxed);
-        self.contended.store(0, Ordering::Relaxed);
-    }
-}
-
-/// A general-purpose relaxed event counter.
-#[derive(Debug, Default)]
-pub struct Counter(AtomicU64);
-
-impl Counter {
-    /// Creates a zeroed counter.
-    pub const fn new() -> Self {
-        Counter(AtomicU64::new(0))
-    }
-
-    /// Adds one.
-    #[inline]
-    pub fn incr(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Adds `n`.
-    #[inline]
-    pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Current value.
-    pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
-
-    /// Resets to zero, returning the previous value.
-    pub fn take(&self) -> u64 {
-        self.0.swap(0, Ordering::Relaxed)
-    }
-}
-
-/// The global named-counter registry.
-///
-/// Counters are created on first use and live for the process; lookups
-/// take a mutex, so call sites should cache the returned [`Arc`] (hot
-/// paths never look up by name per operation).
-#[derive(Debug, Default)]
-pub struct CounterRegistry {
-    entries: Mutex<Vec<(&'static str, Arc<Counter>)>>,
-}
-
-impl CounterRegistry {
-    /// Returns the counter named `name`, creating it if needed.
-    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
-        let mut entries = self.entries.lock().unwrap();
-        if let Some((_, c)) = entries.iter().find(|(n, _)| *n == name) {
-            return Arc::clone(c);
-        }
-        let c = Arc::new(Counter::new());
-        entries.push((name, Arc::clone(&c)));
-        c
-    }
-
-    /// Snapshot of every registered counter, sorted by name.
-    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
-        let entries = self.entries.lock().unwrap();
-        let mut out: Vec<_> = entries.iter().map(|(n, c)| (*n, c.get())).collect();
-        out.sort_unstable_by_key(|(n, _)| *n);
-        out
-    }
-
-    /// Resets every registered counter to zero.
-    pub fn reset_all(&self) {
-        let entries = self.entries.lock().unwrap();
-        for (_, c) in entries.iter() {
-            c.take();
-        }
-    }
-}
-
-/// The process-wide registry.
-pub fn registry() -> &'static CounterRegistry {
-    static REGISTRY: OnceLock<CounterRegistry> = OnceLock::new();
-    REGISTRY.get_or_init(CounterRegistry::default)
-}
-
-/// Stack-wide lock aggregates, registered once in [`registry`].
-#[cfg(feature = "trace")]
-fn global_lock_counters() -> &'static (Arc<Counter>, Arc<Counter>) {
-    static GLOBAL: OnceLock<(Arc<Counter>, Arc<Counter>)> = OnceLock::new();
-    GLOBAL.get_or_init(|| {
-        (
-            registry().counter("sync.lock.acquisitions"),
-            registry().counter("sync.lock.contended"),
-        )
-    })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn lock_stats_accumulate() {
-        let s = LockStats::new();
-        s.record_acquire(false);
-        s.record_acquire(true);
-        s.record_acquire(true);
-        assert_eq!(s.acquisitions(), 3);
-        assert_eq!(s.contentions(), 2);
-        assert!((s.contention_ratio() - 2.0 / 3.0).abs() < 1e-12);
-        s.reset();
-        assert_eq!(s.acquisitions(), 0);
-        assert_eq!(s.contention_ratio(), 0.0);
-    }
-
-    #[test]
-    fn counter_take_swaps_to_zero() {
-        let c = Counter::new();
-        c.incr();
-        c.add(9);
-        assert_eq!(c.get(), 10);
-        assert_eq!(c.take(), 10);
-        assert_eq!(c.get(), 0);
-    }
-
-    #[test]
-    fn registry_dedupes_by_name() {
-        let a = registry().counter("test.registry.dedup");
-        let b = registry().counter("test.registry.dedup");
-        assert!(Arc::ptr_eq(&a, &b));
-        a.add(3);
-        let snap = registry().snapshot();
-        let entry = snap.iter().find(|(n, _)| *n == "test.registry.dedup");
-        assert_eq!(entry, Some(&("test.registry.dedup", 3)));
-    }
-
-    #[cfg(feature = "trace")]
-    #[test]
-    fn lock_stats_feed_global_aggregates() {
-        let acq = registry().counter("sync.lock.acquisitions");
-        let before = acq.get();
-        LockStats::new().record_acquire(true);
-        assert!(acq.get() > before);
-    }
-}
+pub use nm_metrics::counters::{registry, Counter, CounterRegistry, LockStats, ShardedCounter};

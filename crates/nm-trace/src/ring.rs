@@ -257,6 +257,87 @@ mod imp {
             assert_eq!(t.dropped, 0);
         }
 
+        /// Regression: the `head == cap` boundary is the classic
+        /// off-by-one spot (a `<=`/`<` slip either drops a live event or
+        /// reports `dropped: u64::MAX`). Exactly `cap` writes must
+        /// retain all `cap` events with zero drops; one more write must
+        /// drop exactly the oldest.
+        #[test]
+        fn exact_capacity_boundary() {
+            for (writes, want_dropped) in [(7u64, 0u64), (8, 0), (9, 1)] {
+                let ring = ThreadRing::new(0, "test".into(), 8);
+                for i in 0..writes {
+                    ring.write(i, EventId::LockAcquire, i, 0);
+                }
+                let t = ring.drain(false);
+                assert_eq!(t.dropped, want_dropped, "writes={writes}");
+                assert_eq!(t.events.len() as u64, writes - want_dropped);
+                let args: Vec<u64> = t.events.iter().map(|e| e.a).collect();
+                assert_eq!(args, (want_dropped..writes).collect::<Vec<u64>>());
+            }
+        }
+
+        /// Regression: drain-with-reset at exactly `head == cap` must
+        /// leave the ring genuinely empty — a stale `head` here would
+        /// make the next drain report `cap` phantom events.
+        #[test]
+        fn reset_at_exact_capacity_boundary() {
+            let ring = ThreadRing::new(0, "test".into(), 4);
+            for i in 0..4u64 {
+                ring.write(i, EventId::LockAcquire, i, 0);
+            }
+            let t = ring.drain(true);
+            assert_eq!((t.events.len(), t.dropped), (4, 0));
+            let t = ring.drain(false);
+            assert_eq!((t.events.len(), t.dropped), (0, 0));
+            // The ring is reusable after reset: writes land in slot 0.
+            ring.write(9, EventId::PacketTx, 9, 0);
+            let t = ring.drain(false);
+            assert_eq!(t.events.len(), 1);
+            assert_eq!(t.events[0].a, 9);
+        }
+
+        /// A reader draining while the writer wraps over the seam may
+        /// observe torn slots, but must never panic, return an invalid
+        /// id, or report inconsistent counts (module docs promise
+        /// "safe, inexact" for concurrent drains).
+        #[test]
+        fn torn_reader_at_wrap_seam_is_safe() {
+            let ring = Arc::new(ThreadRing::new(0, "test".into(), 4));
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let writer = {
+                let ring = Arc::clone(&ring);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        // Tiny ring: nearly every write crosses the seam.
+                        ring.write(i, EventId::PacketTx, i, i);
+                        i += 1;
+                    }
+                    i
+                })
+            };
+            let mut prev_dropped = 0u64;
+            for _ in 0..200 {
+                let t = ring.drain(false);
+                assert!(t.events.len() <= 4);
+                // head only grows between non-reset drains, so the
+                // dropped count must be monotonic; a torn cursor read
+                // would break this.
+                assert!(t.dropped >= prev_dropped);
+                prev_dropped = t.dropped;
+                for e in &t.events {
+                    assert_eq!(e.id, EventId::PacketTx);
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+            let total = writer.join().unwrap();
+            // Quiesced drain is exact again: counts reconcile.
+            let t = ring.drain(false);
+            assert_eq!(t.dropped + t.events.len() as u64, total);
+        }
+
         #[test]
         fn capacity_one_keeps_last_event() {
             let ring = ThreadRing::new(0, "test".into(), 1);

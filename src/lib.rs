@@ -21,6 +21,8 @@
 //! * [`bench`] — benchmark harness used to regenerate the paper's figures.
 //! * [`trace`] — low-overhead event tracing and the counters registry
 //!   (records only with the `trace` cargo feature; see `docs/TRACING.md`).
+//! * [`metrics`] — always-on latency histograms, gauges and rate counters
+//!   with OpenMetrics/JSON export (see `docs/METRICS.md`).
 //!
 //! ## Quickstart
 //!
@@ -48,6 +50,7 @@
 pub use nm_bench as bench;
 pub use nm_core as core;
 pub use nm_fabric as fabric;
+pub use nm_metrics as metrics;
 pub use nm_mpi as mpi;
 pub use nm_progress as progress;
 pub use nm_sched as sched;

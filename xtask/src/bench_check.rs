@@ -1,0 +1,507 @@
+//! `cargo xtask bench-check` — benchmark-regression gate.
+//!
+//! Reruns `figures bench --json` into a temp directory and compares the
+//! fresh `BENCH_FIGURES.json` / `BENCH_PINGPONG.json` against the
+//! baselines committed at the repo root:
+//!
+//! * `kind: "sim"` records come from the deterministic virtual-clock
+//!   simulator and must match the baseline **exactly** — any drift means
+//!   the model changed and the baseline must be consciously refreshed
+//!   (see docs/METRICS.md).
+//! * `kind: "real"` records are wall-clock measurements; the headline
+//!   `value` must stay within ±15% of the baseline. `p50`/`p99` are
+//!   informational (tail percentiles are too noisy to gate on).
+//!
+//! `--sim-only` restricts both the rerun and the comparison to sim
+//! records, which is what CI uses (shared runners make the ±15% real
+//! band meaningless there).
+//!
+//! xtask is dependency-free, so this module carries its own ~100-line
+//! JSON reader covering the subset the bench schema uses (objects,
+//! arrays, strings, numbers, null).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::{Command, ExitCode};
+
+/// Relative tolerance for `kind: "real"` records.
+const REAL_TOLERANCE: f64 = 0.15;
+
+/// The two benchmark report files, relative to the repo root.
+const BENCH_FILES: &[&str] = &["BENCH_FIGURES.json", "BENCH_PINGPONG.json"];
+
+pub fn run(root: &Path, args: &[String]) -> ExitCode {
+    let mut sim_only = false;
+    for a in args {
+        match a.as_str() {
+            "--sim-only" => sim_only = true,
+            other => {
+                eprintln!("bench-check: unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let fresh_dir = std::env::temp_dir().join(format!("nm-bench-check-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&fresh_dir) {
+        eprintln!("bench-check: cannot create {}: {e}", fresh_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!(
+        "bench-check: running fresh benchmarks into {}",
+        fresh_dir.display()
+    );
+    let mut cmd = Command::new("cargo");
+    cmd.current_dir(root)
+        .args([
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "nm-benches",
+            "--bin",
+            "figures",
+            "--",
+        ])
+        .args(["bench", "--json", "--out"])
+        .arg(&fresh_dir);
+    if sim_only {
+        cmd.arg("--sim-only");
+    }
+    match cmd.status() {
+        Ok(s) if s.success() => {}
+        Ok(s) => {
+            eprintln!("bench-check: figures bench failed with {s}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("bench-check: failed to spawn cargo: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut failures = Vec::new();
+    for file in BENCH_FILES {
+        if sim_only && *file == "BENCH_PINGPONG.json" {
+            continue; // real-mode file is not produced under --sim-only
+        }
+        let base_path = root.join(file);
+        let fresh_path = fresh_dir.join(file);
+        let baseline = match load_records(&base_path) {
+            Ok(r) => r,
+            Err(e) => {
+                failures.push(format!("{file}: baseline unreadable: {e}"));
+                continue;
+            }
+        };
+        let fresh = match load_records(&fresh_path) {
+            Ok(r) => r,
+            Err(e) => {
+                failures.push(format!("{file}: fresh run unreadable: {e}"));
+                continue;
+            }
+        };
+        failures.extend(
+            compare(&baseline, &fresh, sim_only)
+                .into_iter()
+                .map(|m| format!("{file}: {m}")),
+        );
+        eprintln!(
+            "bench-check: {file}: {} baseline records compared",
+            baseline.len()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&fresh_dir);
+
+    if failures.is_empty() {
+        eprintln!("bench-check: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench-check: {} failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!(
+            "bench-check: if the change is intentional, refresh the baselines\n  \
+             (cargo run --release -p nm-benches --bin figures -- bench --json)\n  \
+             and commit the new BENCH_*.json — see docs/METRICS.md."
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// One parsed benchmark record (the fields bench-check gates on).
+#[derive(Debug, Clone, PartialEq)]
+struct Record {
+    value: f64,
+    kind: String,
+}
+
+fn load_records(path: &Path) -> Result<BTreeMap<String, Record>, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    parse_records(&body)
+}
+
+fn parse_records(body: &str) -> Result<BTreeMap<String, Record>, String> {
+    let doc = Json::parse(body)?;
+    let Json::Object(top) = doc else {
+        return Err("top level is not an object".into());
+    };
+    match top.get("schema") {
+        Some(Json::Number(n)) if *n == 1.0 => {}
+        other => return Err(format!("unsupported schema field: {other:?}")),
+    }
+    let Some(Json::Array(records)) = top.get("records") else {
+        return Err("missing records array".into());
+    };
+    let mut out = BTreeMap::new();
+    for r in records {
+        let Json::Object(r) = r else {
+            return Err("record is not an object".into());
+        };
+        let name = match r.get("name") {
+            Some(Json::String(s)) => s.clone(),
+            _ => return Err("record missing string name".into()),
+        };
+        let value = match r.get("value") {
+            Some(Json::Number(n)) => *n,
+            _ => return Err(format!("record {name} missing numeric value")),
+        };
+        let kind = match r.get("kind") {
+            Some(Json::String(s)) if s == "sim" || s == "real" => s.clone(),
+            _ => return Err(format!("record {name} has bad kind")),
+        };
+        if out.insert(name.clone(), Record { value, kind }).is_some() {
+            return Err(format!("duplicate record name {name}"));
+        }
+    }
+    Ok(out)
+}
+
+/// Compares fresh records against the baseline; returns human-readable
+/// failure messages (empty = pass).
+fn compare(
+    baseline: &BTreeMap<String, Record>,
+    fresh: &BTreeMap<String, Record>,
+    sim_only: bool,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (name, base) in baseline {
+        if sim_only && base.kind != "sim" {
+            continue;
+        }
+        let Some(new) = fresh.get(name) else {
+            failures.push(format!("record {name} missing from fresh run"));
+            continue;
+        };
+        if new.kind != base.kind {
+            failures.push(format!(
+                "record {name} changed kind: {} -> {}",
+                base.kind, new.kind
+            ));
+            continue;
+        }
+        match base.kind.as_str() {
+            "sim" => {
+                // Deterministic virtual-clock result: exact match.
+                if new.value != base.value {
+                    failures.push(format!(
+                        "sim record {name} drifted: baseline {} != fresh {}",
+                        base.value, new.value
+                    ));
+                }
+            }
+            _ => {
+                let rel = (new.value - base.value).abs() / base.value.abs().max(f64::MIN_POSITIVE);
+                if rel > REAL_TOLERANCE {
+                    failures.push(format!(
+                        "real record {name} outside ±{:.0}%: baseline {} vs fresh {} ({:+.1}%)",
+                        REAL_TOLERANCE * 100.0,
+                        base.value,
+                        new.value,
+                        (new.value / base.value - 1.0) * 100.0,
+                    ));
+                }
+            }
+        }
+    }
+    for name in fresh.keys() {
+        if !baseline.contains_key(name) {
+            failures.push(format!(
+                "record {name} is new (not in baseline) — refresh the committed BENCH_*.json"
+            ));
+        }
+    }
+    failures
+}
+
+/// Minimal JSON value covering what the bench schema emits.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn parse(s: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b'n') => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(Json::Null)
+                } else {
+                    Err(format!("bad literal at byte {}", self.pos))
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                other => return Err(format!("expected , or }} got {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                other => return Err(format!("expected , or ] got {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (the input is a &str,
+                    // so byte boundaries are valid).
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map(Json::Number)
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "schema": 1,
+  "records": [
+    {"name": "fig3/fine locking/size=4", "unit": "us", "value": 5.4, "p50": null, "p99": null, "kind": "sim"},
+    {"name": "pingpong/singlethread/myri10g/size=4", "unit": "us", "value": 3.36, "p50": 3.36, "p99": 5.58, "kind": "real"}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_the_bench_schema() {
+        let records = parse_records(SAMPLE).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records["fig3/fine locking/size=4"].value, 5.4);
+        assert_eq!(records["fig3/fine locking/size=4"].kind, "sim");
+        assert_eq!(records["pingpong/singlethread/myri10g/size=4"].kind, "real");
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_rejects_garbage() {
+        assert_eq!(
+            Json::parse(r#""a\"bA""#).unwrap(),
+            Json::String("a\"bA".to_string())
+        );
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1, 2,]").is_err());
+        assert!(Json::parse("{\"a\": 1} x").is_err());
+        assert!(parse_records("{\"schema\": 2, \"records\": []}").is_err());
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let base = parse_records(SAMPLE).unwrap();
+        assert!(compare(&base, &base, false).is_empty());
+        assert!(compare(&base, &base, true).is_empty());
+    }
+
+    #[test]
+    fn perturbed_sim_record_fails_exact_compare() {
+        let base = parse_records(SAMPLE).unwrap();
+        let mut fresh = base.clone();
+        // Even a tiny drift in a deterministic result must fail.
+        fresh.get_mut("fig3/fine locking/size=4").unwrap().value = 5.400001;
+        let failures = compare(&base, &fresh, false);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("sim record"), "{failures:?}");
+    }
+
+    #[test]
+    fn real_records_get_a_tolerance_band() {
+        let base = parse_records(SAMPLE).unwrap();
+        let name = "pingpong/singlethread/myri10g/size=4";
+
+        let mut fresh = base.clone();
+        fresh.get_mut(name).unwrap().value = 3.36 * 1.14; // within ±15%
+        assert!(compare(&base, &fresh, false).is_empty());
+
+        fresh.get_mut(name).unwrap().value = 3.36 * 1.20; // outside
+        let failures = compare(&base, &fresh, false);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("±15%"), "{failures:?}");
+
+        // --sim-only ignores real records entirely.
+        assert!(compare(&base, &fresh, true).is_empty());
+    }
+
+    #[test]
+    fn missing_and_new_records_fail() {
+        let base = parse_records(SAMPLE).unwrap();
+        let mut fresh = base.clone();
+        fresh.remove("fig3/fine locking/size=4");
+        fresh.insert(
+            "fig3/brand-new".to_string(),
+            Record {
+                value: 1.0,
+                kind: "sim".to_string(),
+            },
+        );
+        let failures = compare(&base, &fresh, false);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+    }
+}

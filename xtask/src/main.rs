@@ -1,17 +1,21 @@
 //! Repo automation tasks, invoked as `cargo xtask <command>`.
 //!
-//! Two commands, both source-text lint passes that exit non-zero on any
-//! violation so they can gate CI:
+//! Three commands, all exiting non-zero on any violation so they can
+//! gate CI:
 //!
 //! * `lint-concurrency` — concurrency rules that rustc/clippy cannot
 //!   express (see `docs/CONCURRENCY.md`).
 //! * `lint-trace` — `trace_event!` sites must match the registered
 //!   `EventId` schema, and every registered event must be emitted
 //!   somewhere (see `docs/TRACING.md`).
+//! * `bench-check` — reruns `figures bench --json` and compares the
+//!   fresh results against the committed `BENCH_*.json` baselines
+//!   (see `docs/METRICS.md`).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+mod bench_check;
 mod lint_concurrency;
 mod lint_trace;
 
@@ -30,6 +34,10 @@ fn main() -> ExitCode {
     match args.next().as_deref() {
         Some("lint-concurrency") => lint_concurrency::run(&workspace_root()),
         Some("lint-trace") => lint_trace::run(&workspace_root()),
+        Some("bench-check") => {
+            let rest: Vec<String> = args.collect();
+            bench_check::run(&workspace_root(), &rest)
+        }
         Some(other) => {
             eprintln!("unknown xtask command: {other}");
             print_usage();
@@ -49,7 +57,10 @@ fn print_usage() {
          lint-concurrency   check memory-ordering justifications, hot-path\n                     \
          primitive bans and SAFETY comment coverage\n  \
          lint-trace         check trace_event! sites against the registered\n                     \
-         EventId schema (and that no event is dead)"
+         EventId schema (and that no event is dead)\n  \
+         bench-check        rerun `figures bench --json` and compare against\n                     \
+         the committed BENCH_*.json baselines (--sim-only to\n                     \
+         skip wall-clock records)"
     );
 }
 
