@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! figures [all|fig3|fig5|fig6|fig7|fig8|fig9|table1|sec33|bench] [options]
+//! figures [all|fig3|fig5|fig6|fig7|fig8|fig9|msgrate|table1|sec33|bench] [options]
 //!
 //!   --real        measure the real stack (meaningful on multicore hosts)
 //!   --calibrated  feed host-calibrated primitive costs to the simulator
@@ -94,7 +94,7 @@ fn main() {
                 }
             }
             "all" | "fig3" | "fig5" | "fig6" | "fig7" | "fig7sweep" | "fig8" | "fig9" | "bw"
-            | "rdvoverlap" | "table1" | "sec33" | "bench" => what.push(a.clone()),
+            | "rdvoverlap" | "msgrate" | "table1" | "sec33" | "bench" => what.push(a.clone()),
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -118,6 +118,7 @@ fn main() {
             "fig9",
             "bw",
             "rdvoverlap",
+            "msgrate",
             "table1",
             "sec33",
         ]
@@ -144,6 +145,7 @@ fn main() {
             "rdvoverlap" => rdv_overlap(&opts, costs),
             "fig8" => fig8(&opts, costs),
             "fig9" => fig9(&opts, costs),
+            "msgrate" => msgrate(&opts, costs),
             "table1" => table1(&opts, costs),
             "sec33" => sec33(),
             "bench" => bench(&opts, costs),
@@ -154,7 +156,7 @@ fn main() {
 
 fn print_usage() {
     eprintln!(
-        "usage: figures [all|fig3|fig5|fig6|fig7|fig8|fig9|table1|sec33|bench] \
+        "usage: figures [all|fig3|fig5|fig6|fig7|fig8|fig9|msgrate|table1|sec33|bench] \
          [--real] [--calibrated] [--from-trace] [--folded] [--dual] [--csv] [--quick] \
          [--json] [--out DIR] [--sim-only]"
     );
@@ -475,6 +477,60 @@ fn fig9(opts: &Options, costs: SimCosts) {
     );
 }
 
+/// Flow counts of the message-rate scaling experiment.
+fn msgrate_flows(opts: &Options) -> Vec<usize> {
+    if opts.quick {
+        vec![1, 4]
+    } else {
+        vec![1, 2, 4, 8]
+    }
+}
+
+/// Message-rate scaling: aggregate small-message rate vs concurrent
+/// single-gate flows (the endpoints argument applied to the collect
+/// layer). Sim mode compares per-gate collect locks against the
+/// pre-sharding node-wide lock; real mode measures the actual stack,
+/// where fine-grain *is* the sharded layout and coarse stands in for a
+/// single library-wide lock.
+fn msgrate(opts: &Options, costs: SimCosts) {
+    use nm_bench::table::series_table_with;
+
+    let flows = msgrate_flows(opts);
+    let series = if opts.real {
+        use nm_bench::msgrate::{msgrate_threaded, MsgrateOpts};
+        [LockingMode::Fine, LockingMode::Coarse]
+            .iter()
+            .map(|&m| Series {
+                label: format!("{} locking", m.label()),
+                points: flows
+                    .iter()
+                    .map(|&n| {
+                        let mo = MsgrateOpts {
+                            locking: m,
+                            flows: n,
+                            rounds: if opts.quick { 10 } else { 50 },
+                            ..MsgrateOpts::default()
+                        };
+                        (n, msgrate_threaded(&mo))
+                    })
+                    .collect(),
+            })
+            .collect::<Vec<_>>()
+    } else {
+        sim::msgrate_scaling(costs, &flows)
+    };
+    let title = format!(
+        "Message-rate scaling — concurrent single-gate flows ({})",
+        mode_note(opts)
+    );
+    if opts.csv {
+        println!("# {title}");
+        print!("{}", series_csv(&series));
+    } else {
+        println!("{}", series_table_with(&title, "flows", "Mmsg/s", &series));
+    }
+}
+
 fn table1(opts: &Options, costs: SimCosts) {
     if opts.from_trace {
         table1_from_trace(opts, costs);
@@ -511,6 +567,19 @@ fn table1(opts: &Options, costs: SimCosts) {
             name: "completion flag signal+wait".into(),
             paper_ns: 0,
             ours_ns: cal.flag_cycle_ns,
+        },
+        // The sharding payoff in one pair of rows: the same 4-thread
+        // collect-section hammering, on per-gate shards vs the seed's
+        // single lock (paper prices one uncontended cycle at 70 ns).
+        ConstantRow {
+            name: "collect-section cycle (4 threads, per-gate shards)".into(),
+            paper_ns: 70,
+            ours_ns: calibrate::collect_cycle_ns(4, true),
+        },
+        ConstantRow {
+            name: "collect-section cycle (4 threads, single lock)".into(),
+            paper_ns: 70,
+            ours_ns: calibrate::collect_cycle_ns(4, false),
         },
     ];
     println!(
@@ -640,6 +709,17 @@ fn bench(opts: &Options, costs: SimCosts) {
         "fig9",
         sim::fig9_offload_tasklets(costs, &[2048, 8192, 32768]),
     );
+    // Message-rate scaling: x is the flow count, unit is Mmsg/s (the
+    // `flatten` helper assumes size/µs, so these records are explicit).
+    for s in sim::msgrate_scaling(costs, &[1, 2, 4, 8]) {
+        for (flows, v) in s.points {
+            records.push(BenchRecord::sim(
+                format!("msgrate/{}/flows={flows}", s.label),
+                "Mmsg/s",
+                v,
+            ));
+        }
+    }
     let figures_path = out_dir.join("BENCH_FIGURES.json");
     write_json(&figures_path, &records).expect("write BENCH_FIGURES.json");
     eprintln!(
@@ -669,6 +749,18 @@ fn bench(opts: &Options, costs: SimCosts) {
             stats.percentile_ns(99.0) as f64 / 1_000.0,
         ));
     }
+    let mo = nm_bench::msgrate::MsgrateOpts {
+        rounds: if opts.quick { 10 } else { 50 },
+        ..nm_bench::msgrate::MsgrateOpts::default()
+    };
+    let rate = nm_bench::msgrate::msgrate_singlethread(&mo);
+    records.push(BenchRecord::real(
+        format!("msgrate/singlethread/fine/flows={}", mo.flows),
+        "Mmsg/s",
+        rate,
+        rate,
+        rate,
+    ));
     let rec_ns = nm_bench::report::measure_hist_record_ns();
     records.push(BenchRecord::real(
         "micro/hist_record/ns",

@@ -96,7 +96,7 @@ impl CoreBuilder {
             driver_base += gate.num_rails();
             gates.push(gate);
         }
-        let policy = LockPolicy::new(self.config.locking, driver_base);
+        let policy = LockPolicy::new(self.config.locking, gates.len(), driver_base);
         let strategy = self.config.strategy.build();
 
         Arc::new_cyclic(|weak| CommCore {
@@ -188,8 +188,8 @@ impl CommCore {
                     data,
                     req: req.clone(),
                 };
-                let s = self.policy.enter(SectionKind::Collect);
-                g.tx.with(&s, |tx| tx.rdv_out.push(rdv));
+                let s = self.policy.enter(SectionKind::CollectTx(gate.0));
+                g.tx.with(&s, |tx| tx.rdv_out_insert(rdv));
                 drop(s);
                 SendItem {
                     tag,
@@ -198,7 +198,7 @@ impl CommCore {
                     req: None,
                 }
             };
-            let s = self.policy.enter(SectionKind::Collect);
+            let s = self.policy.enter(SectionKind::CollectTx(gate.0));
             let depth = g.tx.with(&s, |tx| {
                 tx.queue.push_back(item);
                 tx.queue.len()
@@ -257,43 +257,48 @@ impl CommCore {
         enum Then {
             Nothing,
             Complete(u64, Bytes),
-            PumpCts,
+            PumpCts(u64, u32),
         }
         let mut then = Then::Nothing;
         {
             let api = self.policy.enter_api();
-            let s = self.policy.enter(SectionKind::Collect);
-            g.rx.with(&s, |rx| {
-                if let Some(msg) = rx.take_unexpected_matching(pattern) {
-                    then = Then::Complete(msg.tag, msg.data);
-                } else if let Some(rts) = rx.take_pending_rts(pattern) {
-                    rx.rdv_in.push(RdvRecv {
-                        tag: rts.tag,
-                        seq: rts.seq,
-                        total: rts.total,
-                        received: 0,
-                        buf: BytesMut::zeroed(rts.total as usize),
-                        req: req.clone(),
-                    });
-                    self.stats.rdv_accepted.incr();
-                    g.tx.with(&s, |tx| {
-                        tx.queue.push_back(SendItem {
+            {
+                let s = self.policy.enter(SectionKind::CollectRx(gate.0));
+                g.rx.with(&s, |rx| {
+                    if let Some(msg) = rx.take_unexpected_matching(pattern) {
+                        then = Then::Complete(msg.tag, msg.data);
+                    } else if let Some(rts) = rx.take_pending_rts(pattern) {
+                        rx.rdv_in_insert(RdvRecv {
                             tag: rts.tag,
                             seq: rts.seq,
-                            kind: SendItemKind::Cts,
-                            req: None,
+                            total: rts.total,
+                            received: 0,
+                            buf: BytesMut::zeroed(rts.total as usize),
+                            req: req.clone(),
                         });
+                        self.stats.rdv_accepted.incr();
+                        then = Then::PumpCts(rts.tag, rts.seq);
+                    } else {
+                        rx.post(PostedRecv {
+                            pattern,
+                            req: req.clone(),
+                        });
+                    }
+                });
+            }
+            // The CTS rides the tx shard; rx and tx sections are never
+            // held together (no nesting in the sharded lock order).
+            if let &Then::PumpCts(tag, seq) = &then {
+                let s = self.policy.enter(SectionKind::CollectTx(gate.0));
+                g.tx.with(&s, |tx| {
+                    tx.queue.push_back(SendItem {
+                        tag,
+                        seq,
+                        kind: SendItemKind::Cts,
+                        req: None,
                     });
-                    then = Then::PumpCts;
-                } else {
-                    rx.posted.push_back(PostedRecv {
-                        pattern,
-                        req: req.clone(),
-                    });
-                }
-            });
-            drop(s);
-            if matches!(then, Then::PumpCts) {
+                });
+                drop(s);
                 self.pump_gate(g);
             }
             drop(api);
@@ -380,17 +385,19 @@ impl CommCore {
         let api = self.policy.enter_api();
         let mut counts = PendingCounts::default();
         for g in &self.gates {
-            let s = self.policy.enter(SectionKind::Collect);
+            let s = self.policy.enter(SectionKind::CollectTx(g.id.0));
             g.tx.with(&s, |tx| {
                 counts.collect_items += tx.queue.len();
                 counts.rdv_awaiting_cts += tx.rdv_out.len();
             });
+            drop(s);
+            let s = self.policy.enter(SectionKind::CollectRx(g.id.0));
             g.rx.with(&s, |rx| {
-                counts.posted_recvs += rx.posted.len();
-                counts.unexpected += rx.unexpected.len();
-                counts.pending_rts += rx.pending_rts.len();
-                counts.rdv_reassembling += rx.rdv_in.len();
-                counts.eager_out_of_order += rx.eager_ooo.len();
+                counts.posted_recvs += rx.posted_len();
+                counts.unexpected += rx.unexpected_len();
+                counts.pending_rts += rx.pending_rts_len();
+                counts.rdv_reassembling += rx.rdv_in_len();
+                counts.eager_out_of_order += rx.eager_ooo_len();
             });
             drop(s);
             for rail in 0..g.num_rails() {
@@ -514,9 +521,13 @@ impl CommCore {
             }
         };
         let mut after = Vec::new();
-        let mut queued_cts = false;
+        // CTS traffic crosses from the rx shard to the tx shard; the two
+        // sections are taken one after the other, never nested. Phase 1
+        // (rx) records what phase 2 (tx) must do.
+        let mut cts_out: Vec<(u64, u32)> = Vec::new();
+        let mut cts_in: Vec<u32> = Vec::new();
         {
-            let s = self.policy.enter(SectionKind::Collect);
+            let s = self.policy.enter(SectionKind::CollectRx(g.id.0));
             for entry in entries {
                 match entry {
                     Entry::Eager { tag, seq, data } => g.rx.with(&s, |rx| {
@@ -524,16 +535,13 @@ impl CommCore {
                             // Resequencer: release eager messages strictly
                             // in send order; park later ones.
                             if seq != rx.expected_eager {
-                                rx.eager_ooo.push(UnexpectedMsg { tag, seq, data });
+                                rx.push_eager_ooo(UnexpectedMsg { tag, seq, data });
                                 return;
                             }
                             self.deliver_eager(rx, tag, seq, data, &mut after);
                             rx.expected_eager = rx.expected_eager.wrapping_add(1);
                             // Drain any now-in-order parked messages.
-                            while let Some(i) =
-                                rx.eager_ooo.iter().position(|m| m.seq == rx.expected_eager)
-                            {
-                                let m = rx.eager_ooo.swap_remove(i);
+                            while let Some(m) = rx.take_eager_ooo(rx.expected_eager) {
                                 self.deliver_eager(rx, m.tag, m.seq, m.data, &mut after);
                                 rx.expected_eager = rx.expected_eager.wrapping_add(1);
                             }
@@ -543,7 +551,7 @@ impl CommCore {
                     }),
                     Entry::Rts { tag, seq, total } => g.rx.with(&s, |rx| {
                         if let Some(p) = rx.take_posted(tag) {
-                            rx.rdv_in.push(RdvRecv {
+                            rx.rdv_in_insert(RdvRecv {
                                 tag,
                                 seq,
                                 total,
@@ -552,43 +560,22 @@ impl CommCore {
                                 req: p.req,
                             });
                             self.stats.rdv_accepted.incr();
-                            g.tx.with(&s, |tx| {
-                                tx.queue.push_back(SendItem {
-                                    tag,
-                                    seq,
-                                    kind: SendItemKind::Cts,
-                                    req: None,
-                                });
-                            });
-                            queued_cts = true;
+                            cts_out.push((tag, seq));
                         } else {
-                            rx.pending_rts.push_back(PendingRts { tag, seq, total });
+                            rx.push_pending_rts(PendingRts { tag, seq, total });
                         }
                     }),
-                    Entry::Cts { tag: _, seq } => {
-                        let rdv = g.tx.with(&s, |tx| {
-                            tx.rdv_out
-                                .iter()
-                                .position(|r| r.seq == seq)
-                                .map(|i| tx.rdv_out.swap_remove(i))
-                        });
-                        if let Some(rdv) = rdv {
-                            after.push(After::StartData(rdv));
-                        } else {
-                            self.stats.wire_errors.incr();
-                        }
-                    }
+                    Entry::Cts { tag: _, seq } => cts_in.push(seq),
                     Entry::Data {
                         tag,
                         seq,
                         offset,
                         data,
                     } => g.rx.with(&s, |rx| {
-                        let Some(i) = rx.rdv_in_index(seq) else {
+                        let Some(r) = rx.rdv_in_get_mut(seq) else {
                             self.stats.wire_errors.incr();
                             return;
                         };
-                        let r = &mut rx.rdv_in[i];
                         if r.tag != tag {
                             self.stats.wire_errors.incr();
                             return;
@@ -601,12 +588,33 @@ impl CommCore {
                         r.buf[start..end].copy_from_slice(&data);
                         r.received += data.len() as u32;
                         if r.received == r.total {
-                            let done = rx.rdv_in.swap_remove(i);
+                            let done = rx.rdv_in_remove(seq).expect("reassembly just updated");
                             after.push(After::CompleteRecv(done.req, done.tag, done.buf.freeze()));
                         }
                     }),
                 }
             }
+        }
+        let queued_cts = !cts_out.is_empty();
+        if queued_cts || !cts_in.is_empty() {
+            let s = self.policy.enter(SectionKind::CollectTx(g.id.0));
+            g.tx.with(&s, |tx| {
+                for &(tag, seq) in &cts_out {
+                    tx.queue.push_back(SendItem {
+                        tag,
+                        seq,
+                        kind: SendItemKind::Cts,
+                        req: None,
+                    });
+                }
+                for seq in cts_in {
+                    match tx.rdv_out_remove(seq) {
+                        Some(rdv) => after.push(After::StartData(rdv)),
+                        None => self.stats.wire_errors.incr(),
+                    }
+                }
+            });
+            drop(s);
         }
         for act in after {
             match act {
@@ -671,7 +679,7 @@ impl CommCore {
             rail_cursor = rail + 1;
             let budget = self.packet_budget(g);
             let items = {
-                let s = self.policy.enter(SectionKind::Collect);
+                let s = self.policy.enter(SectionKind::CollectTx(g.id.0));
                 let items =
                     g.tx.with(&s, |tx| self.strategy.next_packet(&mut tx.queue, budget));
                 drop(s);
@@ -706,7 +714,7 @@ impl CommCore {
                 Err(nm_fabric::PostError::WouldBlock) => {
                     // NIC filled up between the idle check and the post:
                     // restore the items at the head of the queue.
-                    let s = self.policy.enter(SectionKind::Collect);
+                    let s = self.policy.enter(SectionKind::CollectTx(g.id.0));
                     g.tx.with(&s, |tx| {
                         for item in items.into_iter().rev() {
                             tx.queue.push_front(item);
@@ -813,7 +821,7 @@ enum After {
 
 impl CommCore {
     /// Matches one in-order eager message against the posted receives, or
-    /// parks it in the unexpected queue. Runs under the collect section.
+    /// parks it in the unexpected bins. Runs under the gate's rx section.
     fn deliver_eager(
         &self,
         rx: &mut crate::gate::RxState,
@@ -826,7 +834,7 @@ impl CommCore {
             after.push(After::CompleteRecv(p.req, tag, data));
         } else {
             self.stats.unexpected_msgs.incr();
-            rx.unexpected.push_back(UnexpectedMsg { tag, seq, data });
+            rx.push_unexpected(UnexpectedMsg { tag, seq, data });
         }
     }
 }

@@ -1,6 +1,6 @@
 //! Gates: per-peer connection state across the three layers.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -101,79 +101,268 @@ pub(crate) struct XferItem {
     pub rdv_done: Option<Arc<RdvSendDone>>,
 }
 
-/// Receive-side matching state (collect-layer domain).
+/// Inserts `item` into a per-tag bin kept ascending by `seq`.
+///
+/// Arrivals are almost always in order (the resequencer releases eager
+/// messages gap-free, rendezvous ids are allocated monotonically), so the
+/// common case is a cheap `push_back`; multi-rail reordering falls back to
+/// a binary-search insert.
+fn bin_insert_by_seq<T>(bin: &mut VecDeque<T>, item: T, seq_of: impl Fn(&T) -> u32) {
+    let seq = seq_of(&item);
+    match bin.back() {
+        Some(last) if seq_of(last) > seq => {
+            let idx = bin.partition_point(|m| seq_of(m) < seq);
+            bin.insert(idx, item);
+        }
+        _ => bin.push_back(item),
+    }
+}
+
+/// Receive-side matching state (collect-layer domain, one per gate).
+///
+/// Matching is O(1) expected: posted receives, unexpected messages and
+/// pending RTS live in per-tag hash bins instead of one linear list.
+/// MPI ordering semantics are preserved exactly:
+///
+/// * **Posted receives** carry a global post-order stamp. Exact-tag
+///   receives bin by tag (FIFO within the bin); wildcard (`Any`)
+///   receives keep their own FIFO. An incoming tag takes whichever of
+///   the two candidates was posted first — identical to scanning one
+///   combined list in post order (per-tag FIFO non-overtaking, and a
+///   wildcard never overtakes an earlier exact post or vice versa).
+/// * **Unexpected messages / pending RTS** bin by tag with each bin kept
+///   ascending by sequence number; a `BTreeMap` keyed by seq indexes the
+///   whole gate so a wildcard receive takes the earliest-seq message
+///   across all tags — identical to the old `min_by_key(seq)` scan.
+///   Sequence numbers are unique per gate (eager and rendezvous ids are
+///   separate monotonic spaces, and the two tables are never matched
+///   against each other), so the seq index is collision-free.
+///
+/// The `proptest_matching` integration test drives this structure and
+/// the original linear-scan implementation (kept there as an oracle)
+/// through random interleavings and asserts identical match order.
 #[derive(Default)]
 pub(crate) struct RxState {
-    pub posted: VecDeque<PostedRecv>,
-    pub unexpected: VecDeque<UnexpectedMsg>,
-    pub pending_rts: VecDeque<PendingRts>,
-    pub rdv_in: Vec<RdvRecv>,
+    /// Global post-order stamp for posted receives.
+    post_order: u64,
+    /// Exact-tag posted receives, binned by tag, FIFO per bin; entries
+    /// carry their post-order stamp.
+    posted_exact: HashMap<u64, VecDeque<(u64, PostedRecv)>>,
+    /// Wildcard posted receives, FIFO, with post-order stamps.
+    posted_any: VecDeque<(u64, PostedRecv)>,
+    /// Total posted receives across both structures.
+    posted_len: usize,
+    /// Unexpected eager messages, binned by tag, ascending seq.
+    unexpected: HashMap<u64, VecDeque<UnexpectedMsg>>,
+    /// seq → tag over all unexpected messages (wildcard earliest-seq).
+    unexpected_by_seq: BTreeMap<u32, u64>,
+    /// RTS that arrived before their receive, binned by tag, ascending seq.
+    pending_rts: HashMap<u64, VecDeque<PendingRts>>,
+    /// seq → tag over all pending RTS.
+    pending_rts_by_seq: BTreeMap<u32, u64>,
+    /// In-progress inbound reassemblies, keyed by rendezvous id.
+    rdv_in: HashMap<u32, RdvRecv>,
     /// Next eager sequence number the resequencer will release.
     pub expected_eager: u32,
-    /// Out-of-order eager messages awaiting their turn.
-    pub eager_ooo: Vec<UnexpectedMsg>,
+    /// Out-of-order eager messages awaiting their turn, keyed by seq.
+    eager_ooo: HashMap<u32, UnexpectedMsg>,
 }
 
 impl RxState {
-    /// Takes the first posted receive whose pattern matches `tag`.
+    /// Adds a posted receive (FIFO in global post order).
+    pub fn post(&mut self, recv: PostedRecv) {
+        let stamp = self.post_order;
+        self.post_order += 1;
+        match recv.pattern {
+            TagPattern::Exact(tag) => {
+                self.posted_exact
+                    .entry(tag)
+                    .or_default()
+                    .push_back((stamp, recv));
+            }
+            TagPattern::Any => self.posted_any.push_back((stamp, recv)),
+        }
+        self.posted_len += 1;
+        crate::metrics::posted_depth().add(1);
+    }
+
+    /// Takes the first posted receive whose pattern matches `tag`:
+    /// the earlier-posted of the tag's exact bin front and the wildcard
+    /// queue front.
     pub fn take_posted(&mut self, tag: u64) -> Option<PostedRecv> {
-        let idx = self.posted.iter().position(|p| p.pattern.matches(tag))?;
-        self.posted.remove(idx)
+        let exact_stamp = self
+            .posted_exact
+            .get(&tag)
+            .and_then(|bin| bin.front())
+            .map(|(stamp, _)| *stamp);
+        let any_stamp = self.posted_any.front().map(|(stamp, _)| *stamp);
+        let recv = match (exact_stamp, any_stamp) {
+            (Some(e), Some(a)) if a < e => self.posted_any.pop_front().map(|(_, r)| r),
+            (Some(_), _) => {
+                let bin = self.posted_exact.get_mut(&tag).expect("front checked");
+                let recv = bin.pop_front().map(|(_, r)| r);
+                if bin.is_empty() {
+                    self.posted_exact.remove(&tag);
+                }
+                recv
+            }
+            (None, Some(_)) => self.posted_any.pop_front().map(|(_, r)| r),
+            (None, None) => None,
+        }?;
+        debug_assert!(recv.pattern.matches(tag), "bin lookup broke matching");
+        self.posted_len -= 1;
+        crate::metrics::posted_depth().sub(1);
+        Some(recv)
+    }
+
+    /// Buffers an unexpected message.
+    pub fn push_unexpected(&mut self, msg: UnexpectedMsg) {
+        self.unexpected_by_seq.insert(msg.seq, msg.tag);
+        let bin = self.unexpected.entry(msg.tag).or_default();
+        bin_insert_by_seq(bin, msg, |m| m.seq);
+        crate::metrics::unexpected_depth().add(1);
     }
 
     /// Takes the earliest buffered message (unexpected) matching `pattern`.
     pub fn take_unexpected_matching(&mut self, pattern: TagPattern) -> Option<UnexpectedMsg> {
-        let idx = self
-            .unexpected
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| pattern.matches(m.tag))
-            .min_by_key(|(_, m)| m.seq)
-            .map(|(i, _)| i)?;
-        self.unexpected.remove(idx)
+        let tag = match pattern {
+            TagPattern::Exact(tag) => tag,
+            // The global earliest seq; within its tag's ascending bin it
+            // is necessarily the front.
+            TagPattern::Any => *self.unexpected_by_seq.first_key_value()?.1,
+        };
+        let bin = self.unexpected.get_mut(&tag)?;
+        let msg = bin.pop_front()?;
+        if bin.is_empty() {
+            self.unexpected.remove(&tag);
+        }
+        self.unexpected_by_seq.remove(&msg.seq);
+        crate::metrics::unexpected_depth().sub(1);
+        Some(msg)
     }
 
     /// Takes the earliest-sequence unexpected message with `tag`.
     #[cfg(test)]
     pub fn take_unexpected(&mut self, tag: u64) -> Option<UnexpectedMsg> {
-        let idx = self
-            .unexpected
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| m.tag == tag)
-            .min_by_key(|(_, m)| m.seq)
-            .map(|(i, _)| i)?;
-        self.unexpected.remove(idx)
+        self.take_unexpected_matching(TagPattern::Exact(tag))
+    }
+
+    /// Buffers an RTS that found no posted receive.
+    pub fn push_pending_rts(&mut self, rts: PendingRts) {
+        self.pending_rts_by_seq.insert(rts.seq, rts.tag);
+        let bin = self.pending_rts.entry(rts.tag).or_default();
+        bin_insert_by_seq(bin, rts, |r| r.seq);
     }
 
     /// Takes the earliest pending RTS matching `pattern`.
     pub fn take_pending_rts(&mut self, pattern: TagPattern) -> Option<PendingRts> {
-        let idx = self
-            .pending_rts
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| pattern.matches(r.tag))
-            .min_by_key(|(_, r)| r.seq)
-            .map(|(i, _)| i)?;
-        self.pending_rts.remove(idx)
+        let tag = match pattern {
+            TagPattern::Exact(tag) => tag,
+            TagPattern::Any => *self.pending_rts_by_seq.first_key_value()?.1,
+        };
+        let bin = self.pending_rts.get_mut(&tag)?;
+        let rts = bin.pop_front()?;
+        if bin.is_empty() {
+            self.pending_rts.remove(&tag);
+        }
+        self.pending_rts_by_seq.remove(&rts.seq);
+        Some(rts)
     }
 
-    /// Finds the index of the active reassembly for rendezvous id `seq`.
-    pub fn rdv_in_index(&self, seq: u32) -> Option<usize> {
-        self.rdv_in.iter().position(|r| r.seq == seq)
+    /// Starts tracking an inbound rendezvous reassembly.
+    pub fn rdv_in_insert(&mut self, rdv: RdvRecv) {
+        let prev = self.rdv_in.insert(rdv.seq, rdv);
+        debug_assert!(prev.is_none(), "duplicate rendezvous id");
+    }
+
+    /// The active reassembly for rendezvous id `seq`, if any.
+    pub fn rdv_in_get_mut(&mut self, seq: u32) -> Option<&mut RdvRecv> {
+        self.rdv_in.get_mut(&seq)
+    }
+
+    /// Finishes (removes) the reassembly for rendezvous id `seq`.
+    pub fn rdv_in_remove(&mut self, seq: u32) -> Option<RdvRecv> {
+        self.rdv_in.remove(&seq)
+    }
+
+    /// Parks an eager message that arrived ahead of the resequencer.
+    pub fn push_eager_ooo(&mut self, msg: UnexpectedMsg) {
+        let prev = self.eager_ooo.insert(msg.seq, msg);
+        debug_assert!(prev.is_none(), "duplicate eager seq");
+    }
+
+    /// Releases the parked eager message with sequence `seq`, if present.
+    pub fn take_eager_ooo(&mut self, seq: u32) -> Option<UnexpectedMsg> {
+        self.eager_ooo.remove(&seq)
+    }
+
+    /// Number of posted receives waiting for a match.
+    pub fn posted_len(&self) -> usize {
+        self.posted_len
+    }
+
+    /// Number of buffered unexpected messages.
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected_by_seq.len()
+    }
+
+    /// Number of buffered RTS without a posted receive.
+    pub fn pending_rts_len(&self) -> usize {
+        self.pending_rts_by_seq.len()
+    }
+
+    /// Number of in-progress inbound reassemblies.
+    pub fn rdv_in_len(&self) -> usize {
+        self.rdv_in.len()
+    }
+
+    /// Number of parked out-of-order eager messages.
+    pub fn eager_ooo_len(&self) -> usize {
+        self.eager_ooo.len()
     }
 }
 
-/// Send-side collect/rendezvous state (collect-layer domain).
+impl Drop for RxState {
+    fn drop(&mut self) {
+        // Keep the library-wide depth gauges honest when a core is torn
+        // down with receives still posted or messages still buffered.
+        if self.posted_len > 0 {
+            crate::metrics::posted_depth().sub(self.posted_len as i64);
+        }
+        let unexpected = self.unexpected_by_seq.len();
+        if unexpected > 0 {
+            crate::metrics::unexpected_depth().sub(unexpected as i64);
+        }
+    }
+}
+
+/// Send-side collect/rendezvous state (collect-layer domain, one per gate).
 #[derive(Default)]
 pub(crate) struct TxState {
     /// The per-gate submit list the optimization layer schedules from.
     pub queue: VecDeque<SendItem>,
-    /// Outbound rendezvous waiting for CTS.
-    pub rdv_out: Vec<RdvSend>,
+    /// Outbound rendezvous waiting for CTS, keyed by rendezvous id.
+    pub rdv_out: HashMap<u32, RdvSend>,
+}
+
+impl TxState {
+    /// Registers an outbound rendezvous awaiting its CTS.
+    pub fn rdv_out_insert(&mut self, rdv: RdvSend) {
+        let prev = self.rdv_out.insert(rdv.seq, rdv);
+        debug_assert!(prev.is_none(), "duplicate rendezvous id");
+    }
+
+    /// Claims the rendezvous `seq` on CTS arrival.
+    pub fn rdv_out_remove(&mut self, seq: u32) -> Option<RdvSend> {
+        self.rdv_out.remove(&seq)
+    }
 }
 
 /// One peer connection: its rails and all shared per-layer lists.
+///
+/// The collect-layer state is sharded: `tx` and `rx` belong to this
+/// gate's own `CollectTx`/`CollectRx` lock classes, so flows on distinct
+/// gates never contend in fine-grain mode.
 pub(crate) struct Gate {
     /// Diagnostic identity; used by Debug formatting and trace events.
     pub id: GateId,
@@ -186,9 +375,9 @@ pub(crate) struct Gate {
     /// Next eager sequence number (separate space: the receiver's
     /// resequencer must see a gap-free stream).
     pub next_eager_seq: AtomicU32,
-    /// Collect-layer send state.
+    /// Collect-layer send state (gate's own CollectTx section).
     pub tx: Protected<TxState>,
-    /// Collect-layer receive state.
+    /// Collect-layer receive state (gate's own CollectRx section).
     pub rx: Protected<RxState>,
     /// Transfer-layer outgoing lists, one per rail.
     pub xfer: Vec<Protected<VecDeque<XferItem>>>,
@@ -208,8 +397,8 @@ impl Gate {
             driver_base,
             next_seq: AtomicU32::new(0),
             next_eager_seq: AtomicU32::new(0),
-            tx: Protected::new(SectionKind::Collect, TxState::default()),
-            rx: Protected::new(SectionKind::Collect, RxState::default()),
+            tx: Protected::new(SectionKind::CollectTx(id.0), TxState::default()),
+            rx: Protected::new(SectionKind::CollectRx(id.0), RxState::default()),
             xfer,
             rr_rail: AtomicUsize::new(0),
         }
@@ -245,15 +434,19 @@ mod tests {
     use super::*;
     use crate::request::RequestKind;
 
+    fn unexpected(tag: u64, seq: u32) -> UnexpectedMsg {
+        UnexpectedMsg {
+            tag,
+            seq,
+            data: Bytes::new(),
+        }
+    }
+
     #[test]
     fn take_unexpected_picks_lowest_seq() {
         let mut rx = RxState::default();
         for (seq, tag) in [(5u32, 1u64), (2, 1), (9, 2), (3, 1)] {
-            rx.unexpected.push_back(UnexpectedMsg {
-                tag,
-                seq,
-                data: Bytes::new(),
-            });
+            rx.push_unexpected(unexpected(tag, seq));
         }
         assert_eq!(rx.take_unexpected(1).unwrap().seq, 2);
         assert_eq!(rx.take_unexpected(1).unwrap().seq, 3);
@@ -263,17 +456,31 @@ mod tests {
     }
 
     #[test]
+    fn wildcard_takes_earliest_seq_across_tags() {
+        let mut rx = RxState::default();
+        for (seq, tag) in [(7u32, 1u64), (2, 3), (4, 1), (9, 2)] {
+            rx.push_unexpected(unexpected(tag, seq));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| {
+            rx.take_unexpected_matching(TagPattern::Any).map(|m| m.seq)
+        })
+        .collect();
+        assert_eq!(order, vec![2, 4, 7, 9]);
+        assert_eq!(rx.unexpected_len(), 0);
+    }
+
+    #[test]
     fn take_posted_is_fifo_per_tag() {
         let mut rx = RxState::default();
         let (r1, r2) = (
             Request::new(RequestKind::Recv),
             Request::new(RequestKind::Recv),
         );
-        rx.posted.push_back(PostedRecv {
+        rx.post(PostedRecv {
             pattern: TagPattern::Exact(1),
             req: r1.clone(),
         });
-        rx.posted.push_back(PostedRecv {
+        rx.post(PostedRecv {
             pattern: TagPattern::Exact(1),
             req: r2.clone(),
         });
@@ -282,6 +489,124 @@ mod tests {
         assert!(r1.is_complete());
         assert!(!r2.is_complete());
         assert!(rx.take_posted(7).is_none());
+    }
+
+    #[test]
+    fn posted_wildcard_does_not_overtake_earlier_exact() {
+        let mut rx = RxState::default();
+        let (exact, any) = (
+            Request::new(RequestKind::Recv),
+            Request::new(RequestKind::Recv),
+        );
+        rx.post(PostedRecv {
+            pattern: TagPattern::Exact(5),
+            req: exact.clone(),
+        });
+        rx.post(PostedRecv {
+            pattern: TagPattern::Any,
+            req: any.clone(),
+        });
+        // Tag 5 matches both; the exact receive was posted first.
+        rx.take_posted(5).unwrap().req.complete();
+        assert!(exact.is_complete());
+        assert!(!any.is_complete());
+        // The wildcard is next in line for any tag.
+        rx.take_posted(5).unwrap().req.complete();
+        assert!(any.is_complete());
+        assert_eq!(rx.posted_len(), 0);
+    }
+
+    #[test]
+    fn posted_earlier_wildcard_beats_later_exact() {
+        let mut rx = RxState::default();
+        let (any, exact) = (
+            Request::new(RequestKind::Recv),
+            Request::new(RequestKind::Recv),
+        );
+        rx.post(PostedRecv {
+            pattern: TagPattern::Any,
+            req: any.clone(),
+        });
+        rx.post(PostedRecv {
+            pattern: TagPattern::Exact(5),
+            req: exact.clone(),
+        });
+        rx.take_posted(5).unwrap().req.complete();
+        assert!(any.is_complete());
+        assert!(!exact.is_complete());
+    }
+
+    #[test]
+    fn pending_rts_wildcard_earliest_seq() {
+        let mut rx = RxState::default();
+        for (seq, tag) in [(6u32, 2u64), (1, 9), (3, 2)] {
+            rx.push_pending_rts(PendingRts {
+                tag,
+                seq,
+                total: 1,
+            });
+        }
+        assert_eq!(rx.take_pending_rts(TagPattern::Any).unwrap().seq, 1);
+        assert_eq!(rx.take_pending_rts(TagPattern::Exact(2)).unwrap().seq, 3);
+        assert_eq!(rx.take_pending_rts(TagPattern::Any).unwrap().seq, 6);
+        assert!(rx.take_pending_rts(TagPattern::Any).is_none());
+    }
+
+    #[test]
+    fn rdv_in_keyed_by_seq() {
+        let mut rx = RxState::default();
+        for seq in [4u32, 8] {
+            rx.rdv_in_insert(RdvRecv {
+                tag: 1,
+                seq,
+                total: 2,
+                received: 0,
+                buf: BytesMut::new(),
+                req: Request::new(RequestKind::Recv),
+            });
+        }
+        assert_eq!(rx.rdv_in_len(), 2);
+        rx.rdv_in_get_mut(8).unwrap().received = 1;
+        assert!(rx.rdv_in_get_mut(5).is_none());
+        let done = rx.rdv_in_remove(8).unwrap();
+        assert_eq!(done.received, 1);
+        assert_eq!(rx.rdv_in_len(), 1);
+    }
+
+    #[test]
+    fn rdv_out_keyed_by_seq() {
+        let mut tx = TxState::default();
+        for seq in [0u32, 1] {
+            tx.rdv_out_insert(RdvSend {
+                tag: 3,
+                seq,
+                data: Bytes::new(),
+                req: Request::new(RequestKind::Send),
+            });
+        }
+        assert!(tx.rdv_out_remove(2).is_none());
+        assert_eq!(tx.rdv_out_remove(1).unwrap().seq, 1);
+        assert_eq!(tx.rdv_out.len(), 1);
+    }
+
+    #[test]
+    fn depth_counters_track_posts_and_takes() {
+        let mut rx = RxState::default();
+        rx.post(PostedRecv {
+            pattern: TagPattern::Any,
+            req: Request::new(RequestKind::Recv),
+        });
+        rx.post(PostedRecv {
+            pattern: TagPattern::Exact(1),
+            req: Request::new(RequestKind::Recv),
+        });
+        assert_eq!(rx.posted_len(), 2);
+        rx.take_posted(1).unwrap();
+        assert_eq!(rx.posted_len(), 1);
+        rx.push_unexpected(unexpected(1, 0));
+        assert_eq!(rx.unexpected_len(), 1);
+        rx.take_unexpected_matching(TagPattern::Any).unwrap();
+        assert_eq!(rx.unexpected_len(), 0);
     }
 
     #[test]

@@ -49,6 +49,8 @@ mod config;
 mod error;
 mod gate;
 mod locking;
+#[cfg(test)]
+mod matching_proptest;
 pub mod metrics;
 mod request;
 mod stats;

@@ -11,16 +11,25 @@
 //!   *the* library-wide spinlock: held for the whole call, released before
 //!   any blocking. In the other modes it is free.
 //! * [`LockPolicy::enter`] — taken around one logical critical section
-//!   (the collect-layer lists, or driver *i*'s transfer list). In **fine**
-//!   mode (Fig 4) this takes the section's own spinlock; in **coarse**
-//!   mode it is free (the API guard already serializes); in
-//!   **single-thread** mode it only checks the calling thread.
+//!   (gate *g*'s send state, gate *g*'s matching state, or driver *i*'s
+//!   transfer list). In **fine** mode (Fig 4) this takes the section's own
+//!   spinlock; in **coarse** mode it is free (the API guard already
+//!   serializes); in **single-thread** mode it only checks the calling
+//!   thread.
 //!
-//! | logical section | `SingleThread` | `Coarse` (Fig 2) | `Fine` (Fig 4) |
-//! |-----------------|----------------|------------------|----------------|
-//! | API entry       | thread check   | global spinlock  | nothing        |
-//! | collect lists   | nothing        | nothing (covered)| collect spinlock |
-//! | driver *i* list | nothing        | nothing (covered)| driver spinlock *i* |
+//! | logical section  | `SingleThread` | `Coarse` (Fig 2) | `Fine` (Fig 4) |
+//! |------------------|----------------|------------------|----------------|
+//! | API entry        | thread check   | global spinlock  | nothing        |
+//! | gate *g* tx      | nothing        | nothing (covered)| collect-tx spinlock *g* |
+//! | gate *g* rx      | nothing        | nothing (covered)| collect-rx spinlock *g* |
+//! | driver *i* list  | nothing        | nothing (covered)| driver spinlock *i* |
+//!
+//! The collect layer is **sharded per gate**: each gate owns an
+//! independent tx lock (submit queue, rendezvous-out table) and rx lock
+//! (matching state). N threads driving N distinct peers in fine-grain
+//! mode therefore contend on nothing — only flows targeting the *same*
+//! gate serialize, which is the scalable-endpoints design of Zambre et
+//! al. rather than the original library-wide collect lock.
 //!
 //! `SingleThread` reproduces the "no locking" curve of Fig 3: it takes no
 //! lock at all and enforces at runtime that a single thread ever enters
@@ -39,10 +48,9 @@ pub enum LockingMode {
     /// One library-wide spinlock (§3.1, Fig 2), held per library call:
     /// ~2 lock cycles on a pingpong critical path ⇒ the paper's 140 ns.
     Coarse,
-    /// Separate locks per shared list (§3.2, Fig 4): one for the collect
-    /// layer (the packet scheduler iterates all per-gate lists), one per
-    /// driver. More lock operations on the path ⇒ 230 ns, but unrelated
-    /// communication flows proceed in parallel.
+    /// Separate locks per shared list (§3.2, Fig 4): one tx and one rx
+    /// lock per gate, one per driver. More lock operations on the path ⇒
+    /// 230 ns, but unrelated communication flows proceed in parallel.
     #[default]
     Fine,
 }
@@ -93,33 +101,97 @@ pub(crate) fn thread_id() -> u64 {
 pub enum SectionKind {
     /// The whole library (API-entry guard).
     Global,
-    /// The collect-layer lists (per-gate submit queues, matching state).
-    Collect,
+    /// Gate `g`'s send-side state (submit queue, rendezvous-out table).
+    CollectTx(usize),
+    /// Gate `g`'s receive-side matching state (posted/unexpected/RTS bins).
+    CollectRx(usize),
     /// The transfer-layer list and NIC access of driver `i`.
     Driver(usize),
 }
 
-/// Per-index lock-order classes for driver locks (lockdep-style
-/// subclasses). Class names must be `&'static str`, so the table is
-/// finite; driver locks past the table are untracked by `lockcheck`.
-pub const DRIVER_LOCK_CLASSES: [&str; 8] = [
-    "core.driver.0",
-    "core.driver.1",
-    "core.driver.2",
-    "core.driver.3",
-    "core.driver.4",
-    "core.driver.5",
-    "core.driver.6",
-    "core.driver.7",
-];
+/// Generates a fixed table of per-index lock-order class names
+/// (lockdep-style subclasses). Class names must be `&'static str`, so the
+/// tables are finite; see [`LockPolicy::new`] for the overflow policy.
+macro_rules! lock_class_table {
+    ($prefix:literal; $($i:tt),+ $(,)?) => {
+        [$(concat!($prefix, ".", stringify!($i))),+]
+    };
+}
+
+/// Per-index lock-order classes for driver locks.
+pub const DRIVER_LOCK_CLASSES: [&str; 16] =
+    lock_class_table!("core.driver"; 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+
+/// Per-gate lock-order classes for the send-side collect shards.
+pub const COLLECT_TX_LOCK_CLASSES: [&str; 16] =
+    lock_class_table!("core.collect.tx"; 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+
+/// Per-gate lock-order classes for the receive-side collect shards.
+pub const COLLECT_RX_LOCK_CLASSES: [&str; 16] =
+    lock_class_table!("core.collect.rx"; 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+
+/// Builds one classed spinlock per index; indices beyond the class table
+/// fall back to an *untracked* lock and bump the
+/// `core.lockclass_overflow` warn counter so the drop is observable in
+/// metrics instead of silent (see `lockclass_overflow_is_counted`).
+fn classed_spins(n: usize, table: &'static [&'static str]) -> Box<[RawSpin]> {
+    (0..n)
+        .map(|i| match table.get(i) {
+            Some(class) => RawSpin::with_class(class),
+            None => {
+                crate::metrics::lockclass_overflow().incr();
+                RawSpin::new()
+            }
+        })
+        .collect()
+}
+
+/// Owned aggregate of acquisition counters over a set of locks.
+///
+/// The per-gate sharding means there is no longer *one* collect lock to
+/// point at; [`LockPolicy::collect_stats`] sums the shards into this
+/// snapshot, which mirrors the `LockStats` accessor surface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStatsSnapshot {
+    acquisitions: u64,
+    contentions: u64,
+}
+
+impl LockStatsSnapshot {
+    /// Total acquisitions across the aggregated locks.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+
+    /// Acquisitions that found a lock held.
+    pub fn contentions(&self) -> u64 {
+        self.contentions
+    }
+
+    /// Fraction of acquisitions that contended (0.0 when idle).
+    pub fn contention_ratio(&self) -> f64 {
+        if self.acquisitions == 0 {
+            0.0
+        } else {
+            self.contentions as f64 / self.acquisitions as f64
+        }
+    }
+
+    fn absorb(&mut self, s: &nm_sync::stats::LockStats) {
+        self.acquisitions += s.acquisitions();
+        self.contentions += s.contentions();
+    }
+}
 
 /// Lock-placement policy for one communication core.
 pub struct LockPolicy {
     mode: LockingMode,
     /// Coarse mode: the library-wide lock.
     global: RawSpin,
-    /// Fine mode: the collect-layer lock.
-    collect: RawSpin,
+    /// Fine mode: per-gate send-side collect locks (index = gate index).
+    collect_tx: Box<[RawSpin]>,
+    /// Fine mode: per-gate receive-side collect locks (index = gate index).
+    collect_rx: Box<[RawSpin]>,
     /// Fine mode: one lock per driver (index = global driver index).
     drivers: Box<[RawSpin]>,
     /// SingleThread mode: the one thread allowed in (0 = not yet claimed).
@@ -127,28 +199,28 @@ pub struct LockPolicy {
 }
 
 impl LockPolicy {
-    /// Builds a policy for `num_drivers` transfer-layer lists.
+    /// Builds a policy for `num_gates` collect-layer shards and
+    /// `num_drivers` transfer-layer lists.
     ///
     /// The locks carry lock-order classes for `nm-sync`'s `lockcheck`
     /// feature; the documented hierarchy is `core.api-global` →
-    /// `core.collect` → `core.driver.N` (outermost to innermost), and any
-    /// acquisition inverting it panics with both stacks when validation
-    /// is compiled in. Driver locks get one class *per index* — fine mode
-    /// legitimately holds several driver locks at once (distinct NICs),
-    /// which a shared class would misreport as a recursive acquisition.
-    /// This mirrors lockdep subclasses; indices beyond
-    /// [`DRIVER_LOCK_CLASSES`] are left untracked rather than mis-classed.
-    pub fn new(mode: LockingMode, num_drivers: usize) -> Self {
+    /// `core.collect.{tx,rx}.G` → `core.driver.N` (outermost to
+    /// innermost), and any acquisition inverting it panics with both
+    /// stacks when validation is compiled in. Driver and collect locks
+    /// get one class *per index* — fine mode legitimately holds several
+    /// driver locks at once (distinct NICs), which a shared class would
+    /// misreport as a recursive acquisition. This mirrors lockdep
+    /// subclasses. Indices beyond the class tables are left untracked
+    /// rather than mis-classed, and each such lock increments the
+    /// `core.lockclass_overflow` metrics counter so the coverage gap is
+    /// visible.
+    pub fn new(mode: LockingMode, num_gates: usize, num_drivers: usize) -> Self {
         LockPolicy {
             mode,
             global: RawSpin::with_class("core.api-global"),
-            collect: RawSpin::with_class("core.collect"),
-            drivers: (0..num_drivers)
-                .map(|i| match DRIVER_LOCK_CLASSES.get(i) {
-                    Some(class) => RawSpin::with_class(class),
-                    None => RawSpin::new(),
-                })
-                .collect(),
+            collect_tx: classed_spins(num_gates, &COLLECT_TX_LOCK_CLASSES),
+            collect_rx: classed_spins(num_gates, &COLLECT_RX_LOCK_CLASSES),
+            drivers: classed_spins(num_drivers, &DRIVER_LOCK_CLASSES),
             owner: AtomicU64::new(0),
         }
     }
@@ -156,6 +228,11 @@ impl LockPolicy {
     /// The configured mode.
     pub fn mode(&self) -> LockingMode {
         self.mode
+    }
+
+    /// Number of collect-layer shards (one tx + one rx lock per gate).
+    pub fn num_gates(&self) -> usize {
+        self.collect_tx.len()
     }
 
     /// Enters the library: the once-per-call guard.
@@ -209,7 +286,8 @@ impl LockPolicy {
             }
             LockingMode::Fine => {
                 let lock = match kind {
-                    SectionKind::Collect => &self.collect,
+                    SectionKind::CollectTx(g) => &self.collect_tx[g],
+                    SectionKind::CollectRx(g) => &self.collect_rx[g],
                     SectionKind::Driver(i) => &self.drivers[i],
                     SectionKind::Global => unreachable!(),
                 };
@@ -252,15 +330,29 @@ impl LockPolicy {
         self.global.stats()
     }
 
-    /// Lock statistics of the fine-grain collect lock.
-    pub fn collect_stats(&self) -> &nm_sync::stats::LockStats {
-        self.collect.stats()
+    /// Aggregated statistics over every per-gate collect lock (tx + rx).
+    pub fn collect_stats(&self) -> LockStatsSnapshot {
+        let mut snap = LockStatsSnapshot::default();
+        for l in self.collect_tx.iter().chain(self.collect_rx.iter()) {
+            snap.absorb(l.stats());
+        }
+        snap
+    }
+
+    /// Statistics of gate `g`'s send-side collect lock.
+    pub fn collect_tx_stats(&self, g: usize) -> &nm_sync::stats::LockStats {
+        self.collect_tx[g].stats()
+    }
+
+    /// Statistics of gate `g`'s receive-side collect lock.
+    pub fn collect_rx_stats(&self, g: usize) -> &nm_sync::stats::LockStats {
+        self.collect_rx[g].stats()
     }
 
     /// Total lock acquisitions across all locks of this policy.
     pub fn total_acquisitions(&self) -> u64 {
         self.global.stats().acquisitions()
-            + self.collect.stats().acquisitions()
+            + self.collect_stats().acquisitions()
             + self
                 .drivers
                 .iter()
@@ -273,6 +365,7 @@ impl std::fmt::Debug for LockPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LockPolicy")
             .field("mode", &self.mode)
+            .field("gates", &self.collect_tx.len())
             .field("drivers", &self.drivers.len())
             .finish()
     }
@@ -368,11 +461,26 @@ mod tests {
     }
 
     #[test]
+    fn class_tables_are_generated_per_index() {
+        assert_eq!(DRIVER_LOCK_CLASSES[0], "core.driver.0");
+        assert_eq!(DRIVER_LOCK_CLASSES[15], "core.driver.15");
+        assert_eq!(COLLECT_TX_LOCK_CLASSES[3], "core.collect.tx.3");
+        assert_eq!(COLLECT_RX_LOCK_CLASSES[3], "core.collect.rx.3");
+        // tx and rx shards of the same gate must be distinct classes.
+        for (tx, rx) in COLLECT_TX_LOCK_CLASSES
+            .iter()
+            .zip(COLLECT_RX_LOCK_CLASSES.iter())
+        {
+            assert_ne!(tx, rx);
+        }
+    }
+
+    #[test]
     fn coarse_locks_once_per_api_call() {
-        let p = LockPolicy::new(LockingMode::Coarse, 2);
+        let p = LockPolicy::new(LockingMode::Coarse, 1, 2);
         {
             let api = p.enter_api();
-            let _c = p.enter(SectionKind::Collect);
+            let _c = p.enter(SectionKind::CollectRx(0));
             let _d = p.enter(SectionKind::Driver(1));
             drop(api); // sections carry no locks of their own
         }
@@ -383,30 +491,99 @@ mod tests {
 
     #[test]
     fn fine_uses_separate_locks_and_free_api() {
-        let p = LockPolicy::new(LockingMode::Fine, 2);
+        let p = LockPolicy::new(LockingMode::Fine, 1, 2);
         let _api = p.enter_api();
         // Distinct sections may be held simultaneously in fine mode.
-        let g1 = p.enter(SectionKind::Collect);
+        let g1 = p.enter(SectionKind::CollectRx(0));
         let g2 = p.enter(SectionKind::Driver(0));
         let g3 = p.enter(SectionKind::Driver(1));
         drop((g1, g2, g3));
         assert_eq!(p.global_stats().acquisitions(), 0);
         assert_eq!(p.collect_stats().acquisitions(), 1);
+        assert_eq!(p.collect_rx_stats(0).acquisitions(), 1);
+        assert_eq!(p.collect_tx_stats(0).acquisitions(), 0);
         assert_eq!(p.total_acquisitions(), 3);
     }
 
     #[test]
+    fn collect_shards_are_independent_per_gate() {
+        let p = LockPolicy::new(LockingMode::Fine, 4, 1);
+        // Different gates' shards, and one gate's tx vs rx, may all be
+        // held at once: they are distinct locks.
+        let a = p.enter(SectionKind::CollectTx(0));
+        let b = p.enter(SectionKind::CollectRx(0));
+        let c = p.enter(SectionKind::CollectTx(3));
+        let d = p.enter(SectionKind::CollectRx(3));
+        drop((a, b, c, d));
+        assert_eq!(p.collect_tx_stats(0).acquisitions(), 1);
+        assert_eq!(p.collect_rx_stats(0).acquisitions(), 1);
+        assert_eq!(p.collect_tx_stats(3).acquisitions(), 1);
+        assert_eq!(p.collect_rx_stats(3).acquisitions(), 1);
+        assert_eq!(p.collect_tx_stats(1).acquisitions(), 0);
+        assert_eq!(p.collect_stats().acquisitions(), 4);
+    }
+
+    #[test]
+    fn collect_stats_aggregates_contention() {
+        let p = Arc::new(LockPolicy::new(LockingMode::Fine, 2, 1));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let p = Arc::clone(&p);
+                thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        let _g = p.enter(SectionKind::CollectTx(t % 2));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = p.collect_stats();
+        assert_eq!(snap.acquisitions(), 4_000);
+        assert_eq!(
+            snap.contentions(),
+            p.collect_tx_stats(0).contentions() + p.collect_tx_stats(1).contentions()
+        );
+        assert!(snap.contention_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn lockclass_overflow_is_counted_not_silent() {
+        let counter = crate::metrics::lockclass_overflow();
+        let before = counter.get();
+        // 20 gates and 20 drivers exceed the 16-entry class tables by 4
+        // each: 4 tx + 4 rx + 4 driver locks run untracked.
+        let p = LockPolicy::new(LockingMode::Fine, 20, 20);
+        assert_eq!(counter.get() - before, 12);
+        // Overflowed locks still function, just without lockcheck classes.
+        let g = p.enter(SectionKind::CollectTx(19));
+        drop(g);
+        let d = p.enter(SectionKind::Driver(19));
+        drop(d);
+        assert_eq!(p.collect_tx_stats(19).acquisitions(), 1);
+    }
+
+    #[test]
+    fn in_table_lock_counts_no_overflow() {
+        let counter = crate::metrics::lockclass_overflow();
+        let before = counter.get();
+        let _p = LockPolicy::new(LockingMode::Fine, 16, 16);
+        assert_eq!(counter.get(), before);
+    }
+
+    #[test]
     fn single_thread_takes_no_lock() {
-        let p = LockPolicy::new(LockingMode::SingleThread, 1);
+        let p = LockPolicy::new(LockingMode::SingleThread, 1, 1);
         let _api = p.enter_api();
-        let _g = p.enter(SectionKind::Collect);
+        let _g = p.enter(SectionKind::CollectTx(0));
         let _g2 = p.enter(SectionKind::Driver(0));
         assert_eq!(p.total_acquisitions(), 0);
     }
 
     #[test]
     fn single_thread_rejects_second_thread() {
-        let p = Arc::new(LockPolicy::new(LockingMode::SingleThread, 1));
+        let p = Arc::new(LockPolicy::new(LockingMode::SingleThread, 1, 1));
         let _g = p.enter_api();
         let p2 = Arc::clone(&p);
         let res = thread::spawn(move || {
@@ -420,22 +597,22 @@ mod tests {
     #[cfg(debug_assertions)]
     #[should_panic(expected = "without the API guard")]
     fn coarse_inner_section_requires_api_guard() {
-        let p = LockPolicy::new(LockingMode::Coarse, 1);
-        let _ = p.enter(SectionKind::Collect);
+        let p = LockPolicy::new(LockingMode::Coarse, 1, 1);
+        let _ = p.enter(SectionKind::CollectRx(0));
     }
 
     #[test]
     fn protected_cell_round_trip() {
-        let p = LockPolicy::new(LockingMode::Fine, 1);
-        let cell = Protected::new(SectionKind::Collect, vec![1, 2]);
-        let g = p.enter(SectionKind::Collect);
+        let p = LockPolicy::new(LockingMode::Fine, 1, 1);
+        let cell = Protected::new(SectionKind::CollectRx(0), vec![1, 2]);
+        let g = p.enter(SectionKind::CollectRx(0));
         cell.with(&g, |v| v.push(3));
         assert_eq!(cell.with(&g, |v| v.clone()), vec![1, 2, 3]);
     }
 
     #[test]
     fn global_guard_covers_any_cell() {
-        let p = LockPolicy::new(LockingMode::Coarse, 1);
+        let p = LockPolicy::new(LockingMode::Coarse, 1, 1);
         let cell = Protected::new(SectionKind::Driver(0), 7u32);
         let api = p.enter_api();
         assert_eq!(cell.with(&api, |v| *v), 7);
@@ -445,22 +622,42 @@ mod tests {
     #[cfg(debug_assertions)]
     #[should_panic(expected = "wrong section guard")]
     fn wrong_guard_caught_in_debug() {
-        let p = LockPolicy::new(LockingMode::Fine, 1);
-        let cell = Protected::new(SectionKind::Collect, 0u32);
+        let p = LockPolicy::new(LockingMode::Fine, 1, 1);
+        let cell = Protected::new(SectionKind::CollectRx(0), 0u32);
         let g = p.enter(SectionKind::Driver(0));
         cell.with(&g, |v| *v += 1);
     }
 
     #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "wrong section guard")]
+    fn tx_guard_does_not_cover_rx_cell() {
+        let p = LockPolicy::new(LockingMode::Fine, 1, 1);
+        let cell = Protected::new(SectionKind::CollectRx(0), 0u32);
+        let g = p.enter(SectionKind::CollectTx(0));
+        cell.with(&g, |v| *v += 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "wrong section guard")]
+    fn other_gates_guard_does_not_cover_cell() {
+        let p = LockPolicy::new(LockingMode::Fine, 2, 1);
+        let cell = Protected::new(SectionKind::CollectRx(0), 0u32);
+        let g = p.enter(SectionKind::CollectRx(1));
+        cell.with(&g, |v| *v += 1);
+    }
+
+    #[test]
     fn concurrent_fine_grain_counters_stay_exact() {
-        let p = Arc::new(LockPolicy::new(LockingMode::Fine, 1));
-        let cell = Arc::new(Protected::new(SectionKind::Collect, 0u64));
+        let p = Arc::new(LockPolicy::new(LockingMode::Fine, 1, 1));
+        let cell = Arc::new(Protected::new(SectionKind::CollectRx(0), 0u64));
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let (p, c) = (Arc::clone(&p), Arc::clone(&cell));
                 thread::spawn(move || {
                     for _ in 0..10_000 {
-                        let g = p.enter(SectionKind::Collect);
+                        let g = p.enter(SectionKind::CollectRx(0));
                         c.with(&g, |v| *v += 1);
                     }
                 })
@@ -469,14 +666,14 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let g = p.enter(SectionKind::Collect);
+        let g = p.enter(SectionKind::CollectRx(0));
         assert_eq!(cell.with(&g, |v| *v), 40_000);
     }
 
     #[test]
     fn concurrent_coarse_grain_counters_stay_exact() {
-        let p = Arc::new(LockPolicy::new(LockingMode::Coarse, 1));
-        let cell = Arc::new(Protected::new(SectionKind::Collect, 0u64));
+        let p = Arc::new(LockPolicy::new(LockingMode::Coarse, 1, 1));
+        let cell = Arc::new(Protected::new(SectionKind::CollectRx(0), 0u64));
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let (p, c) = (Arc::clone(&p), Arc::clone(&cell));

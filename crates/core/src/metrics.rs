@@ -1,4 +1,4 @@
-//! Always-on latency histograms for the core API operations.
+//! Always-on latency histograms and health metrics for the core API.
 //!
 //! Each public operation records its wall-clock duration into a global
 //! log-linear histogram (`core.send_ns`, `core.recv_ns`,
@@ -6,10 +6,18 @@
 //! resolved once through a `OnceLock` so the per-op cost is two
 //! timestamps plus one relaxed atomic add — see the no-alloc and
 //! record-cost tests in `nm-metrics`.
+//!
+//! Matching-state depth gauges (`core.posted_depth`,
+//! `core.unexpected_depth`) track the library-wide number of posted
+//! receives and unexpected messages held in the per-gate hash bins —
+//! one relaxed add/sub per queue mutation. `core.lockclass_overflow`
+//! counts locks built past the fixed lock-order class tables (untracked
+//! by `lockcheck`); a non-zero value means the tables in
+//! `core::locking` need growing.
 
 use std::sync::{Arc, OnceLock};
 
-use nm_metrics::Histogram;
+use nm_metrics::{Counter, Gauge, Histogram};
 
 macro_rules! global_hist {
     ($fn_name:ident, $metric:literal, $doc:literal) => {
@@ -17,6 +25,26 @@ macro_rules! global_hist {
         pub fn $fn_name() -> &'static Arc<Histogram> {
             static H: OnceLock<Arc<Histogram>> = OnceLock::new();
             H.get_or_init(|| nm_metrics::metrics().histogram($metric))
+        }
+    };
+}
+
+macro_rules! global_counter {
+    ($fn_name:ident, $metric:literal, $doc:literal) => {
+        #[doc = $doc]
+        pub fn $fn_name() -> &'static Arc<Counter> {
+            static C: OnceLock<Arc<Counter>> = OnceLock::new();
+            C.get_or_init(|| nm_metrics::metrics().counter($metric))
+        }
+    };
+}
+
+macro_rules! global_gauge {
+    ($fn_name:ident, $metric:literal, $doc:literal) => {
+        #[doc = $doc]
+        pub fn $fn_name() -> &'static Arc<Gauge> {
+            static G: OnceLock<Arc<Gauge>> = OnceLock::new();
+            G.get_or_init(|| nm_metrics::metrics().gauge($metric))
         }
     };
 }
@@ -35,4 +63,19 @@ global_hist!(
     wait_hist,
     "core.wait_ns",
     "Latency of `CommCore::wait` (call to completion, ns)."
+);
+global_counter!(
+    lockclass_overflow,
+    "core.lockclass_overflow",
+    "Locks created beyond the fixed lock-order class tables (untracked by lockcheck)."
+);
+global_gauge!(
+    posted_depth,
+    "core.posted_depth",
+    "Posted receives currently waiting in the per-gate matching bins."
+);
+global_gauge!(
+    unexpected_depth,
+    "core.unexpected_depth",
+    "Unexpected messages currently buffered in the per-gate matching bins."
 );

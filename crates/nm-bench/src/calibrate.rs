@@ -104,6 +104,40 @@ pub fn ctx_switch_ns() -> u64 {
     (elapsed.as_nanos() as u64) / (HOPS * 2)
 }
 
+/// Contended collect-section cycle through a [`nm_core::LockPolicy`]:
+/// `threads` threads hammer the fine-grain collect sections. With
+/// `sharded` each thread enters its *own gate's* tx section (the
+/// post-sharding layout — no contention by construction); without, all
+/// threads pile onto gate 0's section (the seed's single collect lock).
+/// Returns the mean ns per enter/exit as seen by one thread.
+pub fn collect_cycle_ns(threads: usize, sharded: bool) -> u64 {
+    use nm_core::{LockPolicy, LockingMode, SectionKind};
+    const OPS: u64 = 50_000;
+    let threads = threads.max(1);
+    let policy = Arc::new(LockPolicy::new(LockingMode::Fine, threads, 1));
+    let barrier = Arc::new(std::sync::Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let policy = Arc::clone(&policy);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let gate = if sharded { t } else { 0 };
+                barrier.wait();
+                for _ in 0..OPS {
+                    let section = policy.enter(SectionKind::CollectTx(gate));
+                    std::hint::black_box(&section);
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t0 = Instant::now();
+    for h in handles {
+        h.join().expect("collect-cycle worker");
+    }
+    (t0.elapsed().as_nanos() as u64) / OPS
+}
+
 /// Signal + already-set wait cost of a completion flag.
 pub fn flag_cycle_ns() -> u64 {
     let flag = nm_sync::CompletionFlag::new();
@@ -179,6 +213,18 @@ mod tests {
             switch > cycle,
             "a context switch ({switch} ns) must cost more than a lock cycle ({cycle} ns)"
         );
+    }
+
+    #[test]
+    fn contended_collect_cycle_measures_both_layouts() {
+        // No ordering assertion: on an oversubscribed CI box the sharded
+        // run can still be preempted into looking slower. Sanity only.
+        let sharded = collect_cycle_ns(2, true);
+        let global = collect_cycle_ns(2, false);
+        assert!(sharded > 0, "sharded cycle cannot be free");
+        assert!(global > 0, "global cycle cannot be free");
+        assert!(sharded < 1_000_000, "sharded cycle {sharded} ns is absurd");
+        assert!(global < 1_000_000, "global cycle {global} ns is absurd");
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod calibrate;
 pub mod compute_loss;
 pub mod concurrent;
 pub mod fromtrace;
+pub mod msgrate;
 pub mod overlap;
 pub mod pingpong;
 pub mod report;

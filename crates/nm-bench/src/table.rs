@@ -14,6 +14,13 @@ pub fn fmt_size(bytes: usize) -> String {
 /// Renders a set of series as a Markdown table: one row per message size,
 /// one column per series (the shape of each figure's data).
 pub fn series_table(title: &str, series: &[Series]) -> String {
+    series_table_with(title, "size (B)", "µs", series)
+}
+
+/// [`series_table`] with explicit x-axis and value-unit labels, for
+/// figures whose axes are not size-vs-latency (e.g. the message-rate
+/// scaling table: flows on x, Mmsg/s in the cells).
+pub fn series_table_with(title: &str, xlabel: &str, unit: &str, series: &[Series]) -> String {
     assert!(!series.is_empty(), "no series to print");
     let sizes: Vec<usize> = series[0].points.iter().map(|&(s, _)| s).collect();
     for s in series {
@@ -26,9 +33,9 @@ pub fn series_table(title: &str, series: &[Series]) -> String {
     }
     let mut out = String::new();
     out.push_str(&format!("## {title}\n\n"));
-    out.push_str("| size (B) |");
+    out.push_str(&format!("| {xlabel} |"));
     for s in series {
-        out.push_str(&format!(" {} (µs) |", s.label));
+        out.push_str(&format!(" {} ({unit}) |", s.label));
     }
     out.push('\n');
     out.push_str("|---:|");
@@ -126,6 +133,14 @@ mod tests {
         assert!(t.contains("| 1 |"));
         assert!(t.contains("| 2K |"));
         assert!(t.contains("6.00"));
+    }
+
+    #[test]
+    fn custom_axis_and_unit_labels() {
+        let t = series_table_with("Msgrate", "flows", "Mmsg/s", &[serie("a", 1.0)]);
+        assert!(t.contains("| flows |"));
+        assert!(t.contains("a (Mmsg/s)"));
+        assert!(!t.contains("µs"));
     }
 
     #[test]

@@ -29,6 +29,11 @@ pub struct SimCosts {
     /// event lands before an idle-core poller notices it (bounded by its
     /// pass length).
     pub idle_poll_gap_ns: u64,
+    /// Cost of scanning one entry of a collect-layer matching list (the
+    /// posted/unexpected walk charges this per in-flight flow). The
+    /// message-rate experiment uses it to price linear-scan matching
+    /// against hashed per-gate bins.
+    pub match_scan_ns: u64,
 }
 
 impl Default for SimCosts {
@@ -42,6 +47,7 @@ impl Default for SimCosts {
             enqueue_ns: 100,
             tasklet_schedule_ns: 800,
             idle_poll_gap_ns: 300,
+            match_scan_ns: 60,
         }
     }
 }
@@ -75,6 +81,12 @@ impl SimCosts {
         self.tasklet_schedule_ns = ns;
         self
     }
+
+    /// Replaces the per-entry matching-list scan cost.
+    pub fn with_match_scan(mut self, ns: u64) -> Self {
+        self.match_scan_ns = ns;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -95,10 +107,12 @@ mod tests {
             .with_lock_cycle(99)
             .with_ctx_switch(1234)
             .with_pioman_pass(1)
-            .with_tasklet_schedule(5);
+            .with_tasklet_schedule(5)
+            .with_match_scan(7);
         assert_eq!(c.lock_cycle_ns, 99);
         assert_eq!(c.ctx_switch_ns, 1234);
         assert_eq!(c.pioman_pass_ns, 1);
         assert_eq!(c.tasklet_schedule_ns, 5);
+        assert_eq!(c.match_scan_ns, 7);
     }
 }

@@ -831,6 +831,136 @@ pub fn bandwidth_by_mode(costs: SimCosts, sizes: &[usize]) -> Vec<Series> {
         .collect()
 }
 
+/// Collect-lock layouts compared by the message-rate experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectLayout {
+    /// The pre-sharding stack: one collect lock per node with every
+    /// gate's tx and rx lists behind it, matched by linear scans whose
+    /// length grows with the number of in-flight flows.
+    Global,
+    /// Per-gate collect locks with hashed O(1) matching bins: a flow
+    /// only ever touches (and scans) its own gate's state.
+    PerGate,
+}
+
+impl CollectLayout {
+    /// Legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CollectLayout::Global => "global collect lock",
+            CollectLayout::PerGate => "per-gate collect locks",
+        }
+    }
+}
+
+/// The per-flow locks and wire of the message-rate model. `collect_*`
+/// may alias one node-wide lock ([`CollectLayout::Global`]); the driver
+/// locks are per-gate in both layouts (drivers were already sharded).
+#[derive(Clone, Copy)]
+struct FlowLocks {
+    collect_a: LockId,
+    driver_a: LockId,
+    collect_b: LockId,
+    driver_b: LockId,
+    chan: ChanId,
+}
+
+const RATE_MSGS: usize = 256;
+const RATE_SIZE: usize = 8;
+
+/// Aggregate small-message rate (million messages/s) of `n_flows`
+/// concurrent single-gate streams, node A → node B, fine-grain locking.
+///
+/// Each sender thread drives its own gate back-to-back; each receiver
+/// thread drains its gate. Under [`CollectLayout::Global`] every
+/// submission and every dispatch serializes on the node-wide collect
+/// lock *and* pays a matching scan over all `n_flows` in-flight lists;
+/// under [`CollectLayout::PerGate`] the flows touch disjoint locks and
+/// O(1) bins, so the only shared resource left is the wire.
+fn msgrate_once(costs: SimCosts, n_flows: usize, layout: CollectLayout) -> f64 {
+    let topo = Topology::dual_xeon_x5460();
+    let cores = topo.num_cores();
+    let mut vm = Vm::new(costs, topo);
+    // Node-wide collect locks for the Global layout.
+    let node_a = vm.lock();
+    let node_b = vm.lock();
+    let flows: Vec<FlowLocks> = (0..n_flows)
+        .map(|_| {
+            let (collect_a, collect_b) = match layout {
+                CollectLayout::Global => (node_a, node_b),
+                CollectLayout::PerGate => (vm.lock(), vm.lock()),
+            };
+            FlowLocks {
+                collect_a,
+                driver_a: vm.lock(),
+                collect_b,
+                driver_b: vm.lock(),
+                chan: vm.chan(WireModel::myri_10g()),
+            }
+        })
+        .collect();
+    // Entries a matching scan walks: the shared lists hold every flow's
+    // in-flight state; a per-gate bin holds only its own.
+    let scan = match layout {
+        CollectLayout::Global => n_flows as u64,
+        CollectLayout::PerGate => 1,
+    };
+    let finished_at = Arc::new(Mutex::new(0u64));
+
+    for (i, &f) in flows.iter().enumerate() {
+        // Sender: submit to the collect layer (lock + scan), transmit
+        // via the gate's driver — the fine-grain send path of Fig 4.
+        vm.spawn(i % cores, move |ctx| {
+            let c = *ctx.costs();
+            let half = c.submit_ns / 2;
+            for _ in 0..RATE_MSGS {
+                ctx.advance(1); // loop overhead between library calls
+                ctx.lock(f.collect_a);
+                ctx.advance(half + scan * c.match_scan_ns);
+                ctx.unlock(f.collect_a);
+                ctx.lock(f.driver_a);
+                ctx.advance(c.submit_ns - half);
+                ctx.chan_send(f.chan, RATE_SIZE);
+                ctx.unlock(f.driver_a);
+            }
+        });
+        // Receiver: driver poll, then dispatch against the collect-layer
+        // lists (lock + scan) — the fine-grain detection path.
+        let done = Arc::clone(&finished_at);
+        vm.spawn((i + n_flows) % cores, move |ctx| {
+            let c = *ctx.costs();
+            let period = pass_period(&c, Mode::Fine, false, false);
+            for _ in 0..RATE_MSGS {
+                recv_aligned(ctx, f.chan, period);
+                ctx.with_lock(f.driver_b, c.poll_pass_ns);
+                ctx.with_lock(f.collect_b, c.poll_pass_ns + scan * c.match_scan_ns);
+            }
+            let mut d = done.lock();
+            *d = (*d).max(ctx.now());
+        });
+    }
+    vm.run();
+    let elapsed_ns = *finished_at.lock();
+    (n_flows * RATE_MSGS) as f64 / elapsed_ns as f64 * 1e3 // Mmsg/s
+}
+
+/// Message-rate scaling: aggregate rate vs number of concurrent flows,
+/// per-gate collect locks against the seed's single collect lock. The
+/// multi-endpoint analogue of Fig 5 — instead of latency under two
+/// threads, throughput as threads-driving-their-own-gates scale up.
+pub fn msgrate_scaling(costs: SimCosts, flows: &[usize]) -> Vec<Series> {
+    [CollectLayout::PerGate, CollectLayout::Global]
+        .iter()
+        .map(|&layout| Series {
+            label: layout.label().to_string(),
+            points: flows
+                .iter()
+                .map(|&n| (n, msgrate_once(costs, n, layout)))
+                .collect(),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1033,6 +1163,31 @@ mod tests {
         assert!(spread < 0.01, "bandwidth diverged by {spread:.3} at 32 KB");
         // And the absolute value approaches the modelled 1.25 GB/s wire.
         assert!(large[0] > 1_000.0, "32 KB bandwidth {} MB/s", large[0]);
+    }
+
+    #[test]
+    fn msgrate_sharded_collect_doubles_aggregate_rate() {
+        let series = msgrate_scaling(costs(), &[1, 4]);
+        let (sharded, global) = (&series[0], &series[1]);
+        // One flow: the layouts are indistinguishable — no contention,
+        // and the shared list holds a single flow's entries.
+        assert_eq!(sharded.points[0].1, global.points[0].1);
+        let s1 = sharded.points[0].1;
+        let (s4, g4) = (sharded.points[1].1, global.points[1].1);
+        // The acceptance bar: 4 independent flows on per-gate locks beat
+        // the seed's single collect lock by at least 2×.
+        assert!(s4 >= 2.0 * g4, "sharded {s4} vs global {g4} Mmsg/s");
+        // Sharded flows share nothing but the (idle) wire: near-linear.
+        assert!(s4 > 3.5 * s1, "sharded 4-flow rate {s4} vs 1-flow {s1}");
+        // The global lock saturates: adding flows can't scale the rate.
+        assert!(g4 < 2.0 * s1, "global 4-flow rate {g4} vs 1-flow {s1}");
+    }
+
+    #[test]
+    fn msgrate_is_deterministic() {
+        let a = msgrate_once(costs(), 4, CollectLayout::Global);
+        let b = msgrate_once(costs(), 4, CollectLayout::Global);
+        assert_eq!(a, b, "virtual-time runs must be bit-identical");
     }
 
     #[test]

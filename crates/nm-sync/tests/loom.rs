@@ -219,6 +219,108 @@ fn completion_flag_signal_before_wait_is_not_lost() {
     });
 }
 
+/// The per-gate rx handoff of nm-core's sharded collect layer: the app
+/// thread posts a receive under its gate's *own* rx lock; the progress
+/// engine matches and writes the result under the same lock, then
+/// completes the request **after** releasing it (completions run outside
+/// the section in `comm.rs`), so the completion flag's release edge is
+/// what publishes the delivered payload to the unlocked reader.
+struct GateRx {
+    lock: RawSpin,
+    state: UnsafeCell<RxCell>,
+    flag: CompletionFlag,
+}
+
+#[derive(Default)]
+struct RxCell {
+    posted: bool,
+    unexpected: Option<u64>,
+    delivered: Option<u64>,
+}
+
+// SAFETY: `posted`/`unexpected` are only accessed while `lock` is held;
+// `delivered` is written under the lock and read by the app thread only
+// after `flag.wait` returns (signal's release edge, model-checked).
+unsafe impl Sync for GateRx {}
+
+impl GateRx {
+    fn new() -> Self {
+        GateRx {
+            lock: RawSpin::new(),
+            state: UnsafeCell::new(RxCell::default()),
+            flag: CompletionFlag::new(),
+        }
+    }
+
+    /// App side: match an early message or post and wait.
+    fn recv(&self) -> u64 {
+        self.lock.lock();
+        let early = self.state.with_mut(|p| {
+            // SAFETY: rx lock held.
+            unsafe { (*p).unexpected.take() }
+        });
+        if let Some(v) = early {
+            self.lock.unlock();
+            return v;
+        }
+        self.state.with_mut(|p| {
+            // SAFETY: rx lock held.
+            unsafe { (*p).posted = true }
+        });
+        self.lock.unlock();
+        self.flag.wait(WaitStrategy::Passive);
+        self.state.with(|p| {
+            // SAFETY: wait returned → the deliverer's writes (made before
+            // its release-signal) are visible; it never writes again.
+            unsafe { (*p).delivered.expect("signalled without delivery") }
+        })
+    }
+
+    /// Progress side: deliver to the posted receive or buffer unexpected.
+    fn deliver(&self, v: u64) {
+        self.lock.lock();
+        let matched = self.state.with_mut(|p| {
+            // SAFETY: rx lock held.
+            unsafe {
+                if (*p).posted {
+                    (*p).delivered = Some(v);
+                    true
+                } else {
+                    (*p).unexpected = Some(v);
+                    false
+                }
+            }
+        });
+        self.lock.unlock();
+        // Completion outside the section, as in CommCore::dispatch.
+        if matched {
+            self.flag.signal();
+        }
+    }
+}
+
+#[test]
+fn per_gate_rx_lock_handoff_between_app_and_progress() {
+    loom::model(|| {
+        // Two gates with independent rx shards: each app thread talks to
+        // its own gate, the progress thread walks both (as a progression
+        // pass does), and no interleaving may race or lose a message.
+        let gates = Arc::new([GateRx::new(), GateRx::new()]);
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let g = Arc::clone(&gates);
+                thread::spawn(move || g[i].recv())
+            })
+            .collect();
+        for (i, g) in gates.iter().enumerate() {
+            g.deliver(10 + i as u64);
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap(), 10 + i as u64);
+        }
+    });
+}
+
 #[test]
 fn semaphore_handoff_transfers_permit() {
     loom::model(|| {
