@@ -461,10 +461,9 @@ mod tests {
         for (seq, tag) in [(7u32, 1u64), (2, 3), (4, 1), (9, 2)] {
             rx.push_unexpected(unexpected(tag, seq));
         }
-        let order: Vec<u32> = std::iter::from_fn(|| {
-            rx.take_unexpected_matching(TagPattern::Any).map(|m| m.seq)
-        })
-        .collect();
+        let order: Vec<u32> =
+            std::iter::from_fn(|| rx.take_unexpected_matching(TagPattern::Any).map(|m| m.seq))
+                .collect();
         assert_eq!(order, vec![2, 4, 7, 9]);
         assert_eq!(rx.unexpected_len(), 0);
     }
@@ -540,11 +539,7 @@ mod tests {
     fn pending_rts_wildcard_earliest_seq() {
         let mut rx = RxState::default();
         for (seq, tag) in [(6u32, 2u64), (1, 9), (3, 2)] {
-            rx.push_pending_rts(PendingRts {
-                tag,
-                seq,
-                total: 1,
-            });
+            rx.push_pending_rts(PendingRts { tag, seq, total: 1 });
         }
         assert_eq!(rx.take_pending_rts(TagPattern::Any).unwrap().seq, 1);
         assert_eq!(rx.take_pending_rts(TagPattern::Exact(2)).unwrap().seq, 3);

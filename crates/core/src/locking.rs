@@ -131,16 +131,23 @@ pub const COLLECT_RX_LOCK_CLASSES: [&str; 16] =
     lock_class_table!("core.collect.rx"; 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
 
 /// Builds one classed spinlock per index; indices beyond the class table
-/// fall back to an *untracked* lock and bump the
-/// `core.lockclass_overflow` warn counter so the drop is observable in
-/// metrics instead of silent (see `lockclass_overflow_is_counted`).
-fn classed_spins(n: usize, table: &'static [&'static str]) -> Box<[RawSpin]> {
+/// fall back to the family's *shared* overflow class and bump the
+/// `core.lockclass_overflow` warn counter so the precision drop is
+/// observable in metrics instead of silent (see
+/// `lockclass_overflow_is_counted_not_silent`). Shared classes allow
+/// same-class nesting (several overflowed locks may legitimately be held
+/// at once) but still participate in cross-class cycle detection.
+fn classed_spins(
+    n: usize,
+    table: &'static [&'static str],
+    overflow_class: &'static str,
+) -> Box<[RawSpin]> {
     (0..n)
         .map(|i| match table.get(i) {
             Some(class) => RawSpin::with_class(class),
             None => {
                 crate::metrics::lockclass_overflow().incr();
-                RawSpin::new()
+                RawSpin::with_shared_class(overflow_class)
             }
         })
         .collect()
@@ -210,17 +217,27 @@ impl LockPolicy {
     /// get one class *per index* — fine mode legitimately holds several
     /// driver locks at once (distinct NICs), which a shared class would
     /// misreport as a recursive acquisition. This mirrors lockdep
-    /// subclasses. Indices beyond the class tables are left untracked
-    /// rather than mis-classed, and each such lock increments the
-    /// `core.lockclass_overflow` metrics counter so the coverage gap is
-    /// visible.
+    /// subclasses. Indices beyond the class tables fall back to one
+    /// *shared* class per family (`core.collect.tx.overflow`, ...): less
+    /// precise — all overflowed locks of a family are ordered as one
+    /// node — but still part of the cycle-detection graph, and each such
+    /// lock increments the `core.lockclass_overflow` metrics counter so
+    /// the precision drop is visible.
     pub fn new(mode: LockingMode, num_gates: usize, num_drivers: usize) -> Self {
         LockPolicy {
             mode,
             global: RawSpin::with_class("core.api-global"),
-            collect_tx: classed_spins(num_gates, &COLLECT_TX_LOCK_CLASSES),
-            collect_rx: classed_spins(num_gates, &COLLECT_RX_LOCK_CLASSES),
-            drivers: classed_spins(num_drivers, &DRIVER_LOCK_CLASSES),
+            collect_tx: classed_spins(
+                num_gates,
+                &COLLECT_TX_LOCK_CLASSES,
+                "core.collect.tx.overflow",
+            ),
+            collect_rx: classed_spins(
+                num_gates,
+                &COLLECT_RX_LOCK_CLASSES,
+                "core.collect.rx.overflow",
+            ),
+            drivers: classed_spins(num_drivers, &DRIVER_LOCK_CLASSES, "core.driver.overflow"),
             owner: AtomicU64::new(0),
         }
     }
@@ -553,10 +570,13 @@ mod tests {
         let counter = crate::metrics::lockclass_overflow();
         let before = counter.get();
         // 20 gates and 20 drivers exceed the 16-entry class tables by 4
-        // each: 4 tx + 4 rx + 4 driver locks run untracked.
+        // each: 4 tx + 4 rx + 4 driver locks fall back to the shared
+        // overflow classes.
         let p = LockPolicy::new(LockingMode::Fine, 20, 20);
         assert_eq!(counter.get() - before, 12);
-        // Overflowed locks still function, just without lockcheck classes.
+        // Overflowed locks still function, under the per-family shared
+        // class (cycle detection coverage is exercised in
+        // tests/lockclass_overflow.rs under the lockcheck feature).
         let g = p.enter(SectionKind::CollectTx(19));
         drop(g);
         let d = p.enter(SectionKind::Driver(19));

@@ -11,8 +11,9 @@
 //! `core.unexpected_depth`) track the library-wide number of posted
 //! receives and unexpected messages held in the per-gate hash bins —
 //! one relaxed add/sub per queue mutation. `core.lockclass_overflow`
-//! counts locks built past the fixed lock-order class tables (untracked
-//! by `lockcheck`); a non-zero value means the tables in
+//! counts locks built past the fixed lock-order class tables (they fall
+//! back to a shared per-family `*.overflow` lockcheck class, losing
+//! per-index precision); a non-zero value means the tables in
 //! `core::locking` need growing.
 
 use std::sync::{Arc, OnceLock};
@@ -67,7 +68,7 @@ global_hist!(
 global_counter!(
     lockclass_overflow,
     "core.lockclass_overflow",
-    "Locks created beyond the fixed lock-order class tables (untracked by lockcheck)."
+    "Locks created beyond the fixed lock-order class tables (demoted to a shared overflow class)."
 );
 global_gauge!(
     posted_depth,

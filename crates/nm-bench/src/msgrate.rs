@@ -111,7 +111,10 @@ pub fn msgrate_threaded(opts: &MsgrateOpts) -> f64 {
             bar.wait();
             for _ in 0..rounds {
                 let reqs: Vec<_> = (0..window)
-                    .map(|_| a.isend(GateId(t), t as u64, payload.clone()).expect("isend"))
+                    .map(|_| {
+                        a.isend(GateId(t), t as u64, payload.clone())
+                            .expect("isend")
+                    })
                     .collect();
                 for s in reqs {
                     a.wait(&s, wait);
@@ -151,11 +154,13 @@ pub fn msgrate_singlethread(opts: &MsgrateOpts) -> f64 {
         for t in 0..opts.flows {
             for _ in 0..opts.window {
                 recvs.push(b.irecv(GateId(t), t as u64).expect("irecv"));
-                sends.push(a.isend(GateId(t), t as u64, payload.clone()).expect("isend"));
+                sends.push(
+                    a.isend(GateId(t), t as u64, payload.clone())
+                        .expect("isend"),
+                );
             }
         }
-        while !(recvs.iter().all(|r| r.is_complete()) && sends.iter().all(|s| s.is_complete()))
-        {
+        while !(recvs.iter().all(|r| r.is_complete()) && sends.iter().all(|s| s.is_complete())) {
             a.progress();
             b.progress();
         }

@@ -15,7 +15,15 @@
 //! validated run covers every instance. Acquiring two locks of the same
 //! class at once is reported as a recursive acquisition — no class in the
 //! nomad stack legitimately nests with itself (the section discipline in
-//! `nm-core::locking` forbids it).
+//! `nm-core::locking` forbids it). The exception is *shared* classes
+//! ([`acquired_shared`]): many distinct locks deliberately share one
+//! class name (e.g. the `core.*.overflow` classes covering gate indices
+//! beyond the static class tables), so same-class nesting is allowed for
+//! them while cross-class ordering is still validated.
+//!
+//! [`dump_graph_json`] exports the edges observed so far, which is how
+//! `cargo xtask analyze-locks` cross-checks its static
+//! may-hold-while-acquiring graph against runtime evidence.
 //!
 //! Without the feature every function here is an empty `#[inline]` stub,
 //! so the hot path costs nothing in normal builds. Enable it for tests
@@ -38,7 +46,28 @@
 #[inline]
 pub fn acquired(class: &'static str) {
     #[cfg(feature = "lockcheck")]
-    imp::acquired(class);
+    imp::acquire(class, false);
+    #[cfg(not(feature = "lockcheck"))]
+    let _ = class;
+}
+
+/// Like [`acquired`], but for *shared* (multi-instance) classes: many
+/// distinct locks share the class name, so holding two of them at once is
+/// legitimate and is not reported as a recursive acquisition. Ordering
+/// against *other* classes is validated exactly as for [`acquired`].
+///
+/// Used for the lock-class overflow pools in `nm-core::locking`, where
+/// every gate index beyond the static class table maps to one per-family
+/// class (`core.collect.tx.overflow`, ...).
+///
+/// # Panics
+///
+/// Panics (feature `lockcheck` only) if the acquisition closes an
+/// ordering cycle against a different class.
+#[inline]
+pub fn acquired_shared(class: &'static str) {
+    #[cfg(feature = "lockcheck")]
+    imp::acquire(class, true);
     #[cfg(not(feature = "lockcheck"))]
     let _ = class;
 }
@@ -71,11 +100,39 @@ pub fn held_classes() -> Vec<&'static str> {
     }
 }
 
+/// Serializes every ordering edge observed so far as a JSON document:
+///
+/// ```json
+/// {"schema": 1, "enabled": true,
+///  "edges": [{"from": "core.api-global", "to": "core.request.data",
+///             "held": ["core.api-global"]}]}
+/// ```
+///
+/// `held` is the full held stack (outermost first) when the edge was
+/// first recorded. Edges are sorted by `(from, to)` so the output is
+/// deterministic for a given workload. Backtraces are not included —
+/// consumers (`cargo xtask analyze-locks --runtime-graph`) only diff the
+/// edge set. Without the `lockcheck` feature the document is
+/// `{"schema": 1, "enabled": false, "edges": []}`.
+pub fn dump_graph_json() -> String {
+    #[cfg(feature = "lockcheck")]
+    {
+        imp::dump_graph_json()
+    }
+    #[cfg(not(feature = "lockcheck"))]
+    {
+        "{\"schema\": 1, \"enabled\": false, \"edges\": []}\n".to_string()
+    }
+}
+
 #[cfg(feature = "lockcheck")]
 mod imp {
     use std::backtrace::Backtrace;
     use std::cell::RefCell;
     use std::collections::{HashMap, HashSet};
+    // std-sync: the graph guard is lockcheck's own infrastructure — it
+    // must not itself be a classed lock (it would recurse into the
+    // checker), and PoisonError unwrapping keeps panics propagating.
     use std::sync::{Mutex, OnceLock, PoisonError};
 
     /// Where an ordering edge was first established.
@@ -130,9 +187,9 @@ mod imp {
         HELD.with(|h| h.borrow().clone())
     }
 
-    pub(super) fn acquired(class: &'static str) {
+    pub(super) fn acquire(class: &'static str, shared: bool) {
         let held = held_classes();
-        if held.contains(&class) {
+        if !shared && held.contains(&class) {
             panic!(
                 "lockcheck: recursive acquisition of lock class {class:?}\n\
                  held stack (outermost first): {held:?}\n\
@@ -140,9 +197,14 @@ mod imp {
                 Backtrace::capture()
             );
         }
-        if !held.is_empty() {
+        if held.iter().any(|&h| h != class) {
             let mut g = graph().lock().unwrap_or_else(PoisonError::into_inner);
             for &h in &held {
+                // Shared classes may legitimately nest with themselves;
+                // a self-edge would be reported as a one-node cycle.
+                if h == class {
+                    continue;
+                }
                 // A known, already-validated edge needs no re-check.
                 if g.edges.get(h).is_some_and(|m| m.contains_key(class)) {
                     continue;
@@ -194,5 +256,36 @@ mod imp {
                 held.remove(pos);
             }
         });
+    }
+
+    pub(super) fn dump_graph_json() -> String {
+        let g = graph().lock().unwrap_or_else(PoisonError::into_inner);
+        let mut edges: Vec<(&'static str, &'static str, &Vec<&'static str>)> = Vec::new();
+        for (&from, tos) in &g.edges {
+            for (&to, origin) in tos {
+                edges.push((from, to, &origin.held));
+            }
+        }
+        edges.sort();
+        let mut out = String::from("{\"schema\": 1, \"enabled\": true, \"edges\": [");
+        for (i, (from, to, held)) in edges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // Class names are plain &'static str literals; {:?} gives
+            // JSON-compatible quoting for them.
+            out.push_str(&format!(
+                "\n  {{\"from\": {from:?}, \"to\": {to:?}, \"held\": ["
+            ));
+            for (j, h) in held.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{h:?}"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n]}\n");
+        out
     }
 }

@@ -27,6 +27,10 @@ pub struct RawSpin {
     stats: LockStats,
     /// Lock-order class for `lockcheck` (None = untracked).
     class: Option<&'static str>,
+    /// `true` for multi-instance classes: many distinct locks share the
+    /// class name, so same-class nesting is legitimate (see
+    /// [`crate::lockcheck::acquired_shared`]).
+    shared_class: bool,
 }
 
 impl RawSpin {
@@ -36,6 +40,7 @@ impl RawSpin {
             locked: AtomicBool::new(false),
             stats: LockStats::new(),
             class: None,
+            shared_class: false,
         }
     }
 
@@ -50,6 +55,21 @@ impl RawSpin {
             locked: AtomicBool::new(false),
             stats: LockStats::new(),
             class: Some(class),
+            shared_class: false,
+        }
+    }
+
+    /// Like [`RawSpin::with_class`], but the class is *shared* by many
+    /// distinct lock instances (e.g. the `core.*.overflow` pools for gate
+    /// indices beyond the static class tables): holding two locks of the
+    /// class at once is allowed, while ordering against other classes is
+    /// still validated.
+    pub const fn with_shared_class(class: &'static str) -> Self {
+        RawSpin {
+            locked: AtomicBool::new(false),
+            stats: LockStats::new(),
+            class: Some(class),
+            shared_class: true,
         }
     }
 
@@ -88,7 +108,11 @@ impl RawSpin {
     #[inline]
     fn note_acquired(&self) {
         if let Some(class) = self.class {
-            crate::lockcheck::acquired(class);
+            if self.shared_class {
+                crate::lockcheck::acquired_shared(class);
+            } else {
+                crate::lockcheck::acquired(class);
+            }
         }
     }
 

@@ -102,6 +102,58 @@ fn three_way_cycle_detected() {
 }
 
 #[test]
+fn shared_class_instances_may_nest() {
+    // A *shared* class covers many distinct lock instances (the overflow
+    // pools in nm-core): same-class nesting is fine...
+    let first = RawSpin::with_shared_class("t6.pool");
+    let second = RawSpin::with_shared_class("t6.pool");
+    first.lock();
+    second.lock();
+    assert_eq!(lockcheck::held_classes(), vec!["t6.pool", "t6.pool"]);
+    second.unlock();
+    first.unlock();
+    assert!(lockcheck::held_classes().is_empty());
+}
+
+#[test]
+#[should_panic(expected = "lock-order cycle")]
+fn shared_class_still_orders_against_other_classes() {
+    // ...but cross-class ordering is validated exactly as usual.
+    let pool = RawSpin::with_shared_class("t7.pool");
+    let leaf = RawSpin::with_class("t7.leaf");
+    pool.lock();
+    leaf.lock();
+    leaf.unlock();
+    pool.unlock();
+    // The inversion: t7.leaf held while acquiring t7.pool.
+    leaf.lock();
+    pool.lock();
+}
+
+#[test]
+fn dump_graph_json_exports_observed_edges() {
+    let a = SpinLock::with_class("t8.outer", ());
+    let b = SpinLock::with_class("t8.inner", ());
+    {
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(gb);
+        drop(ga);
+    }
+    let doc = lockcheck::dump_graph_json();
+    // The document is shared with other tests' edges (global graph);
+    // just check schema markers and that our edge is present verbatim.
+    assert!(
+        doc.starts_with("{\"schema\": 1, \"enabled\": true"),
+        "{doc}"
+    );
+    assert!(
+        doc.contains("{\"from\": \"t8.outer\", \"to\": \"t8.inner\", \"held\": [\"t8.outer\"]}"),
+        "edge missing from dump: {doc}"
+    );
+}
+
+#[test]
 fn untracked_locks_stay_silent() {
     // Locks without a class never touch the graph — opposite orders are
     // not reported (they are invisible to the validator).

@@ -1,0 +1,73 @@
+//! Exercises the stack under the runtime lock-order checker and prints
+//! the observed class-edge graph as JSON on stdout.
+//!
+//! ```sh
+//! cargo run --release --features lockcheck --example lockcheck_dump
+//! ```
+//!
+//! `cargo xtask analyze-locks` runs this to cross-check the static
+//! may-hold-while-acquiring graph against reality: every edge printed
+//! here must be predicted statically (else the analyzer has a soundness
+//! bug), and static edges missing here are ranked coverage gaps. The
+//! workload deliberately covers both lock-heavy modes (coarse and fine),
+//! both protocols (eager and rendezvous), busy waits (progression under
+//! the API guard) and the progression-engine source registry.
+
+use std::sync::Arc;
+
+use nomad::core::{CommCore, CoreBuilder, CoreConfig, GateId, LockingMode};
+use nomad::fabric::{Driver, LoopbackDriver};
+use nomad::progress::ProgressEngine;
+use nomad::sync::WaitStrategy;
+
+const G: GateId = GateId(0);
+
+fn loopback_pair(config: CoreConfig) -> (Arc<CommCore>, Arc<CommCore>) {
+    let (da, db) = LoopbackDriver::pair(64);
+    let a = CoreBuilder::new(config.clone())
+        .add_gate(vec![Arc::new(da) as Arc<dyn Driver>])
+        .build();
+    let b = CoreBuilder::new(config)
+        .add_gate(vec![Arc::new(db) as Arc<dyn Driver>])
+        .build();
+    (a, b)
+}
+
+/// Eager + rendezvous round trips with busy waits (progression runs
+/// under the API guard, so completions happen with it held in coarse
+/// mode — that is the edge the cross-check cares most about).
+fn workload(mode: LockingMode) {
+    let config = CoreConfig::default().locking(mode);
+    let eager_max = config.eager_threshold;
+    let (a, b) = loopback_pair(config);
+
+    for size in [64usize, eager_max * 4] {
+        let payload = bytes::Bytes::from(vec![0xabu8; size]);
+        let recv = b.irecv(G, 7).expect("irecv");
+        let send = a.isend(G, 7, payload).expect("isend");
+        // Drive both sides: loopback needs the peer to make progress too.
+        while !recv.is_complete() || !send.is_complete() {
+            a.progress();
+            b.progress();
+        }
+        b.wait(&recv, WaitStrategy::Busy);
+        a.wait(&send, WaitStrategy::Busy);
+    }
+
+    // Progression-engine registry: poll sources through the engine the
+    // way the MPI layer drives background progression.
+    let engine = ProgressEngine::new();
+    let a2 = Arc::clone(&a);
+    let id = engine.register(Arc::new(move || {
+        a2.progress();
+        nomad::progress::PollOutcome::Idle
+    }));
+    engine.poll_all();
+    engine.unregister(id);
+}
+
+fn main() {
+    workload(LockingMode::Coarse);
+    workload(LockingMode::Fine);
+    println!("{}", nomad::sync::lockcheck::dump_graph_json());
+}

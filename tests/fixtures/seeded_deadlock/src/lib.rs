@@ -1,0 +1,60 @@
+//! Seeded lock-order deadlock for the static analyzer's negative test.
+//!
+//! Two classed spin locks are taken in opposite orders on two paths that
+//! no test ever runs concurrently (or at all): `publish_entry` holds
+//! `fixture.publish` while pruning (which takes `fixture.reclaim`), and
+//! `reclaim_all` holds `fixture.reclaim` while republishing (which takes
+//! `fixture.publish`). The runtime lockcheck could only catch this if a
+//! test exercised *both* paths; `cargo xtask analyze-locks --fixture
+//! tests/fixtures/seeded_deadlock` must find the cycle with both
+//! acquisition stacks — one of them through the call chain
+//! `publish_entry -> prune_oldest`.
+
+use nm_sync::SpinLock;
+
+pub struct Registry {
+    publish: SpinLock<Vec<u64>>,
+    reclaim: SpinLock<Vec<u64>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry {
+            publish: SpinLock::with_class("fixture.publish", Vec::new()),
+            reclaim: SpinLock::with_class("fixture.reclaim", Vec::new()),
+        }
+    }
+
+    /// Path A: publish -> (via `prune_oldest`) reclaim.
+    pub fn publish_entry(&self, id: u64) {
+        let mut p = self.publish.lock();
+        p.push(id);
+        if p.len() > 8 {
+            self.prune_oldest();
+        }
+        drop(p);
+    }
+
+    fn prune_oldest(&self) {
+        let mut r = self.reclaim.lock();
+        r.push(0);
+    }
+
+    /// Path B: reclaim -> publish. Opposite order: deadlock seed.
+    pub fn reclaim_all(&self) -> usize {
+        let mut r = self.reclaim.lock();
+        let n = r.len();
+        r.clear();
+        let mut p = self.publish.lock();
+        p.clear();
+        drop(p);
+        drop(r);
+        n
+    }
+}

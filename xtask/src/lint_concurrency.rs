@@ -9,12 +9,16 @@
 //!    calls push the argument down), unless the file is on the allow-list
 //!    below (files whose module docs establish a blanket discipline, e.g.
 //!    statistics counters) or under `compat/`.
-//! 2. **No ad-hoc primitives on hot paths.** `std::sync::Mutex` and bare
-//!    `std::thread::spawn` are banned in the hot-path crates (`nm-sync`,
-//!    `nm-fabric`, `nm-progress`, `nm-core`, `nm-sched`) outside test code:
-//!    locks must go through `nm-sync`/`parking_lot` (so lockcheck sees
-//!    them) and threads through the crates' own spawn wrappers, which set
-//!    names and affinity.
+//! 2. **No ad-hoc primitives on hot paths.** `std::sync::Mutex`,
+//!    `RwLock`, `Condvar`, `Barrier` and bare `std::thread::spawn` are
+//!    banned in the hot-path crates (`nm-sync`, `nm-fabric`,
+//!    `nm-progress`, `nm-core`, `nm-sched`) outside test code: locks must
+//!    go through `nm-sync`/`parking_lot` (so lockcheck sees them) and
+//!    threads through the crates' own spawn wrappers, which set names and
+//!    affinity. Use-list imports (`use std::sync::{Arc, Barrier}`) are
+//!    caught too. The rare legitimate exception carries a
+//!    `// std-sync: <why>` comment within three lines (e.g. lockcheck's
+//!    own graph guard, which must not itself be a classed lock).
 //! 3. **`unsafe` needs `// SAFETY:`.** Every line containing an `unsafe`
 //!    keyword must have a `SAFETY:` comment (or a `# Safety` rustdoc
 //!    section, the convention for `unsafe fn`) on the same line or within
@@ -26,7 +30,7 @@
 //! compilation, and the patterns involved are unambiguous in this codebase.
 //! String literals could in principle fool it; don't put `unsafe` in one.
 
-use std::fmt;
+use crate::findings::{Finding, OutputOpts, Severity};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -54,8 +58,8 @@ const RELAXED_ALLOW_LIST: &[&str] = &[
 /// The SAFETY rule still applies to them.
 const RELAXED_EXEMPT_PREFIXES: &[&str] = &["compat/"];
 
-/// Crates where `std::sync::Mutex` / bare `thread::spawn` are banned in
-/// non-test code.
+/// Crates where the banned `std::sync` primitives / bare `thread::spawn`
+/// are not allowed in non-test code.
 const HOT_PATH_CRATES: &[&str] = &[
     "crates/nm-sync",
     "crates/nm-fabric",
@@ -72,24 +76,24 @@ const COMMENT_LOOKBACK: usize = 3;
 /// well below the comment that precedes the statement.
 const RELAXED_LOOKBACK: usize = 6;
 
-struct Violation {
-    file: String,
-    line: usize,
-    rule: &'static str,
-    message: String,
-}
+/// The `std::sync` primitives banned on hot paths (rule 2). Everything
+/// here has an `nm-sync` or `parking_lot` replacement that lockcheck and
+/// the loom suite can see.
+const BANNED_STD_SYNC: &[&str] = &["Mutex", "RwLock", "Condvar", "Barrier"];
 
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
-        )
+pub fn run(root: &Path, args: &[String]) -> ExitCode {
+    let (opts, rest) = match OutputOpts::parse(args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint-concurrency: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(a) = rest.first() {
+        eprintln!("lint-concurrency: unknown flag {a}");
+        return ExitCode::FAILURE;
     }
-}
 
-pub fn run(root: &Path) -> ExitCode {
     let mut files = Vec::new();
     super::collect_rs_files(root, &mut files);
     files.sort();
@@ -109,11 +113,16 @@ pub fn run(root: &Path) -> ExitCode {
         lint_file(&rel, &text, &mut violations);
     }
 
+    if !opts.emit("lint-concurrency", &violations) {
+        return ExitCode::FAILURE;
+    }
     if violations.is_empty() {
-        println!(
-            "lint-concurrency: OK ({checked} files; relaxed justifications, \
-             hot-path primitives, SAFETY coverage)"
-        );
+        if !opts.json {
+            println!(
+                "lint-concurrency: OK ({checked} files; relaxed justifications, \
+                 hot-path primitives, SAFETY coverage)"
+            );
+        }
         ExitCode::SUCCESS
     } else {
         for v in &violations {
@@ -128,7 +137,7 @@ pub fn run(root: &Path) -> ExitCode {
     }
 }
 
-fn lint_file(rel: &str, text: &str, out: &mut Vec<Violation>) {
+fn lint_file(rel: &str, text: &str, out: &mut Vec<Finding>) {
     // Skip the lint's own source (rule names would trip the patterns).
     if rel.starts_with("xtask/") {
         return;
@@ -143,6 +152,10 @@ fn lint_file(rel: &str, text: &str, out: &mut Vec<Violation>) {
         .iter()
         .any(|c| rel.starts_with(&format!("{c}/src/")) || rel == format!("{c}/src/lib.rs"));
 
+    // Tracks whether we are inside a multi-line `use std::sync::{ ... }`
+    // item (rustfmt splits long use-lists).
+    let mut in_std_sync_list = false;
+
     for (idx, line) in lines.iter().enumerate() {
         let lineno = idx + 1;
         let code = strip_line_comment(line);
@@ -156,42 +169,53 @@ fn lint_file(rel: &str, text: &str, out: &mut Vec<Violation>) {
             && (code.contains("Ordering::Relaxed") || code.contains("::Relaxed"))
             && !has_marker_within(&lines, idx, "relaxed:", RELAXED_LOOKBACK)
         {
-            out.push(Violation {
-                file: rel.into(),
-                line: lineno,
-                rule: "relaxed-needs-reason",
-                message: "Ordering::Relaxed without a `// relaxed: <why>` \
-                          justification within 6 lines"
-                    .into(),
-            });
+            out.push(Finding::new(
+                "relaxed-needs-reason",
+                Severity::Error,
+                rel,
+                lineno,
+                "Ordering::Relaxed without a `// relaxed: <why>` \
+                 justification within 6 lines",
+            ));
         }
 
-        // Rule 2: hot-path crates must not use std Mutex / bare spawn
-        // outside test code.
+        // Rule 2: hot-path crates must not use the banned std::sync
+        // primitives / bare spawn outside test code. A `// std-sync:`
+        // justification within 3 lines waives the primitive ban.
+        let std_sync_hits = banned_std_sync(code, &mut in_std_sync_list);
         if hot_path && !is_test_code {
-            if code.contains("std::sync::Mutex") || code.contains("sync::Mutex<") {
-                out.push(Violation {
-                    file: rel.into(),
-                    line: lineno,
-                    rule: "hot-path-std-mutex",
-                    message: "std::sync::Mutex in a hot-path crate; use \
-                              nm-sync primitives or parking_lot so lockcheck \
-                              and loom see the lock"
-                        .into(),
-                });
+            if !has_marker(&lines, idx, "std-sync:") {
+                for prim in std_sync_hits {
+                    let rule = if prim == "Mutex" {
+                        "hot-path-std-mutex"
+                    } else {
+                        "hot-path-std-sync-primitive"
+                    };
+                    out.push(Finding::new(
+                        rule,
+                        Severity::Error,
+                        rel,
+                        lineno,
+                        format!(
+                            "std::sync::{prim} in a hot-path crate; use \
+                             nm-sync primitives or parking_lot so lockcheck \
+                             and loom see it (or justify with `// std-sync: <why>`)"
+                        ),
+                    ));
+                }
             }
             if (code.contains("thread::spawn(") || code.contains("std::thread::spawn("))
                 && !code.contains("Builder")
             {
-                out.push(Violation {
-                    file: rel.into(),
-                    line: lineno,
-                    rule: "hot-path-bare-spawn",
-                    message: "bare thread::spawn in a hot-path crate; use \
-                              std::thread::Builder (named threads) or the \
-                              crate's spawn wrapper"
-                        .into(),
-                });
+                out.push(Finding::new(
+                    "hot-path-bare-spawn",
+                    Severity::Error,
+                    rel,
+                    lineno,
+                    "bare thread::spawn in a hot-path crate; use \
+                     std::thread::Builder (named threads) or the \
+                     crate's spawn wrapper",
+                ));
             }
         }
 
@@ -201,14 +225,58 @@ fn lint_file(rel: &str, text: &str, out: &mut Vec<Violation>) {
             && !has_marker(&lines, idx, "SAFETY:")
             && !has_marker(&lines, idx, "# Safety")
         {
-            out.push(Violation {
-                file: rel.into(),
-                line: lineno,
-                rule: "unsafe-needs-safety-comment",
-                message: "`unsafe` without a `// SAFETY:` comment within 3 lines".into(),
-            });
+            out.push(Finding::new(
+                "unsafe-needs-safety-comment",
+                Severity::Error,
+                rel,
+                lineno,
+                "`unsafe` without a `// SAFETY:` comment within 3 lines",
+            ));
         }
     }
+}
+
+/// Banned `std::sync` primitives mentioned on this (comment-stripped)
+/// line, either via a qualified path (`std::sync::RwLock`,
+/// `sync::Mutex<...>`) or inside a `use std::sync::{ ... }` list —
+/// including lists rustfmt split across lines, tracked via
+/// `in_std_sync_list`.
+fn banned_std_sync(code: &str, in_std_sync_list: &mut bool) -> Vec<&'static str> {
+    // The portion of this line that sits inside a std::sync use-list.
+    let list_region = if *in_std_sync_list {
+        let end = code.find('}').unwrap_or(code.len());
+        if end < code.len() {
+            *in_std_sync_list = false;
+        }
+        Some(&code[..end])
+    } else if let Some(pos) = code.find("std::sync::{") {
+        let after = &code[pos + "std::sync::{".len()..];
+        let end = after.find('}').unwrap_or(after.len());
+        if end == after.len() {
+            *in_std_sync_list = true;
+        }
+        Some(&after[..end])
+    } else {
+        None
+    };
+
+    let mut hits = Vec::new();
+    for prim in BANNED_STD_SYNC {
+        let direct = code.contains(&format!("std::sync::{prim}"));
+        // `sync::Mutex<u32>`-style partially-qualified generics; Condvar
+        // and Barrier are not generic, so only the path form exists.
+        let qualified = matches!(*prim, "Mutex" | "RwLock")
+            && code.contains(&format!("sync::{prim}<"))
+            && !code.contains(&format!("sync_shim::{prim}<"));
+        let listed = list_region.is_some_and(|r| {
+            r.split(|c: char| !c.is_alphanumeric() && c != '_')
+                .any(|ident| ident == *prim)
+        });
+        if direct || qualified || listed {
+            hits.push(*prim);
+        }
+    }
+    hits
 }
 
 /// Index of the first line of trailing test code (`#[cfg(test)]` or
@@ -312,6 +380,69 @@ mod tests {
     fn test_code_exempt_from_hot_path_rules() {
         let src = "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| ()); }\n}\n";
         assert!(lint_str("crates/nm-sync/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rwlock_condvar_barrier_flagged_in_hot_path_only() {
+        for src in [
+            "use std::sync::RwLock;\n",
+            "static C: std::sync::Condvar = std::sync::Condvar::new();\n",
+            "fn f(b: &std::sync::Barrier) { b.wait(); }\n",
+            "fn f() -> sync::RwLock<u32> { todo!() }\n",
+        ] {
+            assert_eq!(
+                lint_str("crates/nm-progress/src/x.rs", src),
+                vec!["hot-path-std-sync-primitive"],
+                "source: {src}"
+            );
+            assert!(lint_str("crates/nm-bench/src/x.rs", src).is_empty());
+        }
+    }
+
+    #[test]
+    fn use_list_form_is_caught() {
+        // The form that historically dodged the lint: banned primitives
+        // hiding inside a brace list.
+        let src = "use std::sync::{Arc, Barrier};\n";
+        assert_eq!(
+            lint_str("crates/core/src/x.rs", src),
+            vec!["hot-path-std-sync-primitive"]
+        );
+        let src = "use std::sync::{Arc, Mutex, OnceLock};\n";
+        assert_eq!(
+            lint_str("crates/core/src/x.rs", src),
+            vec!["hot-path-std-mutex"]
+        );
+        // Benign list members do not trip the rule, nor do other crates'
+        // look-alike paths (sync_shim, parking_lot, loom).
+        assert!(lint_str("crates/core/src/x.rs", "use std::sync::{Arc, OnceLock};\n").is_empty());
+        assert!(lint_str(
+            "crates/nm-sync/src/x.rs",
+            "pub use loom::sync::{Condvar, Mutex};\nuse crate::sync_shim::{Condvar, Mutex};\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn multi_line_use_list_is_caught() {
+        let src = "use std::sync::{\n    Arc,\n    Condvar,\n    OnceLock,\n};\nfn after() { let Barrier = 1; }\n";
+        let rules = lint_str("crates/nm-fabric/src/x.rs", src);
+        // Condvar inside the split list is flagged; the `Barrier` ident
+        // after the list closed is not (state must reset on `}`).
+        assert_eq!(rules, vec!["hot-path-std-sync-primitive"]);
+    }
+
+    #[test]
+    fn std_sync_marker_waives_primitive_ban() {
+        let src = "// std-sync: diagnostic-only guard, must not recurse into lockcheck\n\
+                   use std::sync::{Mutex, OnceLock};\n";
+        assert!(lint_str("crates/nm-sync/src/x.rs", src).is_empty());
+        // The waiver does not extend to bare spawn.
+        let src = "// std-sync: justified lock\nfn f() { std::thread::spawn(|| ()); }\n";
+        assert_eq!(
+            lint_str("crates/nm-sync/src/x.rs", src),
+            vec!["hot-path-bare-spawn"]
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! and the `trace_event!(Identifier` shape is unambiguous in this
 //! codebase.
 
+use crate::findings::{Finding, OutputOpts, Severity};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 use std::process::ExitCode;
@@ -97,13 +98,19 @@ fn check(
     registered: &BTreeSet<String>,
     sites: &[(String, usize, String)],
     referenced: &BTreeSet<String>,
-) -> Vec<String> {
+) -> Vec<Finding> {
     let mut problems = Vec::new();
     for (file, line, name) in sites {
         if !registered.contains(name) {
-            problems.push(format!(
-                "{file}:{line}: trace_event!({name}) is not a registered \
-                 EventId variant — add it to {EVENTS_RS}"
+            problems.push(Finding::new(
+                "trace-unregistered-event",
+                Severity::Error,
+                file.clone(),
+                *line,
+                format!(
+                    "trace_event!({name}) is not a registered \
+                     EventId variant — add it to {EVENTS_RS}"
+                ),
             ));
         }
     }
@@ -115,16 +122,33 @@ fn check(
     }
     for name in registered {
         if !emitted.contains_key(name.as_str()) && !referenced.contains(name) {
-            problems.push(format!(
-                "{EVENTS_RS}: EventId::{name} is registered but never \
-                 emitted or referenced anywhere — instrument it or retire it"
+            problems.push(Finding::new(
+                "trace-dead-event",
+                Severity::Error,
+                EVENTS_RS,
+                0,
+                format!(
+                    "EventId::{name} is registered but never \
+                     emitted or referenced anywhere — instrument it or retire it"
+                ),
             ));
         }
     }
     problems
 }
 
-pub fn run(root: &Path) -> ExitCode {
+pub fn run(root: &Path, args: &[String]) -> ExitCode {
+    let (opts, rest) = match OutputOpts::parse(args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint-trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(a) = rest.first() {
+        eprintln!("lint-trace: unknown flag {a}");
+        return ExitCode::FAILURE;
+    }
     let events_path = root.join(EVENTS_RS);
     let Ok(events_src) = std::fs::read_to_string(&events_path) else {
         eprintln!("lint-trace: cannot read {}", events_path.display());
@@ -161,13 +185,18 @@ pub fn run(root: &Path) -> ExitCode {
     }
 
     let problems = check(&registered, &sites, &referenced);
+    if !opts.emit("lint-trace", &problems) {
+        return ExitCode::FAILURE;
+    }
     if problems.is_empty() {
-        println!(
-            "lint-trace: OK ({} registered events, {} trace_event! sites, \
-             {checked} files)",
-            registered.len(),
-            sites.len()
-        );
+        if !opts.json {
+            println!(
+                "lint-trace: OK ({} registered events, {} trace_event! sites, \
+                 {checked} files)",
+                registered.len(),
+                sites.len()
+            );
+        }
         ExitCode::SUCCESS
     } else {
         for p in &problems {
@@ -228,7 +257,9 @@ pub enum EventId {
         let sites = vec![("a.rs".into(), 3, "NotAnEvent".into())];
         let problems = check(&registered(), &sites, &BTreeSet::new());
         assert_eq!(problems.len(), 1 + registered().len());
-        assert!(problems[0].contains("NotAnEvent"));
+        assert_eq!(problems[0].rule, "trace-unregistered-event");
+        assert_eq!((problems[0].file.as_str(), problems[0].line), ("a.rs", 3));
+        assert!(problems[0].message.contains("NotAnEvent"));
     }
 
     #[test]
@@ -239,7 +270,8 @@ pub enum EventId {
         ];
         let problems = check(&registered(), &sites, &BTreeSet::new());
         assert_eq!(problems.len(), 1);
-        assert!(problems[0].contains("PacketTx"));
+        assert_eq!(problems[0].rule, "trace-dead-event");
+        assert!(problems[0].message.contains("PacketTx"));
 
         let mut refs = BTreeSet::new();
         refs.insert("PacketTx".to_string());
@@ -249,6 +281,6 @@ pub enum EventId {
     #[test]
     fn the_real_workspace_passes() {
         let root = super::super::workspace_root();
-        assert_eq!(run(&root), ExitCode::SUCCESS);
+        assert_eq!(run(&root, &[]), ExitCode::SUCCESS);
     }
 }

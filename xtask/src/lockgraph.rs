@@ -1,0 +1,534 @@
+//! Lock-order graph model for `cargo xtask analyze-locks`.
+//!
+//! The analyzer (`analyze_locks.rs`) extracts acquisition sites and
+//! produces a *family-level* may-hold-while-acquiring graph; this module
+//! owns the graph itself: class→family normalization, cycle detection
+//! with witnesses, the diff against the runtime lockcheck graph, and the
+//! generated hierarchy section of `docs/CONCURRENCY.md`.
+//!
+//! **Families.** Runtime lock classes are per instance index
+//! (`core.driver.0` … `core.driver.15`, `core.driver.overflow`); a
+//! static pass cannot know indices, so both sides are normalized to the
+//! common prefix (`core.driver`). A family-level edge `a → b` means
+//! "some instance of `a` may be held while acquiring some instance of
+//! `b`". Same-family edges (`a → a`) are possible and legitimate when
+//! instances are ordered by index at runtime, so they are reported as
+//! warnings, not cycles.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::json::Json;
+
+/// Normalizes a concrete lock class to its family: a trailing numeric
+/// index or the literal `overflow` segment is stripped
+/// (`core.collect.tx.7` and `core.collect.tx.overflow` are both
+/// `core.collect.tx`; `core.api-global` is its own family).
+pub fn family_of(class: &str) -> String {
+    match class.rsplit_once('.') {
+        Some((head, tail))
+            if !head.is_empty()
+                && (tail == "overflow"
+                    || (!tail.is_empty() && tail.chars().all(|c| c.is_ascii_digit()))) =>
+        {
+            head.to_string()
+        }
+        _ => class.to_string(),
+    }
+}
+
+/// One source location inside a named function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Site {
+    pub file: String,
+    pub line: usize,
+    /// Qualified function name (`CommCore::isend`, `free_fn`).
+    pub func: String,
+}
+
+impl std::fmt::Display for Site {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{} in {}", self.file, self.line, self.func)
+    }
+}
+
+/// Why the analyzer believes an edge exists: where the `from` lock was
+/// taken, where the `to` lock is ultimately acquired, and the call chain
+/// connecting them (empty when the acquisition is in the holding
+/// function itself).
+#[derive(Debug, Clone)]
+pub struct EdgeWitness {
+    pub held_site: Site,
+    pub acquire_site: Site,
+    /// Human-readable call chain from the holding function down to the
+    /// acquiring function, e.g. `["CommCore::progress", "Engine::poll_all"]`.
+    pub chain: Vec<String>,
+}
+
+impl EdgeWitness {
+    /// Renders the witness as an indented acquisition stack.
+    pub fn render(&self, from: &str, to: &str) -> String {
+        let mut s = format!(
+            "holds `{from}` (taken at {}) while acquiring `{to}` at {}",
+            self.held_site, self.acquire_site
+        );
+        if !self.chain.is_empty() {
+            s.push_str(&format!(
+                "\n      via calls: {} -> {}",
+                self.held_site.func,
+                self.chain.join(" -> ")
+            ));
+        }
+        s
+    }
+}
+
+/// The static family-level may-hold-while-acquiring graph.
+#[derive(Debug, Default)]
+pub struct StaticGraph {
+    /// First witness wins: the earliest (file, line) discovery of an edge
+    /// is kept, which is deterministic because files are scanned sorted.
+    pub edges: BTreeMap<(String, String), EdgeWitness>,
+}
+
+impl StaticGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_edge(&mut self, from: String, to: String, witness: EdgeWitness) {
+        self.edges.entry((from, to)).or_insert(witness);
+    }
+
+    /// Family-level edge set (no witnesses).
+    pub fn edge_set(&self) -> BTreeSet<(String, String)> {
+        self.edges.keys().cloned().collect()
+    }
+
+    /// Successor families of `from` (excluding self-edges).
+    pub fn successors(&self, from: &str) -> BTreeSet<String> {
+        self.edges
+            .keys()
+            .filter(|(a, b)| a == from && b != from)
+            .map(|(_, b)| b.clone())
+            .collect()
+    }
+
+    /// Shortest path `from →* to` over the edges (self-edges ignored),
+    /// BFS in deterministic (sorted) order.
+    fn path(&self, from: &str, to: &str) -> Option<Vec<String>> {
+        let mut queue = VecDeque::new();
+        queue.push_back(vec![from.to_string()]);
+        let mut seen = BTreeSet::new();
+        seen.insert(from.to_string());
+        while let Some(path) = queue.pop_front() {
+            let node = path.last().unwrap();
+            if node == to {
+                return Some(path);
+            }
+            for next in self.successors(node) {
+                if seen.insert(next.clone()) || next == to {
+                    let mut p = path.clone();
+                    p.push(next);
+                    queue.push_back(p);
+                }
+            }
+        }
+        None
+    }
+
+    /// Elementary cycles through the recorded edges (self-edges excluded
+    /// — see the module docs), deduplicated by node set, each rotated so
+    /// the lexicographically smallest family comes first. The returned
+    /// vectors do not repeat the first node at the end.
+    pub fn cycles(&self) -> Vec<Vec<String>> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for (a, b) in self.edges.keys() {
+            if a == b {
+                continue;
+            }
+            if let Some(back) = self.path(b, a) {
+                // a → b (this edge) plus back = [b, ..., a].
+                let mut nodes = vec![a.clone()];
+                nodes.extend(back.into_iter().filter(|n| n != a));
+                let canon = canonical_rotation(&nodes);
+                if seen.insert(canon.clone()) {
+                    out.push(canon);
+                }
+            }
+        }
+        out
+    }
+
+    /// Same-family edges (`a → a`): legitimate only under a runtime
+    /// index-ordering discipline the static pass cannot verify.
+    pub fn self_edges(&self) -> Vec<(&str, &EdgeWitness)> {
+        self.edges
+            .iter()
+            .filter(|((a, b), _)| a == b)
+            .map(|((a, _), w)| (a.as_str(), w))
+            .collect()
+    }
+
+    /// All families, topologically ordered outermost → innermost by the
+    /// (self-edge-free) graph, alphabetical among ties; any leftover from
+    /// a cycle is appended alphabetically. `extra` adds families with no
+    /// edges at all (leaf locks never nested with anything).
+    pub fn topo_families(&self, extra: &BTreeSet<String>) -> Vec<String> {
+        let mut nodes: BTreeSet<String> = extra.clone();
+        for (a, b) in self.edges.keys() {
+            nodes.insert(a.clone());
+            nodes.insert(b.clone());
+        }
+        let mut indegree: BTreeMap<&str, usize> = nodes.iter().map(|n| (n.as_str(), 0)).collect();
+        for (a, b) in self.edges.keys() {
+            if a != b {
+                *indegree.get_mut(b.as_str()).unwrap() += 1;
+            }
+        }
+        let mut order = Vec::new();
+        let mut ready: BTreeSet<&str> = indegree
+            .iter()
+            .filter(|(_, d)| **d == 0)
+            .map(|(n, _)| *n)
+            .collect();
+        while let Some(&n) = ready.iter().next() {
+            ready.remove(n);
+            order.push(n.to_string());
+            for succ in self.successors(n) {
+                let d = indegree.get_mut(succ.as_str()).unwrap();
+                *d -= 1;
+                if *d == 0 {
+                    ready.insert(nodes.get(&succ).unwrap().as_str());
+                }
+            }
+        }
+        for n in &nodes {
+            if !order.contains(n) {
+                order.push(n.clone());
+            }
+        }
+        order
+    }
+}
+
+fn canonical_rotation(nodes: &[String]) -> Vec<String> {
+    let min_pos = nodes
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, n)| n.as_str())
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mut out = Vec::with_capacity(nodes.len());
+    for k in 0..nodes.len() {
+        out.push(nodes[(min_pos + k) % nodes.len()].clone());
+    }
+    out
+}
+
+/// One edge of the runtime lockcheck graph (raw per-index classes).
+#[derive(Debug, Clone)]
+pub struct RuntimeEdge {
+    pub from: String,
+    pub to: String,
+}
+
+/// Parsed `nm_sync::lockcheck::dump_graph_json()` document.
+#[derive(Debug)]
+pub struct RuntimeGraph {
+    pub enabled: bool,
+    pub edges: Vec<RuntimeEdge>,
+}
+
+impl RuntimeGraph {
+    /// Family-normalized edge set, self-family edges included (a runtime
+    /// `tx.0 → tx.3` nesting is real evidence the static pass must
+    /// predict as `core.collect.tx → core.collect.tx`).
+    pub fn family_edges(&self) -> BTreeSet<(String, String)> {
+        self.edges
+            .iter()
+            .map(|e| (family_of(&e.from), family_of(&e.to)))
+            .collect()
+    }
+}
+
+/// Parses the runtime graph JSON (schema 1).
+pub fn parse_runtime_graph(doc: &str) -> Result<RuntimeGraph, String> {
+    let Json::Object(top) = Json::parse(doc)? else {
+        return Err("runtime graph: top level is not an object".into());
+    };
+    match top.get("schema") {
+        Some(Json::Number(n)) if *n == 1.0 => {}
+        other => return Err(format!("runtime graph: unsupported schema {other:?}")),
+    }
+    let enabled = match top.get("enabled") {
+        Some(Json::Bool(b)) => *b,
+        other => return Err(format!("runtime graph: bad enabled field {other:?}")),
+    };
+    let Some(Json::Array(edges)) = top.get("edges") else {
+        return Err("runtime graph: missing edges array".into());
+    };
+    let mut out = Vec::new();
+    for e in edges {
+        let Json::Object(e) = e else {
+            return Err("runtime graph: edge is not an object".into());
+        };
+        let field = |k: &str| -> Result<String, String> {
+            match e.get(k) {
+                Some(Json::String(s)) => Ok(s.clone()),
+                other => Err(format!("runtime graph: edge {k} is {other:?}")),
+            }
+        };
+        // `held` (the full stack at acquisition) is validated but not
+        // needed: the cross-check runs on (from, to) family pairs.
+        if !matches!(e.get("held"), Some(Json::Array(_))) {
+            return Err("runtime graph: edge missing held array".into());
+        }
+        out.push(RuntimeEdge {
+            from: field("from")?,
+            to: field("to")?,
+        });
+    }
+    Ok(RuntimeGraph {
+        enabled,
+        edges: out,
+    })
+}
+
+/// Static-vs-runtime family-edge diff.
+#[derive(Debug)]
+pub struct CrossCheck {
+    /// Runtime edges the static pass did not predict: analyzer soundness
+    /// bugs, a hard failure.
+    pub soundness: Vec<(String, String)>,
+    /// Statically-possible edges never exercised at runtime: coverage
+    /// gaps, ranked most-plausible first (both endpoints runtime-known >
+    /// one endpoint > neither; alphabetical within a rank).
+    pub unexercised: Vec<(String, String)>,
+}
+
+pub fn cross_check(
+    static_edges: &BTreeSet<(String, String)>,
+    runtime_edges: &BTreeSet<(String, String)>,
+) -> CrossCheck {
+    let soundness: Vec<_> = runtime_edges
+        .iter()
+        .filter(|e| !static_edges.contains(*e))
+        .cloned()
+        .collect();
+    let runtime_nodes: BTreeSet<&str> = runtime_edges
+        .iter()
+        .flat_map(|(a, b)| [a.as_str(), b.as_str()])
+        .collect();
+    let mut unexercised: Vec<_> = static_edges
+        .iter()
+        .filter(|e| !runtime_edges.contains(*e))
+        .cloned()
+        .collect();
+    unexercised.sort_by_key(|(a, b)| {
+        let known = runtime_nodes.contains(a.as_str()) as usize
+            + runtime_nodes.contains(b.as_str()) as usize;
+        (2 - known, a.clone(), b.clone())
+    });
+    CrossCheck {
+        soundness,
+        unexercised,
+    }
+}
+
+/// Per-family class inventory for the generated docs section.
+#[derive(Debug, Default, Clone)]
+pub struct FamilyInfo {
+    /// Concrete single classes observed in definitions.
+    pub classes: BTreeSet<String>,
+    /// Family has a per-index class table (`<family>.<i>`).
+    pub indexed: bool,
+    /// Family has a shared `<family>.overflow` class.
+    pub overflow: bool,
+}
+
+impl FamilyInfo {
+    fn render_classes(&self, family: &str) -> String {
+        let mut parts = Vec::new();
+        if self.indexed {
+            parts.push(format!("`{family}.<i>` (per index)"));
+        }
+        if self.overflow {
+            parts.push(format!("`{family}.overflow` (shared)"));
+        }
+        for c in &self.classes {
+            parts.push(format!("`{c}`"));
+        }
+        parts.join(", ")
+    }
+}
+
+/// Markers delimiting the generated hierarchy in `docs/CONCURRENCY.md`.
+pub const DOC_BEGIN: &str = "<!-- analyze-locks:begin generated hierarchy -->";
+pub const DOC_END: &str = "<!-- analyze-locks:end generated hierarchy -->";
+
+/// Renders the generated hierarchy section (the text between [`DOC_BEGIN`]
+/// and [`DOC_END`], exclusive). Deterministic for a given graph.
+pub fn render_hierarchy(graph: &StaticGraph, families: &BTreeMap<String, FamilyInfo>) -> String {
+    let all: BTreeSet<String> = families.keys().cloned().collect();
+    let order = graph.topo_families(&all);
+    let mut s = String::new();
+    s.push_str(
+        "_Generated by `cargo xtask analyze-locks --write-docs` from the static\n\
+         may-hold-while-acquiring graph; CI fails on drift. Do not edit by hand._\n\n\
+         Families ordered outermost → innermost (topological; ties alphabetical):\n\n\
+         | # | lock family | concrete classes | may be held while acquiring |\n\
+         |---|-------------|------------------|------------------------------|\n",
+    );
+    let default_info = FamilyInfo::default();
+    for (i, fam) in order.iter().enumerate() {
+        let info = families.get(fam).unwrap_or(&default_info);
+        let succ = graph.successors(fam);
+        let succ = if succ.is_empty() {
+            "—".to_string()
+        } else {
+            succ.iter()
+                .map(|f| format!("`{f}`"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let classes = if info.classes.is_empty() && !info.indexed && !info.overflow {
+            format!("`{fam}`")
+        } else {
+            info.render_classes(fam)
+        };
+        s.push_str(&format!("| {} | `{fam}` | {classes} | {succ} |\n", i + 1));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(f: &str) -> Site {
+        Site {
+            file: "x.rs".into(),
+            line: 1,
+            func: f.into(),
+        }
+    }
+
+    fn w(f: &str) -> EdgeWitness {
+        EdgeWitness {
+            held_site: site(f),
+            acquire_site: site(f),
+            chain: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn family_normalization() {
+        assert_eq!(family_of("core.driver.15"), "core.driver");
+        assert_eq!(family_of("core.collect.tx.overflow"), "core.collect.tx");
+        assert_eq!(family_of("core.api-global"), "core.api-global");
+        assert_eq!(family_of("core.request.data"), "core.request.data");
+        assert_eq!(family_of("progress.sources"), "progress.sources");
+        assert_eq!(family_of("noDots"), "noDots");
+    }
+
+    #[test]
+    fn acyclic_graph_reports_no_cycles() {
+        let mut g = StaticGraph::new();
+        g.add_edge("a".into(), "b".into(), w("f"));
+        g.add_edge("a".into(), "c".into(), w("f"));
+        g.add_edge("b".into(), "c".into(), w("f"));
+        assert!(g.cycles().is_empty());
+        assert_eq!(g.topo_families(&BTreeSet::new()), ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn cycle_found_and_deduplicated() {
+        let mut g = StaticGraph::new();
+        g.add_edge("b".into(), "c".into(), w("f"));
+        g.add_edge("c".into(), "a".into(), w("f"));
+        g.add_edge("a".into(), "b".into(), w("f"));
+        let cycles = g.cycles();
+        // One 3-cycle, found from three edges but canonicalized once.
+        assert_eq!(cycles, vec![vec!["a", "b", "c"]]);
+    }
+
+    #[test]
+    fn self_edges_are_warnings_not_cycles() {
+        let mut g = StaticGraph::new();
+        g.add_edge("a".into(), "a".into(), w("f"));
+        assert!(g.cycles().is_empty());
+        assert_eq!(g.self_edges().len(), 1);
+    }
+
+    #[test]
+    fn parse_runtime_graph_roundtrip() {
+        let doc = r#"{"schema": 1, "enabled": true, "edges": [
+            {"from": "core.api-global", "to": "core.request.tag", "held": ["core.api-global"]},
+            {"from": "core.collect.tx.0", "to": "core.driver.3", "held": ["core.collect.tx.0"]}
+        ]}"#;
+        let rt = parse_runtime_graph(doc).unwrap();
+        assert!(rt.enabled);
+        assert_eq!(rt.edges.len(), 2);
+        let fams = rt.family_edges();
+        assert!(fams.contains(&("core.collect.tx".into(), "core.driver".into())));
+        assert!(parse_runtime_graph("{\"schema\": 2, \"enabled\": true, \"edges\": []}").is_err());
+    }
+
+    #[test]
+    fn cross_check_classifies_both_directions() {
+        let stat: BTreeSet<_> = [
+            ("a".to_string(), "b".to_string()),
+            ("a".to_string(), "c".to_string()),
+            ("x".to_string(), "y".to_string()),
+        ]
+        .into();
+        let runtime: BTreeSet<_> = [
+            ("a".to_string(), "b".to_string()),
+            ("q".to_string(), "r".to_string()),
+        ]
+        .into();
+        let cc = cross_check(&stat, &runtime);
+        assert_eq!(cc.soundness, vec![("q".to_string(), "r".to_string())]);
+        // (a,c) ranks above (x,y): `a` is a runtime-known node.
+        assert_eq!(
+            cc.unexercised,
+            vec![
+                ("a".to_string(), "c".to_string()),
+                ("x".to_string(), "y".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn hierarchy_rendering_is_deterministic_and_ordered() {
+        let mut g = StaticGraph::new();
+        g.add_edge("outer".into(), "inner".into(), w("f"));
+        let mut fams = BTreeMap::new();
+        fams.insert(
+            "outer".to_string(),
+            FamilyInfo {
+                classes: ["outer".to_string()].into(),
+                ..Default::default()
+            },
+        );
+        fams.insert(
+            "inner".to_string(),
+            FamilyInfo {
+                indexed: true,
+                overflow: true,
+                ..Default::default()
+            },
+        );
+        fams.insert("leaf".to_string(), FamilyInfo::default());
+        let doc = render_hierarchy(&g, &fams);
+        let outer_pos = doc.find("| `outer` |").unwrap();
+        let inner_pos = doc.find("| `inner` |").unwrap();
+        assert!(outer_pos < inner_pos, "{doc}");
+        assert!(
+            doc.contains("`inner.<i>` (per index), `inner.overflow` (shared)"),
+            "{doc}"
+        );
+        assert_eq!(doc, render_hierarchy(&g, &fams));
+    }
+}

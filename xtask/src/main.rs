@@ -1,6 +1,6 @@
 //! Repo automation tasks, invoked as `cargo xtask <command>`.
 //!
-//! Three commands, all exiting non-zero on any violation so they can
+//! Four commands, all exiting non-zero on any violation so they can
 //! gate CI:
 //!
 //! * `lint-concurrency` — concurrency rules that rustc/clippy cannot
@@ -11,13 +11,26 @@
 //! * `bench-check` — reruns `figures bench --json` and compares the
 //!   fresh results against the committed `BENCH_*.json` baselines
 //!   (see `docs/METRICS.md`).
+//! * `analyze-locks` — whole-program static lock-order analysis:
+//!   extracts every classed acquisition site, builds a conservative
+//!   may-hold-while-acquiring graph, reports potential deadlock cycles,
+//!   cross-checks against the runtime lockcheck graph and keeps the
+//!   generated hierarchy section of `docs/CONCURRENCY.md` honest.
+//!
+//! The static passes share one machine-readable output schema
+//! (`--json` / `--out <path>`, see `findings.rs`) for CI artifacts.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+mod analyze_locks;
 mod bench_check;
+mod findings;
+mod json;
 mod lint_concurrency;
 mod lint_trace;
+mod lockgraph;
+mod rslex;
 
 fn workspace_root() -> PathBuf {
     // xtask always runs via `cargo xtask ...`, whose cwd-independent anchor
@@ -31,13 +44,13 @@ fn workspace_root() -> PathBuf {
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("lint-concurrency") => lint_concurrency::run(&workspace_root()),
-        Some("lint-trace") => lint_trace::run(&workspace_root()),
-        Some("bench-check") => {
-            let rest: Vec<String> = args.collect();
-            bench_check::run(&workspace_root(), &rest)
-        }
+    let cmd = args.next();
+    let rest: Vec<String> = args.collect();
+    match cmd.as_deref() {
+        Some("lint-concurrency") => lint_concurrency::run(&workspace_root(), &rest),
+        Some("lint-trace") => lint_trace::run(&workspace_root(), &rest),
+        Some("bench-check") => bench_check::run(&workspace_root(), &rest),
+        Some("analyze-locks") => analyze_locks::run(&workspace_root(), &rest),
         Some(other) => {
             eprintln!("unknown xtask command: {other}");
             print_usage();
@@ -55,12 +68,19 @@ fn print_usage() {
         "usage: cargo xtask <command>\n\n\
          commands:\n  \
          lint-concurrency   check memory-ordering justifications, hot-path\n                     \
-         primitive bans and SAFETY comment coverage\n  \
+         primitive bans and SAFETY comment coverage\n                     \
+         (--json / --out <path> for the shared finding schema)\n  \
          lint-trace         check trace_event! sites against the registered\n                     \
-         EventId schema (and that no event is dead)\n  \
+         EventId schema (and that no event is dead)\n                     \
+         (--json / --out <path>)\n  \
          bench-check        rerun `figures bench --json` and compare against\n                     \
          the committed BENCH_*.json baselines (--sim-only to\n                     \
-         skip wall-clock records)"
+         skip wall-clock records)\n  \
+         analyze-locks      static lock-order analysis over the workspace:\n                     \
+         cycle detection, runtime lockcheck cross-check and\n                     \
+         docs/CONCURRENCY.md hierarchy drift check\n                     \
+         (--json / --out <path> / --static-only /\n                     \
+         --runtime-graph <path> / --write-docs / --fixture <dir>)"
     );
 }
 

@@ -1,0 +1,379 @@
+//! A lightweight Rust lexer for the static lock-order analyzer.
+//!
+//! Full Rust parsing needs a real frontend; the analyzer does not. Lock
+//! acquisitions in this workspace are a handful of unambiguous token
+//! shapes (`.enter(SectionKind::CollectTx(g))`, `self.sources.lock()`,
+//! `SpinLock::with_class("...")`) and call sites are `ident(`. What the
+//! line-oriented lints cannot do — and this lexer can — is see through
+//! comments, strings and multi-line expressions, and track brace depth
+//! reliably enough to delimit function bodies and guard scopes.
+//!
+//! The token model is deliberately coarse: identifiers (keywords
+//! included), string literals (with their decoded value), punctuation as
+//! single characters, and numbers. Multi-character operators arrive as
+//! consecutive punct tokens (`::` is `:`, `:`), which the analyzer's
+//! pattern matching handles. Lifetimes are distinguished from char
+//! literals so that `'a>` does not eat the rest of the file.
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    pub line: usize,
+    pub kind: TokKind,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `impl`, `self`, `enter`, ...).
+    Ident(String),
+    /// A string literal's decoded contents (regular, raw or byte).
+    Str(String),
+    /// A char or byte-char literal (value not needed).
+    Char,
+    /// A lifetime (`'a`, `'static`); value not needed.
+    Lifetime,
+    /// A numeric literal; value not needed.
+    Num,
+    /// One punctuation character (`{`, `}`, `(`, `)`, `.`, `:`, ...).
+    Punct(char),
+}
+
+impl Tok {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `true` if this token is the given punctuation character.
+    pub fn is(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Lexes `src` into tokens, skipping whitespace and comments (line,
+/// block — including nested block comments — and doc forms).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                i += 2;
+                let mut depth = 1;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (s, ni, nl) = lex_string(&b, i, line);
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Str(s),
+                });
+                i = ni;
+                line = nl;
+            }
+            'r' | 'b' if is_raw_or_byte_string(&b, i) => {
+                let start = if b[i] == 'b' && b.get(i + 1) == Some(&'r') {
+                    i + 2
+                } else if b[i] == 'r' || b[i] == 'b' {
+                    i + 1
+                } else {
+                    i
+                };
+                if b.get(start) == Some(&'"') && b[i] == 'b' && b.get(i + 1) != Some(&'r') {
+                    // b"..." — ordinary escapes apply.
+                    let (s, ni, nl) = lex_string(&b, start, line);
+                    toks.push(Tok {
+                        line,
+                        kind: TokKind::Str(s),
+                    });
+                    i = ni;
+                    line = nl;
+                } else {
+                    // r"..." / r#"..."# / br#"..."# — no escapes.
+                    let mut hashes = 0;
+                    let mut j = start;
+                    while b.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    debug_assert_eq!(b.get(j), Some(&'"'));
+                    j += 1;
+                    let mut s = String::new();
+                    let mut nl = line;
+                    loop {
+                        match b.get(j) {
+                            None => break,
+                            Some('"') if closes_raw(&b, j + 1, hashes) => {
+                                j += 1 + hashes;
+                                break;
+                            }
+                            Some(&ch) => {
+                                if ch == '\n' {
+                                    nl += 1;
+                                }
+                                s.push(ch);
+                                j += 1;
+                            }
+                        }
+                    }
+                    toks.push(Tok {
+                        line,
+                        kind: TokKind::Str(s),
+                    });
+                    i = j;
+                    line = nl;
+                }
+            }
+            '\'' => {
+                // Lifetime or char literal. A lifetime is ' followed by
+                // ident chars NOT terminated by a closing quote.
+                let mut j = i + 1;
+                if b.get(j) == Some(&'\\') {
+                    // Escaped char literal: '\n', '\'', '\u{..}'.
+                    j += 2;
+                    while j < b.len() && b[j] != '\'' {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        line,
+                        kind: TokKind::Char,
+                    });
+                    i = j + 1;
+                } else {
+                    let ident_len = b[j..]
+                        .iter()
+                        .take_while(|c| c.is_alphanumeric() || **c == '_')
+                        .count();
+                    if ident_len > 0 && b.get(j + ident_len) == Some(&'\'') {
+                        // 'a' — a char literal of one ident-ish char.
+                        toks.push(Tok {
+                            line,
+                            kind: TokKind::Char,
+                        });
+                        i = j + ident_len + 1;
+                    } else if ident_len > 0 {
+                        toks.push(Tok {
+                            line,
+                            kind: TokKind::Lifetime,
+                        });
+                        i = j + ident_len;
+                    } else if b.get(j).is_some() {
+                        // Punctuation char literal like '(' or ' '.
+                        let close = b[j + 1..].iter().position(|&c| c == '\'');
+                        toks.push(Tok {
+                            line,
+                            kind: TokKind::Char,
+                        });
+                        i = match close {
+                            Some(off) => j + 1 + off + 1,
+                            None => j + 1,
+                        };
+                    } else {
+                        i = j;
+                    }
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Ident(b[i..j].iter().collect()),
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                // Good enough for skipping: digits, underscores, hex/exp
+                // letters (type suffixes land here too — the value is
+                // unused).
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                // Decimal part: `1.5` (but not `1.method()` / `0..n`).
+                if b.get(j) == Some(&'.') && b.get(j + 1).is_some_and(|c| c.is_ascii_digit()) {
+                    j += 1;
+                    while j < b.len() && (b[j].is_ascii_digit() || b[j] == '_') {
+                        j += 1;
+                    }
+                }
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Num,
+                });
+                i = j;
+            }
+            c => {
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Punct(c),
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+fn is_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    // r"..", r#"..", b"..", br"..", br#"..".
+    let rest = &b[i..];
+    match rest {
+        ['r', '"', ..] | ['b', '"', ..] | ['b', 'r', '"', ..] => true,
+        ['r', '#', ..] | ['b', 'r', '#', ..] => {
+            // Raw string with hashes (not `r#ident` raw identifiers: those
+            // have an ident char after the hash).
+            let start = if rest[0] == 'b' { 2 } else { 1 };
+            let mut j = start;
+            while b.get(i + j) == Some(&'#') {
+                j += 1;
+            }
+            b.get(i + j) == Some(&'"')
+        }
+        _ => false,
+    }
+}
+
+fn closes_raw(b: &[char], j: usize, hashes: usize) -> bool {
+    (0..hashes).all(|k| b.get(j + k) == Some(&'#'))
+}
+
+/// Lexes a regular string starting at the opening quote; returns the
+/// decoded value, the index past the closing quote, and the new line
+/// number.
+fn lex_string(b: &[char], i: usize, mut line: usize) -> (String, usize, usize) {
+    debug_assert_eq!(b[i], '"');
+    let mut s = String::new();
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            '"' => return (s, j + 1, line),
+            '\\' => {
+                match b.get(j + 1) {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('\\') => s.push('\\'),
+                    Some('"') => s.push('"'),
+                    Some('\n') => line += 1, // line-continuation escape
+                    Some(&c) => s.push(c),
+                    None => {}
+                }
+                j += 2;
+            }
+            '\n' => {
+                line += 1;
+                s.push('\n');
+                j += 1;
+            }
+            c => {
+                s.push(c);
+                j += 1;
+            }
+        }
+    }
+    (s, j, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(String::from))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_skipped_or_captured() {
+        let src = r#"
+// line comment with fn fake()
+/* block /* nested */ still comment */
+fn real(x: u32) { call("with fn inside string"); }
+"#;
+        let ids = idents(src);
+        assert_eq!(ids, ["fn", "real", "x", "u32", "call"]);
+        let strs: Vec<_> = lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Str(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, ["with fn inside string"]);
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let toks = lex(r##"let a = r#"raw "quoted" body"#; let b = "esc\"aped";"##);
+        let strs: Vec<_> = toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Str(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, ["raw \"quoted\" body", "esc\"aped"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!((lifetimes, chars), (2, 2));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n  c");
+        let lines: Vec<_> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 3]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls_or_ranges() {
+        let ids = idents("for i in 0..n { 1.max(2); x[0].lock(); }");
+        assert!(ids.contains(&"max".to_string()));
+        assert!(ids.contains(&"lock".to_string()));
+        // 1.5f64 stays one number token.
+        let toks = lex("let x = 1.5f64;");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Num).count(),
+            1,
+            "{toks:?}"
+        );
+    }
+}
