@@ -33,10 +33,10 @@ fn concurrent_rounds(mode: LockingMode, size: usize, rounds: u64) -> Duration {
         echoes.push(std::thread::spawn(move || {
             for _ in 0..rounds {
                 let r = b.irecv(GateId(0), tag).expect("irecv");
-                b.wait(&r, WaitStrategy::Busy);
+                b.wait(&r, WaitStrategy::Busy).unwrap();
                 let data = r.take_data().expect("payload");
                 let s = b.isend(GateId(0), tag, data).expect("isend");
-                b.wait(&s, WaitStrategy::Busy);
+                b.wait(&s, WaitStrategy::Busy).unwrap();
             }
         }));
     }
@@ -48,9 +48,9 @@ fn concurrent_rounds(mode: LockingMode, size: usize, rounds: u64) -> Duration {
             let payload = Bytes::from(vec![tag as u8; size]);
             for _ in 0..rounds {
                 let s = a.isend(GateId(0), tag, payload.clone()).expect("isend");
-                a.wait(&s, WaitStrategy::Busy);
+                a.wait(&s, WaitStrategy::Busy).unwrap();
                 let r = a.irecv(GateId(0), tag).expect("irecv");
-                a.wait(&r, WaitStrategy::Busy);
+                a.wait(&r, WaitStrategy::Busy).unwrap();
             }
         }));
     }

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! figures [all|fig3|fig5|fig6|fig7|fig8|fig9|msgrate|table1|sec33|bench] [options]
+//! figures [all|fig3|fig5|fig6|fig7|fig8|fig9|msgrate|cq|table1|sec33|bench] [options]
 //!
 //!   --real        measure the real stack (meaningful on multicore hosts)
 //!   --calibrated  feed host-calibrated primitive costs to the simulator
@@ -94,7 +94,9 @@ fn main() {
                 }
             }
             "all" | "fig3" | "fig5" | "fig6" | "fig7" | "fig7sweep" | "fig8" | "fig9" | "bw"
-            | "rdvoverlap" | "msgrate" | "table1" | "sec33" | "bench" => what.push(a.clone()),
+            | "rdvoverlap" | "msgrate" | "cq" | "table1" | "sec33" | "bench" => {
+                what.push(a.clone())
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -119,6 +121,7 @@ fn main() {
             "bw",
             "rdvoverlap",
             "msgrate",
+            "cq",
             "table1",
             "sec33",
         ]
@@ -146,6 +149,7 @@ fn main() {
             "fig8" => fig8(&opts, costs),
             "fig9" => fig9(&opts, costs),
             "msgrate" => msgrate(&opts, costs),
+            "cq" => cq(&opts, costs),
             "table1" => table1(&opts, costs),
             "sec33" => sec33(),
             "bench" => bench(&opts, costs),
@@ -156,7 +160,7 @@ fn main() {
 
 fn print_usage() {
     eprintln!(
-        "usage: figures [all|fig3|fig5|fig6|fig7|fig8|fig9|msgrate|table1|sec33|bench] \
+        "usage: figures [all|fig3|fig5|fig6|fig7|fig8|fig9|msgrate|cq|table1|sec33|bench] \
          [--real] [--calibrated] [--from-trace] [--folded] [--dual] [--csv] [--quick] \
          [--json] [--out DIR] [--sim-only]"
     );
@@ -348,10 +352,10 @@ fn pingpong_with_cores(
     let echo = std::thread::spawn(move || {
         for _ in 0..total {
             let r = b2.irecv(GateId(0), 0).expect("irecv");
-            b2.wait(&r, wait);
+            b2.wait(&r, wait).unwrap();
             let data = r.take_data().expect("payload");
             let s = b2.isend(GateId(0), 0, data).expect("isend");
-            b2.wait(&s, wait);
+            b2.wait(&s, wait).unwrap();
         }
     });
     let payload = Bytes::from(vec![1u8; size]);
@@ -359,9 +363,9 @@ fn pingpong_with_cores(
     for i in 0..total {
         let t0 = std::time::Instant::now();
         let s = a.isend(GateId(0), 0, payload.clone()).expect("isend");
-        a.wait(&s, wait);
+        a.wait(&s, wait).unwrap();
         let r = a.irecv(GateId(0), 0).expect("irecv");
-        a.wait(&r, wait);
+        a.wait(&r, wait).unwrap();
         if i >= opts.warmup {
             samples.push(t0.elapsed().as_nanos() as u64 / 2);
         }
@@ -528,6 +532,40 @@ fn msgrate(opts: &Options, costs: SimCosts) {
         print!("{}", series_csv(&series));
     } else {
         println!("{}", series_table_with(&title, "flows", "Mmsg/s", &series));
+    }
+}
+
+/// Outstanding-request counts of the completion-queue experiment.
+fn cq_outstanding(opts: &Options) -> Vec<usize> {
+    if opts.quick {
+        vec![512, 2048]
+    } else {
+        vec![2560, 10240, 20480]
+    }
+}
+
+/// Completion-queue drain scaling: aggregate completion rate vs
+/// outstanding requests — two cores draining one shared
+/// `CompletionQueue` against dedicated per-request busy-wait threads.
+/// Simulator-only: the model isolates delivery cost (see
+/// `nm_sim::experiments::cq_completion_scaling`).
+fn cq(opts: &Options, costs: SimCosts) {
+    use nm_bench::table::series_table_with;
+
+    if opts.real {
+        eprintln!("# cq: simulator-only experiment; ignoring --real");
+    }
+    let series = sim::cq_completion_scaling(costs, &cq_outstanding(opts));
+    let title = "Completion-queue drain — 2 cores vs dedicated wait threads \
+                 (deterministic simulator)";
+    if opts.csv {
+        println!("# {title}");
+        print!("{}", series_csv(&series));
+    } else {
+        println!(
+            "{}",
+            series_table_with(title, "outstanding", "Mmsg/s", &series)
+        );
     }
 }
 
@@ -715,6 +753,16 @@ fn bench(opts: &Options, costs: SimCosts) {
         for (flows, v) in s.points {
             records.push(BenchRecord::sim(
                 format!("msgrate/{}/flows={flows}", s.label),
+                "Mmsg/s",
+                v,
+            ));
+        }
+    }
+    // Completion-queue drain: x is the outstanding-request count.
+    for s in sim::cq_completion_scaling(costs, &[2560, 10240, 20480]) {
+        for (n, v) in s.points {
+            records.push(BenchRecord::sim(
+                format!("cq/{}/outstanding={n}", s.label),
                 "Mmsg/s",
                 v,
             ));

@@ -27,6 +27,7 @@ use bytes::{Bytes, BytesMut};
 use nm_progress::{OffloadMode, Offloader, PollOutcome, PollSource};
 use nm_sync::WaitStrategy;
 
+use crate::completion::Completion;
 use crate::config::CoreConfig;
 use crate::error::CommError;
 use crate::gate::{
@@ -160,12 +161,25 @@ impl CommCore {
     /// larger messages complete when the last rendezvous chunk is
     /// injected.
     pub fn isend(&self, gate: GateId, tag: u64, data: Bytes) -> Result<Request, CommError> {
+        self.isend_with(gate, tag, data, Completion::Flag)
+    }
+
+    /// Like [`CommCore::isend`], delivering completion through
+    /// `completion` (queue push, handler call, or async waker wake-up)
+    /// instead of only signalling the request's flag.
+    pub fn isend_with(
+        &self,
+        gate: GateId,
+        tag: u64,
+        data: Bytes,
+        completion: Completion,
+    ) -> Result<Request, CommError> {
         let _t = crate::metrics::send_hist().timer();
         let g = self.gate(gate)?;
         if data.len() > u32::MAX as usize {
             return Err(CommError::MessageTooLarge { len: data.len() });
         }
-        let req = Request::new(RequestKind::Send);
+        let req = Request::new_with(RequestKind::Send, completion);
         self.stats.sends_posted.incr();
         nm_trace::trace_event!(SubmitBegin, gate.0, data.len());
         {
@@ -235,7 +249,18 @@ impl CommCore {
     /// ([`Request::take_data`]) and the matched tag
     /// ([`Request::matched_tag`]). Matching is FIFO per tag.
     pub fn irecv(&self, gate: GateId, tag: u64) -> Result<Request, CommError> {
-        self.irecv_matching(gate, TagPattern::Exact(tag))
+        self.irecv_matching(gate, TagPattern::Exact(tag), Completion::Flag)
+    }
+
+    /// Like [`CommCore::irecv`], delivering completion through
+    /// `completion` instead of only signalling the request's flag.
+    pub fn irecv_with(
+        &self,
+        gate: GateId,
+        tag: u64,
+        completion: Completion,
+    ) -> Result<Request, CommError> {
+        self.irecv_matching(gate, TagPattern::Exact(tag), completion)
     }
 
     /// Posts a wildcard receive (`MPI_ANY_TAG`): matches the earliest
@@ -246,13 +271,27 @@ impl CommCore {
     /// tag space used by `nm-mpi`'s collectives — do not mix wildcard
     /// receives with concurrent collectives on the same gate.
     pub fn irecv_any(&self, gate: GateId) -> Result<Request, CommError> {
-        self.irecv_matching(gate, TagPattern::Any)
+        self.irecv_matching(gate, TagPattern::Any, Completion::Flag)
     }
 
-    fn irecv_matching(&self, gate: GateId, pattern: TagPattern) -> Result<Request, CommError> {
+    /// Like [`CommCore::irecv_any`], with a [`Completion`] object.
+    pub fn irecv_any_with(
+        &self,
+        gate: GateId,
+        completion: Completion,
+    ) -> Result<Request, CommError> {
+        self.irecv_matching(gate, TagPattern::Any, completion)
+    }
+
+    fn irecv_matching(
+        &self,
+        gate: GateId,
+        pattern: TagPattern,
+        completion: Completion,
+    ) -> Result<Request, CommError> {
         let _t = crate::metrics::recv_hist().timer();
         let g = self.gate(gate)?;
-        let req = Request::new(RequestKind::Recv);
+        let req = Request::new_with(RequestKind::Recv, completion);
         self.stats.recvs_posted.incr();
         enum Then {
             Nothing,
@@ -349,7 +388,12 @@ impl CommCore {
     /// rule. With [`WaitStrategy::Passive`] the caller never polls: a
     /// progression thread (or scheduler hooks) must be driving
     /// [`CommCore::progress`].
-    pub fn wait(&self, req: &Request, strategy: WaitStrategy) {
+    ///
+    /// Returns the operation's outcome: `Err` consumes the completion
+    /// error (substrate failure, protocol violation) exactly as
+    /// [`Request::take_error`] would — the two layers (`nm-core`,
+    /// `nm-mpi`) share one error story.
+    pub fn wait(&self, req: &Request, strategy: WaitStrategy) -> Result<(), CommError> {
         let _t = crate::metrics::wait_hist().timer();
         match strategy.spin_budget() {
             // Busy: poll under the API guard until complete.
@@ -377,6 +421,10 @@ impl CommCore {
             }
             // Passive: block immediately.
             _ => req.flag().wait(WaitStrategy::Passive),
+        }
+        match req.take_error() {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
@@ -428,9 +476,19 @@ impl CommCore {
     }
 
     /// Waits for every request in `reqs`.
-    pub fn wait_all(&self, reqs: &[Request], strategy: WaitStrategy) {
+    ///
+    /// Every request is waited to completion even on failure; the first
+    /// error encountered (in `reqs` order) is returned.
+    pub fn wait_all(&self, reqs: &[Request], strategy: WaitStrategy) -> Result<(), CommError> {
+        let mut first_err = None;
         for r in reqs {
-            self.wait(r, strategy);
+            if let Err(e) = self.wait(r, strategy) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
@@ -453,20 +511,13 @@ impl CommCore {
         strategy: WaitStrategy,
     ) -> Result<(), CommError> {
         let req = self.isend(gate, tag, data)?;
-        self.wait(&req, strategy);
-        match req.take_error() {
-            Some(e) => Err(e),
-            None => Ok(()),
-        }
+        self.wait(&req, strategy)
     }
 
     /// Blocking receive: `irecv` + wait; returns the payload.
     pub fn recv(&self, gate: GateId, tag: u64, strategy: WaitStrategy) -> Result<Bytes, CommError> {
         let req = self.irecv(gate, tag)?;
-        self.wait(&req, strategy);
-        if let Some(e) = req.take_error() {
-            return Err(e);
-        }
+        self.wait(&req, strategy)?;
         Ok(req.take_data().expect("completed recv carries data"))
     }
 

@@ -37,14 +37,22 @@
 //!
 //! let send = a.isend(GateId(0), 1, bytes::Bytes::from_static(b"hi")).unwrap();
 //! let recv = b.irecv(GateId(0), 1).unwrap();
-//! b.wait(&recv, WaitStrategy::Busy);
-//! a.wait(&send, WaitStrategy::Busy);
+//! b.wait(&recv, WaitStrategy::Busy).unwrap();
+//! a.wait(&send, WaitStrategy::Busy).unwrap();
 //! assert_eq!(recv.take_data().unwrap(), bytes::Bytes::from_static(b"hi"));
 //! ```
+//!
+//! Completion does not have to block a thread: each operation can pick a
+//! [`Completion`] object at post time ([`CommCore::isend_with`] /
+//! [`CommCore::irecv_with`]) — today's flag, a shared
+//! [`CompletionQueue`] drained by a few cores, a fire-and-forget
+//! handler, or an async waker. See `docs/COMPLETION.md` for the full
+//! model and the handler reentrancy rules.
 
 #![warn(missing_docs)]
 
 mod comm;
+mod completion;
 mod config;
 mod error;
 mod gate;
@@ -58,6 +66,7 @@ mod strategy;
 pub mod wire;
 
 pub use comm::{CommCore, CoreBuilder, PendingCounts};
+pub use completion::{Completion, CompletionEvent, CompletionHandler, CompletionQueue};
 pub use config::CoreConfig;
 pub use error::CommError;
 pub use gate::GateId;

@@ -80,3 +80,13 @@ global_gauge!(
     "core.unexpected_depth",
     "Unexpected messages currently buffered in the per-gate matching bins."
 );
+global_gauge!(
+    cq_depth,
+    "core.cq_depth",
+    "Completion events currently queued across all completion queues."
+);
+global_hist!(
+    handler_hist,
+    "core.handler_ns",
+    "Latency of fire-and-forget completion handlers (delivery-context run time, ns)."
+);

@@ -1,12 +1,20 @@
 //! Communication requests: the handles `isend`/`irecv` return.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
 
 use nm_sync::{CompletionFlag, SpinLock, WaitStrategy};
+use nm_trace::trace_event;
 
+use crate::completion::{Completion, CompletionEvent};
 use crate::error::CommError;
+use crate::metrics;
+
+/// Next request id; process-global so completion-queue events and the
+/// async waker table can key on it across communicators.
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Send or receive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,7 +27,11 @@ pub enum RequestKind {
 
 #[derive(Debug)]
 struct Inner {
+    /// Unique id (assigned at post time, never reused).
+    id: u64,
     kind: RequestKind,
+    /// Where completion is delivered (flag / queue / handler / waker).
+    completion: Completion,
     flag: CompletionFlag,
     /// Received payload (recv requests) — set before the flag is signalled.
     data: SpinLock<Option<Bytes>>,
@@ -39,16 +51,33 @@ pub struct Request {
 }
 
 impl Request {
+    /// Flag-completion request (the pre-completion-object constructor;
+    /// production posts go through [`Request::new_with`]).
+    #[cfg(test)]
     pub(crate) fn new(kind: RequestKind) -> Self {
+        Request::new_with(kind, Completion::Flag)
+    }
+
+    pub(crate) fn new_with(kind: RequestKind, completion: Completion) -> Self {
         Request {
             inner: Arc::new(Inner {
+                // relaxed: a unique-id counter; only uniqueness matters,
+                // nothing is ordered against the increment.
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
                 kind,
+                completion,
                 flag: CompletionFlag::new(),
                 data: SpinLock::with_class("core.request.data", None),
                 matched_tag: SpinLock::with_class("core.request.tag", None),
                 error: SpinLock::with_class("core.request.error", None),
             }),
         }
+    }
+
+    /// The request's unique id (completion-queue events and async wakers
+    /// key on it).
+    pub fn id(&self) -> u64 {
+        self.inner.id
     }
 
     /// Send or receive.
@@ -69,6 +98,7 @@ impl Request {
     /// Marks the request complete (send side / data-less completion).
     pub(crate) fn complete(&self) {
         self.inner.flag.signal();
+        self.deliver();
     }
 
     /// Completes a receive with its payload.
@@ -77,6 +107,7 @@ impl Request {
         debug_assert_eq!(self.inner.kind, RequestKind::Recv);
         *self.inner.data.lock() = Some(data);
         self.inner.flag.signal();
+        self.deliver();
     }
 
     /// Completes a receive with its payload and the tag it matched
@@ -86,6 +117,35 @@ impl Request {
         *self.inner.matched_tag.lock() = Some(tag);
         *self.inner.data.lock() = Some(data);
         self.inner.flag.signal();
+        self.deliver();
+    }
+
+    /// Routes the completion through this request's [`Completion`]
+    /// object. Runs in the delivery context (the thread that advanced
+    /// the library, typically with the core API lock held), strictly
+    /// *after* the flag is signalled so every observer of the event sees
+    /// the terminal state.
+    fn deliver(&self) {
+        match &self.inner.completion {
+            Completion::Flag => {
+                trace_event!(CompletionDeliver, self.inner.id, 0u64);
+            }
+            Completion::Queue(cq) => {
+                trace_event!(CompletionDeliver, self.inner.id, 1u64);
+                cq.push(CompletionEvent::new(self.clone()));
+            }
+            Completion::Handler(h) => {
+                trace_event!(CompletionDeliver, self.inner.id, 2u64);
+                trace_event!(HandlerRun, self.inner.id);
+                let _timer = metrics::handler_hist().timer();
+                let ev = CompletionEvent::new(self.clone());
+                h(&ev);
+            }
+            Completion::Waker(table) => {
+                trace_event!(CompletionDeliver, self.inner.id, 3u64);
+                table.wake(self.inner.id);
+            }
+        }
     }
 
     /// The tag a completed receive matched (`MPI_Status.tag`).
@@ -103,6 +163,7 @@ impl Request {
     pub(crate) fn fail(&self, error: CommError) {
         *self.inner.error.lock() = Some(error);
         self.inner.flag.signal();
+        self.deliver();
     }
 
     /// Busy-waits on the raw flag without polling anything.

@@ -41,8 +41,8 @@ fn eager_roundtrip_all_locking_modes() {
         let payload = Bytes::from_static(b"eager message");
         let send = a.isend(G, 42, payload.clone()).unwrap();
         let recv = b.irecv(G, 42).unwrap();
-        b.wait(&recv, WaitStrategy::Busy);
-        a.wait(&send, WaitStrategy::Busy);
+        b.wait(&recv, WaitStrategy::Busy).unwrap();
+        a.wait(&send, WaitStrategy::Busy).unwrap();
         assert_eq!(recv.take_data().unwrap(), payload, "mode {mode:?}");
         assert_eq!(a.stats().eager_sent.get(), 1);
         assert_eq!(a.stats().rdv_started.get(), 0);
@@ -62,7 +62,7 @@ fn blocking_send_recv_helpers() {
 fn unexpected_message_is_buffered() {
     let (a, b) = loopback_pair(CoreConfig::default());
     let send = a.isend(G, 5, Bytes::from_static(b"early")).unwrap();
-    a.wait(&send, WaitStrategy::Busy);
+    a.wait(&send, WaitStrategy::Busy).unwrap();
     // Drive the receiver before any recv is posted: message becomes
     // unexpected.
     while b.progress() > 0 {}
@@ -78,19 +78,19 @@ fn tag_matching_is_selective_and_fifo() {
     // Two tags interleaved, two messages each.
     for (tag, text) in [(1u64, "a1"), (2, "b1"), (1, "a2"), (2, "b2")] {
         let s = a.isend(G, tag, Bytes::from(text.to_string())).unwrap();
-        a.wait(&s, WaitStrategy::Busy);
+        a.wait(&s, WaitStrategy::Busy).unwrap();
     }
     let r2a = b.irecv(G, 2).unwrap();
-    b.wait(&r2a, WaitStrategy::Busy);
+    b.wait(&r2a, WaitStrategy::Busy).unwrap();
     assert_eq!(&r2a.take_data().unwrap()[..], b"b1");
     let r1a = b.irecv(G, 1).unwrap();
-    b.wait(&r1a, WaitStrategy::Busy);
+    b.wait(&r1a, WaitStrategy::Busy).unwrap();
     assert_eq!(&r1a.take_data().unwrap()[..], b"a1");
     let r1b = b.irecv(G, 1).unwrap();
-    b.wait(&r1b, WaitStrategy::Busy);
+    b.wait(&r1b, WaitStrategy::Busy).unwrap();
     assert_eq!(&r1b.take_data().unwrap()[..], b"a2");
     let r2b = b.irecv(G, 2).unwrap();
-    b.wait(&r2b, WaitStrategy::Busy);
+    b.wait(&r2b, WaitStrategy::Busy).unwrap();
     assert_eq!(&r2b.take_data().unwrap()[..], b"b2");
 }
 
@@ -187,7 +187,7 @@ fn aggregation_coalesces_small_messages() {
         assert_eq!(r.take_data().unwrap(), Bytes::from(format!("msg-{i}")));
     }
     for s in &sends {
-        a.wait(s, WaitStrategy::Busy);
+        a.wait(s, WaitStrategy::Busy).unwrap();
     }
     assert!(
         a.stats().aggregated_packets.get() >= 1,
@@ -221,7 +221,7 @@ fn fifo_strategy_never_aggregates() {
         }
     }
     for s in &sends {
-        a.wait(s, WaitStrategy::Busy);
+        a.wait(s, WaitStrategy::Busy).unwrap();
     }
     assert_eq!(a.stats().aggregated_packets.get(), 0);
     assert_eq!(a.stats().packets_tx.get(), 5);
@@ -391,7 +391,7 @@ fn ordered_delivery_over_reordering_transport() {
     assert!(config_check, "ordered delivery is the default");
     for i in 0..N {
         let s = a.isend(G, 9, Bytes::from(format!("m{i:02}"))).unwrap();
-        a.wait(&s, WaitStrategy::Busy);
+        a.wait(&s, WaitStrategy::Busy).unwrap();
     }
     for i in 0..N {
         let r = b.irecv(G, 9).unwrap();
@@ -424,7 +424,7 @@ fn unordered_mode_still_delivers_everything() {
     const N: usize = 16;
     for i in 0..N {
         let s = a.isend(G, 0, Bytes::from(vec![i as u8])).unwrap();
-        a.wait(&s, WaitStrategy::Busy);
+        a.wait(&s, WaitStrategy::Busy).unwrap();
     }
     let mut seen = BTreeSet::new();
     for _ in 0..N {
@@ -446,7 +446,7 @@ fn wait_all_and_test_apis() {
     let sends: Vec<_> = (0..4)
         .map(|i| a.isend(G, i, Bytes::from(vec![i as u8])).unwrap())
         .collect();
-    a.wait_all(&sends, WaitStrategy::Busy);
+    a.wait_all(&sends, WaitStrategy::Busy).unwrap();
     // Drive b until everything tests complete.
     for r in &recvs {
         while !b.test(r) {
@@ -463,7 +463,7 @@ fn wildcard_recv_matches_any_tag_in_order() {
     let (a, b) = loopback_pair(CoreConfig::default());
     for (tag, text) in [(5u64, "first"), (9, "second"), (1, "third")] {
         let s = a.isend(G, tag, Bytes::from(text.to_string())).unwrap();
-        a.wait(&s, WaitStrategy::Busy);
+        a.wait(&s, WaitStrategy::Busy).unwrap();
     }
     // Wildcard receives drain in arrival (send) order, reporting tags.
     let expected = [(5u64, "first"), (9, "second"), (1, "third")];
@@ -484,7 +484,7 @@ fn wildcard_posted_before_arrival() {
     let r = b.irecv_any(G).unwrap();
     assert_eq!(r.matched_tag(), None, "no tag before completion");
     let s = a.isend(G, 77, Bytes::from_static(b"wild")).unwrap();
-    a.wait(&s, WaitStrategy::Busy);
+    a.wait(&s, WaitStrategy::Busy).unwrap();
     while !r.is_complete() {
         b.progress();
         a.progress();
@@ -514,9 +514,9 @@ fn wildcard_matches_rendezvous_rts() {
 fn exact_recv_reports_matched_tag_too() {
     let (a, b) = loopback_pair(CoreConfig::default());
     let s = a.isend(G, 13, Bytes::from_static(b"x")).unwrap();
-    a.wait(&s, WaitStrategy::Busy);
+    a.wait(&s, WaitStrategy::Busy).unwrap();
     let r = b.irecv(G, 13).unwrap();
-    b.wait(&r, WaitStrategy::Busy);
+    b.wait(&r, WaitStrategy::Busy).unwrap();
     assert_eq!(r.matched_tag(), Some(13));
 }
 
@@ -545,7 +545,7 @@ fn corrupt_packets_are_counted_and_skipped() {
         a.progress();
         b.progress();
     }
-    a.wait(&s, WaitStrategy::Busy);
+    a.wait(&s, WaitStrategy::Busy).unwrap();
     assert_eq!(r.take_data().unwrap(), Bytes::from_static(b"still alive"));
 }
 
@@ -612,7 +612,7 @@ fn flush_local_drains_send_queues() {
     let drainer = std::thread::spawn(move || {
         for i in 0..6 {
             let r = b.irecv(G, i).unwrap();
-            b.wait(&r, WaitStrategy::Busy);
+            b.wait(&r, WaitStrategy::Busy).unwrap();
         }
     });
     a.flush_local();

@@ -27,10 +27,10 @@ pub fn concurrent_pingpong(opts: &PingpongOpts, size: usize, threads: usize) -> 
         echoes.push(std::thread::spawn(move || {
             for _ in 0..total {
                 let r = b.irecv(GateId(0), t).expect("irecv");
-                b.wait(&r, wait);
+                b.wait(&r, wait).unwrap();
                 let data = r.take_data().expect("payload");
                 let s = b.isend(GateId(0), t, data).expect("isend");
-                b.wait(&s, wait);
+                b.wait(&s, wait).unwrap();
             }
         }));
     }
@@ -45,9 +45,9 @@ pub fn concurrent_pingpong(opts: &PingpongOpts, size: usize, threads: usize) -> 
             for i in 0..total {
                 let t0 = std::time::Instant::now();
                 let s = a.isend(GateId(0), t, payload.clone()).expect("isend");
-                a.wait(&s, wait);
+                a.wait(&s, wait).unwrap();
                 let r = a.irecv(GateId(0), t).expect("irecv");
-                a.wait(&r, wait);
+                a.wait(&r, wait).unwrap();
                 if i >= warmup {
                     samples.push(t0.elapsed().as_nanos() as u64 / 2);
                 }

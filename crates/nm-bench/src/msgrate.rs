@@ -97,7 +97,7 @@ pub fn msgrate_threaded(opts: &MsgrateOpts) -> f64 {
                     .map(|_| b.irecv(GateId(t), t as u64).expect("irecv"))
                     .collect();
                 for r in reqs {
-                    b.wait(&r, wait);
+                    b.wait(&r, wait).unwrap();
                     let _ = r.take_data().expect("payload");
                 }
             }
@@ -117,7 +117,7 @@ pub fn msgrate_threaded(opts: &MsgrateOpts) -> f64 {
                     })
                     .collect();
                 for s in reqs {
-                    a.wait(&s, wait);
+                    a.wait(&s, wait).unwrap();
                 }
             }
         }));

@@ -105,10 +105,10 @@ pub fn overlap_latency(opts: &OverlapOpts, size: usize) -> LatencyStats {
     let echo = std::thread::spawn(move || {
         for _ in 0..total {
             let r = b2.irecv(GateId(0), 0).expect("irecv");
-            b2.wait(&r, WaitStrategy::Busy);
+            b2.wait(&r, WaitStrategy::Busy).unwrap();
             let data = r.take_data().expect("payload");
             let s = b2.isend(GateId(0), 0, data).expect("isend");
-            b2.wait(&s, WaitStrategy::Busy);
+            b2.wait(&s, WaitStrategy::Busy).unwrap();
         }
     });
 
@@ -118,9 +118,9 @@ pub fn overlap_latency(opts: &OverlapOpts, size: usize) -> LatencyStats {
         let t0 = Instant::now();
         let s = a.isend(GateId(0), 0, payload.clone()).expect("isend");
         busy_compute(opts.compute); // overlapped computation
-        a.wait(&s, WaitStrategy::Busy);
+        a.wait(&s, WaitStrategy::Busy).unwrap();
         let r = a.irecv(GateId(0), 0).expect("irecv");
-        a.wait(&r, WaitStrategy::Busy);
+        a.wait(&r, WaitStrategy::Busy).unwrap();
         if i >= opts.warmup {
             samples.push(t0.elapsed().as_nanos() as u64 / 2);
         }

@@ -63,7 +63,7 @@ fn wait_via(
     wait: WaitStrategy,
 ) {
     match engine {
-        None => core.wait(req, wait),
+        None => core.wait(req, wait).unwrap(),
         Some(engine) => {
             // Polling goes through the engine's registry: its list
             // management and locking ride the critical path.

@@ -1,14 +1,14 @@
 //! Communicators and endpoints: the per-rank API handles.
 //!
-//! # Migration note: the `Endpoint` API
-//!
-//! Point-to-point operations used to exist twice on [`Comm`]: a tagless
-//! two-rank convenience set (`send`/`recv`/`isend`/`irecv`) and an
-//! addressed set (`send_to`/`recv_from`/...). Both are now thin
-//! deprecated shims over a single endpoint-oriented surface, following
-//! the "scalable communication endpoints" shape: [`Comm::peer`] returns
-//! an [`Endpoint`] bound to one peer rank, and all operations live
-//! there once:
+//! Point-to-point operations follow the "scalable communication
+//! endpoints" shape: [`Comm::peer`] returns an [`Endpoint`] bound to
+//! one peer rank, and all operations live there — blocking
+//! (`send`/`recv`), non-blocking (`isend`/`irecv` + [`Endpoint::wait`]),
+//! and async ([`Endpoint::send_async`]/[`Endpoint::recv_async`], which
+//! return futures whose wakers register with the progress engine; see
+//! `docs/COMPLETION.md`). The former tagless/addressed shim sets
+//! (`comm.send`, `comm.send_to`, ...) are gone; the crate compiles with
+//! `#![deny(deprecated)]`.
 //!
 //! ```
 //! use nm_mpi::{World, ThreadLevel};
@@ -26,23 +26,19 @@
 //! echo.join().unwrap();
 //! ```
 //!
-//! | old (deprecated)            | new                              |
-//! |-----------------------------|----------------------------------|
-//! | `comm.send(tag, d)`         | `comm.sole_peer()?.send(tag, d)` |
-//! | `comm.send_to(p, tag, d)`   | `comm.peer(p)?.send(tag, d)`     |
-//! | `comm.irecv_from(p, tag)`   | `comm.peer(p)?.irecv(tag)`       |
-//! | `comm.recv_any_from(p)`     | `comm.peer(p)?.recv_any()`       |
-//! | `comm.sendrecv(p, tag, d)`  | `comm.peer(p)?.sendrecv(tag, d)` |
-//!
-//! [`Comm::wait`]/[`Comm::wait_all`] now also surface request errors as
-//! `Result<(), MpiError>` instead of swallowing them.
+//! [`Comm::wait`]/[`Comm::wait_all`] surface request errors as
+//! `Result<(), MpiError>`, forwarding `nm-core`'s own fallible waits —
+//! the two layers share one error story via `From<CommError>`.
 
 use std::sync::{Arc, OnceLock};
 
 use bytes::Bytes;
 
-use nm_core::{CommCore, CommError, GateId, Request};
+use nm_core::{CommCore, CommError, Completion, GateId, Request};
+use nm_progress::WakerTable;
 use nm_sync::WaitStrategy;
+
+use crate::future::{RecvFuture, SendFuture};
 
 /// Latency of facade-level blocking waits ([`Endpoint::wait`] /
 /// [`Comm::wait`], ns) — the application-visible wait cost, one layer
@@ -92,6 +88,10 @@ pub struct Comm {
     /// `peers[gate] = rank` mapping (dense, self skipped).
     peers: Vec<usize>,
     wait: WaitStrategy,
+    /// Waker table shared by every async operation of this rank; clones
+    /// of the communicator (and its endpoints) deliver into the same
+    /// table.
+    wakers: Arc<WakerTable>,
 }
 
 /// One rank's communication channel toward a single peer.
@@ -107,6 +107,7 @@ pub struct Endpoint {
     gate: GateId,
     core: Arc<CommCore>,
     wait: WaitStrategy,
+    wakers: Arc<WakerTable>,
 }
 
 impl Endpoint {
@@ -197,11 +198,54 @@ impl Endpoint {
     /// request error.
     pub fn wait(&self, req: &Request) -> Result<(), MpiError> {
         let _t = mpi_wait_hist().timer();
-        self.core.wait(req, self.wait);
-        match req.take_error() {
-            Some(e) => Err(e.into()),
-            None => Ok(()),
+        self.core.wait(req, self.wait)?;
+        Ok(())
+    }
+
+    // ---- async facade --------------------------------------------------
+
+    /// Async send: posts immediately, resolves when the message is
+    /// injected. The returned future's waker registers with the progress
+    /// engine's waker table and is woken on completion delivery — no
+    /// thread blocks per operation, so one executor can multiplex
+    /// thousands of outstanding operations.
+    ///
+    /// Something must drive progression while the future is pending: a
+    /// [`ProgressionThread`](nm_progress::ProgressionThread), scheduler
+    /// hooks, or an executor poll hook such as
+    /// [`exec::block_on_with`](crate::exec::block_on_with).
+    pub fn send_async(&self, tag: u64, data: &[u8]) -> SendFuture {
+        self.send_async_bytes(tag, Bytes::copy_from_slice(data))
+    }
+
+    /// Zero-copy [`Endpoint::send_async`].
+    pub fn send_async_bytes(&self, tag: u64, data: Bytes) -> SendFuture {
+        match self
+            .core
+            .isend_with(self.gate, tag, data, Completion::waker(&self.wakers))
+        {
+            Ok(req) => SendFuture::pending(req, Arc::clone(&self.wakers)),
+            Err(e) => SendFuture::failed(e.into()),
         }
+    }
+
+    /// Async receive: resolves to the payload once a matching message
+    /// arrives. Zero-copy (`Bytes`); see [`Endpoint::send_async`] for
+    /// the progression requirement.
+    pub fn recv_async(&self, tag: u64) -> RecvFuture {
+        match self
+            .core
+            .irecv_with(self.gate, tag, Completion::waker(&self.wakers))
+        {
+            Ok(req) => RecvFuture::pending(req, Arc::clone(&self.wakers)),
+            Err(e) => RecvFuture::failed(e.into()),
+        }
+    }
+
+    /// The waker table async operations of this endpoint deliver into
+    /// (diagnostics: its `len()` is the number of parked futures).
+    pub fn waker_table(&self) -> &Arc<WakerTable> {
+        &self.wakers
     }
 }
 
@@ -227,6 +271,7 @@ impl Comm {
             core,
             peers,
             wait,
+            wakers: Arc::new(WakerTable::new()),
         }
     }
 
@@ -281,6 +326,7 @@ impl Comm {
             gate: self.gate(peer)?,
             core: Arc::clone(&self.core),
             wait: self.wait,
+            wakers: Arc::clone(&self.wakers),
         })
     }
 
@@ -304,14 +350,11 @@ impl Comm {
     // ---- waiting -------------------------------------------------------
 
     /// Waits for a request with this communicator's strategy, surfacing
-    /// any request error (previously swallowed).
+    /// any request error.
     pub fn wait(&self, req: &Request) -> Result<(), MpiError> {
         let _t = mpi_wait_hist().timer();
-        self.core.wait(req, self.wait);
-        match req.take_error() {
-            Some(e) => Err(e.into()),
-            None => Ok(()),
-        }
+        self.core.wait(req, self.wait)?;
+        Ok(())
     }
 
     /// Waits for all requests; reports the first error after every
@@ -327,83 +370,6 @@ impl Comm {
             Some(e) => Err(e),
             None => Ok(()),
         }
-    }
-
-    // ---- deprecated shims over Endpoint --------------------------------
-
-    /// Blocking send to the only peer (two-rank worlds).
-    #[deprecated(since = "0.1.0", note = "use `comm.sole_peer()?.send(tag, data)`")]
-    pub fn send(&self, tag: u64, data: &[u8]) -> Result<(), MpiError> {
-        self.sole_peer()?.send(tag, data)
-    }
-
-    /// Blocking receive from the only peer (two-rank worlds).
-    #[deprecated(since = "0.1.0", note = "use `comm.sole_peer()?.recv(tag)`")]
-    pub fn recv(&self, tag: u64) -> Result<Vec<u8>, MpiError> {
-        self.sole_peer()?.recv(tag)
-    }
-
-    /// Non-blocking send to the only peer.
-    #[deprecated(since = "0.1.0", note = "use `comm.sole_peer()?.isend(tag, data)`")]
-    pub fn isend(&self, tag: u64, data: &[u8]) -> Result<Request, MpiError> {
-        self.sole_peer()?.isend(tag, data)
-    }
-
-    /// Non-blocking receive from the only peer.
-    #[deprecated(since = "0.1.0", note = "use `comm.sole_peer()?.irecv(tag)`")]
-    pub fn irecv(&self, tag: u64) -> Result<Request, MpiError> {
-        self.sole_peer()?.irecv(tag)
-    }
-
-    /// Blocking send to `peer`.
-    #[deprecated(since = "0.1.0", note = "use `comm.peer(peer)?.send(tag, data)`")]
-    pub fn send_to(&self, peer: usize, tag: u64, data: &[u8]) -> Result<(), MpiError> {
-        self.peer(peer)?.send(tag, data)
-    }
-
-    /// Blocking receive from `peer`.
-    #[deprecated(since = "0.1.0", note = "use `comm.peer(peer)?.recv(tag)`")]
-    pub fn recv_from(&self, peer: usize, tag: u64) -> Result<Vec<u8>, MpiError> {
-        self.peer(peer)?.recv(tag)
-    }
-
-    /// Non-blocking send to `peer`.
-    #[deprecated(since = "0.1.0", note = "use `comm.peer(peer)?.isend(tag, data)`")]
-    pub fn isend_to(&self, peer: usize, tag: u64, data: &[u8]) -> Result<Request, MpiError> {
-        self.peer(peer)?.isend(tag, data)
-    }
-
-    /// Non-blocking zero-copy send to `peer`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `comm.peer(peer)?.isend_bytes(tag, data)`"
-    )]
-    pub fn isend_bytes_to(&self, peer: usize, tag: u64, data: Bytes) -> Result<Request, MpiError> {
-        self.peer(peer)?.isend_bytes(tag, data)
-    }
-
-    /// Non-blocking receive from `peer`.
-    #[deprecated(since = "0.1.0", note = "use `comm.peer(peer)?.irecv(tag)`")]
-    pub fn irecv_from(&self, peer: usize, tag: u64) -> Result<Request, MpiError> {
-        self.peer(peer)?.irecv(tag)
-    }
-
-    /// Non-blocking wildcard receive from `peer` (`MPI_ANY_TAG`).
-    #[deprecated(since = "0.1.0", note = "use `comm.peer(peer)?.irecv_any()`")]
-    pub fn irecv_any_from(&self, peer: usize) -> Result<Request, MpiError> {
-        self.peer(peer)?.irecv_any()
-    }
-
-    /// Blocking wildcard receive from `peer`: returns `(tag, payload)`.
-    #[deprecated(since = "0.1.0", note = "use `comm.peer(peer)?.recv_any()`")]
-    pub fn recv_any_from(&self, peer: usize) -> Result<(u64, Vec<u8>), MpiError> {
-        self.peer(peer)?.recv_any()
-    }
-
-    /// Combined send+receive with the same peer (classic pingpong body).
-    #[deprecated(since = "0.1.0", note = "use `comm.peer(peer)?.sendrecv(tag, data)`")]
-    pub fn sendrecv(&self, peer: usize, tag: u64, data: &[u8]) -> Result<Vec<u8>, MpiError> {
-        self.peer(peer)?.sendrecv(tag, data)
     }
 
     // ---- collectives helpers -------------------------------------------

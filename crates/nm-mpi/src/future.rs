@@ -1,0 +1,157 @@
+//! [`SendFuture`] / [`RecvFuture`]: the async faces of `isend`/`irecv`.
+//!
+//! Returned by [`Endpoint::send_async`](crate::Endpoint::send_async) and
+//! [`Endpoint::recv_async`](crate::Endpoint::recv_async). The operation
+//! is posted *eagerly* (at call time, not first poll); the future only
+//! observes completion. Awaiting follows the register-then-recheck
+//! protocol against the progress engine's
+//! [`WakerTable`](nm_progress::WakerTable):
+//!
+//! 1. if the request is already complete → `Ready`;
+//! 2. register the task's waker under the request id — a `false` return
+//!    means completion delivery already ran → `Ready`;
+//! 3. re-check completion (delivery may have landed between 1 and 2
+//!    without finding the waker) → `Ready` if so, else `Pending`.
+//!
+//! Delivery signals the request's completion flag *before* waking, so a
+//! woken (or re-checking) future always observes the terminal state.
+//! Dropping a pending future abandons the operation's result but
+//! unregisters its waker, so the table never accumulates dead entries.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll};
+
+use bytes::Bytes;
+
+use nm_core::Request;
+use nm_progress::WakerTable;
+
+use crate::comm::MpiError;
+
+enum State {
+    /// Posting failed; the error is yielded at first poll.
+    Failed(Option<MpiError>),
+    /// Posted; awaiting completion delivery.
+    Pending {
+        req: Request,
+        table: Arc<WakerTable>,
+    },
+    /// Yielded its output.
+    Done,
+}
+
+/// One poll step of the register-then-recheck protocol; `Ready` carries
+/// the completed request with its error already consumed.
+fn poll_state(state: &mut State, cx: &mut Context<'_>) -> Poll<Result<Request, MpiError>> {
+    match state {
+        State::Failed(e) => {
+            let e = e.take().expect("future polled after completion");
+            *state = State::Done;
+            Poll::Ready(Err(e))
+        }
+        State::Done => panic!("future polled after completion"),
+        State::Pending { req, table } => {
+            let ready = if req.is_complete() {
+                // Completed before this poll (eager sends, raced recvs).
+                table.unregister(req.id());
+                true
+            } else if !table.register(req.id(), cx.waker()) {
+                // Delivery won the race and already consumed the entry.
+                true
+            } else {
+                // Registered; re-check in case delivery landed between
+                // the check and the registration without seeing a waker.
+                let done = req.is_complete();
+                if done {
+                    table.unregister(req.id());
+                }
+                done
+            };
+            if !ready {
+                return Poll::Pending;
+            }
+            let out = match req.take_error() {
+                Some(e) => Err(e.into()),
+                None => Ok(req.clone()),
+            };
+            *state = State::Done;
+            Poll::Ready(out)
+        }
+    }
+}
+
+fn drop_state(state: &mut State) {
+    if let State::Pending { req, table } = state {
+        table.unregister(req.id());
+    }
+}
+
+/// Future of an async send; resolves once the message is injected.
+pub struct SendFuture {
+    state: State,
+}
+
+impl SendFuture {
+    pub(crate) fn pending(req: Request, table: Arc<WakerTable>) -> Self {
+        SendFuture {
+            state: State::Pending { req, table },
+        }
+    }
+
+    pub(crate) fn failed(e: MpiError) -> Self {
+        SendFuture {
+            state: State::Failed(Some(e)),
+        }
+    }
+}
+
+impl Future for SendFuture {
+    type Output = Result<(), MpiError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        poll_state(&mut self.get_mut().state, cx).map(|r| r.map(|_req| ()))
+    }
+}
+
+impl Drop for SendFuture {
+    fn drop(&mut self) {
+        drop_state(&mut self.state);
+    }
+}
+
+/// Future of an async receive; resolves to the payload (zero-copy
+/// `Bytes`, unlike the blocking `recv`'s `Vec<u8>`).
+pub struct RecvFuture {
+    state: State,
+}
+
+impl RecvFuture {
+    pub(crate) fn pending(req: Request, table: Arc<WakerTable>) -> Self {
+        RecvFuture {
+            state: State::Pending { req, table },
+        }
+    }
+
+    pub(crate) fn failed(e: MpiError) -> Self {
+        RecvFuture {
+            state: State::Failed(Some(e)),
+        }
+    }
+}
+
+impl Future for RecvFuture {
+    type Output = Result<Bytes, MpiError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        poll_state(&mut self.get_mut().state, cx)
+            .map(|r| r.map(|req| req.take_data().expect("completed recv carries data")))
+    }
+}
+
+impl Drop for RecvFuture {
+    fn drop(&mut self) {
+        drop_state(&mut self.state);
+    }
+}

@@ -29,14 +29,22 @@
 //! assert_eq!(to_b.recv(1).unwrap(), b"ping");
 //! echo.join().unwrap();
 //! ```
+//!
+//! Beyond blocking and `isend`/`irecv`+`wait`, endpoints expose an async
+//! facade — [`Endpoint::send_async`]/[`Endpoint::recv_async`] return
+//! futures whose wakers register with the progress engine, and [`exec`]
+//! provides minimal block-on executors — so one thread can multiplex
+//! thousands of outstanding operations (see `docs/COMPLETION.md`).
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 mod coll;
 mod comm;
+pub mod exec;
+mod future;
 mod world;
 
 pub use comm::{Comm, Endpoint, MpiError};
-#[allow(deprecated)]
-pub use world::WorldConfig;
+pub use future::{RecvFuture, SendFuture};
 pub use world::{ConfigError, ThreadLevel, World, WorldBuilder};

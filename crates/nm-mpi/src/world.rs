@@ -120,10 +120,6 @@ pub struct WorldBuilder {
     pub clock: ClockSource,
 }
 
-/// Former name of [`WorldBuilder`].
-#[deprecated(since = "0.1.0", note = "renamed to `WorldBuilder`")]
-pub type WorldConfig = WorldBuilder;
-
 impl WorldBuilder {
     /// A world at `level` over one Myri-10G rail on real time, busy waits.
     pub fn new(level: ThreadLevel) -> Self {

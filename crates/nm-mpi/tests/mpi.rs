@@ -375,79 +375,3 @@ fn four_rank_all_to_all_stress() {
     });
     assert_eq!(results, vec![0, 1, 2, 3]);
 }
-
-/// The deprecated `Comm` shims must behave identically to the
-/// [`nm_mpi::Endpoint`] calls they forward to.
-mod shim_equivalence {
-    #![allow(deprecated)]
-
-    use super::*;
-
-    #[test]
-    fn tagless_shims_match_endpoint() {
-        let world = World::pair(ThreadLevel::Multiple);
-        let (a, b) = world.comm_pair();
-        let echo = std::thread::spawn(move || {
-            let ep = b.sole_peer().unwrap();
-            for _ in 0..2 {
-                let m = ep.recv(1).unwrap();
-                ep.send(1, &m).unwrap();
-            }
-        });
-        // Old tagless surface...
-        a.send(1, b"old").unwrap();
-        assert_eq!(a.recv(1).unwrap(), b"old");
-        // ...and the endpoint surface, interleaved on the same comm.
-        let ep = a.sole_peer().unwrap();
-        ep.send(1, b"new").unwrap();
-        assert_eq!(ep.recv(1).unwrap(), b"new");
-        echo.join().unwrap();
-    }
-
-    #[test]
-    fn addressed_shims_match_endpoint() {
-        let world = World::pair(ThreadLevel::Multiple);
-        let (a, b) = world.comm_pair();
-        let echo = std::thread::spawn(move || {
-            for _ in 0..2 {
-                let m = b.recv_from(0, 0).unwrap();
-                b.send_to(0, 0, &m).unwrap();
-            }
-        });
-        assert_eq!(a.sendrecv(1, 0, b"shim").unwrap(), b"shim");
-        assert_eq!(a.peer(1).unwrap().sendrecv(0, b"ep").unwrap(), b"ep");
-        echo.join().unwrap();
-    }
-
-    #[test]
-    fn shim_errors_match_endpoint_errors() {
-        let world = World::pair(ThreadLevel::Multiple);
-        let (a, _b) = world.comm_pair();
-        assert_eq!(
-            a.send_to(0, 0, b"self").unwrap_err(),
-            a.peer(0).unwrap_err()
-        );
-        assert_eq!(a.irecv_from(7, 0).unwrap_err(), a.peer(7).unwrap_err());
-    }
-
-    #[test]
-    fn nonblocking_shims_complete() {
-        let world = World::pair(ThreadLevel::Multiple);
-        let (a, b) = world.comm_pair();
-        let r = b.irecv_from(0, 5).unwrap();
-        let s = a.isend_to(1, 5, b"compat").unwrap();
-        a.wait_all(&[s]).unwrap();
-        b.wait(&r).unwrap();
-        assert_eq!(r.take_data().unwrap(), bytes::Bytes::from_static(b"compat"));
-        let (tag, m) = {
-            let r2 = b.irecv_any_from(0).unwrap();
-            let s2 = a
-                .isend_bytes_to(1, 6, bytes::Bytes::from_static(b"zero-copy"))
-                .unwrap();
-            a.wait(&s2).unwrap();
-            b.wait(&r2).unwrap();
-            (r2.matched_tag().unwrap(), r2.take_data().unwrap())
-        };
-        assert_eq!((tag, &m[..]), (6, b"zero-copy".as_slice()));
-    }
-}

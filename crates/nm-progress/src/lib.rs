@@ -24,6 +24,10 @@
 //! * [`wait_on`] — strategy-driven waiting that composes a completion flag
 //!   with engine polling (busy waiters poll the engine themselves; passive
 //!   waiters rely on a progression thread or scheduler hooks).
+//! * [`WakerTable`] — request-id-keyed waker registry behind the async
+//!   facade: futures park their [`std::task::Waker`] here and completion
+//!   delivery wakes exactly the right task, so no thread blocks per
+//!   operation.
 
 #![warn(missing_docs)]
 
@@ -33,9 +37,11 @@ mod offload;
 mod progression_thread;
 mod tasklet;
 mod wait;
+mod waker_table;
 
 pub use engine::{PollOutcome, PollSource, ProgressEngine, SourceId};
 pub use offload::{OffloadMode, Offloader};
 pub use progression_thread::{IdlePolicy, ProgressionThread};
 pub use tasklet::{Tasklet, TaskletEngine};
 pub use wait::wait_on;
+pub use waker_table::WakerTable;

@@ -47,6 +47,7 @@ pub mod stats;
 pub mod sync_shim;
 mod ticket;
 mod wait;
+mod waker;
 
 pub use backoff::Backoff;
 pub use flag::CompletionFlag;
@@ -54,5 +55,6 @@ pub use sem::Semaphore;
 pub use spin::{RawSpin, SpinGuard, SpinLock};
 pub use ticket::{TicketGuard, TicketLock};
 pub use wait::WaitStrategy;
+pub use waker::WakerCell;
 
 pub use crossbeam_utils::CachePadded;

@@ -1,0 +1,169 @@
+//! [`WakerCell`] — a waker-capable completion primitive for async waits.
+//!
+//! A [`CompletionFlag`](crate::CompletionFlag) parks a *thread*; a
+//! `WakerCell` notifies a *future*. It is the one-shot slot behind the
+//! progress engine's waker table: a future's `poll` registers its
+//! [`std::task::Waker`] here, and completion delivery wakes it — at most
+//! once, with no thread ever blocked.
+//!
+//! The fundamental race is a completion arriving between the future's
+//! completion check and its waker store. The cell resolves it with a
+//! state machine checked under the slot mutex:
+//!
+//! * [`WakerCell::register`] returns `false` when [`WakerCell::wake`]
+//!   already ran — the caller must treat the operation as complete
+//!   instead of going to sleep.
+//! * A successful `register` (`true`) guarantees the waker will be
+//!   woken by the next `wake`, whenever it lands.
+//!
+//! Callers should still re-check their completion condition *after* a
+//! successful registration (the register-then-recheck protocol): the
+//! cell orders `register` against `wake`, but not against completion
+//! state published through other objects.
+//!
+//! Like every nm-sync primitive, the cell sources its atomics and mutex
+//! from [`sync_shim`](crate::sync_shim), so the loom suite can model the
+//! registration/wake race exhaustively.
+
+use std::task::Waker;
+
+use crate::sync_shim::atomic::{AtomicU32, Ordering};
+use crate::sync_shim::Mutex;
+
+/// No waker stored, not yet woken.
+const EMPTY: u32 = 0;
+/// A waker is stored.
+const ARMED: u32 = 1;
+/// `wake` ran; any stored waker has been consumed and late registrations
+/// are rejected.
+const WOKEN: u32 = 2;
+
+/// One-shot waker slot: `register` a future's waker, `wake` it on
+/// completion. See the module docs for the race protocol.
+#[derive(Debug)]
+pub struct WakerCell {
+    state: AtomicU32,
+    slot: Mutex<Option<Waker>>,
+}
+
+impl WakerCell {
+    /// Creates an empty, un-woken cell.
+    pub fn new() -> Self {
+        WakerCell {
+            state: AtomicU32::new(EMPTY),
+            slot: Mutex::new(None),
+        }
+    }
+
+    /// Stores `waker`, replacing any previous registration.
+    ///
+    /// Returns `false` if [`WakerCell::wake`] already ran: the waker is
+    /// *not* stored and will never be woken — the caller must complete
+    /// immediately rather than wait.
+    pub fn register(&self, waker: &Waker) -> bool {
+        let mut slot = self.slot.lock();
+        // The load is under the mutex: if `wake` won the race, its WOKEN
+        // store happened before it released this mutex, so we see it here
+        // and refuse; if we win, `wake` finds our waker in the slot.
+        if self.state.load(Ordering::Acquire) == WOKEN {
+            return false;
+        }
+        *slot = Some(waker.clone());
+        self.state.store(ARMED, Ordering::Release);
+        true
+    }
+
+    /// Marks the cell woken and wakes the registered waker, if any.
+    ///
+    /// Idempotent; the waker is consumed, so at most one wake-up is ever
+    /// delivered. The foreign waker runs outside the slot mutex.
+    pub fn wake(&self) {
+        self.state.store(WOKEN, Ordering::Release);
+        let waker = self.slot.lock().take();
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+
+    /// `true` once [`WakerCell::wake`] has run.
+    pub fn is_woken(&self) -> bool {
+        self.state.load(Ordering::Acquire) == WOKEN
+    }
+}
+
+impl Default for WakerCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering as StdOrdering};
+    use std::sync::Arc;
+    use std::task::Wake;
+
+    struct CountingWaker(AtomicUsize);
+
+    impl Wake for CountingWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, StdOrdering::SeqCst);
+        }
+    }
+
+    fn counting_waker() -> (Arc<CountingWaker>, Waker) {
+        let inner = Arc::new(CountingWaker(AtomicUsize::new(0)));
+        (Arc::clone(&inner), Waker::from(Arc::clone(&inner)))
+    }
+
+    #[test]
+    fn register_then_wake_delivers_exactly_once() {
+        let cell = WakerCell::new();
+        let (count, waker) = counting_waker();
+        assert!(cell.register(&waker));
+        assert!(!cell.is_woken());
+        cell.wake();
+        assert_eq!(count.0.load(StdOrdering::SeqCst), 1);
+        assert!(cell.is_woken());
+        cell.wake(); // idempotent: the waker was consumed
+        assert_eq!(count.0.load(StdOrdering::SeqCst), 1);
+    }
+
+    #[test]
+    fn wake_before_register_is_rejected() {
+        let cell = WakerCell::new();
+        cell.wake();
+        let (count, waker) = counting_waker();
+        assert!(!cell.register(&waker), "late registration must be refused");
+        cell.wake();
+        assert_eq!(count.0.load(StdOrdering::SeqCst), 0, "never stored");
+    }
+
+    #[test]
+    fn reregistration_replaces_the_stored_waker() {
+        let cell = WakerCell::new();
+        let (stale_count, stale) = counting_waker();
+        let (live_count, live) = counting_waker();
+        assert!(cell.register(&stale));
+        assert!(cell.register(&live));
+        cell.wake();
+        assert_eq!(stale_count.0.load(StdOrdering::SeqCst), 0);
+        assert_eq!(live_count.0.load(StdOrdering::SeqCst), 1);
+    }
+
+    #[test]
+    fn cross_thread_register_wake_race_never_loses_a_wake() {
+        for _ in 0..200 {
+            let cell = Arc::new(WakerCell::new());
+            let (count, waker) = counting_waker();
+            let c = Arc::clone(&cell);
+            let h = std::thread::spawn(move || c.wake());
+            let registered = cell.register(&waker);
+            h.join().unwrap();
+            // Either the registration was refused (wake won) or the
+            // stored waker was woken — never silence.
+            assert!(!registered || count.0.load(StdOrdering::SeqCst) == 1);
+        }
+    }
+}

@@ -321,6 +321,65 @@ fn per_gate_rx_lock_handoff_between_app_and_progress() {
     });
 }
 
+/// A waker that counts its invocations through a loom atomic, so the
+/// model sees the wake as an event it can order.
+struct CountingWaker(Arc<nm_sync::sync_shim::atomic::AtomicUsize>);
+
+impl std::task::Wake for CountingWaker {
+    fn wake(self: std::sync::Arc<Self>) {
+        self.0
+            .fetch_add(1, nm_sync::sync_shim::atomic::Ordering::Release);
+    }
+}
+
+/// The completion-delivery vs waker-registration race of the async
+/// facade. Delivery signals the request's completion flag *before*
+/// waking (`Request::deliver` in nm-core); a polling future checks the
+/// flag, registers its waker, then re-checks (`poll_state` in nm-mpi).
+/// The model proves that on every interleaving the future either
+/// observes completion directly (returns Ready) or its waker fires — a
+/// future parked forever on a completed request is impossible.
+#[test]
+fn waker_register_vs_completion_delivery_never_loses_the_wake() {
+    use nm_sync::sync_shim::atomic::{AtomicUsize, Ordering};
+    use nm_sync::WakerCell;
+
+    loom::model(|| {
+        let cell = Arc::new(WakerCell::new());
+        let flag = Arc::new(CompletionFlag::new());
+        let woken = Arc::new(AtomicUsize::new(0));
+
+        let (c, f) = (Arc::clone(&cell), Arc::clone(&flag));
+        let deliver = thread::spawn(move || {
+            // The delivery order `request.rs` guarantees: terminal state
+            // first, then the wakeup.
+            f.signal();
+            c.wake();
+        });
+
+        // One poll, exactly as the future's register-then-recheck path.
+        let waker = std::task::Waker::from(std::sync::Arc::new(CountingWaker(Arc::clone(&woken))));
+        let pending = if flag.is_set() {
+            false
+        } else if !cell.register(&waker) {
+            // Delivery already ran; completion is observable.
+            assert!(flag.is_set(), "refused registration before completion");
+            false
+        } else {
+            // Registered; Pending only if completion still not visible.
+            !flag.is_set()
+        };
+        deliver.join().unwrap();
+        if pending {
+            assert_eq!(
+                woken.load(Ordering::Acquire),
+                1,
+                "future returned Pending but its waker never fired"
+            );
+        }
+    });
+}
+
 #[test]
 fn semaphore_handoff_transfers_permit() {
     loom::model(|| {

@@ -55,6 +55,17 @@ pub enum EventId {
     ProgressPass = 23,
     /// Collect-layer queue depth after an enqueue. `a` = gate, `b` = depth.
     QueueDepth = 24,
+    /// A request's completion was delivered. `a` = request id, `b` = path
+    /// (0 flag, 1 queue, 2 handler, 3 waker).
+    CompletionDeliver = 25,
+    /// A completion event was pushed onto a completion queue.
+    /// `a` = request id, `b` = queue depth after the push.
+    CqPush = 26,
+    /// A completion event was popped from a completion queue.
+    /// `a` = request id, `b` = queue depth after the pop.
+    CqPop = 27,
+    /// A completion handler ran (fire-and-forget path). `a` = request id.
+    HandlerRun = 28,
 
     // ---- nm-progress ---------------------------------------------------
     /// A PIOMan-style poll pass over all registered sources begins.
@@ -75,6 +86,13 @@ pub enum EventId {
     OffloadRun = 37,
     /// A progression thread resumed from its idle park.
     ProgressionWake = 38,
+    /// An async waiter registered a waker with the progress engine's
+    /// waker table. `a` = request id.
+    WakerRegister = 39,
+    /// Completion delivery woke (or tried to wake) a registered waker.
+    /// `a` = request id, `b` = 1 if a waker was found and woken, 0 if
+    /// none was registered yet (the future's re-check covers this race).
+    WakerWake = 40,
 
     // ---- nm-sched ------------------------------------------------------
     /// A worker passed a task boundary (cooperative context switch).
@@ -138,6 +156,10 @@ impl EventId {
         DispatchEnd, "nm-core", "a=gate";
         ProgressPass, "nm-core", "a=events handled";
         QueueDepth, "nm-core", "a=gate, b=depth";
+        CompletionDeliver, "nm-core", "a=request id, b=path";
+        CqPush, "nm-core", "a=request id, b=depth";
+        CqPop, "nm-core", "a=request id, b=depth";
+        HandlerRun, "nm-core", "a=request id";
         PollPassBegin, "nm-progress", "-";
         PollPassEnd, "nm-progress", "a=sources progressed";
         TaskletSched, "nm-progress", "a=tasklet id";
@@ -145,6 +167,8 @@ impl EventId {
         OffloadSubmit, "nm-progress", "a=offload mode";
         OffloadRun, "nm-progress", "a=offload mode";
         ProgressionWake, "nm-progress", "-";
+        WakerRegister, "nm-progress", "a=request id";
+        WakerWake, "nm-progress", "a=request id, b=found";
         CtxSwitch, "nm-sched", "a=worker";
         IdleHook, "nm-sched", "a=worker";
         PacketTx, "nm-fabric", "a=bytes";

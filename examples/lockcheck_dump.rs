@@ -15,9 +15,11 @@
 
 use std::sync::Arc;
 
-use nomad::core::{CommCore, CoreBuilder, CoreConfig, GateId, LockingMode};
+use nomad::core::{
+    CommCore, Completion, CompletionQueue, CoreBuilder, CoreConfig, GateId, LockingMode,
+};
 use nomad::fabric::{Driver, LoopbackDriver};
-use nomad::progress::ProgressEngine;
+use nomad::progress::{ProgressEngine, WakerTable};
 use nomad::sync::WaitStrategy;
 
 const G: GateId = GateId(0);
@@ -50,9 +52,49 @@ fn workload(mode: LockingMode) {
             a.progress();
             b.progress();
         }
-        b.wait(&recv, WaitStrategy::Busy);
-        a.wait(&send, WaitStrategy::Busy);
+        b.wait(&recv, WaitStrategy::Busy).unwrap();
+        a.wait(&send, WaitStrategy::Busy).unwrap();
     }
+
+    // Completion objects: delivery runs inside progression — under the
+    // API guard in coarse mode, under the collect locks in fine mode —
+    // so these are the `* -> core.cq` / `* -> progress.wakers` edges.
+    let cq = CompletionQueue::new();
+    let table = Arc::new(WakerTable::new());
+    let recv = b
+        .irecv_with(G, 9, Completion::queue(&cq))
+        .expect("irecv (queue)");
+    let send = a
+        .isend_with(
+            G,
+            9,
+            bytes::Bytes::from_static(b"cq"),
+            Completion::handler(|_ev| {}),
+        )
+        .expect("isend (handler)");
+    while !recv.is_complete() || !send.is_complete() {
+        a.progress();
+        b.progress();
+    }
+    assert_eq!(cq.wait(WaitStrategy::Busy).id(), recv.id());
+
+    struct Noop;
+    impl std::task::Wake for Noop {
+        fn wake(self: Arc<Self>) {}
+    }
+    let noop = std::task::Waker::from(Arc::new(Noop));
+    let recv = b
+        .irecv_with(G, 11, Completion::waker(&table))
+        .expect("irecv (waker)");
+    assert!(table.register(recv.id(), &noop));
+    let send = a
+        .isend(G, 11, bytes::Bytes::from_static(b"wk"))
+        .expect("isend");
+    while !recv.is_complete() || !send.is_complete() {
+        a.progress();
+        b.progress();
+    }
+    a.wait(&send, WaitStrategy::Busy).unwrap();
 
     // Progression-engine registry: poll sources through the engine the
     // way the MPI layer drives background progression.

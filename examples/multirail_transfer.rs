@@ -35,13 +35,13 @@ fn transfer(rails: &[WireModel], label: &str) -> f64 {
     let b2 = Arc::clone(&b);
     let recv = std::thread::spawn(move || {
         let r = b2.irecv(GateId(0), 0).expect("irecv");
-        b2.wait(&r, WaitStrategy::Busy);
+        b2.wait(&r, WaitStrategy::Busy).unwrap();
         r.take_data().expect("payload")
     });
 
     let t0 = Instant::now();
     let s = a.isend(GateId(0), 0, payload).expect("isend");
-    a.wait(&s, WaitStrategy::Busy);
+    a.wait(&s, WaitStrategy::Busy).unwrap();
     let got = recv.join().expect("receiver");
     let secs = t0.elapsed().as_secs_f64();
     assert_eq!(got.len(), SIZE);

@@ -1,7 +1,7 @@
 //! `cargo xtask lint-concurrency`: source-text lints for concurrency rules
 //! the compiler cannot enforce.
 //!
-//! Three rules (details and rationale in `docs/CONCURRENCY.md`):
+//! Four rules (details and rationale in `docs/CONCURRENCY.md`):
 //!
 //! 1. **Relaxed needs a reason.** Every `Ordering::Relaxed` in non-test
 //!    code must carry a `relaxed:` justification comment on the same line
@@ -25,6 +25,17 @@
 //!    the three preceding lines. (Clippy's `undocumented_unsafe_blocks`
 //!    covers blocks; this also catches `unsafe fn`/`unsafe impl` and does
 //!    not need a full compile.)
+//! 4. **No blocking in completion handlers.** Completion handlers run in
+//!    the progress context (see `core::completion`'s reentrancy rules):
+//!    a handler that blocks stalls progression for the whole node, and a
+//!    handler that waits on a completion deadlocks — the completion it
+//!    waits for is delivered by the thread it is running on. Closures
+//!    passed to `Completion::handler(..)` must not contain `.wait(`,
+//!    `thread::park`, semaphore `acquire_*` calls or `block_on`. This
+//!    rule applies to test code too (a deadlock in a test hangs CI just
+//!    as hard); the rare false positive (e.g. a non-blocking method that
+//!    happens to be named `wait`) carries a `// handler-ok: <why>`
+//!    comment within three lines.
 //!
 //! The lint is text-based on purpose: it runs in under a second with no
 //! compilation, and the patterns involved are unambiguous in this codebase.
@@ -120,7 +131,7 @@ pub fn run(root: &Path, args: &[String]) -> ExitCode {
         if !opts.json {
             println!(
                 "lint-concurrency: OK ({checked} files; relaxed justifications, \
-                 hot-path primitives, SAFETY coverage)"
+                 hot-path primitives, SAFETY coverage, handler blocking)"
             );
         }
         ExitCode::SUCCESS
@@ -136,6 +147,20 @@ pub fn run(root: &Path, args: &[String]) -> ExitCode {
         ExitCode::FAILURE
     }
 }
+
+/// Call patterns that install a completion handler; the closure argument
+/// runs in the progress context (rule 4).
+const HANDLER_INSTALLERS: &[&str] = &["Completion::handler(", "Completion::Handler("];
+
+/// Blocking calls banned inside a completion handler (rule 4).
+const BANNED_IN_HANDLER: &[&str] = &[
+    ".wait(",
+    ".wait_all(",
+    "thread::park",
+    ".acquire_blocking(",
+    ".acquire_with(",
+    "block_on(",
+];
 
 fn lint_file(rel: &str, text: &str, out: &mut Vec<Finding>) {
     // Skip the lint's own source (rule names would trip the patterns).
@@ -233,6 +258,73 @@ fn lint_file(rel: &str, text: &str, out: &mut Vec<Finding>) {
                 "`unsafe` without a `// SAFETY:` comment within 3 lines",
             ));
         }
+    }
+
+    // Rule 4 needs multi-line region tracking; separate pass. It applies
+    // to test code too: a handler that blocks deadlocks tests as well.
+    lint_handler_regions(rel, &lines, out);
+}
+
+/// Rule 4: scans the argument region of each `Completion::handler(..)`
+/// call — from its opening paren to the matching close, tracked by paren
+/// depth on comment-stripped text — for blocking calls. String literals
+/// containing parens could skew the region; the codebase has none in
+/// handler arguments.
+fn lint_handler_regions(rel: &str, lines: &[&str], out: &mut Vec<Finding>) {
+    let mut start = 0usize;
+    while start < lines.len() {
+        let first = strip_line_comment(lines[start]);
+        let Some(open) = HANDLER_INSTALLERS
+            .iter()
+            .find_map(|p| first.find(p).map(|i| i + p.len()))
+        else {
+            start += 1;
+            continue;
+        };
+        let mut depth = 1i32;
+        let mut line = start;
+        let mut from = open;
+        while line < lines.len() && depth > 0 {
+            let code = strip_line_comment(lines[line]);
+            let tail = code.get(from..).unwrap_or("");
+            // Byte offset where the handler argument region closes on
+            // this line (end of line while the call is still open).
+            let mut end = tail.len();
+            for (off, c) in tail.char_indices() {
+                match c {
+                    '(' => depth += 1,
+                    ')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = off;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let region = &tail[..end];
+            if let Some(call) = BANNED_IN_HANDLER.iter().find(|p| region.contains(*p)) {
+                if !has_marker(lines, line, "handler-ok:") {
+                    out.push(Finding::new(
+                        "blocking-wait-in-handler",
+                        Severity::Error,
+                        rel,
+                        line + 1,
+                        format!(
+                            "`{}` inside a completion handler: handlers run in \
+                             the progress context and must not block (see the \
+                             reentrancy rules in core::completion; waive a \
+                             false positive with `// handler-ok: <why>`)",
+                            call.trim_matches(|c: char| c == '.' || c == '('),
+                        ),
+                    ));
+                }
+            }
+            from = 0;
+            line += 1;
+        }
+        start += 1;
     }
 }
 
@@ -460,5 +552,59 @@ mod tests {
     fn lint_attributes_not_flagged_as_unsafe() {
         let src = "#![deny(unsafe_op_in_unsafe_fn)]\n#![forbid(unsafe_code)]\n";
         assert!(lint_str("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn blocking_wait_in_handler_flagged() {
+        let src = "fn f() {\n\
+                   let c = Completion::handler(move |ev| {\n\
+                   \x20   flag.wait(WaitStrategy::Busy);\n\
+                   });\n\
+                   }\n";
+        assert_eq!(
+            lint_str("crates/nm-bench/src/x.rs", src),
+            vec!["blocking-wait-in-handler"]
+        );
+        let src = "let c = Completion::handler(|_| { std::thread::park(); });\n";
+        assert_eq!(
+            lint_str("crates/nm-bench/src/x.rs", src),
+            vec!["blocking-wait-in-handler"]
+        );
+        let src = "let c = Completion::handler(|_| { sem.acquire_blocking(); });\n";
+        assert_eq!(
+            lint_str("crates/nm-bench/src/x.rs", src),
+            vec!["blocking-wait-in-handler"]
+        );
+    }
+
+    #[test]
+    fn handler_rule_applies_to_test_code_too() {
+        let src = "#[cfg(test)]\nmod tests {\n\
+                   fn t() { let c = Completion::handler(|_| { q.wait(s); }); }\n\
+                   }\n";
+        assert_eq!(
+            lint_str("crates/core/src/x.rs", src),
+            vec!["blocking-wait-in-handler"]
+        );
+    }
+
+    #[test]
+    fn blocking_calls_outside_handler_region_ok() {
+        // The wait happens after the handler argument closed.
+        let src = "let c = Completion::handler(|_| done());\n\
+                   core.wait(&req, WaitStrategy::Busy).unwrap();\n";
+        assert!(lint_str("crates/nm-bench/src/x.rs", src).is_empty());
+        // Non-handler code full of waits is rule 4's no-op case.
+        let src = "fn f() { core.wait(&req, s).unwrap(); }\n";
+        assert!(lint_str("crates/nm-bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn handler_ok_marker_waives_handler_rule() {
+        let src = "let c = Completion::handler(|ev| {\n\
+                   \x20   // handler-ok: Stats::wait is a nonblocking counter read\n\
+                   \x20   stats.wait(ev.id());\n\
+                   });\n";
+        assert!(lint_str("crates/nm-bench/src/x.rs", src).is_empty());
     }
 }
