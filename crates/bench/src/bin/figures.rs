@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! figures [all|fig3|fig5|fig6|fig7|fig8|fig9|msgrate|cq|table1|sec33|bench] [options]
+//! figures [all|fig3|fig5|fig6|fig7|fig8|fig9|msgrate|cq|chaos|table1|sec33|bench] [options]
 //!
 //!   --real        measure the real stack (meaningful on multicore hosts)
 //!   --calibrated  feed host-calibrated primitive costs to the simulator
@@ -94,7 +94,7 @@ fn main() {
                 }
             }
             "all" | "fig3" | "fig5" | "fig6" | "fig7" | "fig7sweep" | "fig8" | "fig9" | "bw"
-            | "rdvoverlap" | "msgrate" | "cq" | "table1" | "sec33" | "bench" => {
+            | "rdvoverlap" | "msgrate" | "cq" | "chaos" | "table1" | "sec33" | "bench" => {
                 what.push(a.clone())
             }
             "--help" | "-h" => {
@@ -122,6 +122,7 @@ fn main() {
             "rdvoverlap",
             "msgrate",
             "cq",
+            "chaos",
             "table1",
             "sec33",
         ]
@@ -150,6 +151,7 @@ fn main() {
             "fig9" => fig9(&opts, costs),
             "msgrate" => msgrate(&opts, costs),
             "cq" => cq(&opts, costs),
+            "chaos" => chaos(&opts, costs),
             "table1" => table1(&opts, costs),
             "sec33" => sec33(),
             "bench" => bench(&opts, costs),
@@ -160,7 +162,7 @@ fn main() {
 
 fn print_usage() {
     eprintln!(
-        "usage: figures [all|fig3|fig5|fig6|fig7|fig8|fig9|msgrate|cq|table1|sec33|bench] \
+        "usage: figures [all|fig3|fig5|fig6|fig7|fig8|fig9|msgrate|cq|chaos|table1|sec33|bench] \
          [--real] [--calibrated] [--from-trace] [--folded] [--dual] [--csv] [--quick] \
          [--json] [--out DIR] [--sim-only]"
     );
@@ -569,6 +571,40 @@ fn cq(opts: &Options, costs: SimCosts) {
     }
 }
 
+/// Chaos sweep — the reliability layer under deterministic fault
+/// injection: goodput and p99 in-order delivery latency vs frame-loss
+/// rate, coarse vs fine locking. Simulator-only: the model prices the
+/// ack/retransmit/backoff protocol in virtual time (see
+/// `nm_sim::experiments::chaos_loss_sweep`); the real stack's chaos
+/// coverage lives in the `nm-core` reliability tests.
+fn chaos(opts: &Options, costs: SimCosts) {
+    use nm_bench::table::series_table_with;
+
+    if opts.real {
+        eprintln!("# chaos: simulator-only experiment; ignoring --real");
+    }
+    let loss = sim::chaos_loss_points();
+    let (goodput, p99) = sim::chaos_loss_sweep(costs, &loss);
+    let g_title = "Chaos sweep — goodput vs frame-loss rate (deterministic simulator)";
+    let p_title = "Chaos sweep — p99 in-order delivery latency vs frame-loss rate \
+                   (deterministic simulator)";
+    if opts.csv {
+        println!("# {g_title}");
+        print!("{}", series_csv(&goodput));
+        println!("# {p_title}");
+        print!("{}", series_csv(&p99));
+    } else {
+        println!(
+            "{}",
+            series_table_with(g_title, "loss (\u{2030})", "MB/s", &goodput)
+        );
+        println!(
+            "{}",
+            series_table_with(p_title, "loss (\u{2030})", "µs", &p99)
+        );
+    }
+}
+
 fn table1(opts: &Options, costs: SimCosts) {
     if opts.from_trace {
         table1_from_trace(opts, costs);
@@ -766,6 +802,22 @@ fn bench(opts: &Options, costs: SimCosts) {
                 "Mmsg/s",
                 v,
             ));
+        }
+    }
+    // Chaos sweep: x is the frame-loss rate in per-mille.
+    let (chaos_goodput, chaos_p99) = sim::chaos_loss_sweep(costs, &sim::chaos_loss_points());
+    for (fig, unit, series) in [
+        ("chaos/goodput", "MB/s", chaos_goodput),
+        ("chaos/p99", "us", chaos_p99),
+    ] {
+        for s in series {
+            for (pm, v) in s.points {
+                records.push(BenchRecord::sim(
+                    format!("{fig}/{}/loss_pm={pm}", s.label),
+                    unit,
+                    v,
+                ));
+            }
         }
     }
     let figures_path = out_dir.join("BENCH_FIGURES.json");

@@ -21,24 +21,43 @@
 //! across rails — the multirail optimization).
 
 use std::sync::{Arc, Weak};
+use std::time::Duration;
 
 use bytes::{Bytes, BytesMut};
 
-use nm_progress::{OffloadMode, Offloader, PollOutcome, PollSource};
+use nm_progress::{now_ns, OffloadMode, Offloader, PollOutcome, PollSource, TimerWheel};
 use nm_sync::WaitStrategy;
 
 use crate::completion::Completion;
 use crate::config::CoreConfig;
 use crate::error::CommError;
 use crate::gate::{
-    Gate, GateId, PendingRts, PostedRecv, RdvRecv, RdvSend, RdvSendDone, TagPattern, UnexpectedMsg,
-    XferItem,
+    Gate, GateId, PendingRts, PostedRecv, RdvRecv, RdvSend, RdvSendDone, TagPattern, UnackedFrame,
+    UnexpectedMsg, XferItem,
 };
 use crate::locking::{LockPolicy, SectionKind};
 use crate::request::{Request, RequestKind};
 use crate::stats::CoreStats;
 use crate::strategy::{SendItem, SendItemKind, Strategy};
-use crate::wire::{decode_packet, encode_packet, Entry, ENTRY_HEADER, PACKET_HEADER};
+use crate::wire::{
+    decode_frame, decode_packet, encode_frame, encode_packet, Entry, Frame, WireError,
+    ENTRY_HEADER, FRAME_ACK_ONLY, FRAME_HEADER, FRAME_RELIABLE, PACKET_HEADER,
+};
+
+/// `a < b` in serial-number (wrapping) arithmetic over `u32` wire
+/// sequence numbers.
+fn seq_lt(a: u32, b: u32) -> bool {
+    a.wrapping_sub(b) > u32::MAX / 2
+}
+
+/// Work scheduled on the core's timer wheel, serviced by progression
+/// passes.
+enum TimerItem {
+    /// Check rail `rail` of gate `gate` for a retransmit timeout.
+    Retx { gate: usize, rail: usize },
+    /// Fail the request with [`CommError::Timeout`] unless it completed.
+    Expire(Request),
+}
 
 /// Builder for a [`CommCore`]: configure, add gates, build.
 pub struct CoreBuilder {
@@ -86,7 +105,7 @@ impl CoreBuilder {
         let mut driver_base = 0;
         for (id, drivers) in self.gates.into_iter().enumerate() {
             let gate = Gate::new(GateId(id), drivers, driver_base);
-            let needed = self.config.eager_threshold + ENTRY_HEADER + PACKET_HEADER;
+            let needed = self.config.eager_threshold + ENTRY_HEADER + PACKET_HEADER + FRAME_HEADER;
             assert!(
                 gate.min_mtu() >= needed,
                 "eager threshold {} does not fit rail MTU {} of gate {}",
@@ -107,6 +126,7 @@ impl CoreBuilder {
             strategy,
             offloader,
             stats: CoreStats::default(),
+            timers: TimerWheel::new(),
             self_weak: weak.clone(),
         })
     }
@@ -124,6 +144,9 @@ pub struct CommCore {
     strategy: Box<dyn Strategy>,
     offloader: Arc<Offloader>,
     stats: CoreStats,
+    /// Retransmit and request-deadline clocks, checked each progression
+    /// pass (the wheel never blocks a thread).
+    timers: TimerWheel<TimerItem>,
     self_weak: Weak<CommCore>,
 }
 
@@ -178,6 +201,9 @@ impl CommCore {
         let g = self.gate(gate)?;
         if data.len() > u32::MAX as usize {
             return Err(CommError::MessageTooLarge { len: data.len() });
+        }
+        if self.config.reliability.enabled && g.unreachable() {
+            return Err(CommError::PeerUnreachable);
         }
         let req = Request::new_with(RequestKind::Send, completion);
         self.stats.sends_posted.incr();
@@ -314,6 +340,7 @@ impl CommCore {
                             received: 0,
                             buf: BytesMut::zeroed(rts.total as usize),
                             req: req.clone(),
+                            chunks: std::collections::BTreeMap::new(),
                         });
                         self.stats.rdv_accepted.incr();
                         then = Then::PumpCts(rts.tag, rts.seq);
@@ -362,12 +389,37 @@ impl CommCore {
     /// The progression pass itself; the caller holds the API guard.
     fn progress_body(&self) -> usize {
         self.stats.progress_passes.incr();
-        let mut events = 0;
+        let mut events = self.service_timers();
         for g in &self.gates {
             events += self.poll_gate(g);
             events += self.pump_gate(g);
         }
         nm_trace::trace_event!(ProgressPass, events);
+        events
+    }
+
+    /// Pops due timers and acts on them: retransmit checks for the
+    /// reliability protocol, deadline expiries for bounded waits.
+    fn service_timers(&self) -> usize {
+        if self.timers.is_empty() {
+            return 0;
+        }
+        let now = now_ns();
+        let mut events = 0;
+        for item in self.timers.pop_due(now) {
+            match item {
+                TimerItem::Retx { gate, rail } => {
+                    if let Some(g) = self.gates.get(gate) {
+                        events += self.check_retransmit(g, rail, now);
+                    }
+                }
+                TimerItem::Expire(req) => {
+                    if req.expire() {
+                        events += 1;
+                    }
+                }
+            }
+        }
         events
     }
 
@@ -428,7 +480,76 @@ impl CommCore {
         }
     }
 
+    /// Like [`CommCore::wait`], bounded by `timeout`.
+    ///
+    /// If the deadline passes first the request is *finished* with
+    /// [`CommError::Timeout`] (so its posting is reaped like a cancelled
+    /// request and nothing leaks), and `Err(Timeout)` is returned. A
+    /// completion racing the deadline keeps its outcome — the finish
+    /// transition is a single CAS, exactly one side wins.
+    pub fn wait_deadline(
+        &self,
+        req: &Request,
+        strategy: WaitStrategy,
+        timeout: Duration,
+    ) -> Result<(), CommError> {
+        let _t = crate::metrics::wait_hist().timer();
+        let deadline = std::time::Instant::now() + timeout;
+        match strategy.spin_budget() {
+            // Busy: poll under the API guard until complete or expired.
+            None => {
+                let api = self.policy.enter_api();
+                while !req.is_complete() && std::time::Instant::now() < deadline {
+                    self.progress_body();
+                }
+                drop(api);
+            }
+            // Fixed spin: poll for min(budget, timeout), then block for
+            // whatever remains of the timeout.
+            Some(budget) if !budget.is_zero() => {
+                let spin_end = (std::time::Instant::now() + budget).min(deadline);
+                {
+                    let api = self.policy.enter_api();
+                    while !req.is_complete() && std::time::Instant::now() < spin_end {
+                        self.progress_body();
+                    }
+                    drop(api);
+                }
+                if !req.is_complete() {
+                    let left = deadline.saturating_duration_since(std::time::Instant::now());
+                    req.flag().wait_timeout(WaitStrategy::Passive, left);
+                }
+            }
+            // Passive: block immediately, for at most the timeout.
+            _ => {
+                req.flag().wait_timeout(WaitStrategy::Passive, timeout);
+            }
+        }
+        if !req.is_complete() {
+            req.expire();
+        }
+        match req.take_error() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Arms a deadline: unless `req` completes within `timeout`, a
+    /// progression pass finishes it with [`CommError::Timeout`] and
+    /// delivers through its completion object (queue, handler, or async
+    /// waker) — no thread waits on the clock. This is what gives the
+    /// async facade its deadline-bounded operations.
+    pub fn expire_after(&self, req: &Request, timeout: Duration) {
+        let deadline = now_ns().saturating_add(timeout.as_nanos().min(u128::from(u64::MAX)) as u64);
+        self.timers
+            .schedule(deadline, TimerItem::Expire(req.clone()));
+    }
+
     /// Snapshot of the queue depths across all layers (diagnostics).
+    ///
+    /// Taking the snapshot also reaps posted receives whose request was
+    /// cancelled, so the reported `posted_recvs` never counts dead
+    /// entries.
     pub fn pending(&self) -> PendingCounts {
         let api = self.policy.enter_api();
         let mut counts = PendingCounts::default();
@@ -441,6 +562,7 @@ impl CommCore {
             drop(s);
             let s = self.policy.enter(SectionKind::CollectRx(g.id.0));
             g.rx.with(&s, |rx| {
+                rx.prune_cancelled();
                 counts.posted_recvs += rx.posted_len();
                 counts.unexpected += rx.unexpected_len();
                 counts.pending_rts += rx.pending_rts_len();
@@ -448,6 +570,15 @@ impl CommCore {
                 counts.eager_out_of_order += rx.eager_ooo_len();
             });
             drop(s);
+            if self.config.reliability.enabled {
+                for rail in 0..g.num_rails() {
+                    let s = self
+                        .policy
+                        .enter(SectionKind::Retrans(g.driver_base + rail));
+                    g.rel[rail].with(&s, |rel| counts.unacked_frames += rel.unacked.len());
+                    drop(s);
+                }
+            }
             for rail in 0..g.num_rails() {
                 let s = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
                 g.xfer[rail].with(&s, |q| counts.xfer_items += q.len());
@@ -536,8 +667,11 @@ impl CommCore {
         }
     }
 
-    /// Polls one gate's rails and dispatches everything deliverable.
+    /// Polls one gate's rails, unwraps each frame, and dispatches
+    /// everything deliverable. Corrupt frames are dropped here, before
+    /// any protocol field is decoded.
     fn poll_gate(&self, g: &Gate) -> usize {
+        let reliable = self.config.reliability.enabled;
         let mut events = 0;
         for rail in 0..g.num_rails() {
             for _ in 0..self.config.max_polls_per_pass {
@@ -547,17 +681,125 @@ impl CommCore {
                     drop(s);
                     p
                 };
-                match pkt {
-                    Some(raw) => {
-                        self.stats.packets_rx.incr();
-                        events += 1;
-                        self.dispatch(g, raw);
+                let Some(raw) = pkt else { break };
+                events += 1;
+                match decode_frame(raw) {
+                    Ok(frame) if reliable && frame.reliable() => {
+                        for packet in self.rel_receive(g, rail, frame) {
+                            self.stats.packets_rx.incr();
+                            self.dispatch(g, packet);
+                        }
                     }
-                    None => break,
+                    Ok(frame) => {
+                        if !frame.ack_only() {
+                            self.stats.packets_rx.incr();
+                            self.dispatch(g, frame.payload);
+                        }
+                    }
+                    Err(WireError::BadChecksum { .. }) => {
+                        self.stats.corrupt_dropped.incr();
+                    }
+                    Err(_) => {
+                        self.stats.wire_errors.incr();
+                    }
                 }
+            }
+            if reliable {
+                events += self.flush_ack(g, rail);
             }
         }
         events
+    }
+
+    /// Runs one reliable frame through the rail's receive window:
+    /// processes its cumulative ack, suppresses duplicates, buffers
+    /// out-of-order arrivals, and returns the packets released for
+    /// dispatch (in wire order).
+    fn rel_receive(&self, g: &Gate, rail: usize, frame: Frame) -> Vec<Bytes> {
+        let r = &self.config.reliability;
+        let s = self
+            .policy
+            .enter(SectionKind::Retrans(g.driver_base + rail));
+        let out = g.rel[rail].with(&s, |rel| {
+            // Cumulative ack: everything below `frame.ack` is delivered.
+            let mut advanced = false;
+            while rel
+                .unacked
+                .front()
+                .is_some_and(|f| seq_lt(f.wseq, frame.ack))
+            {
+                rel.unacked.pop_front();
+                advanced = true;
+            }
+            if advanced {
+                // The peer is alive and making progress: restart the
+                // backoff clock for whatever is still in flight.
+                rel.exhaustions = 0;
+                if let Some(head) = rel.unacked.front_mut() {
+                    head.attempts = 0;
+                    head.retx_at_ns = now_ns() + r.rto_base_ns;
+                }
+            }
+            if frame.ack_only() {
+                return Vec::new();
+            }
+            if seq_lt(frame.wseq, rel.rx_expected) || rel.rx_ooo.contains_key(&frame.wseq) {
+                // A retransmit of something already received: drop it,
+                // but re-ack so the sender stops resending.
+                self.stats.dup_dropped.incr();
+                rel.ack_pending = true;
+                return Vec::new();
+            }
+            let mut out = Vec::new();
+            if frame.wseq == rel.rx_expected {
+                out.push(frame.payload);
+                rel.rx_expected = rel.rx_expected.wrapping_add(1);
+                while let Some(p) = rel.rx_ooo.remove(&rel.rx_expected) {
+                    out.push(p);
+                    rel.rx_expected = rel.rx_expected.wrapping_add(1);
+                }
+            } else {
+                self.stats.ooo_buffered.incr();
+                rel.rx_ooo.insert(frame.wseq, frame.payload);
+            }
+            rel.ack_pending = true;
+            out
+        });
+        drop(s);
+        out
+    }
+
+    /// Sends a bare cumulative acknowledgement if the rail owes one.
+    /// Ack-only frames are not sequenced and never retransmitted — a
+    /// lost ack is repaired by the peer's retransmit provoking a new one.
+    fn flush_ack(&self, g: &Gate, rail: usize) -> usize {
+        if g.rail_is_dead(rail) {
+            return 0;
+        }
+        let s = self
+            .policy
+            .enter(SectionKind::Retrans(g.driver_base + rail));
+        let sent = g.rel[rail].with(&s, |rel| {
+            if !rel.ack_pending {
+                return false;
+            }
+            let frame = encode_frame(0, rel.rx_expected, FRAME_RELIABLE | FRAME_ACK_ONLY, &[]);
+            let d = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
+            let posted = g.drivers[rail].post(frame);
+            drop(d);
+            match posted {
+                Ok(()) => {
+                    rel.ack_pending = false;
+                    self.stats.acks_tx.incr();
+                    true
+                }
+                // NIC full: leave ack_pending set; piggybacking or the
+                // next pass will carry it.
+                Err(nm_fabric::PostError::WouldBlock) => false,
+            }
+        });
+        drop(s);
+        usize::from(sent)
     }
 
     /// Decodes one inbound packet and applies its entries.
@@ -586,7 +828,12 @@ impl CommCore {
                             // Resequencer: release eager messages strictly
                             // in send order; park later ones.
                             if seq != rx.expected_eager {
-                                rx.push_eager_ooo(UnexpectedMsg { tag, seq, data });
+                                if seq_lt(seq, rx.expected_eager) {
+                                    // Already released: a redelivery.
+                                    self.stats.dup_dropped.incr();
+                                } else if !rx.push_eager_ooo(UnexpectedMsg { tag, seq, data }) {
+                                    self.stats.dup_dropped.incr();
+                                }
                                 return;
                             }
                             self.deliver_eager(rx, tag, seq, data, &mut after);
@@ -601,7 +848,12 @@ impl CommCore {
                         }
                     }),
                     Entry::Rts { tag, seq, total } => g.rx.with(&s, |rx| {
-                        if let Some(p) = rx.take_posted(tag) {
+                        if rx.rdv_in_contains(seq) {
+                            // Redelivered RTS for a rendezvous already
+                            // accepted; the CTS is on its way (or lost —
+                            // the sender's retransmit covers that).
+                            self.stats.dup_dropped.incr();
+                        } else if let Some(p) = rx.take_posted(tag) {
                             rx.rdv_in_insert(RdvRecv {
                                 tag,
                                 seq,
@@ -609,11 +861,12 @@ impl CommCore {
                                 received: 0,
                                 buf: BytesMut::zeroed(total as usize),
                                 req: p.req,
+                                chunks: std::collections::BTreeMap::new(),
                             });
                             self.stats.rdv_accepted.incr();
                             cts_out.push((tag, seq));
-                        } else {
-                            rx.push_pending_rts(PendingRts { tag, seq, total });
+                        } else if !rx.push_pending_rts(PendingRts { tag, seq, total }) {
+                            self.stats.dup_dropped.incr();
                         }
                     }),
                     Entry::Cts { tag: _, seq } => cts_in.push(seq),
@@ -634,6 +887,13 @@ impl CommCore {
                         let (start, end) = (offset as usize, offset as usize + data.len());
                         if end > r.buf.len() {
                             self.stats.wire_errors.incr();
+                            return;
+                        }
+                        if !r.mark_chunk(offset, data.len() as u32) {
+                            // Redelivered chunk: the bytes are already in
+                            // place; counting it again would complete a
+                            // short reassembly.
+                            self.stats.dup_dropped.incr();
                             return;
                         }
                         r.buf[start..end].copy_from_slice(&data);
@@ -680,8 +940,17 @@ impl CommCore {
     }
 
     /// Chunks an acknowledged rendezvous send and distributes the chunks
-    /// round-robin across rails (multirail distribution).
+    /// round-robin across the live rails (multirail distribution).
     fn start_rdv_data(&self, g: &Gate, rdv: RdvSend) {
+        if rdv.req.is_complete() {
+            // Cancelled while waiting for the CTS: send nothing.
+            return;
+        }
+        let rails: Vec<usize> = (0..g.num_rails()).filter(|&r| !g.rail_is_dead(r)).collect();
+        if rails.is_empty() {
+            rdv.req.fail(CommError::PeerUnreachable);
+            return;
+        }
         let chunk = self.rdv_chunk_size(g);
         let total = rdv.data.len();
         let num_chunks = total.div_ceil(chunk);
@@ -702,7 +971,7 @@ impl CommCore {
                 data: rdv.data.slice(offset..end),
             };
             let packet = encode_packet(&[entry]);
-            let rail = (start_rail + i) % g.num_rails();
+            let rail = rails[(start_rail + i) % rails.len()];
             let s = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
             g.xfer[rail].with(&s, |q| {
                 q.push_back(XferItem {
@@ -714,6 +983,62 @@ impl CommCore {
             drop(s);
         }
         self.pump_gate(g);
+    }
+
+    /// Frames `packet` and injects it on `rail`.
+    ///
+    /// With reliability disabled the frame only adds the checksum. With
+    /// it enabled the frame is sequenced on the rail, recorded in the
+    /// retransmit window (a full window reports `WouldBlock` like a busy
+    /// NIC), and carries the piggybacked cumulative ack. Lock order: the
+    /// rail's `Retrans` section encloses its `Driver` section
+    /// (`core.retrans.N → core.driver.N`), never the reverse.
+    fn post_packet(
+        &self,
+        g: &Gate,
+        rail: usize,
+        packet: &Bytes,
+    ) -> Result<(), nm_fabric::PostError> {
+        let r = &self.config.reliability;
+        if !r.enabled {
+            let frame = encode_frame(0, 0, 0, packet);
+            let s = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
+            let posted = g.drivers[rail].post(frame);
+            drop(s);
+            return posted;
+        }
+        let s = self
+            .policy
+            .enter(SectionKind::Retrans(g.driver_base + rail));
+        let posted = g.rel[rail].with(&s, |rel| {
+            if rel.unacked.len() >= r.window {
+                return Err(nm_fabric::PostError::WouldBlock);
+            }
+            let wseq = rel.next_tx_wseq;
+            let frame = encode_frame(wseq, rel.rx_expected, FRAME_RELIABLE, packet);
+            let d = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
+            let posted = g.drivers[rail].post(frame);
+            drop(d);
+            if posted.is_ok() {
+                rel.next_tx_wseq = wseq.wrapping_add(1);
+                rel.ack_pending = false; // the frame piggybacked the ack
+                let now = now_ns();
+                rel.unacked.push_back(UnackedFrame {
+                    wseq,
+                    packet: packet.clone(),
+                    attempts: 0,
+                    retx_at_ns: now + r.rto_base_ns,
+                });
+                if !rel.timer_armed {
+                    rel.timer_armed = true;
+                    self.timers
+                        .schedule(now + r.rto_base_ns, TimerItem::Retx { gate: g.id.0, rail });
+                }
+            }
+            posted
+        });
+        drop(s);
+        posted
     }
 
     /// Pushes queued work toward the NICs: flushes transfer lists, then
@@ -736,21 +1061,22 @@ impl CommCore {
                 drop(s);
                 items
             };
-            let Some(items) = items else {
+            let Some(mut items) = items else {
                 break;
             };
+            // Reap sends cancelled while queued: their request already
+            // finished, nothing should go on the wire for them.
+            items.retain(|item| item.req.as_ref().is_none_or(|req| !req.is_complete()));
+            if items.is_empty() {
+                continue;
+            }
             if items.len() > 1 {
                 self.stats.aggregated_packets.incr();
             }
             let entries: Vec<Entry> = items.iter().map(SendItem::to_entry).collect();
             let packet = encode_packet(&entries);
             nm_trace::trace_event!(TransmitBegin, g.id.0, rail);
-            let posted = {
-                let s = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
-                let r = g.drivers[rail].post(packet);
-                drop(s);
-                r
-            };
+            let posted = self.post_packet(g, rail, &packet);
             nm_trace::trace_event!(TransmitEnd, g.id.0, posted.is_ok());
             match posted {
                 Ok(()) => {
@@ -763,8 +1089,9 @@ impl CommCore {
                     }
                 }
                 Err(nm_fabric::PostError::WouldBlock) => {
-                    // NIC filled up between the idle check and the post:
-                    // restore the items at the head of the queue.
+                    // NIC (or retransmit window) filled up between the
+                    // idle check and the post: restore the items at the
+                    // head of the queue.
                     let s = self.policy.enter(SectionKind::CollectTx(g.id.0));
                     g.tx.with(&s, |tx| {
                         for item in items.into_iter().rev() {
@@ -780,27 +1107,37 @@ impl CommCore {
     }
 
     /// Drains one rail's transfer list while the NIC accepts packets.
+    ///
+    /// The pop and the post are *not* atomic (the reliability layer must
+    /// take its `Retrans` section before the driver section): a racing
+    /// pumper can interleave items, which is harmless — the list carries
+    /// offset-addressed rendezvous chunks.
     fn flush_xfer(&self, g: &Gate, rail: usize) -> usize {
+        if self.config.reliability.enabled && g.rail_is_dead(rail) {
+            return self.migrate_stranded(g, rail);
+        }
         let mut events = 0;
         loop {
-            let s = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
-            if !g.drivers[rail].can_post() {
+            let item = {
+                let s = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
+                let item = if g.drivers[rail].can_post() {
+                    g.xfer[rail].with(&s, |q| q.pop_front())
+                } else {
+                    None
+                };
                 drop(s);
-                break;
-            }
-            let Some(item) = g.xfer[rail].with(&s, |q| q.pop_front()) else {
-                drop(s);
-                break;
+                item
             };
+            let Some(item) = item else { break };
             nm_trace::trace_event!(TransmitBegin, g.id.0, rail);
-            let res = g.drivers[rail].post(item.packet.clone());
+            let res = self.post_packet(g, rail, &item.packet);
             nm_trace::trace_event!(TransmitEnd, g.id.0, res.is_ok());
             if res.is_err() {
+                let s = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
                 g.xfer[rail].with(&s, |q| q.push_front(item));
                 drop(s);
                 break;
             }
-            drop(s);
             self.stats.packets_tx.incr();
             events += 1;
             for req in item.complete_on_post {
@@ -813,7 +1150,7 @@ impl CommCore {
         events
     }
 
-    /// Round-robin scan for a rail whose NIC reports itself idle.
+    /// Round-robin scan for a live rail whose NIC reports itself idle.
     ///
     /// `can_post` is read without the driver lock as a racy hint; the
     /// subsequent `post` under the lock handles the losing race.
@@ -821,12 +1158,12 @@ impl CommCore {
         let n = g.num_rails();
         (0..n)
             .map(|i| (start + i) % n)
-            .find(|&rail| g.drivers[rail].can_post())
+            .find(|&rail| !g.rail_is_dead(rail) && g.drivers[rail].can_post())
     }
 
     /// Payload budget for the next arranged packet.
     fn packet_budget(&self, g: &Gate) -> usize {
-        let mtu_budget = g.min_mtu() - PACKET_HEADER;
+        let mtu_budget = g.min_mtu() - PACKET_HEADER - FRAME_HEADER;
         // Never smaller than one maximal eager entry, or it could never
         // leave the queue.
         let agg = self
@@ -837,8 +1174,167 @@ impl CommCore {
     }
 
     fn rdv_chunk_size(&self, g: &Gate) -> usize {
-        let wire_max = g.min_mtu() - PACKET_HEADER - ENTRY_HEADER;
+        let wire_max = g.min_mtu() - FRAME_HEADER - PACKET_HEADER - ENTRY_HEADER;
         self.config.rdv_chunk.clamp(1, wire_max)
+    }
+
+    // ----- reliability: retransmit, failover ----------------------------
+
+    /// Acts on a fired retransmit timer for one rail: resends the head of
+    /// the window with exponential backoff, counts retry exhaustions, and
+    /// triggers failover at the configured threshold.
+    fn check_retransmit(&self, g: &Gate, rail: usize, now: u64) -> usize {
+        let r = &self.config.reliability;
+        let mut dead = false;
+        let mut events = 0;
+        let s = self
+            .policy
+            .enter(SectionKind::Retrans(g.driver_base + rail));
+        g.rel[rail].with(&s, |rel| {
+            rel.timer_armed = false;
+            if g.rail_is_dead(rail) {
+                return;
+            }
+            let Some(head) = rel.unacked.front_mut() else {
+                return; // everything acked since the timer was armed
+            };
+            if now >= head.retx_at_ns {
+                if head.attempts >= r.max_retries {
+                    rel.exhaustions += 1;
+                    if rel.exhaustions >= r.rail_dead_threshold {
+                        dead = true;
+                        return;
+                    }
+                    // Keep trying at maximum backoff until the rail is
+                    // declared dead.
+                    head.attempts = 0;
+                }
+                head.attempts += 1;
+                let backoff = r
+                    .rto_base_ns
+                    .saturating_mul(1u64 << head.attempts.min(24))
+                    .min(r.rto_max_ns);
+                head.retx_at_ns = now + backoff;
+                self.stats.retransmits.incr();
+                events += 1;
+                nm_trace::trace_event!(Retransmit, g.driver_base + rail, head.wseq);
+                let frame = encode_frame(head.wseq, rel.rx_expected, FRAME_RELIABLE, &head.packet);
+                rel.ack_pending = false;
+                let d = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
+                // WouldBlock: the rearmed timer simply tries again.
+                let _ = g.drivers[rail].post(frame);
+                drop(d);
+            }
+            rel.timer_armed = true;
+            let at = rel.unacked.front().expect("head checked").retx_at_ns;
+            self.timers
+                .schedule(at, TimerItem::Retx { gate: g.id.0, rail });
+        });
+        drop(s);
+        if dead {
+            events += self.kill_rail(g, rail);
+        }
+        events
+    }
+
+    /// Declares `rail` dead and re-stripes everything it still owed onto
+    /// the surviving rails. With no rail left the gate's in-flight sends
+    /// fail with [`CommError::PeerUnreachable`].
+    fn kill_rail(&self, g: &Gate, rail: usize) -> usize {
+        if !g.mark_rail_dead(rail) {
+            return 0; // another thread ran the failover
+        }
+        self.stats.rails_failed.incr();
+        nm_trace::trace_event!(RailDead, g.id.0, g.driver_base + rail);
+        // Unacknowledged frames go back to packet form: a surviving rail
+        // re-frames them under its own sequence space.
+        let packets: Vec<Bytes> = {
+            let s = self
+                .policy
+                .enter(SectionKind::Retrans(g.driver_base + rail));
+            let packets =
+                g.rel[rail].with(&s, |rel| rel.unacked.drain(..).map(|f| f.packet).collect());
+            drop(s);
+            packets
+        };
+        let live: Vec<usize> = (0..g.num_rails()).filter(|&r| !g.rail_is_dead(r)).collect();
+        if live.is_empty() {
+            self.fail_gate(g);
+            return 1;
+        }
+        for (i, packet) in packets.into_iter().enumerate() {
+            let to = live[i % live.len()];
+            let s = self.policy.enter(SectionKind::Driver(g.driver_base + to));
+            g.xfer[to].with(&s, |q| {
+                q.push_back(XferItem {
+                    packet,
+                    complete_on_post: Vec::new(),
+                    rdv_done: None,
+                })
+            });
+            drop(s);
+        }
+        self.migrate_stranded(g, rail);
+        1
+    }
+
+    /// Moves a dead rail's queued transfer items to the surviving rails
+    /// (failed requests if none survive). Returns 1 if anything moved.
+    fn migrate_stranded(&self, g: &Gate, rail: usize) -> usize {
+        let stranded: Vec<XferItem> = {
+            let s = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
+            let items = g.xfer[rail].with(&s, |q| q.drain(..).collect());
+            drop(s);
+            items
+        };
+        if stranded.is_empty() {
+            return 0;
+        }
+        let live: Vec<usize> = (0..g.num_rails()).filter(|&r| !g.rail_is_dead(r)).collect();
+        if live.is_empty() {
+            for item in stranded {
+                for req in item.complete_on_post {
+                    req.fail(CommError::PeerUnreachable);
+                }
+                if let Some(done) = item.rdv_done {
+                    done.req.fail(CommError::PeerUnreachable);
+                }
+            }
+            return 1;
+        }
+        for (i, item) in stranded.into_iter().enumerate() {
+            let to = live[i % live.len()];
+            let s = self.policy.enter(SectionKind::Driver(g.driver_base + to));
+            g.xfer[to].with(&s, |q| q.push_back(item));
+            drop(s);
+        }
+        1
+    }
+
+    /// Every rail is dead: fail all of the gate's in-flight send work so
+    /// nothing waits forever on an unreachable peer.
+    fn fail_gate(&self, g: &Gate) {
+        let (items, rdvs) = {
+            let s = self.policy.enter(SectionKind::CollectTx(g.id.0));
+            let out = g.tx.with(&s, |tx| {
+                let items: Vec<SendItem> = tx.queue.drain(..).collect();
+                let rdvs: Vec<RdvSend> = tx.rdv_out.drain().map(|(_, rdv)| rdv).collect();
+                (items, rdvs)
+            });
+            drop(s);
+            out
+        };
+        for item in items {
+            if let Some(req) = item.req {
+                req.fail(CommError::PeerUnreachable);
+            }
+        }
+        for rdv in rdvs {
+            rdv.req.fail(CommError::PeerUnreachable);
+        }
+        for rail in 0..g.num_rails() {
+            self.migrate_stranded(g, rail);
+        }
     }
 }
 
@@ -861,6 +1357,9 @@ pub struct PendingCounts {
     pub rdv_reassembling: usize,
     /// Eager messages parked by the resequencer.
     pub eager_out_of_order: usize,
+    /// Frames sitting in retransmit windows awaiting acknowledgement
+    /// (always 0 with reliability disabled).
+    pub unacked_frames: usize,
 }
 
 /// Effects that must run outside the collect section (completions signal

@@ -238,6 +238,18 @@ impl CompletionQueue {
         self.pop()
     }
 
+    /// Takes one completion, waiting passively at most `timeout`; `None`
+    /// if nothing arrived in time. The deadline-bounded drainer loop:
+    /// a server thread can wake periodically to check for shutdown
+    /// without a sentinel event.
+    pub fn wait_timeout(&self, timeout: std::time::Duration) -> Option<CompletionEvent> {
+        if self.sem.acquire_timeout(timeout) {
+            Some(self.pop())
+        } else {
+            None
+        }
+    }
+
     /// Events currently queued (advisory; racy by nature).
     pub fn len(&self) -> usize {
         // relaxed: advisory snapshot; see push.
@@ -307,6 +319,23 @@ mod tests {
             ev.into_request().take_data(),
             Some(bytes::Bytes::from_static(b"hi"))
         );
+    }
+
+    #[test]
+    fn queue_wait_timeout_expires_and_recovers() {
+        let cq = CompletionQueue::new();
+        assert!(
+            cq.wait_timeout(std::time::Duration::from_millis(10))
+                .is_none(),
+            "empty queue must time out"
+        );
+        // A timed-out wait leaves the queue consistent for later events.
+        let r = completed_send(Completion::queue(&cq));
+        let ev = cq
+            .wait_timeout(std::time::Duration::from_secs(5))
+            .expect("queued event must be returned");
+        assert_eq!(ev.id(), r.id());
+        assert!(cq.is_empty());
     }
 
     #[test]

@@ -34,6 +34,54 @@ pub struct CoreConfig {
     /// holds out-of-order eager messages in a resequencing buffer so
     /// same-tag messages always match receives in send order.
     pub ordered_eager: bool,
+    /// End-to-end reliability protocol (ack/retransmit over lossy wires).
+    pub reliability: ReliabilityConfig,
+}
+
+/// Knobs of the end-to-end reliability protocol.
+///
+/// Disabled by default: the simulated fabric is lossless, and the
+/// unreliable path adds only the frame checksum. With `enabled` the core
+/// sequences every frame per rail, acknowledges cumulatively, suppresses
+/// duplicates, retransmits on timeout with exponential backoff, and
+/// fails over to surviving rails when one exhausts its retries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReliabilityConfig {
+    /// Run the ack/retransmit protocol (frames always carry a CRC).
+    pub enabled: bool,
+    /// Maximum unacknowledged frames in flight per rail.
+    pub window: usize,
+    /// Initial retransmit timeout in nanoseconds.
+    pub rto_base_ns: u64,
+    /// Retransmit timeout ceiling (backoff doubles up to this).
+    pub rto_max_ns: u64,
+    /// Retransmits of one frame before the rail counts an exhaustion.
+    pub max_retries: u32,
+    /// Consecutive exhaustions that mark a rail dead (failover).
+    pub rail_dead_threshold: u32,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig {
+            enabled: false,
+            window: 64,
+            rto_base_ns: 200_000,   // 200 µs
+            rto_max_ns: 50_000_000, // 50 ms cap
+            max_retries: 8,
+            rail_dead_threshold: 3,
+        }
+    }
+}
+
+impl ReliabilityConfig {
+    /// An enabled configuration with the default knobs.
+    pub fn enabled() -> Self {
+        ReliabilityConfig {
+            enabled: true,
+            ..ReliabilityConfig::default()
+        }
+    }
 }
 
 impl Default for CoreConfig {
@@ -48,6 +96,7 @@ impl Default for CoreConfig {
             rdv_chunk: 16 * 1024,
             max_polls_per_pass: 16,
             ordered_eager: true,
+            reliability: ReliabilityConfig::default(),
         }
     }
 }
@@ -95,6 +144,12 @@ impl CoreConfig {
         self.ordered_eager = on;
         self
     }
+
+    /// Configures the end-to-end reliability protocol.
+    pub fn reliability(mut self, r: ReliabilityConfig) -> Self {
+        self.reliability = r;
+        self
+    }
 }
 
 impl std::fmt::Debug for CoreConfig {
@@ -104,6 +159,7 @@ impl std::fmt::Debug for CoreConfig {
             .field("eager_threshold", &self.eager_threshold)
             .field("strategy", &self.strategy)
             .field("offload", &self.offload)
+            .field("reliability", &self.reliability.enabled)
             .finish()
     }
 }
@@ -132,5 +188,18 @@ mod tests {
         let c = CoreConfig::default();
         assert_eq!(c.locking, LockingMode::Fine);
         assert!(c.eager_threshold <= 32 * 1024, "must fit the MX MTU");
+    }
+
+    #[test]
+    fn reliability_defaults_off_and_enable_helper() {
+        let c = CoreConfig::default();
+        assert!(!c.reliability.enabled, "lossless fabric needs no acks");
+        let r = ReliabilityConfig::enabled();
+        assert!(r.enabled);
+        assert!(r.window > 0);
+        assert!(r.rto_base_ns > 0 && r.rto_base_ns <= r.rto_max_ns);
+        assert!(r.max_retries > 0 && r.rail_dead_threshold > 0);
+        let c = CoreConfig::default().reliability(r.clone());
+        assert_eq!(c.reliability, r);
     }
 }

@@ -16,6 +16,12 @@ pub enum CommError {
     Wire(WireError),
     /// The core is shutting down.
     ShuttingDown,
+    /// A deadline-bounded wait expired before the operation completed.
+    Timeout,
+    /// The request was cancelled before it completed.
+    Cancelled,
+    /// Every rail to the peer was declared dead (retransmits exhausted).
+    PeerUnreachable,
 }
 
 impl std::fmt::Display for CommError {
@@ -27,11 +33,23 @@ impl std::fmt::Display for CommError {
             CommError::InvalidGate(g) => write!(f, "invalid gate id {g}"),
             CommError::Wire(e) => write!(f, "wire error: {e}"),
             CommError::ShuttingDown => write!(f, "communication core is shutting down"),
+            CommError::Timeout => write!(f, "operation timed out"),
+            CommError::Cancelled => write!(f, "request cancelled"),
+            CommError::PeerUnreachable => {
+                write!(f, "peer unreachable: all rails exhausted their retransmits")
+            }
         }
     }
 }
 
-impl std::error::Error for CommError {}
+impl std::error::Error for CommError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CommError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<WireError> for CommError {
     fn from(e: WireError) -> Self {
@@ -51,5 +69,21 @@ mod tests {
         assert!(CommError::InvalidGate(3).to_string().contains('3'));
         let w: CommError = WireError::Truncated.into();
         assert!(w.to_string().contains("truncated"));
+        assert!(CommError::Timeout.to_string().contains("timed out"));
+        assert!(CommError::Cancelled.to_string().contains("cancelled"));
+        assert!(CommError::PeerUnreachable
+            .to_string()
+            .contains("unreachable"));
+    }
+
+    #[test]
+    fn wire_error_is_chained_as_source() {
+        use std::error::Error;
+        let e: CommError = WireError::Truncated.into();
+        let src = e.source().expect("Wire variant must chain its source");
+        assert_eq!(src.to_string(), WireError::Truncated.to_string());
+        assert!(CommError::Timeout.source().is_none());
+        assert!(CommError::Cancelled.source().is_none());
+        assert!(CommError::PeerUnreachable.source().is_none());
     }
 }

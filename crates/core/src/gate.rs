@@ -1,7 +1,7 @@
 //! Gates: per-peer connection state across the three layers.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use bytes::{Bytes, BytesMut};
@@ -66,6 +66,23 @@ pub(crate) struct RdvRecv {
     pub received: u32,
     pub buf: BytesMut,
     pub req: Request,
+    /// Offsets (→ lengths) already written, so a redelivered DATA chunk
+    /// cannot double-count `received` and complete with torn data.
+    pub chunks: BTreeMap<u32, u32>,
+}
+
+impl RdvRecv {
+    /// Records the chunk at `offset`; `false` if it was already received
+    /// (a duplicate the caller must drop).
+    pub fn mark_chunk(&mut self, offset: u32, len: u32) -> bool {
+        match self.chunks.entry(offset) {
+            std::collections::btree_map::Entry::Occupied(_) => false,
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(len);
+                true
+            }
+        }
+    }
 }
 
 /// An outbound rendezvous waiting for its CTS.
@@ -99,6 +116,40 @@ pub(crate) struct XferItem {
     pub complete_on_post: Vec<Request>,
     /// Rendezvous chunk bookkeeping.
     pub rdv_done: Option<Arc<RdvSendDone>>,
+}
+
+/// One frame in a rail's retransmit window: the un-framed packet plus its
+/// backoff clock. The packet is kept pre-framing so a failover can
+/// re-sequence it on a surviving rail.
+pub(crate) struct UnackedFrame {
+    pub wseq: u32,
+    pub packet: Bytes,
+    /// Retransmits of this frame so far (resets when an ack advances the
+    /// window).
+    pub attempts: u32,
+    /// Monotonic deadline of the next retransmit.
+    pub retx_at_ns: u64,
+}
+
+/// Per-rail reliability-protocol state (its own `Retrans` lock class,
+/// ordered between the collect sections and the rail's driver section).
+#[derive(Default)]
+pub(crate) struct RelState {
+    /// Next wire sequence number to assign on this rail.
+    pub next_tx_wseq: u32,
+    /// Sent-but-unacknowledged frames, ascending `wseq`.
+    pub unacked: VecDeque<UnackedFrame>,
+    /// Next wire sequence number expected from the peer.
+    pub rx_expected: u32,
+    /// Frames received ahead of `rx_expected`, buffered for in-order
+    /// release (bounded by the peer's send window).
+    pub rx_ooo: BTreeMap<u32, Bytes>,
+    /// Data arrived since the last acknowledgement went out.
+    pub ack_pending: bool,
+    /// Consecutive frames that exhausted their retries (failover trigger).
+    pub exhaustions: u32,
+    /// A retransmit timer is scheduled for this rail.
+    pub timer_armed: bool,
 }
 
 /// Inserts `item` into a per-tag bin kept ascending by `seq`.
@@ -188,39 +239,70 @@ impl RxState {
 
     /// Takes the first posted receive whose pattern matches `tag`:
     /// the earlier-posted of the tag's exact bin front and the wildcard
-    /// queue front.
+    /// queue front. Receives whose request already finished (cancelled
+    /// by the application) are reaped here instead of matching.
     pub fn take_posted(&mut self, tag: u64) -> Option<PostedRecv> {
-        let exact_stamp = self
-            .posted_exact
-            .get(&tag)
-            .and_then(|bin| bin.front())
-            .map(|(stamp, _)| *stamp);
-        let any_stamp = self.posted_any.front().map(|(stamp, _)| *stamp);
-        let recv = match (exact_stamp, any_stamp) {
-            (Some(e), Some(a)) if a < e => self.posted_any.pop_front().map(|(_, r)| r),
-            (Some(_), _) => {
-                let bin = self.posted_exact.get_mut(&tag).expect("front checked");
-                let recv = bin.pop_front().map(|(_, r)| r);
-                if bin.is_empty() {
-                    self.posted_exact.remove(&tag);
+        loop {
+            let exact_stamp = self
+                .posted_exact
+                .get(&tag)
+                .and_then(|bin| bin.front())
+                .map(|(stamp, _)| *stamp);
+            let any_stamp = self.posted_any.front().map(|(stamp, _)| *stamp);
+            let recv = match (exact_stamp, any_stamp) {
+                (Some(e), Some(a)) if a < e => self.posted_any.pop_front().map(|(_, r)| r),
+                (Some(_), _) => {
+                    let bin = self.posted_exact.get_mut(&tag).expect("front checked");
+                    let recv = bin.pop_front().map(|(_, r)| r);
+                    if bin.is_empty() {
+                        self.posted_exact.remove(&tag);
+                    }
+                    recv
                 }
-                recv
+                (None, Some(_)) => self.posted_any.pop_front().map(|(_, r)| r),
+                (None, None) => None,
+            }?;
+            debug_assert!(recv.pattern.matches(tag), "bin lookup broke matching");
+            self.posted_len -= 1;
+            crate::metrics::posted_depth().sub(1);
+            if recv.req.is_complete() {
+                // Cancelled while posted: drop the entry and keep looking.
+                continue;
             }
-            (None, Some(_)) => self.posted_any.pop_front().map(|(_, r)| r),
-            (None, None) => None,
-        }?;
-        debug_assert!(recv.pattern.matches(tag), "bin lookup broke matching");
-        self.posted_len -= 1;
-        crate::metrics::posted_depth().sub(1);
-        Some(recv)
+            return Some(recv);
+        }
     }
 
-    /// Buffers an unexpected message.
-    pub fn push_unexpected(&mut self, msg: UnexpectedMsg) {
+    /// Reaps posted receives whose request already finished (cancelled).
+    /// Returns how many entries were removed.
+    pub fn prune_cancelled(&mut self) -> usize {
+        let before = self.posted_len;
+        self.posted_any.retain(|(_, r)| !r.req.is_complete());
+        self.posted_exact.retain(|_, bin| {
+            bin.retain(|(_, r)| !r.req.is_complete());
+            !bin.is_empty()
+        });
+        self.posted_len =
+            self.posted_any.len() + self.posted_exact.values().map(VecDeque::len).sum::<usize>();
+        let reaped = before - self.posted_len;
+        if reaped > 0 {
+            crate::metrics::posted_depth().sub(reaped as i64);
+        }
+        reaped
+    }
+
+    /// Buffers an unexpected message. Returns `false` (dropping `msg`)
+    /// if a message with the same sequence number is already buffered —
+    /// a redelivery on a lossy wire, not a new message.
+    pub fn push_unexpected(&mut self, msg: UnexpectedMsg) -> bool {
+        if self.unexpected_by_seq.contains_key(&msg.seq) {
+            return false;
+        }
         self.unexpected_by_seq.insert(msg.seq, msg.tag);
         let bin = self.unexpected.entry(msg.tag).or_default();
         bin_insert_by_seq(bin, msg, |m| m.seq);
         crate::metrics::unexpected_depth().add(1);
+        true
     }
 
     /// Takes the earliest buffered message (unexpected) matching `pattern`.
@@ -247,11 +329,16 @@ impl RxState {
         self.take_unexpected_matching(TagPattern::Exact(tag))
     }
 
-    /// Buffers an RTS that found no posted receive.
-    pub fn push_pending_rts(&mut self, rts: PendingRts) {
+    /// Buffers an RTS that found no posted receive. Duplicates (same
+    /// rendezvous id, a redelivery) are dropped and reported `false`.
+    pub fn push_pending_rts(&mut self, rts: PendingRts) -> bool {
+        if self.pending_rts_by_seq.contains_key(&rts.seq) {
+            return false;
+        }
         self.pending_rts_by_seq.insert(rts.seq, rts.tag);
         let bin = self.pending_rts.entry(rts.tag).or_default();
         bin_insert_by_seq(bin, rts, |r| r.seq);
+        true
     }
 
     /// Takes the earliest pending RTS matching `pattern`.
@@ -275,6 +362,12 @@ impl RxState {
         debug_assert!(prev.is_none(), "duplicate rendezvous id");
     }
 
+    /// Whether a reassembly for rendezvous id `seq` is active (guards
+    /// against redelivered RTS frames).
+    pub fn rdv_in_contains(&self, seq: u32) -> bool {
+        self.rdv_in.contains_key(&seq)
+    }
+
     /// The active reassembly for rendezvous id `seq`, if any.
     pub fn rdv_in_get_mut(&mut self, seq: u32) -> Option<&mut RdvRecv> {
         self.rdv_in.get_mut(&seq)
@@ -286,9 +379,16 @@ impl RxState {
     }
 
     /// Parks an eager message that arrived ahead of the resequencer.
-    pub fn push_eager_ooo(&mut self, msg: UnexpectedMsg) {
-        let prev = self.eager_ooo.insert(msg.seq, msg);
-        debug_assert!(prev.is_none(), "duplicate eager seq");
+    /// Returns `false` (dropping `msg`) if that sequence number is
+    /// already parked — a redelivery, not a new message.
+    pub fn push_eager_ooo(&mut self, msg: UnexpectedMsg) -> bool {
+        match self.eager_ooo.entry(msg.seq) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(msg);
+                true
+            }
+        }
     }
 
     /// Releases the parked eager message with sequence `seq`, if present.
@@ -381,6 +481,11 @@ pub(crate) struct Gate {
     pub rx: Protected<RxState>,
     /// Transfer-layer outgoing lists, one per rail.
     pub xfer: Vec<Protected<VecDeque<XferItem>>>,
+    /// Reliability-protocol state, one per rail (`Retrans` sections).
+    pub rel: Vec<Protected<RelState>>,
+    /// Rails declared dead by failover (relaxed: a racy hint is fine,
+    /// the retransmit path re-checks under its section).
+    pub rail_dead: Vec<AtomicBool>,
     /// Round-robin cursor for rail selection.
     pub rr_rail: AtomicUsize,
 }
@@ -391,6 +496,15 @@ impl Gate {
         let xfer = (0..drivers.len())
             .map(|rail| Protected::new(SectionKind::Driver(driver_base + rail), VecDeque::new()))
             .collect();
+        let rel = (0..drivers.len())
+            .map(|rail| {
+                Protected::new(
+                    SectionKind::Retrans(driver_base + rail),
+                    RelState::default(),
+                )
+            })
+            .collect();
+        let rail_dead = (0..drivers.len()).map(|_| AtomicBool::new(false)).collect();
         Gate {
             id,
             drivers,
@@ -400,8 +514,26 @@ impl Gate {
             tx: Protected::new(SectionKind::CollectTx(id.0), TxState::default()),
             rx: Protected::new(SectionKind::CollectRx(id.0), RxState::default()),
             xfer,
+            rel,
+            rail_dead,
             rr_rail: AtomicUsize::new(0),
         }
+    }
+
+    /// Whether failover has declared `rail` dead.
+    pub fn rail_is_dead(&self, rail: usize) -> bool {
+        self.rail_dead[rail].load(Ordering::Relaxed)
+    }
+
+    /// Declares `rail` dead; `true` for the caller that made the
+    /// transition (and must run the failover migration).
+    pub fn mark_rail_dead(&self, rail: usize) -> bool {
+        !self.rail_dead[rail].swap(true, Ordering::Relaxed)
+    }
+
+    /// Whether every rail of this gate is dead (the peer is unreachable).
+    pub fn unreachable(&self) -> bool {
+        self.rail_dead.iter().all(|d| d.load(Ordering::Relaxed))
     }
 
     /// Allocates the next rendezvous id.
@@ -558,6 +690,7 @@ mod tests {
                 received: 0,
                 buf: BytesMut::new(),
                 req: Request::new(RequestKind::Recv),
+                chunks: BTreeMap::new(),
             });
         }
         assert_eq!(rx.rdv_in_len(), 2);

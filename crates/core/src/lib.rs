@@ -67,7 +67,7 @@ pub mod wire;
 
 pub use comm::{CommCore, CoreBuilder, PendingCounts};
 pub use completion::{Completion, CompletionEvent, CompletionHandler, CompletionQueue};
-pub use config::CoreConfig;
+pub use config::{CoreConfig, ReliabilityConfig};
 pub use error::CommError;
 pub use gate::GateId;
 pub use locking::{LockPolicy, LockingMode, Protected, Section, SectionKind};

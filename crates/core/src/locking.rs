@@ -22,6 +22,7 @@
 //! | API entry        | thread check   | global spinlock  | nothing        |
 //! | gate *g* tx      | nothing        | nothing (covered)| collect-tx spinlock *g* |
 //! | gate *g* rx      | nothing        | nothing (covered)| collect-rx spinlock *g* |
+//! | retrans *i*      | nothing        | nothing (covered)| retrans spinlock *i* |
 //! | driver *i* list  | nothing        | nothing (covered)| driver spinlock *i* |
 //!
 //! The collect layer is **sharded per gate**: each gate owns an
@@ -105,6 +106,11 @@ pub enum SectionKind {
     CollectTx(usize),
     /// Gate `g`'s receive-side matching state (posted/unexpected/RTS bins).
     CollectRx(usize),
+    /// Driver `i`'s reliability state (retransmit window, sequence
+    /// numbers, ack bookkeeping). Ordered *between* the collect shards
+    /// and the driver lock: the retransmit path stamps the window under
+    /// this section and then posts under [`SectionKind::Driver`].
+    Retrans(usize),
     /// The transfer-layer list and NIC access of driver `i`.
     Driver(usize),
 }
@@ -129,6 +135,10 @@ pub const COLLECT_TX_LOCK_CLASSES: [&str; 16] =
 /// Per-gate lock-order classes for the receive-side collect shards.
 pub const COLLECT_RX_LOCK_CLASSES: [&str; 16] =
     lock_class_table!("core.collect.rx"; 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+
+/// Per-driver lock-order classes for the reliability (retransmit) state.
+pub const RETRANS_LOCK_CLASSES: [&str; 16] =
+    lock_class_table!("core.retrans"; 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
 
 /// Builds one classed spinlock per index; indices beyond the class table
 /// fall back to the family's *shared* overflow class and bump the
@@ -199,6 +209,10 @@ pub struct LockPolicy {
     collect_tx: Box<[RawSpin]>,
     /// Fine mode: per-gate receive-side collect locks (index = gate index).
     collect_rx: Box<[RawSpin]>,
+    /// Fine mode: one reliability-state lock per driver (index = global
+    /// driver index). Ordered between the collect shards and the driver
+    /// locks.
+    retrans: Box<[RawSpin]>,
     /// Fine mode: one lock per driver (index = global driver index).
     drivers: Box<[RawSpin]>,
     /// SingleThread mode: the one thread allowed in (0 = not yet claimed).
@@ -211,7 +225,8 @@ impl LockPolicy {
     ///
     /// The locks carry lock-order classes for `nm-sync`'s `lockcheck`
     /// feature; the documented hierarchy is `core.api-global` →
-    /// `core.collect.{tx,rx}.G` → `core.driver.N` (outermost to
+    /// `core.collect.{tx,rx}.G` → `core.retrans.N` → `core.driver.N`
+    /// (outermost to
     /// innermost), and any acquisition inverting it panics with both
     /// stacks when validation is compiled in. Driver and collect locks
     /// get one class *per index* — fine mode legitimately holds several
@@ -237,6 +252,7 @@ impl LockPolicy {
                 &COLLECT_RX_LOCK_CLASSES,
                 "core.collect.rx.overflow",
             ),
+            retrans: classed_spins(num_drivers, &RETRANS_LOCK_CLASSES, "core.retrans.overflow"),
             drivers: classed_spins(num_drivers, &DRIVER_LOCK_CLASSES, "core.driver.overflow"),
             owner: AtomicU64::new(0),
         }
@@ -305,6 +321,7 @@ impl LockPolicy {
                 let lock = match kind {
                     SectionKind::CollectTx(g) => &self.collect_tx[g],
                     SectionKind::CollectRx(g) => &self.collect_rx[g],
+                    SectionKind::Retrans(i) => &self.retrans[i],
                     SectionKind::Driver(i) => &self.drivers[i],
                     SectionKind::Global => unreachable!(),
                 };
@@ -366,13 +383,19 @@ impl LockPolicy {
         self.collect_rx[g].stats()
     }
 
+    /// Statistics of driver `i`'s reliability-state lock.
+    pub fn retrans_stats(&self, i: usize) -> &nm_sync::stats::LockStats {
+        self.retrans[i].stats()
+    }
+
     /// Total lock acquisitions across all locks of this policy.
     pub fn total_acquisitions(&self) -> u64 {
         self.global.stats().acquisitions()
             + self.collect_stats().acquisitions()
             + self
-                .drivers
+                .retrans
                 .iter()
+                .chain(self.drivers.iter())
                 .map(|d| d.stats().acquisitions())
                 .sum::<u64>()
     }
@@ -483,6 +506,8 @@ mod tests {
         assert_eq!(DRIVER_LOCK_CLASSES[15], "core.driver.15");
         assert_eq!(COLLECT_TX_LOCK_CLASSES[3], "core.collect.tx.3");
         assert_eq!(COLLECT_RX_LOCK_CLASSES[3], "core.collect.rx.3");
+        assert_eq!(RETRANS_LOCK_CLASSES[0], "core.retrans.0");
+        assert_eq!(RETRANS_LOCK_CLASSES[15], "core.retrans.15");
         // tx and rx shards of the same gate must be distinct classes.
         for (tx, rx) in COLLECT_TX_LOCK_CLASSES
             .iter()
@@ -570,10 +595,10 @@ mod tests {
         let counter = crate::metrics::lockclass_overflow();
         let before = counter.get();
         // 20 gates and 20 drivers exceed the 16-entry class tables by 4
-        // each: 4 tx + 4 rx + 4 driver locks fall back to the shared
-        // overflow classes.
+        // each: 4 tx + 4 rx + 4 retrans + 4 driver locks fall back to
+        // the shared overflow classes.
         let p = LockPolicy::new(LockingMode::Fine, 20, 20);
-        assert_eq!(counter.get() - before, 12);
+        assert_eq!(counter.get() - before, 16);
         // Overflowed locks still function, under the per-family shared
         // class (cycle detection coverage is exercised in
         // tests/lockclass_overflow.rs under the lockcheck feature).

@@ -90,3 +90,8 @@ global_hist!(
     "core.handler_ns",
     "Latency of fire-and-forget completion handlers (delivery-context run time, ns)."
 );
+global_counter!(
+    cancelled,
+    "core.requests.cancelled",
+    "Requests finished by `Request::cancel` before completing."
+);

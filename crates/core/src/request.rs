@@ -1,6 +1,6 @@
 //! Communication requests: the handles `isend`/`irecv` return.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -32,6 +32,10 @@ struct Inner {
     kind: RequestKind,
     /// Where completion is delivered (flag / queue / handler / waker).
     completion: Completion,
+    /// Finish arbiter: exactly one of complete / fail / cancel wins the
+    /// transition out of the live state, so completion is delivered once
+    /// even when cancellation races delivery.
+    finished: AtomicBool,
     flag: CompletionFlag,
     /// Received payload (recv requests) — set before the flag is signalled.
     data: SpinLock<Option<Bytes>>,
@@ -66,6 +70,7 @@ impl Request {
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
                 kind,
                 completion,
+                finished: AtomicBool::new(false),
                 flag: CompletionFlag::new(),
                 data: SpinLock::with_class("core.request.data", None),
                 matched_tag: SpinLock::with_class("core.request.tag", None),
@@ -95,8 +100,22 @@ impl Request {
         &self.inner.flag
     }
 
+    /// Claims the live→finished transition. Exactly one caller over the
+    /// request's lifetime gets `true`; that caller (and only it) must
+    /// set the outcome, signal the flag, and deliver.
+    fn try_finish(&self) -> bool {
+        self.inner
+            .finished
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
     /// Marks the request complete (send side / data-less completion).
+    /// No-op if the request already finished (e.g. was cancelled).
     pub(crate) fn complete(&self) {
+        if !self.try_finish() {
+            return;
+        }
         self.inner.flag.signal();
         self.deliver();
     }
@@ -105,15 +124,21 @@ impl Request {
     #[cfg(test)]
     pub(crate) fn complete_with_data(&self, data: Bytes) {
         debug_assert_eq!(self.inner.kind, RequestKind::Recv);
+        if !self.try_finish() {
+            return;
+        }
         *self.inner.data.lock() = Some(data);
         self.inner.flag.signal();
         self.deliver();
     }
 
     /// Completes a receive with its payload and the tag it matched
-    /// (wildcard receives).
+    /// (wildcard receives). No-op if the request already finished.
     pub(crate) fn complete_with_tagged_data(&self, tag: u64, data: Bytes) {
         debug_assert_eq!(self.inner.kind, RequestKind::Recv);
+        if !self.try_finish() {
+            return;
+        }
         *self.inner.matched_tag.lock() = Some(tag);
         *self.inner.data.lock() = Some(data);
         self.inner.flag.signal();
@@ -158,12 +183,54 @@ impl Request {
         *self.inner.matched_tag.lock()
     }
 
-    /// Completes the request with an error.
-    #[allow(dead_code)] // kept for substrate-failure injection in tests
+    /// Finishes the request with [`CommError::Timeout`] — the deadline
+    /// side of `wait_deadline`/`expire_after`. Returns `true` if this
+    /// call won the finish transition; `false` if the operation
+    /// completed (or was cancelled) first, in which case that outcome
+    /// stands.
+    pub(crate) fn expire(&self) -> bool {
+        if !self.try_finish() {
+            return false;
+        }
+        *self.inner.error.lock() = Some(CommError::Timeout);
+        self.inner.flag.signal();
+        self.deliver();
+        true
+    }
+
+    /// Completes the request with an error. No-op if already finished.
     pub(crate) fn fail(&self, error: CommError) {
+        if !self.try_finish() {
+            return;
+        }
         *self.inner.error.lock() = Some(error);
         self.inner.flag.signal();
         self.deliver();
+    }
+
+    /// Cancels the request if it has not already completed.
+    ///
+    /// Returns `true` if this call won the race and the request finished
+    /// with [`CommError::Cancelled`]; `false` if the operation had
+    /// already completed (or was cancelled/failed) — its original
+    /// outcome stands. The finish transition is a single CAS, so a
+    /// cancel racing completion delivery resolves to exactly one of the
+    /// two outcomes and completion is delivered exactly once either way.
+    ///
+    /// Cancelling only detaches the *request*: a cancelled receive's
+    /// posting is reaped by the core's pruning (the message, if it ever
+    /// arrives, is treated as unexpected); a cancelled send whose
+    /// packet was already injected may still be delivered to the peer.
+    pub fn cancel(&self) -> bool {
+        if !self.try_finish() {
+            return false;
+        }
+        trace_event!(RequestCancel, self.inner.id);
+        metrics::cancelled().incr();
+        *self.inner.error.lock() = Some(CommError::Cancelled);
+        self.inner.flag.signal();
+        self.deliver();
+        true
     }
 
     /// Busy-waits on the raw flag without polling anything.
@@ -231,6 +298,58 @@ mod tests {
         r.complete_with_data(Bytes::from_static(b"x"));
         assert!(r2.is_complete());
         assert_eq!(r2.take_data(), Some(Bytes::from_static(b"x")));
+    }
+
+    #[test]
+    fn cancel_before_completion_wins() {
+        let r = Request::new(RequestKind::Recv);
+        assert!(r.cancel());
+        assert!(r.is_complete());
+        assert_eq!(r.take_error(), Some(CommError::Cancelled));
+        assert_eq!(r.take_data(), None);
+    }
+
+    #[test]
+    fn cancel_after_completion_is_a_noop() {
+        let r = Request::new(RequestKind::Recv);
+        r.complete_with_data(Bytes::from_static(b"won"));
+        assert!(!r.cancel(), "completed request cannot be cancelled");
+        assert_eq!(r.take_error(), None);
+        assert_eq!(r.take_data(), Some(Bytes::from_static(b"won")));
+    }
+
+    #[test]
+    fn completion_after_cancel_is_a_noop() {
+        let r = Request::new(RequestKind::Recv);
+        assert!(r.cancel());
+        r.complete_with_data(Bytes::from_static(b"late"));
+        assert_eq!(r.take_data(), None, "late data must be discarded");
+        assert_eq!(r.take_error(), Some(CommError::Cancelled));
+    }
+
+    #[test]
+    fn cancel_is_idempotent() {
+        let r = Request::new(RequestKind::Send);
+        assert!(r.cancel());
+        assert!(!r.cancel());
+    }
+
+    #[test]
+    fn racing_cancel_and_complete_resolve_to_one_outcome() {
+        for _ in 0..200 {
+            let r = Request::new(RequestKind::Send);
+            let rc = r.clone();
+            let canceller = std::thread::spawn(move || rc.cancel());
+            r.complete();
+            let cancelled = canceller.join().unwrap();
+            assert!(r.is_complete());
+            let err = r.take_error();
+            if cancelled {
+                assert_eq!(err, Some(CommError::Cancelled));
+            } else {
+                assert_eq!(err, None);
+            }
+        }
     }
 
     #[test]

@@ -31,6 +31,18 @@ pub struct CoreStats {
     pub progress_passes: Counter,
     /// Undecodable or unmatchable wire packets (protocol errors).
     pub wire_errors: Counter,
+    /// Frames dropped for a CRC mismatch (corrupted in transit).
+    pub corrupt_dropped: Counter,
+    /// Frames retransmitted after an ack timeout.
+    pub retransmits: Counter,
+    /// Acknowledgement-only frames injected.
+    pub acks_tx: Counter,
+    /// Duplicate frames suppressed by the receive window.
+    pub dup_dropped: Counter,
+    /// Frames received out of wire order and buffered for resequencing.
+    pub ooo_buffered: Counter,
+    /// Rails declared dead after consecutive retransmit exhaustions.
+    pub rails_failed: Counter,
 }
 
 #[cfg(test)]

@@ -3,12 +3,22 @@
 //! Every wire packet is a container of one or more *entries*; aggregation
 //! (the optimization layer coalescing several small messages into one
 //! packet) is therefore free at the format level — an aggregated packet is
-//! just a container with `count > 1`.
+//! just a container with `count > 1`. Since the reliability layer, every
+//! container travels inside a *frame* that adds integrity and sequencing:
 //!
 //! ```text
+//! frame   := crc:u32 wseq:u32 ack:u32 flags:u8 packet
 //! packet  := count:u16 entry*
 //! entry   := kind:u8 tag:u64 seq:u32 aux:u32 len:u32 payload[len]
 //! ```
+//!
+//! `crc` is a CRC-32 (IEEE) over everything after itself; a frame whose
+//! checksum does not match is dropped before any entry is decoded
+//! ([`WireError::BadChecksum`]). `wseq`/`ack` are the per-wire send
+//! sequence number and cumulative acknowledgement of the reliability
+//! protocol; on an unreliable wire (reliability disabled) the
+//! [`FRAME_RELIABLE`] flag is clear and both fields are ignored.
+//! [`FRAME_ACK_ONLY`] marks a bare acknowledgement with no packet.
 //!
 //! Entry kinds:
 //!
@@ -23,6 +33,14 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 pub const ENTRY_HEADER: usize = 1 + 8 + 4 + 4 + 4;
 /// Container header size in bytes.
 pub const PACKET_HEADER: usize = 2;
+/// Frame header size in bytes (crc + wseq + ack + flags).
+pub const FRAME_HEADER: usize = 4 + 4 + 4 + 1;
+
+/// Frame flag: `wseq`/`ack` are live reliability-protocol fields.
+pub const FRAME_RELIABLE: u8 = 1 << 0;
+/// Frame flag: bare acknowledgement, carries no packet.
+pub const FRAME_ACK_ONLY: u8 = 1 << 1;
+const FRAME_FLAG_MASK: u8 = FRAME_RELIABLE | FRAME_ACK_ONLY;
 
 /// One logical unit inside a wire packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -184,6 +202,13 @@ pub enum WireError {
     UnknownKind(u8),
     /// Structurally invalid entry.
     Malformed(&'static str),
+    /// Frame checksum mismatch (corrupted in transit).
+    BadChecksum {
+        /// CRC the frame header claims.
+        expected: u32,
+        /// CRC computed over the received body.
+        got: u32,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -192,11 +217,117 @@ impl std::fmt::Display for WireError {
             WireError::Truncated => write!(f, "truncated packet"),
             WireError::UnknownKind(k) => write!(f, "unknown entry kind {k}"),
             WireError::Malformed(why) => write!(f, "malformed packet: {why}"),
+            WireError::BadChecksum { expected, got } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: expected {expected:#010x}, got {got:#010x}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`), table-driven.
+///
+/// Computed in software so the integrity layer has no dependencies; the
+/// table is built at compile time.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB88320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = !0u32;
+    for &b in data {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// A decoded frame header plus its (still encoded) packet payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Per-wire send sequence number (live iff [`FRAME_RELIABLE`]).
+    pub wseq: u32,
+    /// Cumulative ack: all wire sequence numbers `< ack` received.
+    pub ack: u32,
+    /// Frame flags ([`FRAME_RELIABLE`], [`FRAME_ACK_ONLY`]).
+    pub flags: u8,
+    /// The contained wire packet (empty for ack-only frames).
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// Whether `wseq`/`ack` are live reliability-protocol fields.
+    pub fn reliable(&self) -> bool {
+        self.flags & FRAME_RELIABLE != 0
+    }
+
+    /// Whether this is a bare acknowledgement with no packet.
+    pub fn ack_only(&self) -> bool {
+        self.flags & FRAME_ACK_ONLY != 0
+    }
+}
+
+/// Wraps an encoded packet in a checksummed frame.
+pub fn encode_frame(wseq: u32, ack: u32, flags: u8, payload: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(FRAME_HEADER + payload.len());
+    buf.put_u32(0); // crc placeholder
+    buf.put_u32(wseq);
+    buf.put_u32(ack);
+    buf.put_u8(flags);
+    buf.put_slice(payload);
+    let crc = crc32(&buf[4..]);
+    buf[0..4].copy_from_slice(&crc.to_be_bytes());
+    buf.freeze()
+}
+
+/// Verifies and strips a frame header.
+///
+/// A frame that fails the checksum is reported as
+/// [`WireError::BadChecksum`] *without* decoding any entry, so corrupted
+/// bytes never reach protocol dispatch.
+pub fn decode_frame(mut frame: Bytes) -> Result<Frame, WireError> {
+    if frame.remaining() < FRAME_HEADER {
+        return Err(WireError::Truncated);
+    }
+    let expected = frame.get_u32();
+    let got = crc32(&frame);
+    if expected != got {
+        return Err(WireError::BadChecksum { expected, got });
+    }
+    let wseq = frame.get_u32();
+    let ack = frame.get_u32();
+    let flags = frame.get_u8();
+    if flags & !FRAME_FLAG_MASK != 0 {
+        return Err(WireError::Malformed("unknown frame flags"));
+    }
+    if flags & FRAME_ACK_ONLY != 0 && frame.has_remaining() {
+        return Err(WireError::Malformed("ack-only frame with payload"));
+    }
+    Ok(Frame {
+        wseq,
+        ack,
+        flags,
+        payload: frame,
+    })
+}
 
 /// Encodes a container of entries into one wire packet.
 ///
@@ -363,5 +494,106 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.put_u16(0);
         assert!(decode_packet(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414FA339
+        );
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let packet = encode_packet(&[Entry::Eager {
+            tag: 7,
+            seq: 3,
+            data: Bytes::from_static(b"hello"),
+        }]);
+        let framed = encode_frame(42, 17, FRAME_RELIABLE, &packet);
+        assert_eq!(framed.len(), FRAME_HEADER + packet.len());
+        let frame = decode_frame(framed).expect("decode");
+        assert_eq!(frame.wseq, 42);
+        assert_eq!(frame.ack, 17);
+        assert!(frame.reliable());
+        assert!(!frame.ack_only());
+        assert_eq!(frame.payload, packet);
+        assert!(decode_packet(frame.payload).is_ok());
+    }
+
+    #[test]
+    fn ack_only_frame_roundtrip() {
+        let framed = encode_frame(0, 9, FRAME_RELIABLE | FRAME_ACK_ONLY, &[]);
+        let frame = decode_frame(framed).expect("decode");
+        assert!(frame.ack_only());
+        assert_eq!(frame.ack, 9);
+        assert!(frame.payload.is_empty());
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_caught() {
+        let packet = encode_packet(&[Entry::Eager {
+            tag: 1,
+            seq: 0,
+            data: Bytes::from_static(b"integrity"),
+        }]);
+        let framed = encode_frame(5, 2, FRAME_RELIABLE, &packet);
+        for i in 0..framed.len() {
+            let mut bad = BytesMut::from(&framed[..]);
+            bad[i] ^= 0xFF;
+            let err = decode_frame(bad.freeze()).expect_err("flip must be caught");
+            assert!(
+                matches!(err, WireError::BadChecksum { .. }),
+                "flip at {i} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let framed = encode_frame(0, 0, 0, b"xy");
+        for cut in 0..FRAME_HEADER {
+            assert_eq!(
+                decode_frame(framed.slice(0..cut)),
+                Err(WireError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_frame_flags_rejected() {
+        // Re-frame with an undefined flag bit but a valid checksum.
+        let mut buf = BytesMut::new();
+        buf.put_u32(0);
+        buf.put_u32(0);
+        buf.put_u32(0);
+        buf.put_u8(0x80);
+        let crc = crc32(&buf[4..]);
+        buf[0..4].copy_from_slice(&crc.to_be_bytes());
+        assert_eq!(
+            decode_frame(buf.freeze()),
+            Err(WireError::Malformed("unknown frame flags"))
+        );
+    }
+
+    #[test]
+    fn ack_only_with_payload_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(0);
+        buf.put_u32(0);
+        buf.put_u32(3);
+        buf.put_u8(FRAME_RELIABLE | FRAME_ACK_ONLY);
+        buf.put_slice(b"stray");
+        let crc = crc32(&buf[4..]);
+        buf[0..4].copy_from_slice(&crc.to_be_bytes());
+        assert_eq!(
+            decode_frame(buf.freeze()),
+            Err(WireError::Malformed("ack-only frame with payload"))
+        );
     }
 }

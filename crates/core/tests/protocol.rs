@@ -372,6 +372,7 @@ fn message_stream_many_sizes() {
 }
 
 #[test]
+#[allow(deprecated)] // the shim must keep behaving exactly like the old driver
 fn ordered_delivery_over_reordering_transport() {
     use nm_fabric::ReorderDriver;
     // A transport that shuffles packets within a 4-deep window; the
@@ -408,6 +409,7 @@ fn ordered_delivery_over_reordering_transport() {
 }
 
 #[test]
+#[allow(deprecated)] // the shim must keep behaving exactly like the old driver
 fn unordered_mode_still_delivers_everything() {
     use nm_fabric::ReorderDriver;
     use std::collections::BTreeSet;
@@ -522,8 +524,9 @@ fn exact_recv_reports_matched_tag_too() {
 
 #[test]
 fn corrupt_packets_are_counted_and_skipped() {
-    // Inject garbage directly into the wire: the receiver must count the
-    // wire error and keep functioning.
+    use nm_core::wire::encode_frame;
+    // Inject garbage directly into the wire: the receiver must count it
+    // and keep functioning.
     let (da, db) = LoopbackDriver::pair(64);
     let da = Arc::new(da);
     let a = CoreBuilder::new(CoreConfig::default())
@@ -533,9 +536,15 @@ fn corrupt_packets_are_counted_and_skipped() {
         .add_gate(vec![Arc::new(db) as Arc<dyn Driver>])
         .build();
 
+    // Raw garbage fails the frame checksum: dropped before any decode.
     da.post(Bytes::from_static(b"\xFF\xFF garbage that is not a packet"))
         .unwrap();
+    // A well-framed frame around a garbage packet passes the CRC and
+    // fails protocol decode: a wire error.
+    da.post(encode_frame(0, 0, 0, b"\xFF\xFF not a packet either"))
+        .unwrap();
     while b.progress() > 0 {}
+    assert_eq!(b.stats().corrupt_dropped.get(), 1);
     assert_eq!(b.stats().wire_errors.get(), 1);
 
     // The stack still works after the corrupt packet.
@@ -551,7 +560,7 @@ fn corrupt_packets_are_counted_and_skipped() {
 
 #[test]
 fn duplicate_cts_is_ignored() {
-    use nm_core::wire::{encode_packet, Entry};
+    use nm_core::wire::{encode_frame, encode_packet, Entry};
     // A CTS for an unknown rendezvous id must be dropped and counted,
     // not crash the sender-side state machine.
     let (da, db) = LoopbackDriver::pair(64);
@@ -563,8 +572,13 @@ fn duplicate_cts_is_ignored() {
         .add_gate(vec![Arc::clone(&db) as Arc<dyn Driver>])
         .build();
     // Send a spurious CTS from b's side of the wire toward a.
-    db.post(encode_packet(&[Entry::Cts { tag: 1, seq: 99 }]))
-        .unwrap();
+    db.post(encode_frame(
+        0,
+        0,
+        0,
+        &encode_packet(&[Entry::Cts { tag: 1, seq: 99 }]),
+    ))
+    .unwrap();
     while a.progress() > 0 {}
     assert_eq!(a.stats().wire_errors.get(), 1);
 }

@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod clock;
 mod driver;
 mod fabric;
@@ -35,10 +36,12 @@ mod mpmc;
 mod nic;
 mod reorder;
 
+pub use chaos::{ChaosDriver, ChaosStats, FaultKind, FaultPlan};
 pub use clock::ClockSource;
 pub use driver::{Driver, DriverCaps, LoopbackDriver, PostError, SimNicDriver};
 pub use fabric::{Fabric, NodePorts};
 pub use model::WireModel;
 pub use mpmc::MpmcRing;
 pub use nic::{NicCounters, SimNic};
+#[allow(deprecated)]
 pub use reorder::ReorderDriver;

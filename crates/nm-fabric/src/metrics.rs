@@ -42,6 +42,37 @@ global_counter!(
     "Payload bytes delivered by any NIC endpoint."
 );
 
+global_counter!(
+    chaos_lost,
+    "fabric.chaos.lost",
+    "Packets dropped by chaos fault injection."
+);
+global_counter!(
+    chaos_duplicated,
+    "fabric.chaos.duplicated",
+    "Extra packet copies delivered by chaos fault injection."
+);
+global_counter!(
+    chaos_corrupted,
+    "fabric.chaos.corrupted",
+    "Packets byte-corrupted by chaos fault injection."
+);
+global_counter!(
+    chaos_delayed,
+    "fabric.chaos.delayed",
+    "Packets held back (jitter) by chaos fault injection."
+);
+global_counter!(
+    chaos_stalls,
+    "fabric.chaos.stalls",
+    "Transient NIC stall windows opened by chaos fault injection."
+);
+global_counter!(
+    chaos_reordered,
+    "fabric.chaos.reordered",
+    "Packets released out of arrival order by chaos fault injection."
+);
+
 /// Bytes currently in flight (injected, not yet delivered) across all
 /// wires.
 pub fn inflight_bytes() -> &'static Arc<Gauge> {

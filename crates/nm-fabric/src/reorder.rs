@@ -1,18 +1,18 @@
-//! A transport wrapper that delivers packets out of order.
+//! Deprecated reorder-only transport wrapper.
 //!
 //! The paper's NEWMADELEINE applies "dynamic scheduling optimizations on
-//! multiple communication flows such as packet reordering" — and multirail
-//! distribution inherently reorders packets across NICs. This wrapper
-//! injects *within-rail* reordering deterministically, so tests can prove
-//! the library's ordered-delivery layer restores per-tag FIFO semantics
-//! over an unordered transport.
-
-use std::collections::VecDeque;
+//! multiple communication flows such as packet reordering" — this module
+//! used to inject *within-rail* reordering deterministically. That
+//! machinery is now one fault kind of the chaos fabric
+//! ([`FaultKind::Reorder`](crate::chaos::FaultKind::Reorder)):
+//! [`ReorderDriver`] remains as a thin shim over
+//! [`ChaosDriver`](crate::chaos::ChaosDriver) with a reorder-only
+//! [`FaultPlan`](crate::chaos::FaultPlan), so existing callers and
+//! ordered-delivery tests keep working unchanged.
 
 use bytes::Bytes;
 
-use nm_sync::SpinLock;
-
+use crate::chaos::{ChaosDriver, FaultPlan};
 use crate::{Driver, DriverCaps, PostError};
 
 /// Wraps a driver and releases received packets out of order.
@@ -20,97 +20,57 @@ use crate::{Driver, DriverCaps, PostError};
 /// Reordering is deterministic: packets are buffered up to `depth`, and
 /// a linear-congruential sequence picks which buffered packet each poll
 /// releases. With `depth = 1` behaviour is identical to the inner driver.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ChaosDriver with FaultPlan::reorder_only instead"
+)]
 pub struct ReorderDriver<D> {
-    inner: D,
-    depth: usize,
-    state: SpinLock<ReorderState>,
+    chaos: ChaosDriver<D>,
 }
 
-struct ReorderState {
-    held: VecDeque<Bytes>,
-    lcg: u64,
-}
-
+#[allow(deprecated)]
 impl<D: Driver> ReorderDriver<D> {
     /// Wraps `inner`, buffering up to `depth` packets for shuffling.
     ///
     /// # Panics
     /// Panics if `depth == 0`.
     pub fn new(inner: D, depth: usize, seed: u64) -> Self {
-        assert!(depth > 0, "depth must be at least 1");
         ReorderDriver {
-            inner,
-            depth,
-            state: SpinLock::new(ReorderState {
-                held: VecDeque::new(),
-                lcg: seed | 1,
-            }),
+            chaos: ChaosDriver::new(inner, FaultPlan::reorder_only(depth, seed)),
         }
     }
 
     /// The wrapped driver.
     pub fn inner(&self) -> &D {
-        &self.inner
+        self.chaos.inner()
     }
 }
 
-impl ReorderState {
-    fn next_index(&mut self, len: usize) -> usize {
-        // Numerical Recipes LCG: deterministic, seedable, dependency-free.
-        self.lcg = self
-            .lcg
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        ((self.lcg >> 33) as usize) % len
-    }
-}
-
+#[allow(deprecated)]
 impl<D: Driver> Driver for ReorderDriver<D> {
     fn caps(&self) -> &DriverCaps {
-        self.inner.caps()
+        self.chaos.caps()
     }
 
     fn can_post(&self) -> bool {
-        self.inner.can_post()
+        self.chaos.can_post()
     }
 
     fn post(&self, data: Bytes) -> Result<(), PostError> {
-        self.inner.post(data)
+        self.chaos.post(data)
     }
 
     fn poll(&self) -> Option<Bytes> {
-        let mut st = self.state.lock();
-        // Fill the shuffle buffer from the inner driver.
-        while st.held.len() < self.depth {
-            match self.inner.poll() {
-                Some(p) => st.held.push_back(p),
-                None => break,
-            }
-        }
-        if st.held.is_empty() {
-            return None;
-        }
-        // Only release out of order while more packets are (or may be)
-        // behind; a lone packet is released as-is.
-        let idx = if st.held.len() > 1 {
-            let len = st.held.len();
-            st.next_index(len)
-        } else {
-            0
-        };
-        st.held.remove(idx)
+        self.chaos.poll()
     }
 
     fn next_event_ns(&self) -> Option<u64> {
-        if self.state.lock().held.is_empty() {
-            self.inner.next_event_ns()
-        } else {
-            Some(0)
-        }
+        self.chaos.next_event_ns()
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::LoopbackDriver;

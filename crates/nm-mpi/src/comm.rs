@@ -66,7 +66,14 @@ impl std::fmt::Display for MpiError {
     }
 }
 
-impl std::error::Error for MpiError {}
+impl std::error::Error for MpiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MpiError::Comm(e) => Some(e),
+            MpiError::InvalidRank(_) => None,
+        }
+    }
+}
 
 impl From<CommError> for MpiError {
     fn from(e: CommError) -> Self {
@@ -202,6 +209,31 @@ impl Endpoint {
         Ok(())
     }
 
+    /// Like [`Endpoint::wait`], bounded by `timeout`: if the deadline
+    /// passes first the request finishes with
+    /// [`CommError::Timeout`](nm_core::CommError::Timeout) (its posting
+    /// is reaped, nothing leaks) and `Err` is returned.
+    pub fn wait_deadline(
+        &self,
+        req: &Request,
+        timeout: std::time::Duration,
+    ) -> Result<(), MpiError> {
+        let _t = mpi_wait_hist().timer();
+        self.core.wait_deadline(req, self.wait, timeout)?;
+        Ok(())
+    }
+
+    /// Blocking receive bounded by `timeout`.
+    pub fn recv_timeout(
+        &self,
+        tag: u64,
+        timeout: std::time::Duration,
+    ) -> Result<Vec<u8>, MpiError> {
+        let req = self.irecv(tag)?;
+        self.wait_deadline(&req, timeout)?;
+        Ok(req.take_data().expect("completed recv has data").to_vec())
+    }
+
     // ---- async facade --------------------------------------------------
 
     /// Async send: posts immediately, resolves when the message is
@@ -238,6 +270,23 @@ impl Endpoint {
             .irecv_with(self.gate, tag, Completion::waker(&self.wakers))
         {
             Ok(req) => RecvFuture::pending(req, Arc::clone(&self.wakers)),
+            Err(e) => RecvFuture::failed(e.into()),
+        }
+    }
+
+    /// [`Endpoint::recv_async`] with a deadline: unless a matching
+    /// message arrives within `timeout`, a progression pass finishes the
+    /// request with [`CommError::Timeout`](nm_core::CommError::Timeout)
+    /// and the future resolves to `Err` — no thread watches the clock.
+    pub fn recv_async_deadline(&self, tag: u64, timeout: std::time::Duration) -> RecvFuture {
+        match self
+            .core
+            .irecv_with(self.gate, tag, Completion::waker(&self.wakers))
+        {
+            Ok(req) => {
+                self.core.expire_after(&req, timeout);
+                RecvFuture::pending(req, Arc::clone(&self.wakers))
+            }
             Err(e) => RecvFuture::failed(e.into()),
         }
     }
@@ -354,6 +403,18 @@ impl Comm {
     pub fn wait(&self, req: &Request) -> Result<(), MpiError> {
         let _t = mpi_wait_hist().timer();
         self.core.wait(req, self.wait)?;
+        Ok(())
+    }
+
+    /// Like [`Comm::wait`], bounded by `timeout` (see
+    /// [`Endpoint::wait_deadline`]).
+    pub fn wait_deadline(
+        &self,
+        req: &Request,
+        timeout: std::time::Duration,
+    ) -> Result<(), MpiError> {
+        let _t = mpi_wait_hist().timer();
+        self.core.wait_deadline(req, self.wait, timeout)?;
         Ok(())
     }
 

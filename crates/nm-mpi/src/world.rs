@@ -181,7 +181,9 @@ impl WorldBuilder {
         if self.core.offload == OffloadMode::Tasklet && self.core.tasklet_engine.is_none() {
             return Err(ConfigError::TaskletOffloadWithoutEngine);
         }
-        let headers = nm_core::wire::ENTRY_HEADER + nm_core::wire::PACKET_HEADER;
+        let headers = nm_core::wire::ENTRY_HEADER
+            + nm_core::wire::PACKET_HEADER
+            + nm_core::wire::FRAME_HEADER;
         let min_mtu = self
             .rails
             .iter()

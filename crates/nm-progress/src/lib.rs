@@ -28,6 +28,9 @@
 //!   facade: futures park their [`std::task::Waker`] here and completion
 //!   delivery wakes exactly the right task, so no thread blocks per
 //!   operation.
+//! * [`TimerWheel`] — deadline bookkeeping polled by progression passes;
+//!   drives the reliability layer's retransmit timeouts and the API's
+//!   deadline-bounded waits without any per-timer thread.
 
 #![warn(missing_docs)]
 
@@ -36,6 +39,7 @@ pub mod metrics;
 mod offload;
 mod progression_thread;
 mod tasklet;
+mod timer;
 mod wait;
 mod waker_table;
 
@@ -43,5 +47,6 @@ pub use engine::{PollOutcome, PollSource, ProgressEngine, SourceId};
 pub use offload::{OffloadMode, Offloader};
 pub use progression_thread::{IdlePolicy, ProgressionThread};
 pub use tasklet::{Tasklet, TaskletEngine};
+pub use timer::{now_ns, TimerId, TimerWheel};
 pub use wait::wait_on;
 pub use waker_table::WakerTable;

@@ -416,3 +416,92 @@ fn semaphore_two_consumers_two_permits() {
         assert_eq!(sem.available(), 0);
     });
 }
+
+/// The cancel-vs-completion race of `nm-core::Request`: both sides call
+/// `try_finish` (one `compare_exchange(false, true, AcqRel, Acquire)` on
+/// a `finished` flag); only the winner writes the outcome and signals
+/// the completion flag. The model proves that on every interleaving
+/// exactly one outcome is recorded, delivery runs exactly once, and the
+/// waiter always observes the winner's writes — a cancelled request can
+/// never surface the completion's data and vice versa.
+struct CancellableOp {
+    finished: nm_sync::sync_shim::atomic::AtomicBool,
+    flag: CompletionFlag,
+    outcome: UnsafeCell<Option<&'static str>>,
+    delivered: nm_sync::sync_shim::atomic::AtomicUsize,
+}
+
+// SAFETY: `outcome` is written only by the thread whose `try_finish` CAS
+// succeeded (exactly one, by the CAS), strictly before `flag.signal()`;
+// the reader waits for the flag first. Model-checked.
+unsafe impl Sync for CancellableOp {}
+
+impl CancellableOp {
+    fn new() -> Self {
+        CancellableOp {
+            finished: nm_sync::sync_shim::atomic::AtomicBool::new(false),
+            flag: CompletionFlag::new(),
+            outcome: UnsafeCell::new(None),
+            delivered: nm_sync::sync_shim::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// `Request::try_finish` verbatim: the single finish arbiter.
+    fn try_finish(&self) -> bool {
+        self.finished
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    fn complete(&self) {
+        if !self.try_finish() {
+            return;
+        }
+        self.outcome.with_mut(|p| {
+            // SAFETY: finish CAS won → sole writer.
+            unsafe { *p = Some("completed") }
+        });
+        self.flag.signal();
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn cancel(&self) -> bool {
+        if !self.try_finish() {
+            return false;
+        }
+        self.outcome.with_mut(|p| {
+            // SAFETY: finish CAS won → sole writer.
+            unsafe { *p = Some("cancelled") }
+        });
+        self.flag.signal();
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+}
+
+#[test]
+fn cancel_vs_completion_race_resolves_to_exactly_one_outcome() {
+    loom::model(|| {
+        let op = Arc::new(CancellableOp::new());
+        let o = Arc::clone(&op);
+        let completer = thread::spawn(move || o.complete());
+        let cancelled = op.cancel();
+        op.flag.wait(WaitStrategy::Passive);
+        completer.join().unwrap();
+        let outcome = op.outcome.with(|p| {
+            // SAFETY: flag set → winner's release-signal ordered its
+            // write before this read; no writes follow the signal.
+            unsafe { (*p).expect("flag signalled without an outcome") }
+        });
+        if cancelled {
+            assert_eq!(outcome, "cancelled", "cancel won the CAS");
+        } else {
+            assert_eq!(outcome, "completed", "completion won the CAS");
+        }
+        assert_eq!(
+            op.delivered.load(Ordering::Relaxed),
+            1,
+            "completion must be delivered exactly once"
+        );
+    });
+}

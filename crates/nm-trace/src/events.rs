@@ -66,6 +66,14 @@ pub enum EventId {
     CqPop = 27,
     /// A completion handler ran (fire-and-forget path). `a` = request id.
     HandlerRun = 28,
+    /// A reliability frame was retransmitted after an ack timeout.
+    /// `a` = rail (global driver index), `b` = wire sequence number.
+    Retransmit = 29,
+    /// A rail was declared dead after consecutive retransmit
+    /// exhaustions. `a` = gate, `b` = rail (gate-local index).
+    RailDead = 30,
+    /// A request was cancelled. `a` = request id.
+    RequestCancel = 31,
 
     // ---- nm-progress ---------------------------------------------------
     /// A PIOMan-style poll pass over all registered sources begins.
@@ -93,6 +101,9 @@ pub enum EventId {
     /// `a` = request id, `b` = 1 if a waker was found and woken, 0 if
     /// none was registered yet (the future's re-check covers this race).
     WakerWake = 40,
+    /// A timer-wheel deadline fired. `a` = entries due, `b` = entries
+    /// still pending after the pop.
+    TimerFire = 41,
 
     // ---- nm-sched ------------------------------------------------------
     /// A worker passed a task boundary (cooperative context switch).
@@ -109,6 +120,20 @@ pub enum EventId {
     /// The NIC tx queue changed idle state. `a` = 1 entering idle
     /// (queue drained), 0 leaving idle (first packet queued).
     NicIdle = 66,
+    /// Chaos injection dropped a packet. `a` = payload bytes.
+    FaultLoss = 67,
+    /// Chaos injection duplicated a packet. `a` = payload bytes.
+    FaultDup = 68,
+    /// Chaos injection flipped a payload byte. `a` = byte index.
+    FaultCorrupt = 69,
+    /// Chaos injection held a packet back. `a` = hold duration in polls.
+    FaultDelay = 70,
+    /// Chaos injection opened a transient NIC stall window.
+    /// `a` = refused-attempt window length.
+    FaultStall = 71,
+    /// Chaos injection released a packet out of arrival order.
+    /// `a` = shuffle-buffer depth at release.
+    FaultReorder = 72,
 }
 
 /// Schema row: one registered event kind.
@@ -160,6 +185,9 @@ impl EventId {
         CqPush, "nm-core", "a=request id, b=depth";
         CqPop, "nm-core", "a=request id, b=depth";
         HandlerRun, "nm-core", "a=request id";
+        Retransmit, "nm-core", "a=rail, b=wire seq";
+        RailDead, "nm-core", "a=gate, b=rail";
+        RequestCancel, "nm-core", "a=request id";
         PollPassBegin, "nm-progress", "-";
         PollPassEnd, "nm-progress", "a=sources progressed";
         TaskletSched, "nm-progress", "a=tasklet id";
@@ -169,11 +197,18 @@ impl EventId {
         ProgressionWake, "nm-progress", "-";
         WakerRegister, "nm-progress", "a=request id";
         WakerWake, "nm-progress", "a=request id, b=found";
+        TimerFire, "nm-progress", "a=due, b=pending";
         CtxSwitch, "nm-sched", "a=worker";
         IdleHook, "nm-sched", "a=worker";
         PacketTx, "nm-fabric", "a=bytes";
         PacketRx, "nm-fabric", "a=bytes";
         NicIdle, "nm-fabric", "a=entering idle";
+        FaultLoss, "nm-fabric", "a=bytes";
+        FaultDup, "nm-fabric", "a=bytes";
+        FaultCorrupt, "nm-fabric", "a=byte index";
+        FaultDelay, "nm-fabric", "a=hold polls";
+        FaultStall, "nm-fabric", "a=window length";
+        FaultReorder, "nm-fabric", "a=buffer depth";
     }
 
     /// Decodes a raw on-ring discriminant back into an id.

@@ -17,8 +17,9 @@ use std::sync::Arc;
 
 use nomad::core::{
     CommCore, Completion, CompletionQueue, CoreBuilder, CoreConfig, GateId, LockingMode,
+    ReliabilityConfig,
 };
-use nomad::fabric::{Driver, LoopbackDriver};
+use nomad::fabric::{ChaosDriver, Driver, FaultPlan, LoopbackDriver};
 use nomad::progress::{ProgressEngine, WakerTable};
 use nomad::sync::WaitStrategy;
 
@@ -108,8 +109,62 @@ fn workload(mode: LockingMode) {
     engine.unregister(id);
 }
 
+/// Reliability protocol over a lossy wire: retransmit timers firing
+/// from the progress loop (`core.retrans -> core.driver`, the timer
+/// wheel under the retransmit section) and deadline/cancel pruning —
+/// the fault-handling edges the static graph predicts.
+fn reliability_workload(mode: LockingMode) {
+    let rel = ReliabilityConfig {
+        rto_base_ns: 20_000,
+        rto_max_ns: 500_000,
+        ..ReliabilityConfig::enabled()
+    };
+    let config = CoreConfig::default().locking(mode).reliability(rel);
+    let plan = FaultPlan::new(0x10CC).loss(0.05).duplicate(0.03).reorder(2);
+    let (da, db) = LoopbackDriver::pair(256);
+    let a = CoreBuilder::new(config.clone())
+        .add_gate(vec![
+            Arc::new(ChaosDriver::new(da, plan.clone())) as Arc<dyn Driver>
+        ])
+        .build();
+    let b = CoreBuilder::new(config)
+        .add_gate(vec![Arc::new(ChaosDriver::new(db, plan)) as Arc<dyn Driver>])
+        .build();
+
+    // Enough traffic that the 5% loss reliably exercises retransmits.
+    let sends: Vec<_> = (0..64u64)
+        .map(|i| {
+            a.isend(G, 5, bytes::Bytes::from(i.to_le_bytes().to_vec()))
+                .unwrap()
+        })
+        .collect();
+    let recvs: Vec<_> = (0..64).map(|_| b.irecv(G, 5).unwrap()).collect();
+    for r in &recvs {
+        while !r.is_complete() {
+            a.progress();
+            b.progress();
+        }
+    }
+    for s in &sends {
+        a.wait(s, WaitStrategy::Busy).unwrap();
+    }
+
+    // Deadline expiry and cancellation pruning under the same mode.
+    let doomed = b.irecv(G, 99).unwrap();
+    let _ = b.wait_deadline(
+        &doomed,
+        WaitStrategy::Busy,
+        std::time::Duration::from_millis(1),
+    );
+    let cancelled = b.irecv(G, 98).unwrap();
+    cancelled.cancel();
+    assert_eq!(b.pending().posted_recvs, 0);
+}
+
 fn main() {
     workload(LockingMode::Coarse);
     workload(LockingMode::Fine);
+    reliability_workload(LockingMode::Coarse);
+    reliability_workload(LockingMode::Fine);
     println!("{}", nomad::sync::lockcheck::dump_graph_json());
 }

@@ -70,6 +70,7 @@ const SECTION_FAMILIES: &[(&str, &str)] = &[
     ("Global", "core.api-global"),
     ("CollectTx", "core.collect.tx"),
     ("CollectRx", "core.collect.rx"),
+    ("Retrans", "core.retrans"),
     ("Driver", "core.driver"),
 ];
 
