@@ -55,6 +55,28 @@ struct Options {
     out: Option<String>,
 }
 
+/// Every experiment name the CLI accepts, in `all` run order
+/// (printed by `--list` and by the unknown-name error path).
+const EXPERIMENTS: [&str; 17] = [
+    "all",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig7sweep",
+    "fig8",
+    "fig9",
+    "bw",
+    "rdvoverlap",
+    "msgrate",
+    "cq",
+    "chaos",
+    "breakdown",
+    "table1",
+    "sec33",
+    "bench",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut what = Vec::new();
@@ -93,17 +115,23 @@ fn main() {
                     }
                 }
             }
-            "all" | "fig3" | "fig5" | "fig6" | "fig7" | "fig7sweep" | "fig8" | "fig9" | "bw"
-            | "rdvoverlap" | "msgrate" | "cq" | "chaos" | "table1" | "sec33" | "bench" => {
-                what.push(a.clone())
+            "--list" => {
+                for name in EXPERIMENTS {
+                    println!("{name}");
+                }
+                return;
             }
             "--help" | "-h" => {
                 print_usage();
                 return;
             }
+            other if EXPERIMENTS.contains(&other) => what.push(a.clone()),
             other => {
-                eprintln!("unknown argument: {other}");
-                print_usage();
+                eprintln!("unknown experiment: {other}");
+                eprintln!("known experiments (also `figures --list`):");
+                for name in EXPERIMENTS {
+                    eprintln!("  {name}");
+                }
                 std::process::exit(2);
             }
         }
@@ -123,6 +151,7 @@ fn main() {
             "msgrate",
             "cq",
             "chaos",
+            "breakdown",
             "table1",
             "sec33",
         ]
@@ -152,6 +181,7 @@ fn main() {
             "msgrate" => msgrate(&opts, costs),
             "cq" => cq(&opts, costs),
             "chaos" => chaos(&opts, costs),
+            "breakdown" => breakdown_report(&opts, costs),
             "table1" => table1(&opts, costs),
             "sec33" => sec33(),
             "bench" => bench(&opts, costs),
@@ -162,8 +192,8 @@ fn main() {
 
 fn print_usage() {
     eprintln!(
-        "usage: figures [all|fig3|fig5|fig6|fig7|fig8|fig9|msgrate|cq|chaos|table1|sec33|bench] \
-         [--real] [--calibrated] [--from-trace] [--folded] [--dual] [--csv] [--quick] \
+        "usage: figures [all|fig3|fig5|fig6|fig7|fig8|fig9|msgrate|cq|chaos|breakdown|table1|sec33|bench] \
+         [--list] [--real] [--calibrated] [--from-trace] [--folded] [--dual] [--csv] [--quick] \
          [--json] [--out DIR] [--sim-only]"
     );
 }
@@ -736,6 +766,43 @@ const BENCH_SIZES: &[usize] = &[4, 64, 1024, 16384];
 /// wall-clock measurements of the real stack plus the metrics-layer
 /// record-cost microbench (compared within ±15%). `--sim-only` skips
 /// the wall-clock file for hosts/CI where timing is not comparable.
+/// Critical-path latency breakdown per locking mode: the deterministic
+/// virtual-clock model in `nm_bench::breakdown`, decomposed by the
+/// production span assembler (`nm-obs`). Components always sum exactly
+/// to the end-to-end total.
+fn breakdown_report(opts: &Options, costs: SimCosts) {
+    let rows = nm_bench::breakdown::all_breakdowns(costs);
+    if opts.csv {
+        println!("# critical-path breakdown (ns)");
+        println!("mode,submit,collect,retransmit,wire,delivery,total");
+        for (mode, b) in &rows {
+            println!(
+                "{mode},{},{},{},{},{},{}",
+                b.submit_ns, b.collect_ns, b.retransmit_ns, b.wire_ns, b.delivery_ns, b.total_ns
+            );
+        }
+    } else {
+        println!("critical-path breakdown: one eager message, ns per stage");
+        println!(
+            "{:<14} {:>8} {:>8} {:>10} {:>8} {:>9} {:>8}",
+            "mode", "submit", "collect", "retransmit", "wire", "delivery", "total"
+        );
+        for (mode, b) in &rows {
+            println!(
+                "{:<14} {:>8} {:>8} {:>10} {:>8} {:>9} {:>8}",
+                mode,
+                b.submit_ns,
+                b.collect_ns,
+                b.retransmit_ns,
+                b.wire_ns,
+                b.delivery_ns,
+                b.total_ns
+            );
+        }
+        println!();
+    }
+}
+
 fn bench(opts: &Options, costs: SimCosts) {
     use nm_bench::report::{write_json, BenchRecord};
 
@@ -819,6 +886,23 @@ fn bench(opts: &Options, costs: SimCosts) {
                 ));
             }
         }
+    }
+    // Critical-path breakdown: per-mode latency decomposition through
+    // the nm-obs span assembler (appended last so the records above keep
+    // their historical positions in the file).
+    for (mode, b) in nm_bench::breakdown::all_breakdowns(costs) {
+        for (component, v) in b.components() {
+            records.push(BenchRecord::sim(
+                format!("breakdown/{mode}/{component}"),
+                "ns",
+                v as f64,
+            ));
+        }
+        records.push(BenchRecord::sim(
+            format!("breakdown/{mode}/total"),
+            "ns",
+            b.total_ns as f64,
+        ));
     }
     let figures_path = out_dir.join("BENCH_FIGURES.json");
     write_json(&figures_path, &records).expect("write BENCH_FIGURES.json");

@@ -41,7 +41,7 @@ use crate::stats::CoreStats;
 use crate::strategy::{SendItem, SendItemKind, Strategy};
 use crate::wire::{
     decode_frame, decode_packet, encode_frame, encode_packet, Entry, Frame, WireError,
-    ENTRY_HEADER, FRAME_ACK_ONLY, FRAME_HEADER, FRAME_RELIABLE, PACKET_HEADER,
+    ENTRY_HEADER, FRAME_ACK_ONLY, FRAME_HEADER, FRAME_RELIABLE, FRAME_SPAN_BYTES, PACKET_HEADER,
 };
 
 /// `a < b` in serial-number (wrapping) arithmetic over `u32` wire
@@ -105,7 +105,14 @@ impl CoreBuilder {
         let mut driver_base = 0;
         for (id, drivers) in self.gates.into_iter().enumerate() {
             let gate = Gate::new(GateId(id), drivers, driver_base);
-            let needed = self.config.eager_threshold + ENTRY_HEADER + PACKET_HEADER + FRAME_HEADER;
+            // FRAME_SPAN_BYTES is reserved whether or not tracing is
+            // compiled in, so packing decisions are identical across
+            // trace and non-trace builds.
+            let needed = self.config.eager_threshold
+                + ENTRY_HEADER
+                + PACKET_HEADER
+                + FRAME_HEADER
+                + FRAME_SPAN_BYTES;
             assert!(
                 gate.min_mtu() >= needed,
                 "eager threshold {} does not fit rail MTU {} of gate {}",
@@ -208,6 +215,7 @@ impl CommCore {
         let req = Request::new_with(RequestKind::Send, completion);
         self.stats.sends_posted.incr();
         nm_trace::trace_event!(SubmitBegin, gate.0, data.len());
+        nm_trace::trace_event!(SpanSubmit, req.span(), gate.0);
         {
             let api = self.policy.enter_api();
             let item = if data.len() <= self.config.eager_threshold {
@@ -216,6 +224,7 @@ impl CommCore {
                     tag,
                     seq: g.alloc_eager_seq(),
                     kind: SendItemKind::Eager(data),
+                    span: req.span(),
                     req: Some(req.clone()),
                 }
             } else {
@@ -235,6 +244,7 @@ impl CommCore {
                     tag,
                     seq,
                     kind: SendItemKind::Rts { total },
+                    span: req.span(),
                     req: None,
                 }
             };
@@ -245,6 +255,7 @@ impl CommCore {
             });
             drop(s);
             nm_trace::trace_event!(QueueDepth, gate.0, depth);
+            nm_trace::trace_event!(SpanCollect, req.span(), depth);
             // Release between submission and transmission, exactly like
             // the paper's coarse mode ("the spinlock is held and released
             // twice: once for submitting ..., once to transmit").
@@ -319,6 +330,7 @@ impl CommCore {
         let g = self.gate(gate)?;
         let req = Request::new_with(RequestKind::Recv, completion);
         self.stats.recvs_posted.incr();
+        nm_trace::trace_event!(SpanSubmit, req.span(), gate.0);
         enum Then {
             Nothing,
             Complete(u64, Bytes),
@@ -361,6 +373,7 @@ impl CommCore {
                         tag,
                         seq,
                         kind: SendItemKind::Cts,
+                        span: req.span(),
                         req: None,
                     });
                 });
@@ -434,10 +447,15 @@ impl CommCore {
     /// Waits for a request, polling this core during spin phases.
     ///
     /// The spin phase runs *inside* the library: in coarse mode the
-    /// library-wide lock is held across the whole wait (Fig 2) — which is
-    /// why two busy-waiting threads serialize in the paper's Fig 5 — and
-    /// released before any blocking, per the paper's deadlock-avoidance
-    /// rule. With [`WaitStrategy::Passive`] the caller never polls: a
+    /// library-wide lock is held while polling makes progress (Fig 2) —
+    /// which is why two busy-waiting threads serialize in the paper's
+    /// Fig 5 — and released before any blocking, per the paper's
+    /// deadlock-avoidance rule. The same rule extends to *idle* spin
+    /// passes: a pass that handles zero events yields the guard before
+    /// spinning on, because the thread whose submission would unblock
+    /// this wait may itself be stuck behind the coarse lock (two
+    /// cross-waiting busy spinners on two cores otherwise deadlock).
+    /// With [`WaitStrategy::Passive`] the caller never polls: a
     /// progression thread (or scheduler hooks) must be driving
     /// [`CommCore::progress`].
     ///
@@ -450,9 +468,21 @@ impl CommCore {
         match strategy.spin_budget() {
             // Busy: poll under the API guard until complete.
             None => {
-                let api = self.policy.enter_api();
+                let mut api = self.policy.enter_api();
                 while !req.is_complete() {
-                    self.progress_body();
+                    if self.progress_body() == 0 {
+                        // Idle pass: completion now depends on another
+                        // thread acting — and in coarse mode that thread
+                        // may be stuck behind this very guard (two
+                        // cross-waiting spinners deadlock: each holds its
+                        // core's lock while the reply it spins on cannot
+                        // be submitted). Yield the guard between idle
+                        // passes; while work flows the holder keeps it,
+                        // preserving the paper's Fig 5 serialization.
+                        drop(api);
+                        std::hint::spin_loop();
+                        api = self.policy.enter_api();
+                    }
                 }
                 drop(api);
             }
@@ -461,9 +491,14 @@ impl CommCore {
             Some(budget) if !budget.is_zero() => {
                 let deadline = std::time::Instant::now() + budget;
                 {
-                    let api = self.policy.enter_api();
+                    let mut api = self.policy.enter_api();
                     while !req.is_complete() && std::time::Instant::now() < deadline {
-                        self.progress_body();
+                        if self.progress_body() == 0 {
+                            // Same idle-pass yield as the busy arm.
+                            drop(api);
+                            std::hint::spin_loop();
+                            api = self.policy.enter_api();
+                        }
                     }
                     drop(api);
                 }
@@ -498,9 +533,15 @@ impl CommCore {
         match strategy.spin_budget() {
             // Busy: poll under the API guard until complete or expired.
             None => {
-                let api = self.policy.enter_api();
+                let mut api = self.policy.enter_api();
                 while !req.is_complete() && std::time::Instant::now() < deadline {
-                    self.progress_body();
+                    if self.progress_body() == 0 {
+                        // Idle-pass yield; see `wait` for why this must
+                        // not hold the guard while nothing moves.
+                        drop(api);
+                        std::hint::spin_loop();
+                        api = self.policy.enter_api();
+                    }
                 }
                 drop(api);
             }
@@ -509,9 +550,14 @@ impl CommCore {
             Some(budget) if !budget.is_zero() => {
                 let spin_end = (std::time::Instant::now() + budget).min(deadline);
                 {
-                    let api = self.policy.enter_api();
+                    let mut api = self.policy.enter_api();
                     while !req.is_complete() && std::time::Instant::now() < spin_end {
-                        self.progress_body();
+                        if self.progress_body() == 0 {
+                            // Idle-pass yield; see `wait`.
+                            drop(api);
+                            std::hint::spin_loop();
+                            api = self.policy.enter_api();
+                        }
                     }
                     drop(api);
                 }
@@ -685,15 +731,21 @@ impl CommCore {
                 events += 1;
                 match decode_frame(raw) {
                     Ok(frame) if reliable && frame.reliable() => {
-                        for packet in self.rel_receive(g, rail, frame) {
+                        if frame.span != 0 {
+                            nm_trace::trace_event!(SpanWireRx, frame.span, frame.wseq);
+                        }
+                        for (packet, span) in self.rel_receive(g, rail, frame) {
                             self.stats.packets_rx.incr();
-                            self.dispatch(g, packet);
+                            self.dispatch(g, packet, span);
                         }
                     }
                     Ok(frame) => {
+                        if frame.span != 0 {
+                            nm_trace::trace_event!(SpanWireRx, frame.span, frame.wseq);
+                        }
                         if !frame.ack_only() {
                             self.stats.packets_rx.incr();
-                            self.dispatch(g, frame.payload);
+                            self.dispatch(g, frame.payload, frame.span);
                         }
                     }
                     Err(WireError::BadChecksum { .. }) => {
@@ -714,8 +766,9 @@ impl CommCore {
     /// Runs one reliable frame through the rail's receive window:
     /// processes its cumulative ack, suppresses duplicates, buffers
     /// out-of-order arrivals, and returns the packets released for
-    /// dispatch (in wire order).
-    fn rel_receive(&self, g: &Gate, rail: usize, frame: Frame) -> Vec<Bytes> {
+    /// dispatch (in wire order), each paired with the span its frame
+    /// carried (0 = none).
+    fn rel_receive(&self, g: &Gate, rail: usize, frame: Frame) -> Vec<(Bytes, u64)> {
         let r = &self.config.reliability;
         let s = self
             .policy
@@ -752,7 +805,7 @@ impl CommCore {
             }
             let mut out = Vec::new();
             if frame.wseq == rel.rx_expected {
-                out.push(frame.payload);
+                out.push((frame.payload, frame.span));
                 rel.rx_expected = rel.rx_expected.wrapping_add(1);
                 while let Some(p) = rel.rx_ooo.remove(&rel.rx_expected) {
                     out.push(p);
@@ -760,7 +813,7 @@ impl CommCore {
                 }
             } else {
                 self.stats.ooo_buffered.incr();
-                rel.rx_ooo.insert(frame.wseq, frame.payload);
+                rel.rx_ooo.insert(frame.wseq, (frame.payload, frame.span));
             }
             rel.ack_pending = true;
             out
@@ -783,7 +836,7 @@ impl CommCore {
             if !rel.ack_pending {
                 return false;
             }
-            let frame = encode_frame(0, rel.rx_expected, FRAME_RELIABLE | FRAME_ACK_ONLY, &[]);
+            let frame = encode_frame(0, rel.rx_expected, FRAME_RELIABLE | FRAME_ACK_ONLY, 0, &[]);
             let d = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
             let posted = g.drivers[rail].post(frame);
             drop(d);
@@ -802,8 +855,11 @@ impl CommCore {
         usize::from(sent)
     }
 
-    /// Decodes one inbound packet and applies its entries.
-    fn dispatch(&self, g: &Gate, raw: Bytes) {
+    /// Decodes one inbound packet and applies its entries. `wire_span`
+    /// is the span the carrying frame advertised (the sender's message
+    /// span, 0 = none); completions emit `SpanDeliver` against it so
+    /// the receive side joins the sender's timeline.
+    fn dispatch(&self, g: &Gate, raw: Bytes, wire_span: u64) {
         nm_trace::trace_event!(DispatchBegin, g.id.0, raw.len());
         let entries = match decode_packet(raw) {
             Ok(e) => e,
@@ -817,7 +873,7 @@ impl CommCore {
         // CTS traffic crosses from the rx shard to the tx shard; the two
         // sections are taken one after the other, never nested. Phase 1
         // (rx) records what phase 2 (tx) must do.
-        let mut cts_out: Vec<(u64, u32)> = Vec::new();
+        let mut cts_out: Vec<(u64, u32, u64)> = Vec::new();
         let mut cts_in: Vec<u32> = Vec::new();
         {
             let s = self.policy.enter(SectionKind::CollectRx(g.id.0));
@@ -854,6 +910,7 @@ impl CommCore {
                             // the sender's retransmit covers that).
                             self.stats.dup_dropped.incr();
                         } else if let Some(p) = rx.take_posted(tag) {
+                            let recv_span = p.req.span();
                             rx.rdv_in_insert(RdvRecv {
                                 tag,
                                 seq,
@@ -864,7 +921,7 @@ impl CommCore {
                                 chunks: std::collections::BTreeMap::new(),
                             });
                             self.stats.rdv_accepted.incr();
-                            cts_out.push((tag, seq));
+                            cts_out.push((tag, seq, recv_span));
                         } else if !rx.push_pending_rts(PendingRts { tag, seq, total }) {
                             self.stats.dup_dropped.incr();
                         }
@@ -910,11 +967,12 @@ impl CommCore {
         if queued_cts || !cts_in.is_empty() {
             let s = self.policy.enter(SectionKind::CollectTx(g.id.0));
             g.tx.with(&s, |tx| {
-                for &(tag, seq) in &cts_out {
+                for &(tag, seq, span) in &cts_out {
                     tx.queue.push_back(SendItem {
                         tag,
                         seq,
                         kind: SendItemKind::Cts,
+                        span,
                         req: None,
                     });
                 }
@@ -929,7 +987,12 @@ impl CommCore {
         }
         for act in after {
             match act {
-                After::CompleteRecv(req, tag, data) => req.complete_with_tagged_data(tag, data),
+                After::CompleteRecv(req, tag, data) => {
+                    if wire_span != 0 {
+                        nm_trace::trace_event!(SpanDeliver, wire_span, req.span());
+                    }
+                    req.complete_with_tagged_data(tag, data);
+                }
                 After::StartData(rdv) => self.start_rdv_data(g, rdv),
             }
         }
@@ -954,6 +1017,7 @@ impl CommCore {
         let chunk = self.rdv_chunk_size(g);
         let total = rdv.data.len();
         let num_chunks = total.div_ceil(chunk);
+        let span = rdv.req.span();
         let done = Arc::new(RdvSendDone {
             remaining: std::sync::atomic::AtomicUsize::new(num_chunks),
             req: rdv.req,
@@ -978,6 +1042,7 @@ impl CommCore {
                     packet,
                     complete_on_post: Vec::new(),
                     rdv_done: Some(Arc::clone(&done)),
+                    span,
                 });
             });
             drop(s);
@@ -998,13 +1063,17 @@ impl CommCore {
         g: &Gate,
         rail: usize,
         packet: &Bytes,
+        span: u64,
     ) -> Result<(), nm_fabric::PostError> {
         let r = &self.config.reliability;
         if !r.enabled {
-            let frame = encode_frame(0, 0, 0, packet);
+            let frame = encode_frame(0, 0, 0, span, packet);
             let s = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
             let posted = g.drivers[rail].post(frame);
             drop(s);
+            if posted.is_ok() && span != 0 {
+                nm_trace::trace_event!(SpanWireTx, span, 0);
+            }
             return posted;
         }
         let s = self
@@ -1015,17 +1084,21 @@ impl CommCore {
                 return Err(nm_fabric::PostError::WouldBlock);
             }
             let wseq = rel.next_tx_wseq;
-            let frame = encode_frame(wseq, rel.rx_expected, FRAME_RELIABLE, packet);
+            let frame = encode_frame(wseq, rel.rx_expected, FRAME_RELIABLE, span, packet);
             let d = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
             let posted = g.drivers[rail].post(frame);
             drop(d);
             if posted.is_ok() {
+                if span != 0 {
+                    nm_trace::trace_event!(SpanWireTx, span, wseq);
+                }
                 rel.next_tx_wseq = wseq.wrapping_add(1);
                 rel.ack_pending = false; // the frame piggybacked the ack
                 let now = now_ns();
                 rel.unacked.push_back(UnackedFrame {
                     wseq,
                     packet: packet.clone(),
+                    span,
                     attempts: 0,
                     retx_at_ns: now + r.rto_base_ns,
                 });
@@ -1075,8 +1148,12 @@ impl CommCore {
             }
             let entries: Vec<Entry> = items.iter().map(SendItem::to_entry).collect();
             let packet = encode_packet(&entries);
+            // The frame header carries one span: the first spanned item
+            // aboard. Aggregated passengers keep their submit/collect/
+            // complete events but ride the carrier's wire attribution.
+            let span = items.iter().map(|i| i.span).find(|&s| s != 0).unwrap_or(0);
             nm_trace::trace_event!(TransmitBegin, g.id.0, rail);
-            let posted = self.post_packet(g, rail, &packet);
+            let posted = self.post_packet(g, rail, &packet, span);
             nm_trace::trace_event!(TransmitEnd, g.id.0, posted.is_ok());
             match posted {
                 Ok(()) => {
@@ -1130,7 +1207,7 @@ impl CommCore {
             };
             let Some(item) = item else { break };
             nm_trace::trace_event!(TransmitBegin, g.id.0, rail);
-            let res = self.post_packet(g, rail, &item.packet);
+            let res = self.post_packet(g, rail, &item.packet, item.span);
             nm_trace::trace_event!(TransmitEnd, g.id.0, res.is_ok());
             if res.is_err() {
                 let s = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
@@ -1161,9 +1238,11 @@ impl CommCore {
             .find(|&rail| !g.rail_is_dead(rail) && g.drivers[rail].can_post())
     }
 
-    /// Payload budget for the next arranged packet.
+    /// Payload budget for the next arranged packet. The span word is
+    /// reserved unconditionally so trace and non-trace builds arrange
+    /// identical packets.
     fn packet_budget(&self, g: &Gate) -> usize {
-        let mtu_budget = g.min_mtu() - PACKET_HEADER - FRAME_HEADER;
+        let mtu_budget = g.min_mtu() - PACKET_HEADER - FRAME_HEADER - FRAME_SPAN_BYTES;
         // Never smaller than one maximal eager entry, or it could never
         // leave the queue.
         let agg = self
@@ -1174,7 +1253,7 @@ impl CommCore {
     }
 
     fn rdv_chunk_size(&self, g: &Gate) -> usize {
-        let wire_max = g.min_mtu() - FRAME_HEADER - PACKET_HEADER - ENTRY_HEADER;
+        let wire_max = g.min_mtu() - FRAME_HEADER - FRAME_SPAN_BYTES - PACKET_HEADER - ENTRY_HEADER;
         self.config.rdv_chunk.clamp(1, wire_max)
     }
 
@@ -1218,7 +1297,16 @@ impl CommCore {
                 self.stats.retransmits.incr();
                 events += 1;
                 nm_trace::trace_event!(Retransmit, g.driver_base + rail, head.wseq);
-                let frame = encode_frame(head.wseq, rel.rx_expected, FRAME_RELIABLE, &head.packet);
+                if head.span != 0 {
+                    nm_trace::trace_event!(SpanRetx, head.span, head.wseq);
+                }
+                let frame = encode_frame(
+                    head.wseq,
+                    rel.rx_expected,
+                    FRAME_RELIABLE,
+                    head.span,
+                    &head.packet,
+                );
                 rel.ack_pending = false;
                 let d = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
                 // WouldBlock: the rearmed timer simply tries again.
@@ -1247,22 +1335,25 @@ impl CommCore {
         self.stats.rails_failed.incr();
         nm_trace::trace_event!(RailDead, g.id.0, g.driver_base + rail);
         // Unacknowledged frames go back to packet form: a surviving rail
-        // re-frames them under its own sequence space.
-        let packets: Vec<Bytes> = {
+        // re-frames them under its own sequence space. Spans ride along
+        // so the restriped retry tail stays attributable.
+        let packets: Vec<(Bytes, u64)> = {
             let s = self
                 .policy
                 .enter(SectionKind::Retrans(g.driver_base + rail));
-            let packets =
-                g.rel[rail].with(&s, |rel| rel.unacked.drain(..).map(|f| f.packet).collect());
+            let packets = g.rel[rail].with(&s, |rel| {
+                rel.unacked.drain(..).map(|f| (f.packet, f.span)).collect()
+            });
             drop(s);
             packets
         };
         let live: Vec<usize> = (0..g.num_rails()).filter(|&r| !g.rail_is_dead(r)).collect();
         if live.is_empty() {
             self.fail_gate(g);
+            nm_obs::flight::record_failure("rail-dead", 0, 0);
             return 1;
         }
-        for (i, packet) in packets.into_iter().enumerate() {
+        for (i, (packet, span)) in packets.into_iter().enumerate() {
             let to = live[i % live.len()];
             let s = self.policy.enter(SectionKind::Driver(g.driver_base + to));
             g.xfer[to].with(&s, |q| {
@@ -1270,11 +1361,13 @@ impl CommCore {
                     packet,
                     complete_on_post: Vec::new(),
                     rdv_done: None,
+                    span,
                 })
             });
             drop(s);
         }
         self.migrate_stranded(g, rail);
+        nm_obs::flight::record_failure("rail-dead", 0, 0);
         1
     }
 

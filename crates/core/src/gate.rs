@@ -116,6 +116,10 @@ pub(crate) struct XferItem {
     pub complete_on_post: Vec<Request>,
     /// Rendezvous chunk bookkeeping.
     pub rdv_done: Option<Arc<RdvSendDone>>,
+    /// Observability span carried in this packet's frame header (0 =
+    /// none). Survives failover so a restriped packet stays on its
+    /// message timeline.
+    pub span: u64,
 }
 
 /// One frame in a rail's retransmit window: the un-framed packet plus its
@@ -124,6 +128,10 @@ pub(crate) struct XferItem {
 pub(crate) struct UnackedFrame {
     pub wseq: u32,
     pub packet: Bytes,
+    /// Observability span of the frame (0 = none); retransmits and
+    /// failover re-stripes re-attach it so the retry tail of a message
+    /// stays attributable.
+    pub span: u64,
     /// Retransmits of this frame so far (resets when an ack advances the
     /// window).
     pub attempts: u32,
@@ -142,8 +150,10 @@ pub(crate) struct RelState {
     /// Next wire sequence number expected from the peer.
     pub rx_expected: u32,
     /// Frames received ahead of `rx_expected`, buffered for in-order
-    /// release (bounded by the peer's send window).
-    pub rx_ooo: BTreeMap<u32, Bytes>,
+    /// release (bounded by the peer's send window). Each entry keeps the
+    /// frame's span so dispatch can attribute the delivery after the
+    /// gap fills.
+    pub rx_ooo: BTreeMap<u32, (Bytes, u64)>,
     /// Data arrived since the last acknowledgement went out.
     pub ack_pending: bool,
     /// Consecutive frames that exhausted their retries (failover trigger).

@@ -29,6 +29,10 @@ pub enum RequestKind {
 struct Inner {
     /// Unique id (assigned at post time, never reused).
     id: u64,
+    /// Observability span id (0 when tracing is compiled out). Threaded
+    /// through the collect shards, wire frames, and waker table so every
+    /// event of this message joins one timeline.
+    span: u64,
     kind: RequestKind,
     /// Where completion is delivered (flag / queue / handler / waker).
     completion: Completion,
@@ -68,6 +72,7 @@ impl Request {
                 // relaxed: a unique-id counter; only uniqueness matters,
                 // nothing is ordered against the increment.
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                span: nm_trace::next_span_id(),
                 kind,
                 completion,
                 finished: AtomicBool::new(false),
@@ -83,6 +88,11 @@ impl Request {
     /// key on it).
     pub fn id(&self) -> u64 {
         self.inner.id
+    }
+
+    /// The request's observability span id (0 = tracing compiled out).
+    pub fn span(&self) -> u64 {
+        self.inner.span
     }
 
     /// Send or receive.
@@ -151,6 +161,15 @@ impl Request {
     /// *after* the flag is signalled so every observer of the event sees
     /// the terminal state.
     fn deliver(&self) {
+        if self.inner.span != 0 {
+            let path: u64 = match &self.inner.completion {
+                Completion::Flag => 0,
+                Completion::Queue(_) => 1,
+                Completion::Handler(_) => 2,
+                Completion::Waker(_) => 3,
+            };
+            trace_event!(SpanComplete, self.inner.span, path);
+        }
         match &self.inner.completion {
             Completion::Flag => {
                 trace_event!(CompletionDeliver, self.inner.id, 0u64);
@@ -195,6 +214,7 @@ impl Request {
         *self.inner.error.lock() = Some(CommError::Timeout);
         self.inner.flag.signal();
         self.deliver();
+        nm_obs::flight::record_failure("timeout", self.inner.id, self.inner.span);
         true
     }
 
@@ -203,9 +223,17 @@ impl Request {
         if !self.try_finish() {
             return;
         }
+        let reason = match error {
+            CommError::Timeout => Some("timeout"),
+            CommError::PeerUnreachable => Some("peer-unreachable"),
+            _ => None,
+        };
         *self.inner.error.lock() = Some(error);
         self.inner.flag.signal();
         self.deliver();
+        if let Some(reason) = reason {
+            nm_obs::flight::record_failure(reason, self.inner.id, self.inner.span);
+        }
     }
 
     /// Cancels the request if it has not already completed.

@@ -51,6 +51,11 @@ pub struct SendItem {
     /// Request completed when the item reaches the wire (eager sends
     /// complete locally on injection; control items have no request).
     pub req: Option<Request>,
+    /// Observability span of the message this item belongs to (0 = no
+    /// span). Control items carry their originating request's span —
+    /// an RTS travels under the send span, a CTS under the receive
+    /// span — so the handshake legs join the message timeline.
+    pub span: u64,
 }
 
 impl SendItem {
@@ -203,20 +208,24 @@ mod tests {
     use crate::request::RequestKind;
 
     fn eager(tag: u64, seq: u32, len: usize) -> SendItem {
+        let req = Request::new(RequestKind::Send);
         SendItem {
             tag,
             seq,
             kind: SendItemKind::Eager(Bytes::from(vec![0u8; len])),
-            req: Some(Request::new(RequestKind::Send)),
+            span: req.span(),
+            req: Some(req),
         }
     }
 
     fn rts(tag: u64, seq: u32) -> SendItem {
+        let req = Request::new(RequestKind::Send);
         SendItem {
             tag,
             seq,
             kind: SendItemKind::Rts { total: 1 << 20 },
-            req: Some(Request::new(RequestKind::Send)),
+            span: req.span(),
+            req: Some(req),
         }
     }
 

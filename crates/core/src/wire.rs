@@ -7,7 +7,7 @@
 //! container travels inside a *frame* that adds integrity and sequencing:
 //!
 //! ```text
-//! frame   := crc:u32 wseq:u32 ack:u32 flags:u8 packet
+//! frame   := crc:u32 wseq:u32 ack:u32 flags:u8 [span:u64] packet
 //! packet  := count:u16 entry*
 //! entry   := kind:u8 tag:u64 seq:u32 aux:u32 len:u32 payload[len]
 //! ```
@@ -19,6 +19,9 @@
 //! protocol; on an unreliable wire (reliability disabled) the
 //! [`FRAME_RELIABLE`] flag is clear and both fields are ignored.
 //! [`FRAME_ACK_ONLY`] marks a bare acknowledgement with no packet.
+//! [`FRAME_SPAN`] marks an 8-byte observability span id between the
+//! flags byte and the packet; frames with span 0 omit it entirely, so
+//! trace-off builds pay zero wire bytes.
 //!
 //! Entry kinds:
 //!
@@ -35,12 +38,16 @@ pub const ENTRY_HEADER: usize = 1 + 8 + 4 + 4 + 4;
 pub const PACKET_HEADER: usize = 2;
 /// Frame header size in bytes (crc + wseq + ack + flags).
 pub const FRAME_HEADER: usize = 4 + 4 + 4 + 1;
+/// Extra frame bytes when [`FRAME_SPAN`] is set (the span id).
+pub const FRAME_SPAN_BYTES: usize = 8;
 
 /// Frame flag: `wseq`/`ack` are live reliability-protocol fields.
 pub const FRAME_RELIABLE: u8 = 1 << 0;
 /// Frame flag: bare acknowledgement, carries no packet.
 pub const FRAME_ACK_ONLY: u8 = 1 << 1;
-const FRAME_FLAG_MASK: u8 = FRAME_RELIABLE | FRAME_ACK_ONLY;
+/// Frame flag: a `u64` observability span id follows the flags byte.
+pub const FRAME_SPAN: u8 = 1 << 2;
+const FRAME_FLAG_MASK: u8 = FRAME_RELIABLE | FRAME_ACK_ONLY | FRAME_SPAN;
 
 /// One logical unit inside a wire packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -267,8 +274,11 @@ pub struct Frame {
     pub wseq: u32,
     /// Cumulative ack: all wire sequence numbers `< ack` received.
     pub ack: u32,
-    /// Frame flags ([`FRAME_RELIABLE`], [`FRAME_ACK_ONLY`]).
+    /// Frame flags ([`FRAME_RELIABLE`], [`FRAME_ACK_ONLY`],
+    /// [`FRAME_SPAN`]).
     pub flags: u8,
+    /// Observability span id of the first message aboard (0 = none).
+    pub span: u64,
     /// The contained wire packet (empty for ack-only frames).
     pub payload: Bytes,
 }
@@ -286,12 +296,25 @@ impl Frame {
 }
 
 /// Wraps an encoded packet in a checksummed frame.
-pub fn encode_frame(wseq: u32, ack: u32, flags: u8, payload: &[u8]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(FRAME_HEADER + payload.len());
+///
+/// `span` is the observability span id of the first message aboard;
+/// `0` ("no span", the value in every trace-off build) clears
+/// [`FRAME_SPAN`] and the frame carries no span bytes at all.
+pub fn encode_frame(wseq: u32, ack: u32, flags: u8, span: u64, payload: &[u8]) -> Bytes {
+    let span_bytes = if span != 0 { FRAME_SPAN_BYTES } else { 0 };
+    let flags = if span != 0 {
+        flags | FRAME_SPAN
+    } else {
+        flags & !FRAME_SPAN
+    };
+    let mut buf = BytesMut::with_capacity(FRAME_HEADER + span_bytes + payload.len());
     buf.put_u32(0); // crc placeholder
     buf.put_u32(wseq);
     buf.put_u32(ack);
     buf.put_u8(flags);
+    if span != 0 {
+        buf.put_u64(span);
+    }
     buf.put_slice(payload);
     let crc = crc32(&buf[4..]);
     buf[0..4].copy_from_slice(&crc.to_be_bytes());
@@ -318,6 +341,14 @@ pub fn decode_frame(mut frame: Bytes) -> Result<Frame, WireError> {
     if flags & !FRAME_FLAG_MASK != 0 {
         return Err(WireError::Malformed("unknown frame flags"));
     }
+    let span = if flags & FRAME_SPAN != 0 {
+        if frame.remaining() < FRAME_SPAN_BYTES {
+            return Err(WireError::Truncated);
+        }
+        frame.get_u64()
+    } else {
+        0
+    };
     if flags & FRAME_ACK_ONLY != 0 && frame.has_remaining() {
         return Err(WireError::Malformed("ack-only frame with payload"));
     }
@@ -325,6 +356,7 @@ pub fn decode_frame(mut frame: Bytes) -> Result<Frame, WireError> {
         wseq,
         ack,
         flags,
+        span,
         payload: frame,
     })
 }
@@ -514,20 +546,62 @@ mod tests {
             seq: 3,
             data: Bytes::from_static(b"hello"),
         }]);
-        let framed = encode_frame(42, 17, FRAME_RELIABLE, &packet);
+        let framed = encode_frame(42, 17, FRAME_RELIABLE, 0, &packet);
         assert_eq!(framed.len(), FRAME_HEADER + packet.len());
         let frame = decode_frame(framed).expect("decode");
         assert_eq!(frame.wseq, 42);
         assert_eq!(frame.ack, 17);
         assert!(frame.reliable());
         assert!(!frame.ack_only());
+        assert_eq!(frame.span, 0);
         assert_eq!(frame.payload, packet);
         assert!(decode_packet(frame.payload).is_ok());
     }
 
     #[test]
+    fn span_frame_roundtrip() {
+        let packet = encode_packet(&[Entry::Cts { tag: 1, seq: 2 }]);
+        let framed = encode_frame(8, 3, FRAME_RELIABLE, 0xFEED_F00D, &packet);
+        assert_eq!(framed.len(), FRAME_HEADER + FRAME_SPAN_BYTES + packet.len());
+        let frame = decode_frame(framed).expect("decode");
+        assert_eq!(frame.span, 0xFEED_F00D);
+        assert!(frame.flags & FRAME_SPAN != 0);
+        assert_eq!(frame.payload, packet);
+    }
+
+    #[test]
+    fn zero_span_carries_no_span_bytes() {
+        // Even if the caller passes FRAME_SPAN explicitly, span 0 must
+        // clear it: decoders would otherwise read payload as a span.
+        let framed = encode_frame(0, 0, FRAME_SPAN, 0, b"xy");
+        assert_eq!(framed.len(), FRAME_HEADER + 2);
+        let frame = decode_frame(framed).expect("decode");
+        assert_eq!(frame.span, 0);
+        assert_eq!(frame.flags & FRAME_SPAN, 0);
+        assert_eq!(&frame.payload[..], b"xy");
+    }
+
+    #[test]
+    fn span_frame_truncated_before_span_rejected() {
+        let framed = encode_frame(1, 1, FRAME_RELIABLE, 77, b"payload");
+        // Cut inside the span field: CRC fails first (covers all bytes),
+        // so re-frame a short body with a valid checksum instead.
+        let mut buf = BytesMut::new();
+        buf.put_u32(0);
+        buf.put_u32(1);
+        buf.put_u32(1);
+        buf.put_u8(FRAME_SPAN);
+        buf.put_u32(0xDEAD); // only 4 of the 8 span bytes
+        let crc = crc32(&buf[4..]);
+        buf[0..4].copy_from_slice(&crc.to_be_bytes());
+        assert_eq!(decode_frame(buf.freeze()), Err(WireError::Truncated));
+        // And the well-formed frame still decodes.
+        assert_eq!(decode_frame(framed).unwrap().span, 77);
+    }
+
+    #[test]
     fn ack_only_frame_roundtrip() {
-        let framed = encode_frame(0, 9, FRAME_RELIABLE | FRAME_ACK_ONLY, &[]);
+        let framed = encode_frame(0, 9, FRAME_RELIABLE | FRAME_ACK_ONLY, 0, &[]);
         let frame = decode_frame(framed).expect("decode");
         assert!(frame.ack_only());
         assert_eq!(frame.ack, 9);
@@ -541,7 +615,7 @@ mod tests {
             seq: 0,
             data: Bytes::from_static(b"integrity"),
         }]);
-        let framed = encode_frame(5, 2, FRAME_RELIABLE, &packet);
+        let framed = encode_frame(5, 2, FRAME_RELIABLE, 0x5EED, &packet);
         for i in 0..framed.len() {
             let mut bad = BytesMut::from(&framed[..]);
             bad[i] ^= 0xFF;
@@ -555,7 +629,7 @@ mod tests {
 
     #[test]
     fn truncated_frame_rejected() {
-        let framed = encode_frame(0, 0, 0, b"xy");
+        let framed = encode_frame(0, 0, 0, 0, b"xy");
         for cut in 0..FRAME_HEADER {
             assert_eq!(
                 decode_frame(framed.slice(0..cut)),

@@ -541,7 +541,7 @@ fn corrupt_packets_are_counted_and_skipped() {
         .unwrap();
     // A well-framed frame around a garbage packet passes the CRC and
     // fails protocol decode: a wire error.
-    da.post(encode_frame(0, 0, 0, b"\xFF\xFF not a packet either"))
+    da.post(encode_frame(0, 0, 0, 0, b"\xFF\xFF not a packet either"))
         .unwrap();
     while b.progress() > 0 {}
     assert_eq!(b.stats().corrupt_dropped.get(), 1);
@@ -573,6 +573,7 @@ fn duplicate_cts_is_ignored() {
         .build();
     // Send a spurious CTS from b's side of the wire toward a.
     db.post(encode_frame(
+        0,
         0,
         0,
         0,

@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod breakdown;
 pub mod calibrate;
 pub mod compute_loss;
 pub mod concurrent;

@@ -57,7 +57,7 @@ fn poll_state(state: &mut State, cx: &mut Context<'_>) -> Poll<Result<Request, M
                 // Completed before this poll (eager sends, raced recvs).
                 table.unregister(req.id());
                 true
-            } else if !table.register(req.id(), cx.waker()) {
+            } else if !table.register_spanned(req.id(), req.span(), cx.waker()) {
                 // Delivery won the race and already consumed the entry.
                 true
             } else {

@@ -42,10 +42,19 @@ use nm_trace::trace_event;
 /// Shard count; ids are distributed by low bits. Power of two.
 const SHARDS: usize = 8;
 
+/// One table entry: the waiting future's cell plus the observability
+/// span of the awaited request (0 = none), recorded at registration so
+/// the wake-up can be attributed to the message's timeline.
+#[derive(Default)]
+struct Slot {
+    cell: Arc<WakerCell>,
+    span: u64,
+}
+
 /// A sharded map from request id to the [`WakerCell`] of the future
 /// awaiting that request. See the module docs for the race protocol.
 pub struct WakerTable {
-    shards: Vec<SpinLock<HashMap<u64, Arc<WakerCell>>>>,
+    shards: Vec<SpinLock<HashMap<u64, Slot>>>,
 }
 
 impl WakerTable {
@@ -59,7 +68,7 @@ impl WakerTable {
         WakerTable { shards }
     }
 
-    fn shard_for(&self, id: u64) -> &SpinLock<HashMap<u64, Arc<WakerCell>>> {
+    fn shard_for(&self, id: u64) -> &SpinLock<HashMap<u64, Slot>> {
         &self.shards[(id as usize) & (SHARDS - 1)]
     }
 
@@ -71,10 +80,20 @@ impl WakerTable {
     /// caller must treat the operation as complete instead of returning
     /// `Pending`.
     pub fn register(&self, id: u64, waker: &Waker) -> bool {
+        self.register_spanned(id, 0, waker)
+    }
+
+    /// [`WakerTable::register`] carrying the request's observability
+    /// span, so the eventual [`WakerTable::wake`] emits a `SpanWake`
+    /// on the message's timeline. Same shard lock, same single
+    /// acquisition — the span rides in the existing entry.
+    pub fn register_spanned(&self, id: u64, span: u64, waker: &Waker) -> bool {
         let cell = {
             let waker_shard = self.shard_for(id);
             let mut map = waker_shard.lock();
-            Arc::clone(map.entry(id).or_default())
+            let slot = map.entry(id).or_default();
+            slot.span = span;
+            Arc::clone(&slot.cell)
         };
         // The actual store runs outside the shard lock: `Waker::clone`
         // is foreign (executor) code.
@@ -97,15 +116,18 @@ impl WakerTable {
     /// not registered yet; its mandatory post-registration re-check of
     /// the completion state covers that window.
     pub fn wake(&self, id: u64) -> bool {
-        let cell = {
+        let slot = {
             let waker_shard = self.shard_for(id);
             let mut map = waker_shard.lock();
             map.remove(&id)
         };
-        let found = cell.is_some();
-        if let Some(cell) = cell {
+        let found = slot.is_some();
+        if let Some(slot) = slot {
+            if slot.span != 0 {
+                trace_event!(SpanWake, slot.span);
+            }
             // Outside the shard lock: wakes run arbitrary executor code.
-            cell.wake();
+            slot.cell.wake();
         }
         trace_event!(WakerWake, id, u64::from(found));
         found

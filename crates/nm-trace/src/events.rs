@@ -134,6 +134,34 @@ pub enum EventId {
     /// Chaos injection released a packet out of arrival order.
     /// `a` = shuffle-buffer depth at release.
     FaultReorder = 72,
+
+    // ---- span (per-message lifecycle, stitched by nm-obs) --------------
+    /// A send/recv was submitted and its span id allocated. `a` = span,
+    /// `b` = gate. First event of every message timeline.
+    SpanSubmit = 80,
+    /// The message entered a collect-layer queue. `a` = span,
+    /// `b` = queue depth after the enqueue.
+    SpanCollect = 81,
+    /// A frame carrying this span was accepted by a driver. `a` = span,
+    /// `b` = wire sequence number (0 on unreliable gates).
+    SpanWireTx = 82,
+    /// A frame carrying this span arrived from the wire. `a` = span
+    /// (the *sender's* span id, read from the frame header), `b` = wire
+    /// sequence number. This is the cross-rank join point.
+    SpanWireRx = 83,
+    /// A frame carrying this span was retransmitted. `a` = span,
+    /// `b` = wire sequence number.
+    SpanRetx = 84,
+    /// An inbound frame completed a posted receive: the sender-side and
+    /// receiver-side spans join. `a` = wire (sender) span, `b` = local
+    /// receive-request span.
+    SpanDeliver = 85,
+    /// The message's completion was delivered. `a` = span, `b` = path
+    /// (0 flag, 1 queue, 2 handler, 3 waker).
+    SpanComplete = 86,
+    /// Completion delivery woke an async waker registered for this
+    /// span's request. `a` = span.
+    SpanWake = 87,
 }
 
 /// Schema row: one registered event kind.
@@ -209,6 +237,14 @@ impl EventId {
         FaultDelay, "nm-fabric", "a=hold polls";
         FaultStall, "nm-fabric", "a=window length";
         FaultReorder, "nm-fabric", "a=buffer depth";
+        SpanSubmit, "span", "a=span, b=gate";
+        SpanCollect, "span", "a=span, b=depth";
+        SpanWireTx, "span", "a=span, b=wire seq";
+        SpanWireRx, "span", "a=sender span, b=wire seq";
+        SpanRetx, "span", "a=span, b=wire seq";
+        SpanDeliver, "span", "a=sender span, b=recv span";
+        SpanComplete, "span", "a=span, b=path";
+        SpanWake, "span", "a=span";
     }
 
     /// Decodes a raw on-ring discriminant back into an id.

@@ -45,6 +45,7 @@ mod clock;
 mod events;
 mod report;
 mod ring;
+mod span;
 
 pub use clock::{install_real_clock, install_virtual_clock, now_ns};
 pub use events::{EventId, EventInfo};
@@ -53,6 +54,7 @@ pub use ring::{
     emit, enabled, reset, set_ring_capacity, snapshot_trace, take_trace, ThreadTrace, Trace,
     TraceEvent,
 };
+pub use span::next_span_id;
 
 #[cfg(all(test, feature = "trace"))]
 mod trace_tests {

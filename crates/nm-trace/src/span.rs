@@ -1,0 +1,64 @@
+//! Message span ids: the causal key tying one message's events
+//! together across threads, rails, and retransmissions.
+//!
+//! A span id is allocated once per `isend_with`/`irecv_with` (via
+//! [`next_span_id`]), stored on the request, threaded through the
+//! collect shards and transfer layer, and carried in the reliability
+//! wire header so receive-side and retransmit events on the *other*
+//! rank join the same span. The `Span*` events in [`crate::EventId`]
+//! all carry the span id in `a`; `nm-obs` stitches them into
+//! per-message timelines offline.
+//!
+//! Span id `0` is reserved and means "no span": control-only frames
+//! (pure acks), requests created while tracing is compiled out, and
+//! pre-span trace data all use 0, and every emission site skips the
+//! event when the span is 0. With the `trace` feature disabled
+//! [`next_span_id`] is a `const`-foldable `0` so the request field,
+//! struct plumbing, and wire flag stay dormant at zero cost.
+
+#[cfg(feature = "trace")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(feature = "trace")]
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh nonzero span id (one relaxed `fetch_add`).
+#[cfg(feature = "trace")]
+pub fn next_span_id() -> u64 {
+    // relaxed: a unique-id counter; only uniqueness matters, nothing
+    // is ordered against the increment.
+    NEXT_SPAN.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Tracing compiled out: every span id is 0 ("no span") and all span
+/// plumbing is inert.
+#[cfg(not(feature = "trace"))]
+#[inline(always)]
+pub fn next_span_id() -> u64 {
+    0
+}
+
+#[cfg(all(test, feature = "trace"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_ids_are_nonzero_and_distinct() {
+        let a = next_span_id();
+        let b = next_span_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+}
+
+#[cfg(all(test, not(feature = "trace")))]
+mod notrace_tests {
+    use super::*;
+
+    #[test]
+    fn disabled_form_is_zero() {
+        assert_eq!(next_span_id(), 0);
+        assert_eq!(next_span_id(), 0);
+    }
+}

@@ -52,6 +52,7 @@ pub use nm_core as core;
 pub use nm_fabric as fabric;
 pub use nm_metrics as metrics;
 pub use nm_mpi as mpi;
+pub use nm_obs as obs;
 pub use nm_progress as progress;
 pub use nm_sched as sched;
 pub use nm_sim as sim;

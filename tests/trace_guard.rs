@@ -34,6 +34,25 @@ fn disabled_tracing_records_nothing() {
 }
 
 #[test]
+fn disabled_tracing_allocates_no_span_ids() {
+    // Span ids exist only to label trace events; with tracing off,
+    // allocation short-circuits to 0 ("no span"), the wire header
+    // carries no span bytes, and requests stay span-free.
+    let world = World::pair(ThreadLevel::Multiple);
+    let (a, b) = world.comm_pair();
+    let (to_b, to_a) = (a.sole_peer().unwrap(), b.sole_peer().unwrap());
+    let r = to_a.irecv(9).expect("irecv");
+    let s = to_b.isend(9, b"spanless").expect("isend");
+    assert_eq!(s.span(), 0, "send request must carry no span");
+    assert_eq!(r.span(), 0, "recv request must carry no span");
+    while !r.is_complete() {
+        a.core().progress();
+        b.core().progress();
+    }
+    assert!(trace::take_trace().is_empty());
+}
+
+#[test]
 fn disabled_emit_is_a_no_op() {
     // `emit` is an `#[inline(always)]` empty function: a million calls
     // allocate no ring and retain nothing.

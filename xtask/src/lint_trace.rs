@@ -15,6 +15,16 @@
 //!    through `EventId::Name` expressions (tests, replay scripts like
 //!    `nm-bench`'s `fromtrace`) count as used.
 //!
+//! A third rule keeps the *metrics* catalogue honest the same way:
+//!
+//! 3. **`docs/METRICS.md` and the metric registrations agree.** Every
+//!    dotted metric name registered in the workspace
+//!    (`histogram("x")` / `counter("x")` / `gauge("x")` call sites and
+//!    the `global_hist!`/`global_counter!`/`global_gauge!` wrappers)
+//!    must appear backticked in the catalogue, and every name the
+//!    catalogue lists must still be registered somewhere. `test.` and
+//!    `bench.` names are scaffolding and exempt.
+//!
 //! The scan is textual, like `lint-concurrency`: it runs in milliseconds
 //! and the `trace_event!(Identifier` shape is unambiguous in this
 //! codebase.
@@ -26,6 +36,107 @@ use std::process::ExitCode;
 
 /// Where the schema lives, relative to the workspace root.
 const EVENTS_RS: &str = "crates/nm-trace/src/events.rs";
+
+/// The metric catalogue, relative to the workspace root.
+const METRICS_MD: &str = "docs/METRICS.md";
+
+/// `true` for the dotted-name shape metrics use (`core.send_ns`):
+/// lowercase/digit/underscore segments joined by at least one dot.
+fn is_metric_name(s: &str) -> bool {
+    s.contains('.')
+        && s.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.')
+        && !s.split('.').any(str::is_empty)
+}
+
+/// Extracts every backticked dotted name from the metric catalogue.
+fn doc_metric_names(md: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for chunk in md.split('`').skip(1).step_by(2) {
+        if is_metric_name(chunk) {
+            out.insert(chunk.to_string());
+        }
+    }
+    out
+}
+
+/// Scans one file for metric registrations, recording
+/// `name -> (file, line)` for the first site of each name. Covers
+/// direct `histogram("x")`/`counter("x")`/`gauge("x")` calls and the
+/// `global_hist!`-style wrappers whose name literal sits on a later
+/// line of the macro invocation.
+fn scan_metrics(rel: &str, text: &str, names: &mut BTreeMap<String, (String, usize)>) {
+    const CALLS: [&str; 3] = ["histogram(\"", "counter(\"", "gauge(\""];
+    const MACROS: [&str; 3] = ["global_hist!(", "global_counter!(", "global_gauge!("];
+    let record = |name: &str, line: usize, names: &mut BTreeMap<String, (String, usize)>| {
+        if is_metric_name(name) && !name.starts_with("test.") && !name.starts_with("bench.") {
+            names
+                .entry(name.to_string())
+                .or_insert_with(|| (rel.to_string(), line));
+        }
+    };
+    // A `global_*!(` opener still waiting for its name literal.
+    let mut pending_macro = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split("//").next().unwrap_or_default();
+        for call in CALLS {
+            let mut rest = line;
+            while let Some(pos) = rest.find(call) {
+                let after = &rest[pos + call.len()..];
+                if let Some(name) = after.split('"').next() {
+                    record(name, idx + 1, names);
+                }
+                rest = after;
+            }
+        }
+        if MACROS.iter().any(|m| line.contains(m)) {
+            pending_macro = true;
+        }
+        if pending_macro {
+            // First string literal of the invocation is the metric name
+            // (the handle fn name before it is a bare identifier).
+            let mut parts = line.split('"');
+            if parts.next().is_some() {
+                if let Some(name) = parts.next() {
+                    record(name, idx + 1, names);
+                    pending_macro = false;
+                }
+            }
+        }
+    }
+}
+
+/// Rule 3: the catalogue and the registrations must match exactly.
+fn check_metrics(doc: &BTreeSet<String>, code: &BTreeMap<String, (String, usize)>) -> Vec<Finding> {
+    let mut problems = Vec::new();
+    for (name, (file, line)) in code {
+        if !doc.contains(name) {
+            problems.push(Finding::new(
+                "metric-undocumented",
+                Severity::Error,
+                file.clone(),
+                *line,
+                format!("metric `{name}` is registered here but missing from {METRICS_MD}"),
+            ));
+        }
+    }
+    for name in doc {
+        if !code.contains_key(name) {
+            problems.push(Finding::new(
+                "metric-dead-doc",
+                Severity::Error,
+                METRICS_MD,
+                0,
+                format!(
+                    "{METRICS_MD} lists `{name}` but nothing in the workspace \
+                     registers it — update the catalogue or restore the metric"
+                ),
+            ));
+        }
+    }
+    problems
+}
 
 /// Extracts the registered variant names from the `EventId` enum block.
 fn registered_variants(events_src: &str) -> BTreeSet<String> {
@@ -164,8 +275,16 @@ pub fn run(root: &Path, args: &[String]) -> ExitCode {
     super::collect_rs_files(root, &mut files);
     files.sort();
 
+    let metrics_path = root.join(METRICS_MD);
+    let Ok(metrics_md) = std::fs::read_to_string(&metrics_path) else {
+        eprintln!("lint-trace: cannot read {}", metrics_path.display());
+        return ExitCode::FAILURE;
+    };
+    let doc_metrics = doc_metric_names(&metrics_md);
+
     let mut sites = Vec::new();
     let mut referenced = BTreeSet::new();
+    let mut code_metrics = BTreeMap::new();
     let mut checked = 0usize;
     for path in &files {
         let rel = path
@@ -182,9 +301,11 @@ pub fn run(root: &Path, args: &[String]) -> ExitCode {
         };
         checked += 1;
         scan_file(&rel, &text, &mut sites, &mut referenced);
+        scan_metrics(&rel, &text, &mut code_metrics);
     }
 
-    let problems = check(&registered, &sites, &referenced);
+    let mut problems = check(&registered, &sites, &referenced);
+    problems.extend(check_metrics(&doc_metrics, &code_metrics));
     if !opts.emit("lint-trace", &problems) {
         return ExitCode::FAILURE;
     }
@@ -276,6 +397,56 @@ pub enum EventId {
         let mut refs = BTreeSet::new();
         refs.insert("PacketTx".to_string());
         assert!(check(&registered(), &sites, &refs).is_empty());
+    }
+
+    #[test]
+    fn doc_names_come_from_backticks_with_the_dotted_shape() {
+        let md = "| `core.send_ns` | stuff |\nprose `nm-metrics` and `CommCore::isend`\n\
+                  `fabric.tx_bytes`, `fabric.tx_packets` share a row";
+        let names = doc_metric_names(md);
+        assert_eq!(
+            names.iter().map(String::as_str).collect::<Vec<_>>(),
+            ["core.send_ns", "fabric.tx_bytes", "fabric.tx_packets"]
+        );
+    }
+
+    #[test]
+    fn metric_scan_sees_calls_and_global_macros() {
+        let src = r#"
+            let h = nm_metrics::metrics().histogram("core.send_ns");
+            global_counter!(
+                polls_counter,
+                "progress.polls",
+                "Polling passes."
+            );
+            metrics().gauge("test.reg.gauge");
+        "#;
+        let mut names = BTreeMap::new();
+        scan_metrics("m.rs", src, &mut names);
+        assert_eq!(
+            names.keys().map(String::as_str).collect::<Vec<_>>(),
+            ["core.send_ns", "progress.polls"],
+            "test.* names are scaffolding and exempt"
+        );
+        assert_eq!(names["progress.polls"], ("m.rs".to_string(), 5));
+    }
+
+    #[test]
+    fn metric_drift_is_reported_both_ways() {
+        let mut code = BTreeMap::new();
+        code.insert("core.new_ns".to_string(), ("m.rs".to_string(), 7));
+        let mut doc = BTreeSet::new();
+        doc.insert("core.gone_ns".to_string());
+        let problems = check_metrics(&doc, &code);
+        assert_eq!(problems.len(), 2);
+        assert_eq!(problems[0].rule, "metric-undocumented");
+        assert!(problems[0].message.contains("core.new_ns"));
+        assert_eq!(problems[1].rule, "metric-dead-doc");
+        assert!(problems[1].message.contains("core.gone_ns"));
+
+        doc.insert("core.new_ns".to_string());
+        doc.remove("core.gone_ns");
+        assert!(check_metrics(&doc, &code).is_empty());
     }
 
     #[test]
