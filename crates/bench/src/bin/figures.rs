@@ -565,6 +565,68 @@ fn msgrate(opts: &Options, costs: SimCosts) {
     } else {
         println!("{}", series_table_with(&title, "flows", "Mmsg/s", &series));
     }
+
+    // Flows × VCIs: the multi-VCI transfer layer's scaling axis. One
+    // context is the classic shared-ring NIC (every flow funnels through
+    // one tx/completion ring); with contexts ≥ flows each flow owns its
+    // rings outright. Sim mode models the shared-completion-queue scan;
+    // real mode drives the actual striped per-(rail, VCI) lanes.
+    let vci_flows: Vec<usize> = if opts.quick {
+        vec![1, 4, 16]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
+    let vci_counts: Vec<usize> = if opts.quick {
+        vec![1, 16]
+    } else {
+        vec![1, 4, 16]
+    };
+    let vci_series = if opts.real {
+        use nm_bench::msgrate::{msgrate_threaded, MsgrateOpts};
+        vci_counts
+            .iter()
+            .map(|&v| Series {
+                label: format!("{v} VCI{}", if v == 1 { "" } else { "s" }),
+                points: vci_flows
+                    .iter()
+                    .map(|&n| {
+                        let mo = MsgrateOpts {
+                            locking: LockingMode::Fine,
+                            flows: n,
+                            vcis: v,
+                            rounds: if opts.quick { 10 } else { 50 },
+                            ..MsgrateOpts::default()
+                        };
+                        (n, msgrate_threaded(&mo))
+                    })
+                    .collect(),
+            })
+            .collect::<Vec<_>>()
+    } else {
+        sim::msgrate_vci_scaling(costs, &vci_flows, &vci_counts)
+    };
+    let title = format!(
+        "Message-rate scaling — flows × VCI contexts, fine-grain locking ({})",
+        mode_note(opts)
+    );
+    if opts.csv {
+        println!("# {title}");
+        print!("{}", series_csv(&vci_series));
+    } else {
+        println!(
+            "{}",
+            series_table_with(&title, "flows", "Mmsg/s", &vci_series)
+        );
+    }
+
+    // CI runs this sweep under `--features lockcheck` and archives the
+    // lock graph the striped lanes actually exercised; without the
+    // feature the document just says `enabled: false`.
+    if let Some(path) = std::env::var_os("NOMAD_LOCKGRAPH_OUT") {
+        std::fs::write(&path, nm_sync::lockcheck::dump_graph_json())
+            .expect("write NOMAD_LOCKGRAPH_OUT");
+        eprintln!("lock graph written to {}", path.to_string_lossy());
+    }
 }
 
 /// Outstanding-request counts of the completion-queue experiment.
@@ -903,6 +965,18 @@ fn bench(opts: &Options, costs: SimCosts) {
             "ns",
             b.total_ns as f64,
         ));
+    }
+    // Multi-VCI message rate: x is the flow count, one record family per
+    // context count (appended after everything above so the pre-existing
+    // records keep their historical positions in the file).
+    for s in sim::msgrate_vci_scaling(costs, &[1, 4, 16], &[1, 4, 16]) {
+        for (flows, v) in s.points {
+            records.push(BenchRecord::sim(
+                format!("msgrate-vci/{}/flows={flows}", s.label),
+                "Mmsg/s",
+                v,
+            ));
+        }
     }
     let figures_path = out_dir.join("BENCH_FIGURES.json");
     write_json(&figures_path, &records).expect("write BENCH_FIGURES.json");

@@ -10,15 +10,19 @@
 //!                             aggregation, control-first reordering)
 //!                                     │   arranged packet
 //!                                     ▼
-//!                             transfer layer (per-driver lists)
+//!                             transfer layer (per-lane lists,
+//!                             one lane per (rail, VCI) pair)
 //!                                     │
 //!                                     ▼
-//!                                NIC drivers (polling)
+//!                                NIC drivers (per-VCI polling)
 //! ```
 //!
 //! Small messages travel eagerly inside one packet; large ones use a
 //! rendezvous (RTS → CTS → chunked DATA, chunks distributed round-robin
-//! across rails — the multirail optimization).
+//! across the live lanes — the multirail optimization, extended to the
+//! VCI contexts each rail's driver exposes). Every lane owns its own
+//! transfer queue, reliability window, and driver context, so flows
+//! pinned to different lanes never share a transfer-layer lock.
 
 use std::sync::{Arc, Weak};
 use std::time::Duration;
@@ -32,8 +36,8 @@ use crate::completion::Completion;
 use crate::config::CoreConfig;
 use crate::error::CommError;
 use crate::gate::{
-    Gate, GateId, PendingRts, PostedRecv, RdvRecv, RdvSend, RdvSendDone, TagPattern, UnackedFrame,
-    UnexpectedMsg, XferItem,
+    Gate, GateId, Parked, PendingRts, PostedRecv, RdvRecv, RdvSend, RdvSendDone, TagPattern,
+    UnackedFrame, UnexpectedMsg, XferItem,
 };
 use crate::locking::{LockPolicy, SectionKind};
 use crate::request::{Request, RequestKind};
@@ -53,8 +57,8 @@ fn seq_lt(a: u32, b: u32) -> bool {
 /// Work scheduled on the core's timer wheel, serviced by progression
 /// passes.
 enum TimerItem {
-    /// Check rail `rail` of gate `gate` for a retransmit timeout.
-    Retx { gate: usize, rail: usize },
+    /// Check lane `lane` of gate `gate` for a retransmit timeout.
+    Retx { gate: usize, lane: usize },
     /// Fail the request with [`CommError::Timeout`] unless it completed.
     Expire(Request),
 }
@@ -120,9 +124,11 @@ impl CoreBuilder {
                 gate.min_mtu(),
                 id
             );
-            driver_base += gate.num_rails();
+            driver_base += gate.num_lanes();
             gates.push(gate);
         }
+        // `driver_base` now counts lanes, not rails: the policy sizes its
+        // vci/retrans/driver arrays one entry per (rail, VCI) pair.
         let policy = LockPolicy::new(self.config.locking, gates.len(), driver_base);
         let strategy = self.config.strategy.build();
 
@@ -222,7 +228,7 @@ impl CommCore {
                 self.stats.eager_sent.incr();
                 SendItem {
                     tag,
-                    seq: g.alloc_eager_seq(),
+                    seq: g.alloc_seq(),
                     kind: SendItemKind::Eager(data),
                     span: req.span(),
                     req: Some(req.clone()),
@@ -342,7 +348,19 @@ impl CommCore {
             {
                 let s = self.policy.enter(SectionKind::CollectRx(gate.0));
                 g.rx.with(&s, |rx| {
-                    if let Some(msg) = rx.take_unexpected_matching(pattern) {
+                    // Eager messages and RTS share one sequence space, so
+                    // the earlier *send* is simply the lower seq — a
+                    // buffered rendezvous must not lose its place to a
+                    // later eager message (or vice versa).
+                    let eager_seq = rx.peek_unexpected_seq(pattern);
+                    let rts_seq = rx.peek_pending_rts_seq(pattern);
+                    let eager_first = match (eager_seq, rts_seq) {
+                        (Some(e), Some(r)) => seq_lt(e, r),
+                        (Some(_), None) => true,
+                        _ => false,
+                    };
+                    if eager_first {
+                        let msg = rx.take_unexpected_matching(pattern).expect("peeked");
                         then = Then::Complete(msg.tag, msg.data);
                     } else if let Some(rts) = rx.take_pending_rts(pattern) {
                         rx.rdv_in_insert(RdvRecv {
@@ -411,6 +429,45 @@ impl CommCore {
         events
     }
 
+    /// One progression pass restricted to a lane shard: polls and
+    /// flushes only the lanes whose *global* index (gate `driver_base`
+    /// plus lane) satisfies `index % num_shards == shard`. Dedicated
+    /// progression threads each drive their own set of VCI contexts
+    /// this way without contending on the same driver sections. Timers
+    /// are serviced by shard 0 only, so concurrent shard pollers never
+    /// double-fire a retransmit clock.
+    pub fn progress_shard(&self, shard: usize, num_shards: usize) -> usize {
+        assert!(num_shards > 0 && shard < num_shards, "shard out of range");
+        let api = self.policy.enter_api();
+        self.stats.progress_passes.incr();
+        let mut events = if shard == 0 { self.service_timers() } else { 0 };
+        for g in &self.gates {
+            for lane in 0..g.num_lanes() {
+                if (g.driver_base + lane) % num_shards != shard {
+                    continue;
+                }
+                events += self.poll_lane(g, lane);
+                events += self.flush_xfer(g, lane);
+            }
+        }
+        drop(api);
+        nm_trace::trace_event!(ProgressPass, events);
+        events
+    }
+
+    /// A [`PollSource`] driving one lane shard (see
+    /// [`CommCore::progress_shard`]); register one per shard with a
+    /// progression engine so each VCI gets its own poller.
+    pub fn vci_poll_source(&self, shard: usize, num_shards: usize) -> VciPollSource {
+        assert!(num_shards > 0 && shard < num_shards, "shard out of range");
+        VciPollSource {
+            core: self.self_weak.upgrade().expect("core still alive"),
+            shard,
+            num_shards,
+            name: format!("nm-core.vci.{shard}"),
+        }
+    }
+
     /// Pops due timers and acts on them: retransmit checks for the
     /// reliability protocol, deadline expiries for bounded waits.
     fn service_timers(&self) -> usize {
@@ -421,9 +478,9 @@ impl CommCore {
         let mut events = 0;
         for item in self.timers.pop_due(now) {
             match item {
-                TimerItem::Retx { gate, rail } => {
+                TimerItem::Retx { gate, lane } => {
                     if let Some(g) = self.gates.get(gate) {
-                        events += self.check_retransmit(g, rail, now);
+                        events += self.check_retransmit(g, lane, now);
                     }
                 }
                 TimerItem::Expire(req) => {
@@ -613,21 +670,21 @@ impl CommCore {
                 counts.unexpected += rx.unexpected_len();
                 counts.pending_rts += rx.pending_rts_len();
                 counts.rdv_reassembling += rx.rdv_in_len();
-                counts.eager_out_of_order += rx.eager_ooo_len();
+                counts.eager_out_of_order += rx.ooo_len();
             });
             drop(s);
             if self.config.reliability.enabled {
-                for rail in 0..g.num_rails() {
+                for lane in 0..g.num_lanes() {
                     let s = self
                         .policy
-                        .enter(SectionKind::Retrans(g.driver_base + rail));
-                    g.rel[rail].with(&s, |rel| counts.unacked_frames += rel.unacked.len());
+                        .enter(SectionKind::Retrans(g.driver_base + lane));
+                    g.rel[lane].with(&s, |rel| counts.unacked_frames += rel.unacked.len());
                     drop(s);
                 }
             }
-            for rail in 0..g.num_rails() {
-                let s = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
-                g.xfer[rail].with(&s, |q| counts.xfer_items += q.len());
+            for lane in 0..g.num_lanes() {
+                let s = self.policy.enter(SectionKind::Vci(g.driver_base + lane));
+                g.xfer[lane].with(&s, |q| counts.xfer_items += q.len());
                 drop(s);
             }
         }
@@ -713,67 +770,73 @@ impl CommCore {
         }
     }
 
-    /// Polls one gate's rails, unwraps each frame, and dispatches
+    /// Polls one gate's lanes, unwraps each frame, and dispatches
     /// everything deliverable. Corrupt frames are dropped here, before
     /// any protocol field is decoded.
     fn poll_gate(&self, g: &Gate) -> usize {
+        (0..g.num_lanes()).map(|lane| self.poll_lane(g, lane)).sum()
+    }
+
+    /// Polls one lane's completion ring: each lane owns its own driver
+    /// section, so concurrent pollers on different lanes of the same
+    /// rail never serialize against each other.
+    fn poll_lane(&self, g: &Gate, lane: usize) -> usize {
         let reliable = self.config.reliability.enabled;
+        let (rail, vci) = g.lane_rail_vci(lane);
         let mut events = 0;
-        for rail in 0..g.num_rails() {
-            for _ in 0..self.config.max_polls_per_pass {
-                let pkt = {
-                    let s = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
-                    let p = g.drivers[rail].poll();
-                    drop(s);
-                    p
-                };
-                let Some(raw) = pkt else { break };
-                events += 1;
-                match decode_frame(raw) {
-                    Ok(frame) if reliable && frame.reliable() => {
-                        if frame.span != 0 {
-                            nm_trace::trace_event!(SpanWireRx, frame.span, frame.wseq);
-                        }
-                        for (packet, span) in self.rel_receive(g, rail, frame) {
-                            self.stats.packets_rx.incr();
-                            self.dispatch(g, packet, span);
-                        }
+        for _ in 0..self.config.max_polls_per_pass {
+            let pkt = {
+                let s = self.policy.enter(SectionKind::Driver(g.driver_base + lane));
+                let p = g.drivers[rail].poll_vci(vci);
+                drop(s);
+                p
+            };
+            let Some(raw) = pkt else { break };
+            events += 1;
+            match decode_frame(raw) {
+                Ok(frame) if reliable && frame.reliable() => {
+                    if frame.span != 0 {
+                        nm_trace::trace_event!(SpanWireRx, frame.span, frame.wseq);
                     }
-                    Ok(frame) => {
-                        if frame.span != 0 {
-                            nm_trace::trace_event!(SpanWireRx, frame.span, frame.wseq);
-                        }
-                        if !frame.ack_only() {
-                            self.stats.packets_rx.incr();
-                            self.dispatch(g, frame.payload, frame.span);
-                        }
-                    }
-                    Err(WireError::BadChecksum { .. }) => {
-                        self.stats.corrupt_dropped.incr();
-                    }
-                    Err(_) => {
-                        self.stats.wire_errors.incr();
+                    for (packet, span) in self.rel_receive(g, lane, frame) {
+                        self.stats.packets_rx.incr();
+                        self.dispatch(g, packet, span);
                     }
                 }
+                Ok(frame) => {
+                    if frame.span != 0 {
+                        nm_trace::trace_event!(SpanWireRx, frame.span, frame.wseq);
+                    }
+                    if !frame.ack_only() {
+                        self.stats.packets_rx.incr();
+                        self.dispatch(g, frame.payload, frame.span);
+                    }
+                }
+                Err(WireError::BadChecksum { .. }) => {
+                    self.stats.corrupt_dropped.incr();
+                }
+                Err(_) => {
+                    self.stats.wire_errors.incr();
+                }
             }
-            if reliable {
-                events += self.flush_ack(g, rail);
-            }
+        }
+        if reliable {
+            events += self.flush_ack(g, lane);
         }
         events
     }
 
-    /// Runs one reliable frame through the rail's receive window:
+    /// Runs one reliable frame through the lane's receive window:
     /// processes its cumulative ack, suppresses duplicates, buffers
     /// out-of-order arrivals, and returns the packets released for
     /// dispatch (in wire order), each paired with the span its frame
     /// carried (0 = none).
-    fn rel_receive(&self, g: &Gate, rail: usize, frame: Frame) -> Vec<(Bytes, u64)> {
+    fn rel_receive(&self, g: &Gate, lane: usize, frame: Frame) -> Vec<(Bytes, u64)> {
         let r = &self.config.reliability;
         let s = self
             .policy
-            .enter(SectionKind::Retrans(g.driver_base + rail));
-        let out = g.rel[rail].with(&s, |rel| {
+            .enter(SectionKind::Retrans(g.driver_base + lane));
+        let out = g.rel[lane].with(&s, |rel| {
             // Cumulative ack: everything below `frame.ack` is delivered.
             let mut advanced = false;
             while rel
@@ -822,23 +885,24 @@ impl CommCore {
         out
     }
 
-    /// Sends a bare cumulative acknowledgement if the rail owes one.
+    /// Sends a bare cumulative acknowledgement if the lane owes one.
     /// Ack-only frames are not sequenced and never retransmitted — a
     /// lost ack is repaired by the peer's retransmit provoking a new one.
-    fn flush_ack(&self, g: &Gate, rail: usize) -> usize {
-        if g.rail_is_dead(rail) {
+    fn flush_ack(&self, g: &Gate, lane: usize) -> usize {
+        if g.lane_is_dead(lane) {
             return 0;
         }
+        let (rail, vci) = g.lane_rail_vci(lane);
         let s = self
             .policy
-            .enter(SectionKind::Retrans(g.driver_base + rail));
-        let sent = g.rel[rail].with(&s, |rel| {
+            .enter(SectionKind::Retrans(g.driver_base + lane));
+        let sent = g.rel[lane].with(&s, |rel| {
             if !rel.ack_pending {
                 return false;
             }
             let frame = encode_frame(0, rel.rx_expected, FRAME_RELIABLE | FRAME_ACK_ONLY, 0, &[]);
-            let d = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
-            let posted = g.drivers[rail].post(frame);
+            let d = self.policy.enter(SectionKind::Driver(g.driver_base + lane));
+            let posted = g.drivers[rail].post_vci(vci, frame);
             drop(d);
             match posted {
                 Ok(()) => {
@@ -881,24 +945,23 @@ impl CommCore {
                 match entry {
                     Entry::Eager { tag, seq, data } => g.rx.with(&s, |rx| {
                         if self.config.ordered_eager {
-                            // Resequencer: release eager messages strictly
-                            // in send order; park later ones.
-                            if seq != rx.expected_eager {
-                                if seq_lt(seq, rx.expected_eager) {
+                            // Resequencer: release messages strictly in
+                            // send order; park later ones.
+                            if seq != rx.expected_seq {
+                                if seq_lt(seq, rx.expected_seq) {
                                     // Already released: a redelivery.
                                     self.stats.dup_dropped.incr();
-                                } else if !rx.push_eager_ooo(UnexpectedMsg { tag, seq, data }) {
+                                } else if !rx.push_ooo(Parked::Eager(UnexpectedMsg {
+                                    tag,
+                                    seq,
+                                    data,
+                                })) {
                                     self.stats.dup_dropped.incr();
                                 }
                                 return;
                             }
                             self.deliver_eager(rx, tag, seq, data, &mut after);
-                            rx.expected_eager = rx.expected_eager.wrapping_add(1);
-                            // Drain any now-in-order parked messages.
-                            while let Some(m) = rx.take_eager_ooo(rx.expected_eager) {
-                                self.deliver_eager(rx, m.tag, m.seq, m.data, &mut after);
-                                rx.expected_eager = rx.expected_eager.wrapping_add(1);
-                            }
+                            self.release_parked(rx, &mut after, &mut cts_out);
                         } else {
                             self.deliver_eager(rx, tag, seq, data, &mut after);
                         }
@@ -909,21 +972,25 @@ impl CommCore {
                             // accepted; the CTS is on its way (or lost —
                             // the sender's retransmit covers that).
                             self.stats.dup_dropped.incr();
-                        } else if let Some(p) = rx.take_posted(tag) {
-                            let recv_span = p.req.span();
-                            rx.rdv_in_insert(RdvRecv {
-                                tag,
-                                seq,
-                                total,
-                                received: 0,
-                                buf: BytesMut::zeroed(total as usize),
-                                req: p.req,
-                                chunks: std::collections::BTreeMap::new(),
-                            });
-                            self.stats.rdv_accepted.incr();
-                            cts_out.push((tag, seq, recv_span));
-                        } else if !rx.push_pending_rts(PendingRts { tag, seq, total }) {
-                            self.stats.dup_dropped.incr();
+                        } else if self.config.ordered_eager {
+                            // The RTS obeys the same resequencer as eager
+                            // messages (shared seq space): a large send
+                            // must not overtake a smaller same-tag one
+                            // just because it rode a different lane.
+                            if seq != rx.expected_seq {
+                                // Stale redelivery, or a duplicate of an
+                                // already-parked RTS: drop either way.
+                                if seq_lt(seq, rx.expected_seq)
+                                    || !rx.push_ooo(Parked::Rts(PendingRts { tag, seq, total }))
+                                {
+                                    self.stats.dup_dropped.incr();
+                                }
+                                return;
+                            }
+                            self.accept_rts(rx, tag, seq, total, &mut cts_out);
+                            self.release_parked(rx, &mut after, &mut cts_out);
+                        } else {
+                            self.accept_rts(rx, tag, seq, total, &mut cts_out);
                         }
                     }),
                     Entry::Cts { tag: _, seq } => cts_in.push(seq),
@@ -1003,14 +1070,15 @@ impl CommCore {
     }
 
     /// Chunks an acknowledged rendezvous send and distributes the chunks
-    /// round-robin across the live rails (multirail distribution).
+    /// round-robin across the live lanes (multirail distribution,
+    /// striped over every rail's VCI contexts).
     fn start_rdv_data(&self, g: &Gate, rdv: RdvSend) {
         if rdv.req.is_complete() {
             // Cancelled while waiting for the CTS: send nothing.
             return;
         }
-        let rails: Vec<usize> = (0..g.num_rails()).filter(|&r| !g.rail_is_dead(r)).collect();
-        if rails.is_empty() {
+        let lanes: Vec<usize> = (0..g.num_lanes()).filter(|&l| !g.lane_is_dead(l)).collect();
+        if lanes.is_empty() {
             rdv.req.fail(CommError::PeerUnreachable);
             return;
         }
@@ -1022,9 +1090,9 @@ impl CommCore {
             remaining: std::sync::atomic::AtomicUsize::new(num_chunks),
             req: rdv.req,
         });
-        // relaxed: round-robin cursor; any interleaving is a valid rail
+        // relaxed: round-robin cursor; any interleaving is a valid lane
         // choice, no data is published through it.
-        let start_rail = g.rr_rail.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let start_lane = g.rr_lane.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         for i in 0..num_chunks {
             let offset = i * chunk;
             let end = (offset + chunk).min(total);
@@ -1035,9 +1103,9 @@ impl CommCore {
                 data: rdv.data.slice(offset..end),
             };
             let packet = encode_packet(&[entry]);
-            let rail = rails[(start_rail + i) % rails.len()];
-            let s = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
-            g.xfer[rail].with(&s, |q| {
+            let lane = lanes[(start_lane + i) % lanes.len()];
+            let s = self.policy.enter(SectionKind::Vci(g.driver_base + lane));
+            g.xfer[lane].with(&s, |q| {
                 q.push_back(XferItem {
                     packet,
                     complete_on_post: Vec::new(),
@@ -1050,26 +1118,27 @@ impl CommCore {
         self.pump_gate(g);
     }
 
-    /// Frames `packet` and injects it on `rail`.
+    /// Frames `packet` and injects it on `lane`.
     ///
     /// With reliability disabled the frame only adds the checksum. With
-    /// it enabled the frame is sequenced on the rail, recorded in the
+    /// it enabled the frame is sequenced on the lane, recorded in the
     /// retransmit window (a full window reports `WouldBlock` like a busy
     /// NIC), and carries the piggybacked cumulative ack. Lock order: the
-    /// rail's `Retrans` section encloses its `Driver` section
+    /// lane's `Retrans` section encloses its `Driver` section
     /// (`core.retrans.N → core.driver.N`), never the reverse.
     fn post_packet(
         &self,
         g: &Gate,
-        rail: usize,
+        lane: usize,
         packet: &Bytes,
         span: u64,
     ) -> Result<(), nm_fabric::PostError> {
         let r = &self.config.reliability;
+        let (rail, vci) = g.lane_rail_vci(lane);
         if !r.enabled {
             let frame = encode_frame(0, 0, 0, span, packet);
-            let s = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
-            let posted = g.drivers[rail].post(frame);
+            let s = self.policy.enter(SectionKind::Driver(g.driver_base + lane));
+            let posted = g.drivers[rail].post_vci(vci, frame);
             drop(s);
             if posted.is_ok() && span != 0 {
                 nm_trace::trace_event!(SpanWireTx, span, 0);
@@ -1078,15 +1147,15 @@ impl CommCore {
         }
         let s = self
             .policy
-            .enter(SectionKind::Retrans(g.driver_base + rail));
-        let posted = g.rel[rail].with(&s, |rel| {
+            .enter(SectionKind::Retrans(g.driver_base + lane));
+        let posted = g.rel[lane].with(&s, |rel| {
             if rel.unacked.len() >= r.window {
                 return Err(nm_fabric::PostError::WouldBlock);
             }
             let wseq = rel.next_tx_wseq;
             let frame = encode_frame(wseq, rel.rx_expected, FRAME_RELIABLE, span, packet);
-            let d = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
-            let posted = g.drivers[rail].post(frame);
+            let d = self.policy.enter(SectionKind::Driver(g.driver_base + lane));
+            let posted = g.drivers[rail].post_vci(vci, frame);
             drop(d);
             if posted.is_ok() {
                 if span != 0 {
@@ -1105,7 +1174,7 @@ impl CommCore {
                 if !rel.timer_armed {
                     rel.timer_armed = true;
                     self.timers
-                        .schedule(now + r.rto_base_ns, TimerItem::Retx { gate: g.id.0, rail });
+                        .schedule(now + r.rto_base_ns, TimerItem::Retx { gate: g.id.0, lane });
                 }
             }
             posted
@@ -1115,17 +1184,17 @@ impl CommCore {
     }
 
     /// Pushes queued work toward the NICs: flushes transfer lists, then
-    /// invokes the optimization layer for every idle rail.
+    /// invokes the optimization layer for every idle lane.
     fn pump_gate(&self, g: &Gate) -> usize {
         let mut events = 0;
-        for rail in 0..g.num_rails() {
-            events += self.flush_xfer(g, rail);
+        for lane in 0..g.num_lanes() {
+            events += self.flush_xfer(g, lane);
         }
-        // Optimization layer: fill idle rails from the collect queue.
+        // Optimization layer: fill idle lanes from the collect queue.
         // relaxed: round-robin cursor, see above.
-        let mut rail_cursor = g.rr_rail.load(std::sync::atomic::Ordering::Relaxed);
-        while let Some(rail) = self.pick_idle_rail(g, rail_cursor) {
-            rail_cursor = rail + 1;
+        let mut lane_cursor = g.rr_lane.load(std::sync::atomic::Ordering::Relaxed);
+        while let Some(lane) = self.pick_idle_lane(g, lane_cursor) {
+            lane_cursor = lane + 1;
             let budget = self.packet_budget(g);
             let items = {
                 let s = self.policy.enter(SectionKind::CollectTx(g.id.0));
@@ -1152,8 +1221,8 @@ impl CommCore {
             // aboard. Aggregated passengers keep their submit/collect/
             // complete events but ride the carrier's wire attribution.
             let span = items.iter().map(|i| i.span).find(|&s| s != 0).unwrap_or(0);
-            nm_trace::trace_event!(TransmitBegin, g.id.0, rail);
-            let posted = self.post_packet(g, rail, &packet, span);
+            nm_trace::trace_event!(TransmitBegin, g.id.0, lane);
+            let posted = self.post_packet(g, lane, &packet, span);
             nm_trace::trace_event!(TransmitEnd, g.id.0, posted.is_ok());
             match posted {
                 Ok(()) => {
@@ -1183,22 +1252,35 @@ impl CommCore {
         events
     }
 
-    /// Drains one rail's transfer list while the NIC accepts packets.
+    /// Drains one lane's transfer list while its NIC context accepts
+    /// packets.
     ///
     /// The pop and the post are *not* atomic (the reliability layer must
     /// take its `Retrans` section before the driver section): a racing
     /// pumper can interleave items, which is harmless — the list carries
-    /// offset-addressed rendezvous chunks.
-    fn flush_xfer(&self, g: &Gate, rail: usize) -> usize {
-        if self.config.reliability.enabled && g.rail_is_dead(rail) {
-            return self.migrate_stranded(g, rail);
+    /// offset-addressed rendezvous chunks. On a failed post the item is
+    /// restored with `push_front`, so the queue's relative order is
+    /// preserved even when several flushers contend on one lane.
+    ///
+    /// `can_post_vci` is read under the `Vci` section but *without* the
+    /// driver lock — a racy hint. On a multi-queue driver the hint can
+    /// go stale in either direction under a different VCI's load: a
+    /// stale `true` costs one failed post (the item is restored, the
+    /// loop exits), a stale `false` ends the flush with items still
+    /// queued. Neither strands anything permanently: every progression
+    /// pass re-runs `flush_xfer` on every lane, so a queue left
+    /// non-empty by a stale hint is re-flushed on the next poll.
+    fn flush_xfer(&self, g: &Gate, lane: usize) -> usize {
+        if self.config.reliability.enabled && g.lane_is_dead(lane) {
+            return self.migrate_stranded(g, lane);
         }
+        let (rail, vci) = g.lane_rail_vci(lane);
         let mut events = 0;
         loop {
             let item = {
-                let s = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
-                let item = if g.drivers[rail].can_post() {
-                    g.xfer[rail].with(&s, |q| q.pop_front())
+                let s = self.policy.enter(SectionKind::Vci(g.driver_base + lane));
+                let item = if g.drivers[rail].can_post_vci(vci) {
+                    g.xfer[lane].with(&s, |q| q.pop_front())
                 } else {
                     None
                 };
@@ -1206,12 +1288,12 @@ impl CommCore {
                 item
             };
             let Some(item) = item else { break };
-            nm_trace::trace_event!(TransmitBegin, g.id.0, rail);
-            let res = self.post_packet(g, rail, &item.packet, item.span);
+            nm_trace::trace_event!(TransmitBegin, g.id.0, lane);
+            let res = self.post_packet(g, lane, &item.packet, item.span);
             nm_trace::trace_event!(TransmitEnd, g.id.0, res.is_ok());
             if res.is_err() {
-                let s = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
-                g.xfer[rail].with(&s, |q| q.push_front(item));
+                let s = self.policy.enter(SectionKind::Vci(g.driver_base + lane));
+                g.xfer[lane].with(&s, |q| q.push_front(item));
                 drop(s);
                 break;
             }
@@ -1227,15 +1309,17 @@ impl CommCore {
         events
     }
 
-    /// Round-robin scan for a live rail whose NIC reports itself idle.
+    /// Round-robin scan for a live lane whose NIC context reports itself
+    /// idle.
     ///
-    /// `can_post` is read without the driver lock as a racy hint; the
-    /// subsequent `post` under the lock handles the losing race.
-    fn pick_idle_rail(&self, g: &Gate, start: usize) -> Option<usize> {
-        let n = g.num_rails();
-        (0..n)
-            .map(|i| (start + i) % n)
-            .find(|&rail| !g.rail_is_dead(rail) && g.drivers[rail].can_post())
+    /// `can_post_vci` is read without the driver lock as a racy hint;
+    /// the subsequent `post_vci` under the lock handles the losing race.
+    fn pick_idle_lane(&self, g: &Gate, start: usize) -> Option<usize> {
+        let n = g.num_lanes();
+        (0..n).map(|i| (start + i) % n).find(|&lane| {
+            let (rail, vci) = g.lane_rail_vci(lane);
+            !g.lane_is_dead(lane) && g.drivers[rail].can_post_vci(vci)
+        })
     }
 
     /// Payload budget for the next arranged packet. The span word is
@@ -1259,19 +1343,23 @@ impl CommCore {
 
     // ----- reliability: retransmit, failover ----------------------------
 
-    /// Acts on a fired retransmit timer for one rail: resends the head of
+    /// Acts on a fired retransmit timer for one lane: resends the head of
     /// the window with exponential backoff, counts retry exhaustions, and
-    /// triggers failover at the configured threshold.
-    fn check_retransmit(&self, g: &Gate, rail: usize, now: u64) -> usize {
+    /// triggers failover at the configured threshold. Exhaustion kills
+    /// the *lane* — a single VCI context can die while its rail's other
+    /// contexts stay live; a physical rail death simply exhausts every
+    /// lane it carries.
+    fn check_retransmit(&self, g: &Gate, lane: usize, now: u64) -> usize {
         let r = &self.config.reliability;
         let mut dead = false;
         let mut events = 0;
+        let (rail, vci) = g.lane_rail_vci(lane);
         let s = self
             .policy
-            .enter(SectionKind::Retrans(g.driver_base + rail));
-        g.rel[rail].with(&s, |rel| {
+            .enter(SectionKind::Retrans(g.driver_base + lane));
+        g.rel[lane].with(&s, |rel| {
             rel.timer_armed = false;
-            if g.rail_is_dead(rail) {
+            if g.lane_is_dead(lane) {
                 return;
             }
             let Some(head) = rel.unacked.front_mut() else {
@@ -1284,7 +1372,7 @@ impl CommCore {
                         dead = true;
                         return;
                     }
-                    // Keep trying at maximum backoff until the rail is
+                    // Keep trying at maximum backoff until the lane is
                     // declared dead.
                     head.attempts = 0;
                 }
@@ -1296,7 +1384,7 @@ impl CommCore {
                 head.retx_at_ns = now + backoff;
                 self.stats.retransmits.incr();
                 events += 1;
-                nm_trace::trace_event!(Retransmit, g.driver_base + rail, head.wseq);
+                nm_trace::trace_event!(Retransmit, g.driver_base + lane, head.wseq);
                 if head.span != 0 {
                     nm_trace::trace_event!(SpanRetx, head.span, head.wseq);
                 }
@@ -1308,46 +1396,46 @@ impl CommCore {
                     &head.packet,
                 );
                 rel.ack_pending = false;
-                let d = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
+                let d = self.policy.enter(SectionKind::Driver(g.driver_base + lane));
                 // WouldBlock: the rearmed timer simply tries again.
-                let _ = g.drivers[rail].post(frame);
+                let _ = g.drivers[rail].post_vci(vci, frame);
                 drop(d);
             }
             rel.timer_armed = true;
             let at = rel.unacked.front().expect("head checked").retx_at_ns;
             self.timers
-                .schedule(at, TimerItem::Retx { gate: g.id.0, rail });
+                .schedule(at, TimerItem::Retx { gate: g.id.0, lane });
         });
         drop(s);
         if dead {
-            events += self.kill_rail(g, rail);
+            events += self.kill_lane(g, lane);
         }
         events
     }
 
-    /// Declares `rail` dead and re-stripes everything it still owed onto
-    /// the surviving rails. With no rail left the gate's in-flight sends
+    /// Declares `lane` dead and re-stripes everything it still owed onto
+    /// the surviving lanes. With no lane left the gate's in-flight sends
     /// fail with [`CommError::PeerUnreachable`].
-    fn kill_rail(&self, g: &Gate, rail: usize) -> usize {
-        if !g.mark_rail_dead(rail) {
+    fn kill_lane(&self, g: &Gate, lane: usize) -> usize {
+        if !g.mark_lane_dead(lane) {
             return 0; // another thread ran the failover
         }
         self.stats.rails_failed.incr();
-        nm_trace::trace_event!(RailDead, g.id.0, g.driver_base + rail);
-        // Unacknowledged frames go back to packet form: a surviving rail
+        nm_trace::trace_event!(RailDead, g.id.0, g.driver_base + lane);
+        // Unacknowledged frames go back to packet form: a surviving lane
         // re-frames them under its own sequence space. Spans ride along
         // so the restriped retry tail stays attributable.
         let packets: Vec<(Bytes, u64)> = {
             let s = self
                 .policy
-                .enter(SectionKind::Retrans(g.driver_base + rail));
-            let packets = g.rel[rail].with(&s, |rel| {
+                .enter(SectionKind::Retrans(g.driver_base + lane));
+            let packets = g.rel[lane].with(&s, |rel| {
                 rel.unacked.drain(..).map(|f| (f.packet, f.span)).collect()
             });
             drop(s);
             packets
         };
-        let live: Vec<usize> = (0..g.num_rails()).filter(|&r| !g.rail_is_dead(r)).collect();
+        let live: Vec<usize> = (0..g.num_lanes()).filter(|&l| !g.lane_is_dead(l)).collect();
         if live.is_empty() {
             self.fail_gate(g);
             nm_obs::flight::record_failure("rail-dead", 0, 0);
@@ -1355,7 +1443,7 @@ impl CommCore {
         }
         for (i, (packet, span)) in packets.into_iter().enumerate() {
             let to = live[i % live.len()];
-            let s = self.policy.enter(SectionKind::Driver(g.driver_base + to));
+            let s = self.policy.enter(SectionKind::Vci(g.driver_base + to));
             g.xfer[to].with(&s, |q| {
                 q.push_back(XferItem {
                     packet,
@@ -1366,24 +1454,30 @@ impl CommCore {
             });
             drop(s);
         }
-        self.migrate_stranded(g, rail);
+        self.migrate_stranded(g, lane);
         nm_obs::flight::record_failure("rail-dead", 0, 0);
         1
     }
 
-    /// Moves a dead rail's queued transfer items to the surviving rails
+    /// Moves a dead lane's queued transfer items to the surviving lanes
     /// (failed requests if none survive). Returns 1 if anything moved.
-    fn migrate_stranded(&self, g: &Gate, rail: usize) -> usize {
+    ///
+    /// The liveness snapshot is taken *after* draining the stranded
+    /// queue: a lane that dies between the snapshot and the re-push is
+    /// re-drained by its own killer's `migrate_stranded` (every
+    /// `kill_lane` transition runs one), so a migrated item can chase
+    /// failovers but never lands permanently on a dead lane.
+    fn migrate_stranded(&self, g: &Gate, lane: usize) -> usize {
         let stranded: Vec<XferItem> = {
-            let s = self.policy.enter(SectionKind::Driver(g.driver_base + rail));
-            let items = g.xfer[rail].with(&s, |q| q.drain(..).collect());
+            let s = self.policy.enter(SectionKind::Vci(g.driver_base + lane));
+            let items = g.xfer[lane].with(&s, |q| q.drain(..).collect());
             drop(s);
             items
         };
         if stranded.is_empty() {
             return 0;
         }
-        let live: Vec<usize> = (0..g.num_rails()).filter(|&r| !g.rail_is_dead(r)).collect();
+        let live: Vec<usize> = (0..g.num_lanes()).filter(|&l| !g.lane_is_dead(l)).collect();
         if live.is_empty() {
             for item in stranded {
                 for req in item.complete_on_post {
@@ -1397,14 +1491,14 @@ impl CommCore {
         }
         for (i, item) in stranded.into_iter().enumerate() {
             let to = live[i % live.len()];
-            let s = self.policy.enter(SectionKind::Driver(g.driver_base + to));
+            let s = self.policy.enter(SectionKind::Vci(g.driver_base + to));
             g.xfer[to].with(&s, |q| q.push_back(item));
             drop(s);
         }
         1
     }
 
-    /// Every rail is dead: fail all of the gate's in-flight send work so
+    /// Every lane is dead: fail all of the gate's in-flight send work so
     /// nothing waits forever on an unreachable peer.
     fn fail_gate(&self, g: &Gate) {
         let (items, rdvs) = {
@@ -1425,8 +1519,8 @@ impl CommCore {
         for rdv in rdvs {
             rdv.req.fail(CommError::PeerUnreachable);
         }
-        for rail in 0..g.num_rails() {
-            self.migrate_stranded(g, rail);
+        for lane in 0..g.num_lanes() {
+            self.migrate_stranded(g, lane);
         }
     }
 }
@@ -1480,6 +1574,54 @@ impl CommCore {
             rx.push_unexpected(UnexpectedMsg { tag, seq, data });
         }
     }
+
+    /// Matches one in-order RTS against the posted receives (queueing
+    /// its CTS via `cts_out`), or parks it in the pending-RTS bins.
+    /// Runs under the gate's rx section.
+    fn accept_rts(
+        &self,
+        rx: &mut crate::gate::RxState,
+        tag: u64,
+        seq: u32,
+        total: u32,
+        cts_out: &mut Vec<(u64, u32, u64)>,
+    ) {
+        if let Some(p) = rx.take_posted(tag) {
+            let recv_span = p.req.span();
+            rx.rdv_in_insert(RdvRecv {
+                tag,
+                seq,
+                total,
+                received: 0,
+                buf: BytesMut::zeroed(total as usize),
+                req: p.req,
+                chunks: std::collections::BTreeMap::new(),
+            });
+            self.stats.rdv_accepted.incr();
+            cts_out.push((tag, seq, recv_span));
+        } else if !rx.push_pending_rts(PendingRts { tag, seq, total }) {
+            self.stats.dup_dropped.incr();
+        }
+    }
+
+    /// Advances the resequencer past a just-released message and drains
+    /// every parked message that is now in order, whichever protocol it
+    /// belongs to. Runs under the gate's rx section.
+    fn release_parked(
+        &self,
+        rx: &mut crate::gate::RxState,
+        after: &mut Vec<After>,
+        cts_out: &mut Vec<(u64, u32, u64)>,
+    ) {
+        rx.expected_seq = rx.expected_seq.wrapping_add(1);
+        while let Some(parked) = rx.take_ooo(rx.expected_seq) {
+            match parked {
+                Parked::Eager(m) => self.deliver_eager(rx, m.tag, m.seq, m.data, after),
+                Parked::Rts(r) => self.accept_rts(rx, r.tag, r.seq, r.total, cts_out),
+            }
+            rx.expected_seq = rx.expected_seq.wrapping_add(1);
+        }
+    }
 }
 
 impl PollSource for CommCore {
@@ -1492,6 +1634,29 @@ impl PollSource for CommCore {
     }
     fn name(&self) -> &str {
         "nm-core"
+    }
+}
+
+/// A [`PollSource`] restricted to one lane shard of a core (see
+/// [`CommCore::progress_shard`]): it keeps the core alive and polls
+/// only its shard's VCI contexts each pass.
+pub struct VciPollSource {
+    core: Arc<CommCore>,
+    shard: usize,
+    num_shards: usize,
+    name: String,
+}
+
+impl PollSource for VciPollSource {
+    fn poll(&self) -> PollOutcome {
+        if self.core.progress_shard(self.shard, self.num_shards) > 0 {
+            PollOutcome::Progressed
+        } else {
+            PollOutcome::Idle
+        }
+    }
+    fn name(&self) -> &str {
+        &self.name
     }
 }
 

@@ -58,6 +58,24 @@ pub(crate) struct PendingRts {
     pub total: u32,
 }
 
+/// A message the resequencer is holding back because an earlier one has
+/// not arrived yet. Eager and rendezvous share the sequence space, so
+/// either protocol can be the one parked behind a gap.
+#[derive(Debug)]
+pub(crate) enum Parked {
+    Eager(UnexpectedMsg),
+    Rts(PendingRts),
+}
+
+impl Parked {
+    fn seq(&self) -> u32 {
+        match self {
+            Parked::Eager(m) => m.seq,
+            Parked::Rts(r) => r.seq,
+        }
+    }
+}
+
 /// An in-progress inbound rendezvous reassembly.
 pub(crate) struct RdvRecv {
     pub tag: u64,
@@ -122,9 +140,9 @@ pub(crate) struct XferItem {
     pub span: u64,
 }
 
-/// One frame in a rail's retransmit window: the un-framed packet plus its
+/// One frame in a lane's retransmit window: the un-framed packet plus its
 /// backoff clock. The packet is kept pre-framing so a failover can
-/// re-sequence it on a surviving rail.
+/// re-sequence it on a surviving lane.
 pub(crate) struct UnackedFrame {
     pub wseq: u32,
     pub packet: Bytes,
@@ -139,11 +157,11 @@ pub(crate) struct UnackedFrame {
     pub retx_at_ns: u64,
 }
 
-/// Per-rail reliability-protocol state (its own `Retrans` lock class,
-/// ordered between the collect sections and the rail's driver section).
+/// Per-lane reliability-protocol state (its own `Retrans` lock class,
+/// ordered between the lane's VCI section and its driver section).
 #[derive(Default)]
 pub(crate) struct RelState {
-    /// Next wire sequence number to assign on this rail.
+    /// Next wire sequence number to assign on this lane.
     pub next_tx_wseq: u32,
     /// Sent-but-unacknowledged frames, ascending `wseq`.
     pub unacked: VecDeque<UnackedFrame>,
@@ -158,7 +176,7 @@ pub(crate) struct RelState {
     pub ack_pending: bool,
     /// Consecutive frames that exhausted their retries (failover trigger).
     pub exhaustions: u32,
-    /// A retransmit timer is scheduled for this rail.
+    /// A retransmit timer is scheduled for this lane.
     pub timer_armed: bool,
 }
 
@@ -195,9 +213,10 @@ fn bin_insert_by_seq<T>(bin: &mut VecDeque<T>, item: T, seq_of: impl Fn(&T) -> u
 ///   ascending by sequence number; a `BTreeMap` keyed by seq indexes the
 ///   whole gate so a wildcard receive takes the earliest-seq message
 ///   across all tags — identical to the old `min_by_key(seq)` scan.
-///   Sequence numbers are unique per gate (eager and rendezvous ids are
-///   separate monotonic spaces, and the two tables are never matched
-///   against each other), so the seq index is collision-free.
+///   Sequence numbers are unique per gate (eager and rendezvous ids
+///   come from one monotonic per-gate counter), so the seq indexes are
+///   collision-free and a receive can arbitrate between a buffered
+///   eager message and a buffered RTS by comparing their seqs.
 ///
 /// The `proptest_matching` integration test drives this structure and
 /// the original linear-scan implementation (kept there as an oracle)
@@ -223,10 +242,11 @@ pub(crate) struct RxState {
     pending_rts_by_seq: BTreeMap<u32, u64>,
     /// In-progress inbound reassemblies, keyed by rendezvous id.
     rdv_in: HashMap<u32, RdvRecv>,
-    /// Next eager sequence number the resequencer will release.
-    pub expected_eager: u32,
-    /// Out-of-order eager messages awaiting their turn, keyed by seq.
-    eager_ooo: HashMap<u32, UnexpectedMsg>,
+    /// Next message sequence number the resequencer will release
+    /// (eager and RTS alike — one shared space).
+    pub expected_seq: u32,
+    /// Out-of-order messages awaiting their turn, keyed by seq.
+    ooo: HashMap<u32, Parked>,
 }
 
 impl RxState {
@@ -339,6 +359,24 @@ impl RxState {
         self.take_unexpected_matching(TagPattern::Exact(tag))
     }
 
+    /// Sequence number of the earliest buffered unexpected message
+    /// matching `pattern`, without removing it.
+    pub fn peek_unexpected_seq(&self, pattern: TagPattern) -> Option<u32> {
+        match pattern {
+            TagPattern::Exact(tag) => self.unexpected.get(&tag)?.front().map(|m| m.seq),
+            TagPattern::Any => self.unexpected_by_seq.first_key_value().map(|(s, _)| *s),
+        }
+    }
+
+    /// Sequence number of the earliest pending RTS matching `pattern`,
+    /// without removing it.
+    pub fn peek_pending_rts_seq(&self, pattern: TagPattern) -> Option<u32> {
+        match pattern {
+            TagPattern::Exact(tag) => self.pending_rts.get(&tag)?.front().map(|r| r.seq),
+            TagPattern::Any => self.pending_rts_by_seq.first_key_value().map(|(s, _)| *s),
+        }
+    }
+
     /// Buffers an RTS that found no posted receive. Duplicates (same
     /// rendezvous id, a redelivery) are dropped and reported `false`.
     pub fn push_pending_rts(&mut self, rts: PendingRts) -> bool {
@@ -388,11 +426,11 @@ impl RxState {
         self.rdv_in.remove(&seq)
     }
 
-    /// Parks an eager message that arrived ahead of the resequencer.
-    /// Returns `false` (dropping `msg`) if that sequence number is
-    /// already parked — a redelivery, not a new message.
-    pub fn push_eager_ooo(&mut self, msg: UnexpectedMsg) -> bool {
-        match self.eager_ooo.entry(msg.seq) {
+    /// Parks a message that arrived ahead of the resequencer. Returns
+    /// `false` (dropping `msg`) if that sequence number is already
+    /// parked — a redelivery, not a new message.
+    pub fn push_ooo(&mut self, msg: Parked) -> bool {
+        match self.ooo.entry(msg.seq()) {
             std::collections::hash_map::Entry::Occupied(_) => false,
             std::collections::hash_map::Entry::Vacant(v) => {
                 v.insert(msg);
@@ -401,9 +439,9 @@ impl RxState {
         }
     }
 
-    /// Releases the parked eager message with sequence `seq`, if present.
-    pub fn take_eager_ooo(&mut self, seq: u32) -> Option<UnexpectedMsg> {
-        self.eager_ooo.remove(&seq)
+    /// Releases the parked message with sequence `seq`, if present.
+    pub fn take_ooo(&mut self, seq: u32) -> Option<Parked> {
+        self.ooo.remove(&seq)
     }
 
     /// Number of posted receives waiting for a match.
@@ -426,9 +464,9 @@ impl RxState {
         self.rdv_in.len()
     }
 
-    /// Number of parked out-of-order eager messages.
-    pub fn eager_ooo_len(&self) -> usize {
-        self.eager_ooo.len()
+    /// Number of parked out-of-order messages.
+    pub fn ooo_len(&self) -> usize {
+        self.ooo.len()
     }
 }
 
@@ -468,95 +506,153 @@ impl TxState {
     }
 }
 
-/// One peer connection: its rails and all shared per-layer lists.
+/// One peer connection: its rails, their VCI lanes, and all shared
+/// per-layer lists.
 ///
 /// The collect-layer state is sharded: `tx` and `rx` belong to this
 /// gate's own `CollectTx`/`CollectRx` lock classes, so flows on distinct
 /// gates never contend in fine-grain mode.
+///
+/// Below the collect layer everything is per **lane** — one (rail, VCI)
+/// pair. A rail whose driver exposes `num_vcis() == n` contributes `n`
+/// lanes, each with its own transfer queue (`Vci` section), its own
+/// reliability window (`Retrans` section), and its own driver context
+/// (`Driver` section), so concurrent flows pinned to different lanes
+/// share no transfer-layer lock at all. With single-VCI drivers the lane
+/// table collapses to one lane per rail and every index matches the old
+/// per-rail layout exactly.
 pub(crate) struct Gate {
     /// Diagnostic identity; used by Debug formatting and trace events.
     pub id: GateId,
     /// The rails (one driver per rail) to this peer.
     pub drivers: Vec<Arc<dyn Driver>>,
-    /// Index of this gate's first driver in the lock policy's array.
+    /// Lane table: lane index → (rail, vci). Built from each driver's
+    /// `num_vcis()`, rail-major.
+    pub lanes: Vec<(usize, usize)>,
+    /// Index of this gate's first lane in the lock policy's arrays.
     pub driver_base: usize,
-    /// Next rendezvous id.
+    /// Next message sequence number. Eager messages and rendezvous ids
+    /// share one space: the receiver's resequencer sees a gap-free
+    /// stream over *all* messages, so an eager send can never be
+    /// overtaken by a later rendezvous (or vice versa) when the two ride
+    /// different lanes.
     pub next_seq: AtomicU32,
-    /// Next eager sequence number (separate space: the receiver's
-    /// resequencer must see a gap-free stream).
-    pub next_eager_seq: AtomicU32,
     /// Collect-layer send state (gate's own CollectTx section).
     pub tx: Protected<TxState>,
     /// Collect-layer receive state (gate's own CollectRx section).
     pub rx: Protected<RxState>,
-    /// Transfer-layer outgoing lists, one per rail.
+    /// Transfer-layer outgoing lists, one per lane (`Vci` sections).
     pub xfer: Vec<Protected<VecDeque<XferItem>>>,
-    /// Reliability-protocol state, one per rail (`Retrans` sections).
+    /// Reliability-protocol state, one per lane (`Retrans` sections).
     pub rel: Vec<Protected<RelState>>,
-    /// Rails declared dead by failover (relaxed: a racy hint is fine,
+    /// Lanes declared dead by failover (relaxed: a racy hint is fine,
     /// the retransmit path re-checks under its section).
-    pub rail_dead: Vec<AtomicBool>,
-    /// Round-robin cursor for rail selection.
-    pub rr_rail: AtomicUsize,
+    pub lane_dead: Vec<AtomicBool>,
+    /// Round-robin cursor for lane selection.
+    pub rr_lane: AtomicUsize,
 }
 
 impl Gate {
     pub fn new(id: GateId, drivers: Vec<Arc<dyn Driver>>, driver_base: usize) -> Self {
         assert!(!drivers.is_empty(), "a gate needs at least one rail");
-        let xfer = (0..drivers.len())
-            .map(|rail| Protected::new(SectionKind::Driver(driver_base + rail), VecDeque::new()))
+        let mut lanes = Vec::new();
+        for (rail, d) in drivers.iter().enumerate() {
+            let n = d.num_vcis().max(1);
+            lanes.extend((0..n).map(|vci| (rail, vci)));
+        }
+        let xfer = (0..lanes.len())
+            .map(|lane| Protected::new(SectionKind::Vci(driver_base + lane), VecDeque::new()))
             .collect();
-        let rel = (0..drivers.len())
-            .map(|rail| {
+        let rel = (0..lanes.len())
+            .map(|lane| {
                 Protected::new(
-                    SectionKind::Retrans(driver_base + rail),
+                    SectionKind::Retrans(driver_base + lane),
                     RelState::default(),
                 )
             })
             .collect();
-        let rail_dead = (0..drivers.len()).map(|_| AtomicBool::new(false)).collect();
+        let lane_dead = (0..lanes.len()).map(|_| AtomicBool::new(false)).collect();
         Gate {
             id,
             drivers,
+            lanes,
             driver_base,
             next_seq: AtomicU32::new(0),
-            next_eager_seq: AtomicU32::new(0),
             tx: Protected::new(SectionKind::CollectTx(id.0), TxState::default()),
             rx: Protected::new(SectionKind::CollectRx(id.0), RxState::default()),
             xfer,
             rel,
-            rail_dead,
-            rr_rail: AtomicUsize::new(0),
+            lane_dead,
+            rr_lane: AtomicUsize::new(0),
         }
     }
 
-    /// Whether failover has declared `rail` dead.
-    pub fn rail_is_dead(&self, rail: usize) -> bool {
-        self.rail_dead[rail].load(Ordering::Relaxed)
+    /// Number of lanes (sum of all rails' VCI counts).
+    pub fn num_lanes(&self) -> usize {
+        self.lanes.len()
     }
 
-    /// Declares `rail` dead; `true` for the caller that made the
+    /// The (rail, vci) pair behind lane index `lane`.
+    pub fn lane_rail_vci(&self, lane: usize) -> (usize, usize) {
+        self.lanes[lane]
+    }
+
+    /// Lane indices belonging to `rail`.
+    #[cfg(test)]
+    pub fn lanes_of_rail(&self, rail: usize) -> impl Iterator<Item = usize> + '_ {
+        self.lanes
+            .iter()
+            .enumerate()
+            .filter(move |(_, (r, _))| *r == rail)
+            .map(|(lane, _)| lane)
+    }
+
+    /// Whether failover has declared `lane` dead.
+    pub fn lane_is_dead(&self, lane: usize) -> bool {
+        self.lane_dead[lane].load(Ordering::Relaxed)
+    }
+
+    /// Declares `lane` dead; `true` for the caller that made the
     /// transition (and must run the failover migration).
+    pub fn mark_lane_dead(&self, lane: usize) -> bool {
+        !self.lane_dead[lane].swap(true, Ordering::Relaxed)
+    }
+
+    /// Whether failover has declared every lane of `rail` dead.
+    #[cfg(test)]
+    pub fn rail_is_dead(&self, rail: usize) -> bool {
+        self.lanes_of_rail(rail).all(|lane| self.lane_is_dead(lane))
+    }
+
+    /// Declares every lane of `rail` dead (a physical-NIC death takes
+    /// all its VCI contexts with it); `true` if this call transitioned
+    /// at least one lane (and must run the failover migration for the
+    /// rail).
+    #[cfg(test)]
     pub fn mark_rail_dead(&self, rail: usize) -> bool {
-        !self.rail_dead[rail].swap(true, Ordering::Relaxed)
+        let mut won = false;
+        for lane in self.lanes_of_rail(rail) {
+            // Mark every lane even after the first win: partial deaths
+            // from a concurrent per-lane exhaustion must not leave
+            // sibling lanes alive.
+            won |= self.mark_lane_dead(lane);
+        }
+        won
     }
 
-    /// Whether every rail of this gate is dead (the peer is unreachable).
+    /// Whether every lane of this gate is dead (the peer is unreachable).
     pub fn unreachable(&self) -> bool {
-        self.rail_dead.iter().all(|d| d.load(Ordering::Relaxed))
+        self.lane_dead.iter().all(|d| d.load(Ordering::Relaxed))
     }
 
-    /// Allocates the next rendezvous id.
+    /// Allocates the next message sequence number (eager and rendezvous
+    /// draw from the same space).
     pub fn alloc_seq(&self) -> u32 {
         self.next_seq.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Allocates the next eager sequence number.
-    pub fn alloc_eager_seq(&self) -> u32 {
-        self.next_eager_seq.fetch_add(1, Ordering::Relaxed)
-    }
-
     /// Number of rails.
+    #[cfg(test)]
     pub fn num_rails(&self) -> usize {
         self.drivers.len()
     }
@@ -769,5 +865,56 @@ mod tests {
         assert_eq!(gate.alloc_seq(), 1);
         assert_eq!(gate.alloc_seq(), 2);
         assert_eq!(gate.num_rails(), 1);
+        assert_eq!(gate.num_lanes(), 1);
+        assert_eq!(gate.lane_rail_vci(0), (0, 0));
+    }
+
+    #[test]
+    fn lane_table_is_rail_major_over_vcis() {
+        let clock = nm_fabric::ClockSource::manual();
+        let (na, _nb) = nm_fabric::SimNic::pair_vcis("r0", nm_fabric::WireModel::ideal(), clock, 2);
+        let (lb, _peer) = nm_fabric::LoopbackDriver::pair(4);
+        let gate = Gate::new(
+            GateId(0),
+            vec![
+                Arc::new(nm_fabric::SimNicDriver::new(na, true)),
+                Arc::new(lb),
+            ],
+            0,
+        );
+        assert_eq!(gate.num_rails(), 2);
+        assert_eq!(gate.num_lanes(), 3);
+        assert_eq!(gate.lane_rail_vci(0), (0, 0));
+        assert_eq!(gate.lane_rail_vci(1), (0, 1));
+        assert_eq!(gate.lane_rail_vci(2), (1, 0));
+        assert_eq!(gate.lanes_of_rail(0).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(gate.lanes_of_rail(1).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn rail_death_is_the_death_of_all_its_lanes() {
+        let clock = nm_fabric::ClockSource::manual();
+        let (na, _nb) = nm_fabric::SimNic::pair_vcis("r0", nm_fabric::WireModel::ideal(), clock, 2);
+        let (lb, _peer) = nm_fabric::LoopbackDriver::pair(4);
+        let gate = Gate::new(
+            GateId(0),
+            vec![
+                Arc::new(nm_fabric::SimNicDriver::new(na, true)),
+                Arc::new(lb),
+            ],
+            0,
+        );
+        // One VCI exhausting does not kill the rail.
+        assert!(gate.mark_lane_dead(0));
+        assert!(gate.lane_is_dead(0));
+        assert!(!gate.rail_is_dead(0));
+        // A rail death sweeps the surviving sibling lane too, and the
+        // caller that transitioned it wins the migration duty.
+        assert!(gate.mark_rail_dead(0));
+        assert!(gate.rail_is_dead(0));
+        assert!(!gate.mark_rail_dead(0));
+        assert!(!gate.unreachable());
+        assert!(gate.mark_rail_dead(1));
+        assert!(gate.unreachable());
     }
 }

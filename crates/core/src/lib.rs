@@ -65,7 +65,7 @@ mod stats;
 mod strategy;
 pub mod wire;
 
-pub use comm::{CommCore, CoreBuilder, PendingCounts};
+pub use comm::{CommCore, CoreBuilder, PendingCounts, VciPollSource};
 pub use completion::{Completion, CompletionEvent, CompletionHandler, CompletionQueue};
 pub use config::{CoreConfig, ReliabilityConfig};
 pub use error::CommError;

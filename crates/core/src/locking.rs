@@ -22,6 +22,7 @@
 //! | API entry        | thread check   | global spinlock  | nothing        |
 //! | gate *g* tx      | nothing        | nothing (covered)| collect-tx spinlock *g* |
 //! | gate *g* rx      | nothing        | nothing (covered)| collect-rx spinlock *g* |
+//! | VCI *i* queue    | nothing        | nothing (covered)| vci spinlock *i* |
 //! | retrans *i*      | nothing        | nothing (covered)| retrans spinlock *i* |
 //! | driver *i* list  | nothing        | nothing (covered)| driver spinlock *i* |
 //!
@@ -106,12 +107,18 @@ pub enum SectionKind {
     CollectTx(usize),
     /// Gate `g`'s receive-side matching state (posted/unexpected/RTS bins).
     CollectRx(usize),
-    /// Driver `i`'s reliability state (retransmit window, sequence
-    /// numbers, ack bookkeeping). Ordered *between* the collect shards
+    /// VCI lane `i`'s transfer queue (the per-endpoint xfer list of one
+    /// (rail, VCI) pair). Ordered *between* the collect shards and the
+    /// reliability/driver locks: submit pushes here under the collect
+    /// guard's callers, and the flush path pops here before entering
+    /// [`SectionKind::Retrans`]/[`SectionKind::Driver`] to post.
+    Vci(usize),
+    /// Lane `i`'s reliability state (retransmit window, sequence
+    /// numbers, ack bookkeeping). Ordered *between* the VCI queues
     /// and the driver lock: the retransmit path stamps the window under
     /// this section and then posts under [`SectionKind::Driver`].
     Retrans(usize),
-    /// The transfer-layer list and NIC access of driver `i`.
+    /// The transfer-layer NIC access of VCI lane `i`.
     Driver(usize),
 }
 
@@ -139,6 +146,10 @@ pub const COLLECT_RX_LOCK_CLASSES: [&str; 16] =
 /// Per-driver lock-order classes for the reliability (retransmit) state.
 pub const RETRANS_LOCK_CLASSES: [&str; 16] =
     lock_class_table!("core.retrans"; 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+
+/// Per-lane lock-order classes for the VCI transfer queues.
+pub const VCI_LOCK_CLASSES: [&str; 16] =
+    lock_class_table!("core.vci"; 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
 
 /// Builds one classed spinlock per index; indices beyond the class table
 /// fall back to the family's *shared* overflow class and bump the
@@ -209,11 +220,15 @@ pub struct LockPolicy {
     collect_tx: Box<[RawSpin]>,
     /// Fine mode: per-gate receive-side collect locks (index = gate index).
     collect_rx: Box<[RawSpin]>,
-    /// Fine mode: one reliability-state lock per driver (index = global
-    /// driver index). Ordered between the collect shards and the driver
+    /// Fine mode: one transfer-queue lock per VCI lane (index = global
+    /// lane index). Ordered between the collect shards and the
+    /// reliability locks.
+    vci: Box<[RawSpin]>,
+    /// Fine mode: one reliability-state lock per lane (index = global
+    /// lane index). Ordered between the VCI queues and the driver
     /// locks.
     retrans: Box<[RawSpin]>,
-    /// Fine mode: one lock per driver (index = global driver index).
+    /// Fine mode: one lock per VCI lane (index = global lane index).
     drivers: Box<[RawSpin]>,
     /// SingleThread mode: the one thread allowed in (0 = not yet claimed).
     owner: AtomicU64,
@@ -221,12 +236,14 @@ pub struct LockPolicy {
 
 impl LockPolicy {
     /// Builds a policy for `num_gates` collect-layer shards and
-    /// `num_drivers` transfer-layer lists.
+    /// `num_drivers` VCI lanes (every (rail, VCI) pair is one lane; a
+    /// single-VCI world has exactly one lane per driver, so the index
+    /// space is unchanged from the pre-VCI layout).
     ///
     /// The locks carry lock-order classes for `nm-sync`'s `lockcheck`
     /// feature; the documented hierarchy is `core.api-global` →
-    /// `core.collect.{tx,rx}.G` → `core.retrans.N` → `core.driver.N`
-    /// (outermost to
+    /// `core.collect.{tx,rx}.G` → `core.vci.N` → `core.retrans.N` →
+    /// `core.driver.N` (outermost to
     /// innermost), and any acquisition inverting it panics with both
     /// stacks when validation is compiled in. Driver and collect locks
     /// get one class *per index* — fine mode legitimately holds several
@@ -252,6 +269,7 @@ impl LockPolicy {
                 &COLLECT_RX_LOCK_CLASSES,
                 "core.collect.rx.overflow",
             ),
+            vci: classed_spins(num_drivers, &VCI_LOCK_CLASSES, "core.vci.overflow"),
             retrans: classed_spins(num_drivers, &RETRANS_LOCK_CLASSES, "core.retrans.overflow"),
             drivers: classed_spins(num_drivers, &DRIVER_LOCK_CLASSES, "core.driver.overflow"),
             owner: AtomicU64::new(0),
@@ -321,6 +339,7 @@ impl LockPolicy {
                 let lock = match kind {
                     SectionKind::CollectTx(g) => &self.collect_tx[g],
                     SectionKind::CollectRx(g) => &self.collect_rx[g],
+                    SectionKind::Vci(i) => &self.vci[i],
                     SectionKind::Retrans(i) => &self.retrans[i],
                     SectionKind::Driver(i) => &self.drivers[i],
                     SectionKind::Global => unreachable!(),
@@ -383,9 +402,14 @@ impl LockPolicy {
         self.collect_rx[g].stats()
     }
 
-    /// Statistics of driver `i`'s reliability-state lock.
+    /// Statistics of lane `i`'s reliability-state lock.
     pub fn retrans_stats(&self, i: usize) -> &nm_sync::stats::LockStats {
         self.retrans[i].stats()
+    }
+
+    /// Statistics of lane `i`'s VCI transfer-queue lock.
+    pub fn vci_stats(&self, i: usize) -> &nm_sync::stats::LockStats {
+        self.vci[i].stats()
     }
 
     /// Total lock acquisitions across all locks of this policy.
@@ -393,8 +417,9 @@ impl LockPolicy {
         self.global.stats().acquisitions()
             + self.collect_stats().acquisitions()
             + self
-                .retrans
+                .vci
                 .iter()
+                .chain(self.retrans.iter())
                 .chain(self.drivers.iter())
                 .map(|d| d.stats().acquisitions())
                 .sum::<u64>()
@@ -508,6 +533,8 @@ mod tests {
         assert_eq!(COLLECT_RX_LOCK_CLASSES[3], "core.collect.rx.3");
         assert_eq!(RETRANS_LOCK_CLASSES[0], "core.retrans.0");
         assert_eq!(RETRANS_LOCK_CLASSES[15], "core.retrans.15");
+        assert_eq!(VCI_LOCK_CLASSES[0], "core.vci.0");
+        assert_eq!(VCI_LOCK_CLASSES[15], "core.vci.15");
         // tx and rx shards of the same gate must be distinct classes.
         for (tx, rx) in COLLECT_TX_LOCK_CLASSES
             .iter()
@@ -591,14 +618,30 @@ mod tests {
     }
 
     #[test]
+    fn vci_sections_are_independent_locks() {
+        let p = LockPolicy::new(LockingMode::Fine, 1, 4);
+        // Distinct VCI lanes, and a lane's vci/retrans/driver locks, may
+        // all be held at once (in hierarchy order): five distinct locks.
+        let a = p.enter(SectionKind::Vci(0));
+        let b = p.enter(SectionKind::Vci(3));
+        let c = p.enter(SectionKind::Retrans(0));
+        let d = p.enter(SectionKind::Driver(0));
+        drop((d, c, b, a));
+        assert_eq!(p.vci_stats(0).acquisitions(), 1);
+        assert_eq!(p.vci_stats(3).acquisitions(), 1);
+        assert_eq!(p.vci_stats(1).acquisitions(), 0);
+        assert_eq!(p.total_acquisitions(), 4);
+    }
+
+    #[test]
     fn lockclass_overflow_is_counted_not_silent() {
         let counter = crate::metrics::lockclass_overflow();
         let before = counter.get();
-        // 20 gates and 20 drivers exceed the 16-entry class tables by 4
-        // each: 4 tx + 4 rx + 4 retrans + 4 driver locks fall back to
-        // the shared overflow classes.
+        // 20 gates and 20 lanes exceed the 16-entry class tables by 4
+        // each: 4 tx + 4 rx + 4 vci + 4 retrans + 4 driver locks fall
+        // back to the shared overflow classes.
         let p = LockPolicy::new(LockingMode::Fine, 20, 20);
-        assert_eq!(counter.get() - before, 16);
+        assert_eq!(counter.get() - before, 20);
         // Overflowed locks still function, under the per-family shared
         // class (cycle detection coverage is exercised in
         // tests/lockclass_overflow.rs under the lockcheck feature).

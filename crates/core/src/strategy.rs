@@ -44,7 +44,10 @@ pub enum SendItemKind {
 pub struct SendItem {
     /// Message tag.
     pub tag: u64,
-    /// Per-gate sequence number.
+    /// Per-gate message sequence number. Eager and rendezvous items
+    /// draw from one shared space: the receiver resequences releases by
+    /// this number, so neither strategy reordering here nor lane
+    /// striping in the transfer layer can change matching order.
     pub seq: u32,
     /// Payload or control kind.
     pub kind: SendItemKind,
@@ -176,6 +179,11 @@ impl Strategy for AggregateStrategy {
 
 /// [`AggregateStrategy`] preceded by hoisting control entries to the
 /// front (stable within each class).
+///
+/// Hoisting an RTS ahead of an earlier eager send reorders *arrival*,
+/// not *matching*: both kinds carry the gate's shared sequence number,
+/// so an RTS that jumps the queue parks in the receiver's resequencer
+/// until the messages before it have been released.
 pub struct ControlFirstStrategy;
 
 impl Strategy for ControlFirstStrategy {

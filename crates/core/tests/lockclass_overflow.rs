@@ -29,8 +29,9 @@ fn overflow_increments_counter_and_keeps_a_class() {
     let counter = nm_core::metrics::lockclass_overflow();
     let before = counter.get();
     let p = LockPolicy::new(LockingMode::Fine, OVERFLOWING, OVERFLOWING);
-    // One tx + one rx + one retrans + one driver lock past the tables.
-    assert_eq!(counter.get() - before, 4);
+    // One tx + one rx + one vci + one retrans + one driver lock past the
+    // tables.
+    assert_eq!(counter.get() - before, 5);
 
     // The overflowed lock is not untracked: lockcheck sees it under the
     // family's shared overflow class.

@@ -29,6 +29,9 @@ pub struct MsgrateOpts {
     /// Concurrent single-gate flows (one sender + one receiver thread
     /// each in threaded mode).
     pub flows: usize,
+    /// VCI contexts per flow's NIC (1 = the classic shared-ring NIC;
+    /// the transfer layer stripes over `vcis` independent tx/rx rings).
+    pub vcis: usize,
     /// Payload size in bytes (should stay under the eager threshold).
     pub size: usize,
     /// In-flight messages posted per flow per round.
@@ -46,6 +49,7 @@ impl Default for MsgrateOpts {
             wire: WireModel::myri_10g(),
             wait: WaitStrategy::Busy,
             flows: 4,
+            vcis: 1,
             size: 8,
             window: 32,
             rounds: 50,
@@ -62,7 +66,7 @@ fn build_multi_gate(opts: &MsgrateOpts) -> (Arc<CommCore>, Arc<CommCore>) {
     let mut builder_a = CoreBuilder::new(config.clone());
     let mut builder_b = CoreBuilder::new(config);
     for _ in 0..opts.flows {
-        let (pa, pb) = fabric.pair(&[opts.wire], true);
+        let (pa, pb) = fabric.pair_vcis(&[opts.wire], true, opts.vcis);
         builder_a = builder_a.add_gate(pa.drivers());
         builder_b = builder_b.add_gate(pb.drivers());
     }
@@ -204,6 +208,16 @@ mod tests {
     fn threaded_runs_fine_grain_multi_flow() {
         let rate = msgrate_threaded(&quick(LockingMode::Fine, 2));
         assert!(rate > 0.0, "rate {rate}");
+    }
+
+    #[test]
+    fn multi_vci_flows_deliver_in_both_drive_modes() {
+        let opts = MsgrateOpts {
+            vcis: 2,
+            ..quick(LockingMode::Fine, 2)
+        };
+        assert!(msgrate_singlethread(&opts) > 0.0);
+        assert!(msgrate_threaded(&opts) > 0.0);
     }
 
     #[test]

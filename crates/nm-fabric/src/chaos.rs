@@ -220,6 +220,13 @@ impl ChaosState {
 ///
 /// Composable: any [`Driver`] can be wrapped, including another
 /// `ChaosDriver` (e.g. independent loss and reorder seeds per layer).
+///
+/// A chaos driver always exposes **one** VCI context (the trait
+/// defaults), whatever the inner driver reports: every fault decision
+/// draws from one seeded sequence, and splitting that stream across
+/// concurrently polled contexts would make replay depend on thread
+/// interleaving. Wrap per-VCI drivers individually if per-context
+/// chaos is needed.
 pub struct ChaosDriver<D> {
     inner: D,
     plan: FaultPlan,

@@ -55,6 +55,36 @@ pub trait Driver: Send + Sync {
     fn next_event_ns(&self) -> Option<u64> {
         None
     }
+
+    /// Number of independent VCI contexts this driver exposes. The
+    /// transfer layer may drive different contexts from different
+    /// threads without mutual serialization. The defaults below make
+    /// every single-context driver VCI-addressable: callers must pass
+    /// `vci < num_vcis()`, and a driver that does not override this
+    /// family routes everything through its base methods.
+    fn num_vcis(&self) -> usize {
+        1
+    }
+    /// [`Driver::can_post`] for one VCI context.
+    fn can_post_vci(&self, vci: usize) -> bool {
+        debug_assert!(vci < self.num_vcis());
+        self.can_post()
+    }
+    /// [`Driver::post`] on one VCI context.
+    fn post_vci(&self, vci: usize, data: Bytes) -> Result<(), PostError> {
+        debug_assert!(vci < self.num_vcis());
+        self.post(data)
+    }
+    /// [`Driver::poll`] on one VCI context.
+    fn poll_vci(&self, vci: usize) -> Option<Bytes> {
+        debug_assert!(vci < self.num_vcis());
+        self.poll()
+    }
+    /// [`Driver::next_event_ns`] for one VCI context.
+    fn next_event_ns_vci(&self, vci: usize) -> Option<u64> {
+        debug_assert!(vci < self.num_vcis());
+        self.next_event_ns()
+    }
 }
 
 /// [`Driver`] backed by a [`SimNic`] endpoint.
@@ -105,6 +135,28 @@ impl Driver for SimNicDriver {
 
     fn next_event_ns(&self) -> Option<u64> {
         self.nic.next_delivery_ns()
+    }
+
+    fn num_vcis(&self) -> usize {
+        self.nic.num_vcis()
+    }
+
+    fn can_post_vci(&self, vci: usize) -> bool {
+        self.nic.can_post_vci(vci)
+    }
+
+    fn post_vci(&self, vci: usize, data: Bytes) -> Result<(), PostError> {
+        self.nic
+            .post_send_vci(vci, data)
+            .map_err(|_| PostError::WouldBlock)
+    }
+
+    fn poll_vci(&self, vci: usize) -> Option<Bytes> {
+        self.nic.poll_recv_vci(vci)
+    }
+
+    fn next_event_ns_vci(&self, vci: usize) -> Option<u64> {
+        self.nic.next_delivery_ns_vci(vci)
     }
 }
 
@@ -193,6 +245,27 @@ mod tests {
         assert_eq!(d.caps().mtu, 32 * 1024);
         assert!(!d.caps().thread_safe);
         assert!(d.caps().name.starts_with("mx"));
+    }
+
+    #[test]
+    fn default_vci_surface_routes_to_base_methods() {
+        let (a, b) = LoopbackDriver::pair(8);
+        assert_eq!(a.num_vcis(), 1);
+        assert!(a.can_post_vci(0));
+        a.post_vci(0, Bytes::from_static(b"v0")).unwrap();
+        assert_eq!(b.poll_vci(0), Some(Bytes::from_static(b"v0")));
+        assert_eq!(b.next_event_ns_vci(0), None);
+    }
+
+    #[test]
+    fn simnic_driver_exposes_multi_vci_contexts() {
+        let clock = ClockSource::manual();
+        let (na, nb) = SimNic::pair_vcis("mx", WireModel::ideal(), clock, 4);
+        let (da, db) = (SimNicDriver::new(na, true), SimNicDriver::new(nb, true));
+        assert_eq!(da.num_vcis(), 4);
+        da.post_vci(3, Bytes::from_static(b"hi")).unwrap();
+        assert_eq!(db.poll_vci(0), None);
+        assert_eq!(db.poll_vci(3), Some(Bytes::from_static(b"hi")));
     }
 
     #[test]

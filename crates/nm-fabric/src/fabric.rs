@@ -67,11 +67,25 @@ impl Fabric {
     /// `thread_safe_drivers = false` reproduces the paper's MX situation:
     /// the library must serialize all access to each driver.
     pub fn pair(&self, models: &[WireModel], thread_safe_drivers: bool) -> (NodePorts, NodePorts) {
+        self.pair_vcis(models, thread_safe_drivers, 1)
+    }
+
+    /// Connects two nodes with one rail per wire model, every rail NIC
+    /// carrying `n_vcis` independent VCI contexts (per-context tx/rx
+    /// rings and completion polling — the Zambre-style dedicated
+    /// communication endpoints).
+    pub fn pair_vcis(
+        &self,
+        models: &[WireModel],
+        thread_safe_drivers: bool,
+        n_vcis: usize,
+    ) -> (NodePorts, NodePorts) {
         assert!(!models.is_empty(), "at least one rail required");
         let mut a_rails = Vec::with_capacity(models.len());
         let mut b_rails = Vec::with_capacity(models.len());
         for (i, model) in models.iter().enumerate() {
-            let (na, nb) = SimNic::pair(&format!("rail{i}"), *model, self.clock.clone());
+            let (na, nb) =
+                SimNic::pair_vcis(&format!("rail{i}"), *model, self.clock.clone(), n_vcis);
             a_rails.push(Arc::new(SimNicDriver::new(na, thread_safe_drivers)));
             b_rails.push(Arc::new(SimNicDriver::new(nb, thread_safe_drivers)));
         }
@@ -130,6 +144,19 @@ mod tests {
         a.drivers()[1].post(Bytes::from_static(b"r1")).unwrap();
         assert_eq!(b.drivers()[0].poll(), Some(Bytes::from_static(b"r0")));
         assert_eq!(b.drivers()[1].poll(), Some(Bytes::from_static(b"r1")));
+    }
+
+    #[test]
+    fn pair_vcis_wires_matching_contexts() {
+        let (fabric, _clock) = Fabric::virtual_time();
+        let (a, b) = fabric.pair_vcis(&[WireModel::ideal()], true, 3);
+        let (da, db) = (&a.drivers()[0], &b.drivers()[0]);
+        assert_eq!(da.num_vcis(), 3);
+        da.post_vci(1, Bytes::from_static(b"v1")).unwrap();
+        da.post_vci(2, Bytes::from_static(b"v2")).unwrap();
+        assert_eq!(db.poll_vci(0), None);
+        assert_eq!(db.poll_vci(1), Some(Bytes::from_static(b"v1")));
+        assert_eq!(db.poll_vci(2), Some(Bytes::from_static(b"v2")));
     }
 
     #[test]

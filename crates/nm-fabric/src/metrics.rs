@@ -73,9 +73,28 @@ global_counter!(
     "Packets released out of arrival order by chaos fault injection."
 );
 
+global_counter!(
+    vci_tx_packets,
+    "fabric.vci.tx_packets",
+    "Packets injected through a multi-VCI NIC context."
+);
+global_counter!(
+    vci_rx_packets,
+    "fabric.vci.rx_packets",
+    "Packets delivered through a multi-VCI NIC context."
+);
+
 /// Bytes currently in flight (injected, not yet delivered) across all
 /// wires.
 pub fn inflight_bytes() -> &'static Arc<Gauge> {
     static G: OnceLock<Arc<Gauge>> = OnceLock::new();
     G.get_or_init(|| nm_metrics::metrics().gauge("fabric.inflight_bytes"))
+}
+
+/// Bytes currently in flight on multi-VCI NIC contexts. Single-context
+/// NICs account only to `fabric.inflight_bytes`; per-VCI occupancy is
+/// queryable directly through [`crate::SimNic::inflight_bytes_vci`].
+pub fn vci_inflight_bytes() -> &'static Arc<Gauge> {
+    static G: OnceLock<Arc<Gauge>> = OnceLock::new();
+    G.get_or_init(|| nm_metrics::metrics().gauge("fabric.vci.inflight_bytes"))
 }

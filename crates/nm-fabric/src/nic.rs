@@ -69,21 +69,36 @@ pub struct NicCounters {
     pub rx_bytes: Counter,
 }
 
+/// One independent hardware context of a NIC — a virtual communication
+/// interface (VCI) in the sense of Zambre et al.: its own tx/rx wire
+/// pair, serialization clock and head-of-line stash, sharing nothing
+/// with its siblings on the fast path.
+struct VciCtx {
+    tx: Arc<Wire>,
+    rx: Arc<Wire>,
+    /// Head-of-line packet popped from `rx` but not yet deliverable.
+    /// Keeping it here preserves wire FIFO order across pollers.
+    stash: SpinLock<Option<WirePacket>>,
+}
+
 /// One endpoint of a simulated point-to-point link.
 ///
 /// Completion is **polling-based**, like MX or Verbs: nothing happens
 /// unless someone calls [`SimNic::poll_recv`]. A packet becomes visible to
 /// the receiver only once the clock passes its computed delivery time.
+///
+/// A NIC owns one or more VCI contexts ([`SimNic::pair_vcis`]); every
+/// context has its own injection ring, wire serialization and completion
+/// stash, so two threads driving different VCIs never touch shared
+/// state. The VCI-less methods address context 0 (injection) or scan all
+/// contexts (completion), which on a single-VCI NIC is exactly the
+/// pre-VCI behaviour.
 pub struct SimNic {
     name: String,
     model: WireModel,
     clock: ClockSource,
-    tx: Arc<Wire>,
-    rx: Arc<Wire>,
+    vcis: Vec<VciCtx>,
     counters: NicCounters,
-    /// Head-of-line packet popped from `rx` but not yet deliverable.
-    /// Keeping it here preserves wire FIFO order across pollers.
-    stash: SpinLock<Option<WirePacket>>,
 }
 
 /// Error returned when the injection queue is full (NIC busy).
@@ -92,27 +107,52 @@ pub struct TxQueueFull;
 
 impl SimNic {
     /// Creates a connected pair of endpoints over two wires of the given
-    /// model, sharing `clock`.
+    /// model, sharing `clock`. Equivalent to [`SimNic::pair_vcis`] with
+    /// one context.
     pub fn pair(name: &str, model: WireModel, clock: ClockSource) -> (SimNic, SimNic) {
-        let a_to_b = Arc::new(Wire::new(model.tx_depth));
-        let b_to_a = Arc::new(Wire::new(model.tx_depth));
+        Self::pair_vcis(name, model, clock, 1)
+    }
+
+    /// Creates a connected pair of endpoints with `n_vcis` independent
+    /// contexts each. Context `v` of one side is wired to context `v` of
+    /// the other; contexts never share a ring or a wire, so they
+    /// serialize independently.
+    pub fn pair_vcis(
+        name: &str,
+        model: WireModel,
+        clock: ClockSource,
+        n_vcis: usize,
+    ) -> (SimNic, SimNic) {
+        assert!(n_vcis >= 1, "a NIC needs at least one VCI context");
+        let mut a_vcis = Vec::with_capacity(n_vcis);
+        let mut b_vcis = Vec::with_capacity(n_vcis);
+        for _ in 0..n_vcis {
+            let a_to_b = Arc::new(Wire::new(model.tx_depth));
+            let b_to_a = Arc::new(Wire::new(model.tx_depth));
+            a_vcis.push(VciCtx {
+                tx: Arc::clone(&a_to_b),
+                rx: Arc::clone(&b_to_a),
+                stash: SpinLock::new(None),
+            });
+            b_vcis.push(VciCtx {
+                tx: b_to_a,
+                rx: a_to_b,
+                stash: SpinLock::new(None),
+            });
+        }
         let a = SimNic {
             name: format!("{name}.0"),
             model,
             clock: clock.clone(),
-            tx: Arc::clone(&a_to_b),
-            rx: Arc::clone(&b_to_a),
+            vcis: a_vcis,
             counters: NicCounters::default(),
-            stash: SpinLock::new(None),
         };
         let b = SimNic {
             name: format!("{name}.1"),
             model,
             clock,
-            tx: b_to_a,
-            rx: a_to_b,
+            vcis: b_vcis,
             counters: NicCounters::default(),
-            stash: SpinLock::new(None),
         };
         (a, b)
     }
@@ -137,52 +177,79 @@ impl SimNic {
         &self.counters
     }
 
-    /// `true` when the injection queue can accept another packet — the
-    /// paper's "the NIC becomes idle" condition that triggers the
-    /// optimization layer.
-    pub fn can_post(&self) -> bool {
-        self.tx.ring.len() < self.model.tx_depth
+    /// Number of independent VCI contexts of this endpoint.
+    pub fn num_vcis(&self) -> usize {
+        self.vcis.len()
     }
 
-    /// Injects a packet.
+    /// `true` when the injection queue can accept another packet — the
+    /// paper's "the NIC becomes idle" condition that triggers the
+    /// optimization layer. Addresses VCI context 0.
+    pub fn can_post(&self) -> bool {
+        self.can_post_vci(0)
+    }
+
+    /// [`SimNic::can_post`] for one VCI context: each context has its own
+    /// injection ring, so one context's saturation says nothing about
+    /// another's.
+    pub fn can_post_vci(&self, vci: usize) -> bool {
+        self.vcis[vci].tx.ring.len() < self.model.tx_depth
+    }
+
+    /// Injects a packet on VCI context 0.
     ///
     /// The payload must fit in the wire MTU (enforced; the transfer layer
     /// is responsible for splitting). Returns [`TxQueueFull`] when the
     /// injection queue is saturated.
     pub fn post_send(&self, payload: Bytes) -> Result<(), TxQueueFull> {
+        self.post_send_vci(0, payload)
+    }
+
+    /// Injects a packet on one VCI context. Contexts serialize their own
+    /// wires independently — no shared lock, ring or wire clock is
+    /// touched on this path.
+    pub fn post_send_vci(&self, vci: usize, payload: Bytes) -> Result<(), TxQueueFull> {
         assert!(
             payload.len() <= self.model.mtu,
             "payload {} exceeds wire MTU {}",
             payload.len(),
             self.model.mtu
         );
-        if self.tx.ring.len() >= self.model.tx_depth {
+        let ctx = &self.vcis[vci];
+        if ctx.tx.ring.len() >= self.model.tx_depth {
             return Err(TxQueueFull);
         }
         let now = self.clock.now_ns();
         let tx_ns = self.model.tx_time_ns(payload.len());
-        let inject = self.tx.reserve(now, tx_ns);
+        let inject = ctx.tx.reserve(now, tx_ns);
         let deliver_at_ns = inject + tx_ns + self.model.latency_ns;
         let len = payload.len();
         let pkt = WirePacket {
             deliver_at_ns,
             payload,
         };
-        let was_idle = self.tx.ring.is_empty();
+        let was_idle = ctx.tx.ring.is_empty();
         // A racing producer may have filled the ring between the depth
         // check and this push; the reserved wire time then stays booked,
         // which only makes the model slightly conservative.
-        self.tx.ring.push(pkt).map_err(|_| TxQueueFull)?;
+        ctx.tx.ring.push(pkt).map_err(|_| TxQueueFull)?;
         self.counters.tx_packets.incr();
         self.counters.tx_bytes.add(len as u64);
         // relaxed: occupancy is a diagnostic aggregate; the ring push
         // above is what publishes the packet.
-        self.tx
+        ctx.tx
             .occupancy_bytes
             .fetch_add(len as u64, Ordering::Relaxed);
         crate::metrics::tx_packets().incr();
         crate::metrics::tx_bytes().add(len as u64);
         crate::metrics::inflight_bytes().add(len as i64);
+        if self.vcis.len() > 1 {
+            // Multi-VCI NICs additionally account their traffic under the
+            // fabric.vci.* metrics (single-context NICs keep the pre-VCI
+            // metric surface untouched).
+            crate::metrics::vci_tx_packets().incr();
+            crate::metrics::vci_inflight_bytes().add(len as i64);
+        }
         nm_trace::trace_event!(PacketTx, len);
         if was_idle {
             nm_trace::trace_event!(NicIdle, 0u64);
@@ -191,25 +258,42 @@ impl SimNic {
     }
 
     /// Polls for a delivered packet; `None` if nothing is deliverable yet.
+    /// Scans every VCI context in order (context 0 first), so on a
+    /// single-VCI NIC this is exactly the pre-VCI behaviour.
     pub fn poll_recv(&self) -> Option<Bytes> {
+        (0..self.vcis.len()).find_map(|v| self.poll_recv_vci(v))
+    }
+
+    /// Polls one VCI context for a delivered packet. Completion state
+    /// (ring + stash) is per-context, so concurrent pollers on different
+    /// VCIs do not contend.
+    pub fn poll_recv_vci(&self, vci: usize) -> Option<Bytes> {
+        let ctx = &self.vcis[vci];
         let now = self.clock.now_ns();
-        let mut stash = self.stash.lock();
+        let mut stash = ctx.stash.lock();
         let pkt = match stash.take() {
             Some(p) => p,
-            None => self.rx.ring.pop()?,
+            None => ctx.rx.ring.pop()?,
         };
         if pkt.deliver_at_ns <= now {
             self.counters.rx_packets.incr();
             self.counters.rx_bytes.add(pkt.payload.len() as u64);
             // relaxed: diagnostic aggregate, mirrors the tx-side add.
-            self.rx
+            ctx.rx
                 .occupancy_bytes
                 .fetch_sub(pkt.payload.len() as u64, Ordering::Relaxed);
             crate::metrics::rx_packets().incr();
             crate::metrics::rx_bytes().add(pkt.payload.len() as u64);
             crate::metrics::inflight_bytes().sub(pkt.payload.len() as i64);
+            if self.vcis.len() > 1 {
+                // Paired multi-VCI endpoints are symmetric, so the vci
+                // gauge balances: what the peer added on post is
+                // subtracted here on delivery.
+                crate::metrics::vci_rx_packets().incr();
+                crate::metrics::vci_inflight_bytes().sub(pkt.payload.len() as i64);
+            }
             nm_trace::trace_event!(PacketRx, pkt.payload.len());
-            if self.rx.ring.is_empty() {
+            if ctx.rx.ring.is_empty() {
                 // Last in-flight packet delivered: the sending side's
                 // injection queue (this wire) is drained — NIC idle.
                 nm_trace::trace_event!(NicIdle, 1u64);
@@ -222,27 +306,50 @@ impl SimNic {
     }
 
     /// Earliest pending delivery time, if any packet is in flight toward
-    /// this endpoint. The discrete-event simulator uses this to know how
-    /// far it may advance the virtual clock.
+    /// this endpoint (across all VCI contexts). The discrete-event
+    /// simulator uses this to know how far it may advance the virtual
+    /// clock.
     pub fn next_delivery_ns(&self) -> Option<u64> {
-        let mut stash = self.stash.lock();
+        (0..self.vcis.len())
+            .filter_map(|v| self.next_delivery_ns_vci(v))
+            .min()
+    }
+
+    /// Earliest pending delivery time on one VCI context.
+    pub fn next_delivery_ns_vci(&self, vci: usize) -> Option<u64> {
+        let ctx = &self.vcis[vci];
+        let mut stash = ctx.stash.lock();
         if stash.is_none() {
-            *stash = self.rx.ring.pop();
+            *stash = ctx.rx.ring.pop();
         }
         stash.as_ref().map(|p| p.deliver_at_ns)
     }
 
     /// `true` if any packet (deliverable or in flight) is queued toward
-    /// this endpoint.
+    /// this endpoint on any VCI context.
     pub fn has_inbound(&self) -> bool {
-        self.stash.lock().is_some() || !self.rx.ring.is_empty()
+        (0..self.vcis.len()).any(|v| self.has_inbound_vci(v))
+    }
+
+    /// [`SimNic::has_inbound`] for one VCI context.
+    pub fn has_inbound_vci(&self, vci: usize) -> bool {
+        let ctx = &self.vcis[vci];
+        ctx.stash.lock().is_some() || !ctx.rx.ring.is_empty()
     }
 
     /// Payload bytes this endpoint has injected that the peer has not
-    /// yet delivered — this NIC's outbound wire occupancy.
+    /// yet delivered — this NIC's outbound wire occupancy, summed over
+    /// all VCI contexts.
     pub fn inflight_bytes(&self) -> u64 {
+        (0..self.vcis.len())
+            .map(|v| self.inflight_bytes_vci(v))
+            .sum()
+    }
+
+    /// Outbound wire occupancy of one VCI context.
+    pub fn inflight_bytes_vci(&self, vci: usize) -> u64 {
         // relaxed: advisory snapshot of a diagnostic aggregate.
-        self.tx.occupancy_bytes.load(Ordering::Relaxed)
+        self.vcis[vci].tx.occupancy_bytes.load(Ordering::Relaxed)
     }
 }
 
@@ -382,6 +489,70 @@ mod tests {
         b.poll_recv().unwrap();
         assert_eq!(a.inflight_bytes(), 36);
         b.poll_recv().unwrap();
+        assert_eq!(a.inflight_bytes(), 0);
+    }
+
+    #[test]
+    fn vcis_are_independent_contexts() {
+        let model = WireModel {
+            tx_depth: 1,
+            ..WireModel::ideal()
+        };
+        let clock = ClockSource::manual();
+        let (a, b) = SimNic::pair_vcis("vci", model, clock, 4);
+        assert_eq!(a.num_vcis(), 4);
+        // Saturating one context leaves the others postable.
+        a.post_send_vci(2, Bytes::from_static(b"x")).unwrap();
+        assert!(!a.can_post_vci(2));
+        for v in [0usize, 1, 3] {
+            assert!(a.can_post_vci(v), "vci {v} must be unaffected");
+        }
+        // Delivery is per-context: the packet arrives on the peer's
+        // matching context and nowhere else.
+        for v in [0usize, 1, 3] {
+            assert_eq!(b.poll_recv_vci(v), None);
+        }
+        assert_eq!(b.poll_recv_vci(2), Some(Bytes::from_static(b"x")));
+    }
+
+    #[test]
+    fn vci_wires_serialize_independently() {
+        let model = WireModel {
+            latency_ns: 1_000,
+            ns_per_byte: 1.0,
+            per_packet_ns: 0,
+            mtu: 4096,
+            tx_depth: 8,
+        };
+        let clock = ClockSource::manual();
+        let (a, b) = SimNic::pair_vcis("par", model, clock.clone(), 2);
+        // One 1000-byte packet per context at t=0: with a shared wire the
+        // second would land at 3 µs; on dedicated per-VCI wires both land
+        // at 2 µs.
+        a.post_send_vci(0, Bytes::from(vec![0u8; 1000])).unwrap();
+        a.post_send_vci(1, Bytes::from(vec![1u8; 1000])).unwrap();
+        clock.advance(2_000);
+        assert!(b.poll_recv_vci(0).is_some(), "vci 0 at 2 µs");
+        assert!(b.poll_recv_vci(1).is_some(), "vci 1 at 2 µs too");
+    }
+
+    #[test]
+    fn base_methods_aggregate_over_vcis() {
+        let clock = ClockSource::manual();
+        let (a, b) = SimNic::pair_vcis("agg", WireModel::ideal(), clock, 3);
+        assert_eq!(a.inflight_bytes(), 0);
+        assert!(!b.has_inbound());
+        a.post_send_vci(1, Bytes::from(vec![0u8; 10])).unwrap();
+        a.post_send_vci(2, Bytes::from(vec![0u8; 30])).unwrap();
+        assert_eq!(a.inflight_bytes(), 40);
+        assert_eq!(a.inflight_bytes_vci(1), 10);
+        assert_eq!(a.inflight_bytes_vci(2), 30);
+        assert!(b.has_inbound());
+        assert!(b.next_delivery_ns().is_some());
+        // The VCI-less poll scans every context.
+        assert!(b.poll_recv().is_some());
+        assert!(b.poll_recv().is_some());
+        assert_eq!(b.poll_recv(), None);
         assert_eq!(a.inflight_bytes(), 0);
     }
 

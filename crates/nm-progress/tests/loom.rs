@@ -20,7 +20,7 @@
 use std::sync::Arc;
 
 use nm_sync::sync_shim::atomic::{AtomicBool, Ordering};
-use nm_sync::sync_shim::{cell::UnsafeCell, thread};
+use nm_sync::sync_shim::{cell::UnsafeCell, thread, Mutex};
 use nm_sync::{CompletionFlag, WaitStrategy};
 
 /// A pending receive: the progression thread fills `payload`, then
@@ -86,6 +86,94 @@ fn progression_thread_completion_handoff() {
         // happen-before the join.
         state.stop.store(true, Ordering::Release);
         h.join().unwrap();
+    });
+}
+
+/// One transfer-layer lane of the model: an xfer queue and the racy
+/// liveness hint, exactly the pair `comm.rs` keeps per (rail, VCI).
+struct Lane {
+    queue: Mutex<Vec<u32>>,
+    dead: AtomicBool,
+}
+
+impl Lane {
+    fn new() -> Self {
+        Lane {
+            queue: Mutex::new(Vec::new()),
+            dead: AtomicBool::new(false),
+        }
+    }
+}
+
+/// `migrate_stranded`: drain the dead lane's queue, then re-push onto a
+/// lane that is live *in a snapshot taken after the drain* — the order
+/// the real failover relies on.
+fn migrate_stranded(lanes: &[Lane; 2], from: usize) {
+    let stranded: Vec<u32> = lanes[from].queue.lock().drain(..).collect();
+    if stranded.is_empty() {
+        return;
+    }
+    let live = (0..2)
+        .find(|&l| !lanes[l].dead.load(Ordering::Relaxed))
+        .expect("model keeps lane 1 alive");
+    lanes[live].queue.lock().extend(stranded);
+}
+
+/// Model-checked replay of the VCI lane-selection vs. retransmit-failover
+/// race in the core transfer layer.
+///
+/// The submit path (`pick_idle_lane`) reads the per-lane `dead` hint with
+/// relaxed ordering and *then* pushes onto the chosen lane's xfer queue,
+/// so a failover (`kill_lane` → `migrate_stranded`) can drain the lane
+/// between the check and the push and leave the new item stranded on a
+/// dead lane. The real code does not close that window with a lock — it
+/// guarantees instead that every progression pass re-runs `flush_xfer`,
+/// which migrates dead lanes' queues again. The model explores every
+/// interleaving of submitter and killer and asserts the recovery
+/// invariant: after one such pass, nothing is lost and nothing sits on a
+/// dead lane.
+#[test]
+fn vci_failover_rescues_items_striped_onto_a_dying_lane() {
+    loom::model(|| {
+        let lanes = Arc::new([Lane::new(), Lane::new()]);
+
+        // Submitter: pick_idle_lane's racy hint read, then the push.
+        let submit = {
+            let lanes = Arc::clone(&lanes);
+            thread::spawn(move || {
+                let lane = if !lanes[0].dead.load(Ordering::Relaxed) {
+                    0
+                } else {
+                    1
+                };
+                lanes[lane].queue.lock().push(0xdead_beef);
+            })
+        };
+
+        // Killer: the kill_lane transition — mark dead, then migrate.
+        let kill = {
+            let lanes = Arc::clone(&lanes);
+            thread::spawn(move || {
+                lanes[0].dead.store(true, Ordering::Relaxed);
+                migrate_stranded(&lanes, 0);
+            })
+        };
+
+        submit.join().unwrap();
+        kill.join().unwrap();
+
+        // One progression pass: flush_xfer migrates every dead lane.
+        for lane in 0..2 {
+            if lanes[lane].dead.load(Ordering::Relaxed) {
+                migrate_stranded(&lanes, lane);
+            }
+        }
+
+        // Nothing lost, and no item left on a dead lane.
+        let on_dead = lanes[0].queue.lock().len();
+        let on_live = lanes[1].queue.lock().len();
+        assert_eq!(on_dead, 0, "item stranded on the dead lane");
+        assert_eq!(on_live, 1, "item lost in migration");
     });
 }
 

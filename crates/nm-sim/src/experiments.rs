@@ -962,6 +962,116 @@ pub fn msgrate_scaling(costs: SimCosts, flows: &[usize]) -> Vec<Series> {
         .collect()
 }
 
+/// The locks of one flow in the VCI message-rate model: per-gate
+/// collect bins (always sharded here — the collect layer was fixed by
+/// the experiment above) plus the driver locks of the VCI context the
+/// flow is pinned to, which alias across flows sharing a context.
+#[derive(Clone, Copy)]
+struct VciFlowLocks {
+    collect_a: LockId,
+    collect_b: LockId,
+    /// Tx-ring lock of the flow's VCI context (shared by its sharers).
+    driver_a: LockId,
+    /// Completion-ring lock of the same context on the receive side.
+    driver_b: LockId,
+    chan: ChanId,
+    /// Flows multiplexed onto this context (1 when `n_vcis >= n_flows`).
+    sharers: u64,
+}
+
+/// Aggregate small-message rate of `n_flows` concurrent streams when
+/// the NIC exposes `n_vcis` independent VCI contexts, fine-grain
+/// locking with per-gate collect bins throughout.
+///
+/// Flow `i` is pinned to context `i % n_vcis`. Flows sharing a context
+/// serialize on its tx-ring lock, and — the dominant cost, and Zambre
+/// et al.'s case for dedicated communication contexts — on its shared
+/// completion queue: every receive-side poll walks the completions of
+/// all flows multiplexed onto the context (`poll_pass + (sharers-1) ·
+/// match_scan` under the context's driver lock). With `n_vcis >=
+/// n_flows` each flow owns its context outright and the transfer layer
+/// adds no shared lock at all, so `msgrate_vci_once(c, 1, 1)` is
+/// bit-identical to `msgrate_once(c, 1, PerGate)`.
+fn msgrate_vci_once(costs: SimCosts, n_flows: usize, n_vcis: usize) -> f64 {
+    let topo = Topology::dual_xeon_x5460();
+    let cores = topo.num_cores();
+    let mut vm = Vm::new(costs, topo);
+    // One (tx-ring, completion-ring) lock pair per VCI context.
+    let contexts: Vec<(LockId, LockId)> = (0..n_vcis).map(|_| (vm.lock(), vm.lock())).collect();
+    let flows: Vec<VciFlowLocks> = (0..n_flows)
+        .map(|i| {
+            let v = i % n_vcis;
+            VciFlowLocks {
+                collect_a: vm.lock(),
+                collect_b: vm.lock(),
+                driver_a: contexts[v].0,
+                driver_b: contexts[v].1,
+                chan: vm.chan(WireModel::myri_10g()),
+                sharers: ((n_flows - 1 - v) / n_vcis + 1) as u64,
+            }
+        })
+        .collect();
+    let finished_at = Arc::new(Mutex::new(0u64));
+
+    for (i, &f) in flows.iter().enumerate() {
+        // Sender: per-gate collect bin (O(1) scan), then the context's
+        // tx ring — shared with the flow's sharers when VCIs are scarce.
+        vm.spawn(i % cores, move |ctx| {
+            let c = *ctx.costs();
+            let half = c.submit_ns / 2;
+            for _ in 0..RATE_MSGS {
+                ctx.advance(1); // loop overhead between library calls
+                ctx.lock(f.collect_a);
+                ctx.advance(half + c.match_scan_ns);
+                ctx.unlock(f.collect_a);
+                ctx.lock(f.driver_a);
+                ctx.advance(c.submit_ns - half);
+                ctx.chan_send(f.chan, RATE_SIZE);
+                ctx.unlock(f.driver_a);
+            }
+        });
+        // Receiver: poll the context's completion ring (scanning the
+        // other sharers' completions too), then dispatch into the
+        // flow's own per-gate bin.
+        let done = Arc::clone(&finished_at);
+        vm.spawn((i + n_flows) % cores, move |ctx| {
+            let c = *ctx.costs();
+            let period = pass_period(&c, Mode::Fine, false, false);
+            for _ in 0..RATE_MSGS {
+                recv_aligned(ctx, f.chan, period);
+                ctx.with_lock(
+                    f.driver_b,
+                    c.poll_pass_ns + (f.sharers - 1) * c.match_scan_ns,
+                );
+                ctx.with_lock(f.collect_b, c.poll_pass_ns + c.match_scan_ns);
+            }
+            let mut d = done.lock();
+            *d = (*d).max(ctx.now());
+        });
+    }
+    vm.run();
+    let elapsed_ns = *finished_at.lock();
+    (n_flows * RATE_MSGS) as f64 / elapsed_ns as f64 * 1e3 // Mmsg/s
+}
+
+/// Message-rate scaling across VCI counts: aggregate rate vs number of
+/// concurrent flows, one series per number of NIC contexts. The flows ×
+/// VCIs axis of the multi-VCI transfer layer — with one context the
+/// seed's shared-driver serialization returns through the back door;
+/// with `vcis >= flows` every flow owns its tx/rx rings and scaling is
+/// bounded only by cores and the wire.
+pub fn msgrate_vci_scaling(costs: SimCosts, flows: &[usize], vcis: &[usize]) -> Vec<Series> {
+    vcis.iter()
+        .map(|&v| Series {
+            label: format!("{v} VCI{}", if v == 1 { "" } else { "s" }),
+            points: flows
+                .iter()
+                .map(|&n| (n, msgrate_vci_once(costs, n, v)))
+                .collect(),
+        })
+        .collect()
+}
+
 /// Completion-delivery paths compared by the completion-object
 /// experiment (`cq_completion_scaling`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1561,6 +1671,32 @@ mod tests {
         assert!(s4 > 3.5 * s1, "sharded 4-flow rate {s4} vs 1-flow {s1}");
         // The global lock saturates: adding flows can't scale the rate.
         assert!(g4 < 2.0 * s1, "global 4-flow rate {g4} vs 1-flow {s1}");
+    }
+
+    #[test]
+    fn msgrate_vci_matches_per_gate_baseline_at_one_flow() {
+        // One flow on one context shares nothing — the model collapses
+        // to the per-gate msgrate path, bit for bit.
+        let vci = msgrate_vci_once(costs(), 1, 1);
+        let base = msgrate_once(costs(), 1, CollectLayout::PerGate);
+        assert_eq!(vci.to_bits(), base.to_bits(), "vci {vci} vs base {base}");
+    }
+
+    #[test]
+    fn msgrate_vci_dedicated_contexts_beat_shared_driver() {
+        // The acceptance bar: 16 flows on 16 dedicated contexts sustain
+        // at least 12× the aggregate rate of 16 flows funneled through
+        // one shared tx/completion ring.
+        let shared = msgrate_vci_once(costs(), 16, 1);
+        let dedicated = msgrate_vci_once(costs(), 16, 16);
+        assert!(
+            dedicated >= 12.0 * shared,
+            "dedicated {dedicated} vs shared {shared} Mmsg/s ({}×)",
+            dedicated / shared
+        );
+        // And context counts in between land in between: monotone.
+        let four = msgrate_vci_once(costs(), 16, 4);
+        assert!(four > shared && four < dedicated, "4-VCI rate {four}");
     }
 
     #[test]

@@ -19,7 +19,7 @@ use nomad::core::{
     CommCore, Completion, CompletionQueue, CoreBuilder, CoreConfig, GateId, LockingMode,
     ReliabilityConfig,
 };
-use nomad::fabric::{ChaosDriver, Driver, FaultPlan, LoopbackDriver};
+use nomad::fabric::{ChaosDriver, Driver, Fabric, FaultPlan, LoopbackDriver, WireModel};
 use nomad::progress::{ProgressEngine, WakerTable};
 use nomad::sync::WaitStrategy;
 
@@ -161,10 +161,55 @@ fn reliability_workload(mode: LockingMode) {
     assert_eq!(b.pending().posted_recvs, 0);
 }
 
+/// Multi-VCI transfer layer: concurrent eager flows plus one striped
+/// rendezvous over per-(rail, VCI) lanes — covers the `core.vci`
+/// transfer-queue sections, the per-lane retrans → driver nesting, and
+/// the sharded per-VCI progression entry points.
+fn vci_workload(mode: LockingMode) {
+    let config = CoreConfig::default().locking(mode);
+    let fabric = Fabric::real_time();
+    // Two rails × two VCIs = four lanes per gate.
+    let (pa, pb) = fabric.pair_vcis(&[WireModel::ideal(), WireModel::ideal()], true, 2);
+    let a = CoreBuilder::new(config.clone())
+        .add_gate(pa.drivers())
+        .build();
+    let b = CoreBuilder::new(config).add_gate(pb.drivers()).build();
+    let eager_max = a.config().eager_threshold;
+
+    let recvs: Vec<_> = (0..4u64).map(|t| b.irecv(G, t).unwrap()).collect();
+    let sends: Vec<_> = (0..4u64)
+        .map(|t| {
+            // Tag 0 rides the rendezvous path (chunks striped round-robin
+            // across all four lanes); the rest are eager.
+            let size = if t == 0 { eager_max * 8 } else { 64 };
+            a.isend(G, t, bytes::Bytes::from(vec![t as u8; size]))
+                .unwrap()
+        })
+        .collect();
+    while recvs.iter().chain(sends.iter()).any(|r| !r.is_complete()) {
+        // Drive each lane shard separately — the dedicated per-VCI
+        // progression-thread path — plus a full pass for the timers.
+        for shard in 0..4 {
+            a.progress_shard(shard, 4);
+            b.progress_shard(shard, 4);
+        }
+        a.progress();
+        b.progress();
+    }
+
+    // The per-shard poll source through the engine registry.
+    let engine = ProgressEngine::new();
+    let id = engine.register(Arc::new(a.vci_poll_source(0, 4)));
+    engine.poll_all();
+    engine.unregister(id);
+}
+
 fn main() {
     workload(LockingMode::Coarse);
     workload(LockingMode::Fine);
     reliability_workload(LockingMode::Coarse);
     reliability_workload(LockingMode::Fine);
+    vci_workload(LockingMode::Coarse);
+    vci_workload(LockingMode::Fine);
     println!("{}", nomad::sync::lockcheck::dump_graph_json());
 }

@@ -63,13 +63,23 @@ use crate::lockgraph::{
 use crate::rslex::{lex, Tok, TokKind};
 
 /// Method names assumed to acquire nothing (see the module docs).
-const ASSUMED_LEAF: &[&str] = &["poll", "post", "can_post"];
+const ASSUMED_LEAF: &[&str] = &[
+    "poll",
+    "post",
+    "can_post",
+    "poll_vci",
+    "post_vci",
+    "can_post_vci",
+    "next_event_ns_vci",
+    "num_vcis",
+];
 
 /// `SectionKind` variant → lock family (mirrors `LockPolicy::new`).
 const SECTION_FAMILIES: &[(&str, &str)] = &[
     ("Global", "core.api-global"),
     ("CollectTx", "core.collect.tx"),
     ("CollectRx", "core.collect.rx"),
+    ("Vci", "core.vci"),
     ("Retrans", "core.retrans"),
     ("Driver", "core.driver"),
 ];
